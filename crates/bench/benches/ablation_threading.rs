@@ -1,0 +1,93 @@
+//! §VII ablation — the threading-design trade-offs the paper proposes
+//! studying with μSuite:
+//!
+//! * **block vs poll**: blocking conserves CPU but pays thread-wakeup
+//!   latency; polling burns CPU to avoid it.
+//! * **dispatch vs in-line**: dispatching isolates handler execution on
+//!   workers but costs a thread hop; in-line avoids the hop but couples
+//!   handler time to the poller.
+//! * **thread-pool sizing**: too few workers queue, too many contend.
+//!
+//! The harness sweeps all three on HDSearch at a fixed open-loop load and
+//! reports median/tail latency, so the cross-over behaviour §VII predicts
+//! (in-line wins at low load and short requests; dispatch wins under
+//! load) is directly visible.
+//!
+//! Run: `cargo bench -p musuite-bench --bench ablation_threading`
+
+use musuite_bench::{BenchEnv, QUERY_METHOD};
+use musuite_codec::to_bytes;
+use musuite_core::cluster::ClusterConfig;
+use musuite_data::vectors::{VectorDataset, VectorDatasetConfig};
+use musuite_hdsearch::protocol::SearchQuery;
+use musuite_hdsearch::service::HdSearchService;
+use musuite_loadgen::open_loop::{self, OpenLoopConfig};
+use musuite_loadgen::source::CyclingSource;
+use musuite_rpc::{ExecutionModel, RpcClient, ServerConfig, WaitMode};
+use musuite_telemetry::report::Table;
+use std::sync::Arc;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    let load = env.loads.get(1).copied().unwrap_or(1_000.0);
+    println!(
+        "\nSec. VII ablation: mid-tier threading designs (HDSearch, {load} QPS, {}s per cell)\n",
+        env.secs
+    );
+    let dataset = VectorDataset::generate(&VectorDatasetConfig {
+        points: 5_000 * env.scale,
+        dim: 64,
+        ..Default::default()
+    });
+    let queries: Vec<Vec<u8>> = dataset
+        .sample_queries(512, 0.02)
+        .into_iter()
+        .map(|vector| to_bytes(&SearchQuery { vector, k: 10 }))
+        .collect();
+
+    let mut table =
+        Table::new(&["wait mode", "execution", "workers", "p50_us", "p99_us", "errors"]);
+    for wait in [WaitMode::Block, WaitMode::Poll, WaitMode::Adaptive] {
+        for execution in [ExecutionModel::Dispatch, ExecutionModel::Inline] {
+            for workers in [2usize, 8] {
+                if execution == ExecutionModel::Inline && workers != 2 {
+                    continue; // inline mode has no worker pool to size
+                }
+                let mut midtier_config = ServerConfig::default();
+                midtier_config
+                    .wait_mode(wait)
+                    .execution_model(execution)
+                    .workers(workers);
+                let config = ClusterConfig::new()
+                    .leaves(env.leaves)
+                    .midtier_config(midtier_config);
+                let service =
+                    HdSearchService::launch_with(config, dataset.clone(), Default::default())
+                        .expect("launch HDSearch");
+                let client =
+                    Arc::new(RpcClient::connect(service.addr()).expect("connect load client"));
+                let mut source = CyclingSource::new(QUERY_METHOD, queries.clone());
+                let report = open_loop::run(
+                    OpenLoopConfig::poisson(load, env.duration(), 42),
+                    client,
+                    &mut source,
+                );
+                let us = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1e6);
+                table.row_owned(vec![
+                    format!("{wait:?}"),
+                    format!("{execution:?}"),
+                    if execution == ExecutionModel::Inline {
+                        "-".to_string()
+                    } else {
+                        workers.to_string()
+                    },
+                    us(report.latency.p50),
+                    us(report.latency.p99),
+                    report.errors.to_string(),
+                ]);
+                service.shutdown();
+            }
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,38 @@
+//! Fig. 9 — saturation throughput (QPS) of every μSuite service.
+//!
+//! "Using our load generator in closed-loop mode, we measure the
+//! saturation throughput for all benchmarks. We find that HDSearch
+//! saturates at ~11.5 K QPS, Router at ~12 K, Set Algebra at ~16.5 K, and
+//! Recommend at ~13 K" (paper §VI-A). Absolute numbers differ on this
+//! single-host substrate; the shape to check is that all four services
+//! saturate in the same order of magnitude (production-representative
+//! tens-of-thousands QPS) with Set Algebra near the top.
+//!
+//! Run: `cargo bench -p musuite-bench --bench fig09_saturation`
+
+use musuite_bench::{BenchEnv, Deployment, ALL_SERVICES};
+use musuite_loadgen::saturation;
+use musuite_telemetry::report::Table;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!("\nFig. 9: saturation throughput (closed-loop, {}s per ramp step)\n", env.secs);
+    let mut table = Table::new(&["service", "saturation QPS", "paper QPS"]);
+    let paper = ["~11.5K", "~12K", "~16.5K", "~13K"];
+    for (kind, paper_qps) in ALL_SERVICES.into_iter().zip(paper) {
+        let deployment = Deployment::launch(kind, &env);
+        let source = deployment.source();
+        let qps = saturation::find_saturation_qps(deployment.addr(), env.duration(), |_worker| {
+            source.clone()
+        })
+        .expect("saturation measurement");
+        table.row_owned(vec![
+            kind.name().to_string(),
+            format!("{qps:.0}"),
+            paper_qps.to_string(),
+        ]);
+        deployment.shutdown();
+        println!("{}: {qps:.0} QPS", kind.name());
+    }
+    println!("\n{}", table.render());
+}

@@ -1,0 +1,61 @@
+//! Fig. 10 — end-to-end response latency distribution across loads.
+//!
+//! The paper offers 100 / 1 K / 10 K QPS open-loop Poisson load to each
+//! service and shows violin plots. Shapes to check: (1) tail latency rises
+//! with load; (2) **median latency at 100 QPS exceeds median at 1 K QPS**
+//! (up to 1.45× in the paper) — the counter-intuitive low-load wakeup
+//! anomaly (cold thread pools sleep longer before waking); (3) worst-case
+//! tails stay in the low-millisecond range, far below monolith scale.
+//!
+//! Run: `cargo bench -p musuite-bench --bench fig10_latency`
+
+use musuite_bench::{load_label, offer_load, BenchEnv, Deployment, ALL_SERVICES};
+use musuite_telemetry::report::Table;
+use musuite_telemetry::summary::DistributionSummary;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!(
+        "\nFig. 10: end-to-end latency distributions, open-loop Poisson, {}s per point\n",
+        env.secs
+    );
+    for kind in ALL_SERVICES {
+        let deployment = Deployment::launch(kind, &env);
+        let mut table = Table::new(&[
+            "load", "issued", "p5_us", "p25_us", "p50_us", "p75_us", "p95_us", "p99_us",
+            "p999_us", "max_us",
+        ]);
+        let mut medians = Vec::new();
+        for &qps in &env.loads {
+            let report = offer_load(&deployment, qps, env.duration());
+            let s: DistributionSummary = report.latency;
+            medians.push((qps, s.p50));
+            let us = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1e6);
+            table.row_owned(vec![
+                load_label(qps),
+                report.issued.to_string(),
+                us(s.p5),
+                us(s.p25),
+                us(s.p50),
+                us(s.p75),
+                us(s.p95),
+                us(s.p99),
+                us(s.p999),
+                us(s.max),
+            ]);
+        }
+        println!("--- {} ---", kind.name());
+        println!("{}", table.render());
+        if medians.len() >= 2 {
+            let (low_qps, low_median) = medians[0];
+            let (mid_qps, mid_median) = medians[1];
+            println!(
+                "low-load anomaly check: p50@{} / p50@{} = {:.2}x (paper reports up to 1.45x)\n",
+                load_label(low_qps),
+                load_label(mid_qps),
+                low_median.as_secs_f64() / mid_median.as_secs_f64().max(1e-12),
+            );
+        }
+        deployment.shutdown();
+    }
+}

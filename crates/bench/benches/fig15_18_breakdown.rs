@@ -1,0 +1,82 @@
+//! Figs. 15–18 — breakdown of OS overheads in mid-tier request latency.
+//!
+//! The paper attributes mid-tier latency to OS stages with eBPF and finds
+//! "μSuite's mid-tier tail latencies arise mainly from the OS scheduler:
+//! Active-Exe contributes to mid-tier tails by up to ~50 % for HDSearch,
+//! ~75 % for Router, ~87 % for Set Algebra, and ~64 % for Recommend".
+//! This harness reports the same stage distributions from the
+//! instrumented runtime (per-request probes for Net_rx/Net_tx/Block/Net
+//! and the fan-out extension stages, plus the kernel's own
+//! `/proc/.../schedstat` run-queue delay for Sched/Active-Exe truth).
+//!
+//! Run: `cargo bench -p musuite-bench --bench fig15_18_breakdown`
+
+use musuite_bench::{load_label, offer_load, BenchEnv, Deployment, ALL_SERVICES};
+use musuite_telemetry::breakdown::{Stage, ALL_STAGES};
+use musuite_telemetry::procstat::SchedStat;
+use musuite_telemetry::report::Table;
+use musuite_telemetry::summary::DistributionSummary;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!(
+        "\nFigs. 15-18: OS-overhead latency breakdown of mid-tier requests ({}s per point)\n",
+        env.secs
+    );
+    for (figure, kind) in (15..).zip(ALL_SERVICES) {
+        let deployment = Deployment::launch(kind, &env);
+        println!("--- Fig. {figure}: {} ---", kind.name());
+        for &qps in &env.loads {
+            deployment.midtier().stats().reset();
+            let sched_before = SchedStat::sample_or_default();
+            let report = offer_load(&deployment, qps, env.duration());
+            let sched_delta = SchedStat::sample_or_default().since(&sched_before);
+            let breakdown = deployment.midtier().stats().breakdown();
+            let mut table =
+                Table::new(&["stage", "count", "p50_us", "p95_us", "p99_us", "max_us"]);
+            let mut stage_p99 = Vec::new();
+            for stage in ALL_STAGES {
+                let histogram = breakdown.histogram(stage);
+                if histogram.is_empty() {
+                    continue;
+                }
+                let s = DistributionSummary::from_histogram(&histogram);
+                stage_p99.push((stage, s.p99));
+                let us = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1e6);
+                table.row_owned(vec![
+                    stage.label().to_string(),
+                    s.count.to_string(),
+                    us(s.p50),
+                    us(s.p95),
+                    us(s.p99),
+                    us(s.max),
+                ]);
+            }
+            println!(
+                "load {} QPS ({} completed):",
+                load_label(qps),
+                report.completed
+            );
+            println!("{}", table.render());
+            println!(
+                "kernel schedstat: run-queue delay {:.1} ms total, {:.1} us mean/timeslice",
+                sched_delta.run_delay.as_secs_f64() * 1e3,
+                sched_delta.mean_run_delay().as_secs_f64() * 1e6
+            );
+            // The paper's headline share: wakeup+dispatch vs everything.
+            let total: f64 = stage_p99.iter().map(|(_, d)| d.as_secs_f64()).sum();
+            let sched_side: f64 = stage_p99
+                .iter()
+                .filter(|(stage, _)| matches!(stage, Stage::Block | Stage::ActiveExe))
+                .map(|(_, d)| d.as_secs_f64())
+                .sum();
+            if total > 0.0 {
+                println!(
+                    "scheduler-side (Block + Active-Exe) share of p99 stage time: {:.0} %\n",
+                    100.0 * sched_side / total
+                );
+            }
+        }
+        deployment.shutdown();
+    }
+}

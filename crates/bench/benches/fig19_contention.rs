@@ -1,0 +1,69 @@
+//! Fig. 19 — context switches and thread contention vs load.
+//!
+//! The paper counts context switches with `perf` and true-sharing HITM
+//! events with Intel PEBS, finding both grow with load and HITM counts
+//! exceed context-switch counts ("various threads are woken up when a
+//! futex returns, and they all contend with each other while trying to
+//! acquire a network socket lock"). Here context switches come from
+//! `/proc/self/status` (all threads) and contention events from the
+//! instrumented locks (contended acquisitions — the operation that causes
+//! HITMs).
+//!
+//! Run: `cargo bench -p musuite-bench --bench fig19_contention`
+
+use musuite_bench::{load_label, offer_load, BenchEnv, Deployment, ALL_SERVICES};
+use musuite_telemetry::procstat::{ContextSwitches, TcpStats};
+use musuite_telemetry::report::{count, Table};
+use musuite_telemetry::sync;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    println!(
+        "\nFig. 19: context switches (CS) and contention events (HITM analog) per point ({}s)\n",
+        env.secs
+    );
+    let tcp_before = TcpStats::sample_or_default();
+    let mut header = vec!["series".to_string()];
+    header.extend(env.loads.iter().map(|&qps| load_label(qps)));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for kind in ALL_SERVICES {
+        let deployment = Deployment::launch(kind, &env);
+        let mut cs_row = vec![format!("{} CS", kind.name())];
+        let mut hitm_row = vec![format!("{} HITM", kind.name())];
+        let mut series = Vec::new();
+        for &qps in &env.loads {
+            let cs_before = ContextSwitches::sample_or_default();
+            let contention_before = sync::contention_events();
+            let report = offer_load(&deployment, qps, env.duration());
+            let cs = (ContextSwitches::sample_or_default() - cs_before).total();
+            let contention = sync::contention_events() - contention_before;
+            series.push((qps, cs, contention, report.completed));
+            cs_row.push(count(cs));
+            hitm_row.push(count(contention));
+        }
+        table.row_owned(cs_row);
+        table.row_owned(hitm_row);
+        let first = series.first().expect("at least one load");
+        let last = series.last().expect("at least one load");
+        println!(
+            "{}: CS {} -> {} and contention {} -> {} from {} to {} QPS",
+            kind.name(),
+            count(first.1),
+            count(last.1),
+            count(first.2),
+            count(last.2),
+            load_label(first.0),
+            load_label(last.0)
+        );
+        deployment.shutdown();
+    }
+    println!("\n{}", table.render());
+    let tcp = TcpStats::sample_or_default().since(&tcp_before);
+    println!(
+        "TCP retransmissions over the whole run: {} of {} segments (paper: single digits)",
+        tcp.retrans_segs, tcp.out_segs
+    );
+    println!("shape checks: both series grow with load; contention events are plentiful");
+    println!("(the paper reports HITM counts exceeding CS counts at every load)");
+}

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the RPC substrate: round-trip cost of
+//! the layers between a query's arrival and its response — the overheads
+//! that, per the paper, rival the mid-tier's own compute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use musuite_rpc::{
+    DispatchQueue, ExecutionModel, RequestContext, RpcClient, Server, ServerConfig, Service,
+    WaitMode,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Echo;
+impl Service for Echo {
+    fn call(&self, ctx: RequestContext) {
+        let bytes = ctx.payload().to_vec();
+        ctx.respond_ok(bytes);
+    }
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpc_roundtrip");
+    for (label, model) in
+        [("dispatch", ExecutionModel::Dispatch), ("inline", ExecutionModel::Inline)]
+    {
+        let mut config = ServerConfig::default();
+        config.execution_model(model).workers(4);
+        let server = Server::spawn(config, Arc::new(Echo)).expect("spawn server");
+        let client = RpcClient::connect(server.local_addr()).expect("connect");
+        let payload = vec![0u8; 128];
+        group.bench_function(format!("echo_128B_{label}"), |b| {
+            b.iter(|| black_box(client.call(1, payload.clone()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_handoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_queue");
+    for (label, mode) in [("block", WaitMode::Block), ("poll", WaitMode::Poll)] {
+        group.bench_function(format!("push_pop_uncontended_{label}"), |b| {
+            let queue: DispatchQueue<u64> = DispatchQueue::new(1024, mode);
+            b.iter(|| {
+                queue.push(black_box(7));
+                black_box(queue.pop())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    use musuite_rpc::FanoutGroup;
+    let servers: Vec<Server> = (0..4)
+        .map(|_| Server::spawn(ServerConfig::default(), Arc::new(Echo)).expect("spawn leaf"))
+        .collect();
+    let addrs: Vec<_> = servers.iter().map(Server::local_addr).collect();
+    let group_clients = FanoutGroup::connect(&addrs).expect("connect fan-out");
+    c.bench_function("fanout_scatter_gather_4_leaves", |b| {
+        b.iter(|| {
+            let requests = (0..4).map(|leaf| (leaf, 1u32, vec![0u8; 64])).collect();
+            black_box(group_clients.scatter_wait(requests))
+        })
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_roundtrip, bench_queue_handoff, bench_fanout
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table I — comparison of μSuite with prior benchmark suites.
+//!
+//! A static exhibit (no measurement); reprinted so `cargo bench` emits the
+//! complete set of the paper's tables and figures.
+//!
+//! Run: `cargo bench -p musuite-bench --bench table1_comparison`
+
+use musuite_telemetry::report::Table;
+
+fn main() {
+    println!("\nTable I: summary of a comparison of muSuite with prior work\n");
+    let mut table = Table::new(&["prior work", "open-source", "uservice arch.", "mid-tier study"]);
+    table
+        .row(&["SPEC", "yes", "no", "no"])
+        .row(&["PARSEC", "yes", "no", "no"])
+        .row(&["CloudSuite", "yes", "no", "no"])
+        .row(&["TailBench", "yes", "no", "no"])
+        .row(&["PerfKit", "yes", "no", "no"])
+        .row(&["Ayers et al.", "no", "yes", "yes"])
+        .row(&["muSuite", "yes", "yes", "yes"]);
+    println!("{}", table.render());
+    println!("(muSuite row realized by this repository: four open-source,");
+    println!(" microservice-architected, mid-tier-instrumented OLDI services)");
+}

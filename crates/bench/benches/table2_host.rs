@@ -1,0 +1,23 @@
+//! Table II — the hardware specification of the measurement host.
+//!
+//! The paper reports its Skylake testbed; this target reports the machine
+//! the reproduction actually ran on so EXPERIMENTS.md can cite both.
+//!
+//! Run: `cargo bench -p musuite-bench --bench table2_host`
+
+use musuite_telemetry::procstat::HostInfo;
+use musuite_telemetry::report::Table;
+
+fn main() {
+    println!("\nTable II: mid-tier microservice hardware specification");
+    println!("(paper: Intel Gold 6148 'Skylake', 2.40 GHz, 40C/80T, 64 GB, 10 Gbit/s, Linux 4.13)\n");
+    let info = HostInfo::probe();
+    let mut table = Table::new(&["field", "this host"]);
+    table
+        .row(&["Processor", &info.cpu_model])
+        .row(&["Logical CPUs", &info.logical_cpus.to_string()])
+        .row(&["DRAM", &format!("{:.1} GB", info.mem_total_kb as f64 / 1_048_576.0)])
+        .row(&["Network", "loopback TCP (single-host reproduction)"])
+        .row(&["Linux kernel version", &info.kernel]);
+    println!("{}", table.render());
+}

@@ -1,0 +1,283 @@
+//! The [`Decode`] trait and implementations for standard types.
+
+use crate::error::DecodeError;
+use crate::wire;
+
+/// Upper bound on a decoded sequence's declared element count relative to
+/// the remaining input, preventing hostile length prefixes from triggering
+/// huge allocations: every element costs at least one input byte.
+fn check_seq_len(declared: u64, remaining: usize) -> Result<usize, DecodeError> {
+    if declared > remaining as u64 {
+        return Err(DecodeError::LengthOverflow { declared, max: remaining as u64 });
+    }
+    Ok(declared as usize)
+}
+
+/// Types that can be deserialized from the μSuite wire format.
+///
+/// `decode` returns the value and the unconsumed remainder of the input so
+/// composite messages decode by chaining.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_codec::{Decode, Encode};
+///
+/// let mut buf = Vec::new();
+/// 99u64.encode(&mut buf);
+/// let (v, rest) = u64::decode(&buf)?;
+/// assert_eq!(v, 99);
+/// assert!(rest.is_empty());
+/// # Ok::<(), musuite_codec::DecodeError>(())
+/// ```
+pub trait Decode: Sized {
+    /// Reads one value from the front of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the input is truncated or malformed.
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError>;
+}
+
+macro_rules! impl_decode_uvarint {
+    ($($t:ty),*) => {$(
+        impl Decode for $t {
+            fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+                let (raw, rest) = wire::get_uvarint(bytes)?;
+                let value = <$t>::try_from(raw)
+                    .map_err(|_| DecodeError::LengthOverflow { declared: raw, max: <$t>::MAX as u64 })?;
+                Ok((value, rest))
+            }
+        }
+    )*};
+}
+
+impl_decode_uvarint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_decode_ivarint {
+    ($($t:ty),*) => {$(
+        impl Decode for $t {
+            fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+                let (raw, rest) = wire::get_ivarint(bytes)?;
+                let value = <$t>::try_from(raw)
+                    .map_err(|_| DecodeError::LengthOverflow { declared: raw.unsigned_abs(), max: <$t>::MAX as u64 })?;
+                Ok((value, rest))
+            }
+        }
+    )*};
+}
+
+impl_decode_ivarint!(i8, i16, i32, i64);
+
+impl Decode for bool {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        match bytes.split_first() {
+            Some((&0, rest)) => Ok((false, rest)),
+            Some((&1, rest)) => Ok((true, rest)),
+            Some((&value, _)) => Err(DecodeError::InvalidDiscriminant { value, context: "bool" }),
+            None => Err(DecodeError::UnexpectedEof { context: "bool" }),
+        }
+    }
+}
+
+impl Decode for f32 {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        if bytes.len() < 4 {
+            return Err(DecodeError::UnexpectedEof { context: "f32" });
+        }
+        let (head, rest) = bytes.split_at(4);
+        Ok((f32::from_le_bytes(head.try_into().expect("4 bytes")), rest))
+    }
+}
+
+impl Decode for f64 {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        if bytes.len() < 8 {
+            return Err(DecodeError::UnexpectedEof { context: "f64" });
+        }
+        let (head, rest) = bytes.split_at(8);
+        Ok((f64::from_le_bytes(head.try_into().expect("8 bytes")), rest))
+    }
+}
+
+impl Decode for String {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        let (len, rest) = wire::get_uvarint(bytes)?;
+        let len = check_seq_len(len, rest.len())?;
+        let (head, rest) = rest.split_at(len);
+        let s = std::str::from_utf8(head).map_err(|_| DecodeError::InvalidUtf8)?;
+        Ok((s.to_owned(), rest))
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        let (len, mut rest) = wire::get_uvarint(bytes)?;
+        // Every element occupies at least one input byte, so a declared
+        // count above the remaining input is necessarily hostile/corrupt.
+        let len = check_seq_len(len, rest.len())?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let (item, next) = T::decode(rest)?;
+            out.push(item);
+            rest = next;
+        }
+        Ok((out, rest))
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        match bytes.split_first() {
+            Some((&0, rest)) => Ok((None, rest)),
+            Some((&1, rest)) => {
+                let (value, rest) = T::decode(rest)?;
+                Ok((Some(value), rest))
+            }
+            Some((&value, _)) => {
+                Err(DecodeError::InvalidDiscriminant { value, context: "Option" })
+            }
+            None => Err(DecodeError::UnexpectedEof { context: "Option" }),
+        }
+    }
+}
+
+impl Decode for () {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        Ok(((), bytes))
+    }
+}
+
+macro_rules! impl_decode_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Decode),+> Decode for ($($name,)+) {
+            fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+                let rest = bytes;
+                $(
+                    #[allow(non_snake_case)]
+                    let ($name, rest) = $name::decode(rest)?;
+                )+
+                Ok((($($name,)+), rest))
+            }
+        }
+    };
+}
+
+impl_decode_tuple!(A);
+impl_decode_tuple!(A, B);
+impl_decode_tuple!(A, B, C);
+impl_decode_tuple!(A, B, C, D);
+impl_decode_tuple!(A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encode;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let mut buf = Vec::new();
+        value.encode(&mut buf);
+        let (got, rest) = T::decode(&buf).unwrap();
+        assert_eq!(got, value);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(u8::MAX);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(i8::MIN);
+        roundtrip(i16::MIN);
+        roundtrip(i32::MIN);
+        roundtrip(i64::MIN);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(1.5f32);
+        roundtrip(-2.25f64);
+        roundtrip(());
+    }
+
+    #[test]
+    fn float_nan_roundtrips_bitwise() {
+        let mut buf = Vec::new();
+        f32::NAN.encode(&mut buf);
+        let (got, _) = f32::decode(&buf).unwrap();
+        assert!(got.is_nan());
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(String::from("μSuite"));
+        roundtrip(String::new());
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(9u8));
+        roundtrip(Option::<u8>::None);
+        roundtrip((1u8, -5i32, String::from("x")));
+        roundtrip(vec![(1u64, vec![1.0f32, 2.0]), (2, vec![])]);
+        roundtrip((1u8, 2u8, 3u8, 4u8, 5u8));
+    }
+
+    #[test]
+    fn narrowing_overflow_detected() {
+        let mut buf = Vec::new();
+        300u64.encode(&mut buf);
+        assert!(matches!(u8::decode(&buf), Err(DecodeError::LengthOverflow { .. })));
+    }
+
+    #[test]
+    fn bool_bad_discriminant() {
+        assert!(matches!(
+            bool::decode(&[7]),
+            Err(DecodeError::InvalidDiscriminant { value: 7, context: "bool" })
+        ));
+    }
+
+    #[test]
+    fn option_bad_discriminant() {
+        assert!(matches!(
+            Option::<u8>::decode(&[9, 0]),
+            Err(DecodeError::InvalidDiscriminant { value: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn string_invalid_utf8() {
+        // length 2, bytes are an invalid UTF-8 sequence
+        assert_eq!(String::decode(&[2, 0xFF, 0xFE]), Err(DecodeError::InvalidUtf8));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected_without_allocation() {
+        // Declares a 2^60-element vector with only 2 bytes of input.
+        let mut buf = Vec::new();
+        wire::put_uvarint(&mut buf, 1u64 << 60);
+        buf.push(0);
+        assert!(matches!(
+            Vec::<u8>::decode(&buf),
+            Err(DecodeError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_vector_is_eof() {
+        let mut buf = Vec::new();
+        vec![1u32, 2, 3].encode(&mut buf);
+        buf.truncate(buf.len() - 1);
+        assert!(Vec::<u32>::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn decode_leaves_remainder() {
+        let mut buf = Vec::new();
+        7u8.encode(&mut buf);
+        buf.extend_from_slice(b"tail");
+        let (v, rest) = u8::decode(&buf).unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(rest, b"tail");
+    }
+}

@@ -1,0 +1,237 @@
+//! The [`Encode`] trait and implementations for standard types.
+
+use crate::wire;
+
+/// Types that can be serialized to the μSuite wire format.
+///
+/// Implementations append bytes to a caller-provided buffer so composite
+/// messages serialize without intermediate allocations.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_codec::Encode;
+///
+/// let mut buf = Vec::new();
+/// "hello".encode(&mut buf);
+/// 7u32.encode(&mut buf);
+/// assert!(buf.len() >= 7);
+/// ```
+pub trait Encode {
+    /// Appends this value's wire representation to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// A cheap upper-bound hint for the encoded size, used to pre-size
+    /// buffers. The default is a small constant; containers override it.
+    fn encoded_len(&self) -> usize {
+        16
+    }
+}
+
+macro_rules! impl_encode_uvarint {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                wire::put_uvarint(buf, u64::from(*self));
+            }
+            fn encoded_len(&self) -> usize {
+                wire::MAX_VARINT_LEN
+            }
+        }
+    )*};
+}
+
+impl_encode_uvarint!(u8, u16, u32, u64);
+
+impl Encode for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        wire::put_uvarint(buf, *self as u64);
+    }
+    fn encoded_len(&self) -> usize {
+        wire::MAX_VARINT_LEN
+    }
+}
+
+macro_rules! impl_encode_ivarint {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                wire::put_ivarint(buf, i64::from(*self));
+            }
+            fn encoded_len(&self) -> usize {
+                wire::MAX_VARINT_LEN
+            }
+        }
+    )*};
+}
+
+impl_encode_ivarint!(i8, i16, i32, i64);
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Encode for f32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        wire::put_uvarint(buf, self.len() as u64);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        wire::MAX_VARINT_LEN + self.len()
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_str().encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.as_str().encoded_len()
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        wire::put_uvarint(buf, self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        wire::MAX_VARINT_LEN + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_slice().encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.as_slice().encoded_len()
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(value) => {
+                buf.push(1);
+                value.encode(buf);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::encoded_len)
+    }
+}
+
+impl<T: Encode + ?Sized> Encode for &T {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (**self).encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        (**self).encoded_len()
+    }
+}
+
+impl Encode for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn encoded_len(&self) -> usize {
+        0
+    }
+}
+
+macro_rules! impl_encode_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Encode),+> Encode for ($($name,)+) {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $(self.$idx.encode(buf);)+
+            }
+            fn encoded_len(&self) -> usize {
+                0 $(+ self.$idx.encoded_len())+
+            }
+        }
+    };
+}
+
+impl_encode_tuple!(A: 0);
+impl_encode_tuple!(A: 0, B: 1);
+impl_encode_tuple!(A: 0, B: 1, C: 2);
+impl_encode_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_encode_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_encodes_to_nothing() {
+        let mut buf = Vec::new();
+        ().encode(&mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn bool_is_single_byte() {
+        let mut buf = Vec::new();
+        true.encode(&mut buf);
+        false.encode(&mut buf);
+        assert_eq!(buf, [1, 0]);
+    }
+
+    #[test]
+    fn empty_string_is_one_byte() {
+        let mut buf = Vec::new();
+        "".encode(&mut buf);
+        assert_eq!(buf, [0]);
+    }
+
+    #[test]
+    fn reference_delegates() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        42u32.encode(&mut a);
+        (&42u32).encode(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn encoded_len_is_upper_bound() {
+        let values: Vec<(u64, String)> =
+            (0..50).map(|i| (i, format!("value-{i}"))).collect();
+        let mut buf = Vec::new();
+        values.encode(&mut buf);
+        assert!(values.encoded_len() >= buf.len());
+    }
+
+    #[test]
+    fn floats_encode_bit_exact() {
+        let mut buf = Vec::new();
+        1.5f32.encode(&mut buf);
+        assert_eq!(buf, 1.5f32.to_le_bytes());
+    }
+}

@@ -1,0 +1,99 @@
+//! Decode-side error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding malformed wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// A varint used more than the maximum number of bytes.
+    VarintOverflow,
+    /// A length prefix exceeded the configured maximum.
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+        /// The maximum permitted.
+        max: u64,
+    },
+    /// Bytes declared as UTF-8 were not valid UTF-8.
+    InvalidUtf8,
+    /// An enum/option discriminant byte had an unknown value.
+    InvalidDiscriminant {
+        /// The offending byte.
+        value: u8,
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// Input remained after a complete value was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+    /// A frame checksum did not match its contents.
+    ChecksumMismatch,
+    /// A frame began with the wrong magic bytes.
+    BadMagic,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while decoding {context}")
+            }
+            DecodeError::VarintOverflow => write!(f, "varint exceeded 10 bytes"),
+            DecodeError::LengthOverflow { declared, max } => {
+                write!(f, "declared length {declared} exceeds maximum {max}")
+            }
+            DecodeError::InvalidUtf8 => write!(f, "invalid UTF-8 sequence in string"),
+            DecodeError::InvalidDiscriminant { value, context } => {
+                write!(f, "invalid discriminant {value} for {context}")
+            }
+            DecodeError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after complete value")
+            }
+            DecodeError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            DecodeError::BadMagic => write!(f, "frame magic bytes not recognized"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            DecodeError::UnexpectedEof { context: "u32" },
+            DecodeError::VarintOverflow,
+            DecodeError::LengthOverflow { declared: 10, max: 5 },
+            DecodeError::InvalidUtf8,
+            DecodeError::InvalidDiscriminant { value: 9, context: "Option" },
+            DecodeError::TrailingBytes { count: 3 },
+            DecodeError::ChecksumMismatch,
+            DecodeError::BadMagic,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            let first = msg.chars().next().unwrap();
+            assert!(!first.is_uppercase(), "message must not start capitalized: {msg}");
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<DecodeError>();
+    }
+}

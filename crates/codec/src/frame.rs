@@ -1,0 +1,382 @@
+//! Length-prefixed RPC frame layer.
+//!
+//! Every message on a μSuite-rs connection is one frame:
+//!
+//! ```text
+//! +-------+-------------+------+------------+--------+--------+----------+---------+
+//! | magic | payload len | kind | request id | method | status | checksum | payload |
+//! |  2 B  |     4 B     | 1 B  |    8 B     |  4 B   |  4 B   |   8 B    |  len B  |
+//! +-------+-------------+------+------------+--------+--------+----------+---------+
+//! ```
+//!
+//! All header integers are little-endian. The checksum is FNV-1a over the
+//! payload; it guards against framing desynchronization on a reused
+//! connection rather than network corruption (TCP already checksums).
+//! Request ids multiplex many in-flight RPCs on one connection, which is
+//! what lets the mid-tier issue asynchronous leaf requests with *explicit*
+//! RPC state — the paper's "no association between an execution thread and
+//! a particular RPC".
+
+use crate::error::DecodeError;
+use crate::wire;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame magic bytes ("μS" in CP437 spirit: 0xB5 'S').
+pub const MAGIC: [u8; 2] = [0xB5, 0x53];
+
+/// Serialized header size in bytes, excluding the payload.
+pub const HEADER_LEN: usize = 2 + 4 + 1 + 8 + 4 + 4 + 8;
+
+/// Maximum payload bytes accepted in one frame (16 MiB).
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Frame direction/role discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A request from a client to a server.
+    Request = 0,
+    /// A response from a server to a client.
+    Response = 1,
+    /// A one-way notification (no response expected).
+    OneWay = 2,
+}
+
+impl FrameKind {
+    fn from_u8(value: u8) -> Result<FrameKind, DecodeError> {
+        match value {
+            0 => Ok(FrameKind::Request),
+            1 => Ok(FrameKind::Response),
+            2 => Ok(FrameKind::OneWay),
+            _ => Err(DecodeError::InvalidDiscriminant { value, context: "FrameKind" }),
+        }
+    }
+}
+
+/// RPC completion status carried on response frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u32)]
+pub enum Status {
+    /// The handler completed successfully.
+    #[default]
+    Ok = 0,
+    /// The method id was not registered at the server.
+    UnknownMethod = 1,
+    /// The handler failed to decode the request payload.
+    BadRequest = 2,
+    /// The handler raised an application error.
+    AppError = 3,
+    /// The server is shutting down or overloaded.
+    Unavailable = 4,
+}
+
+impl Status {
+    fn from_u32(value: u32) -> Result<Status, DecodeError> {
+        match value {
+            0 => Ok(Status::Ok),
+            1 => Ok(Status::UnknownMethod),
+            2 => Ok(Status::BadRequest),
+            3 => Ok(Status::AppError),
+            4 => Ok(Status::Unavailable),
+            _ => Err(DecodeError::InvalidDiscriminant {
+                value: value.min(255) as u8,
+                context: "Status",
+            }),
+        }
+    }
+
+    /// Returns `true` for [`Status::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Status::Ok)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Status::Ok => "ok",
+            Status::UnknownMethod => "unknown method",
+            Status::BadRequest => "bad request",
+            Status::AppError => "application error",
+            Status::Unavailable => "unavailable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Frame metadata preceding the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Request/response/one-way discriminator.
+    pub kind: FrameKind,
+    /// Correlates a response with its in-flight request.
+    pub request_id: u64,
+    /// Identifies the service method being invoked.
+    pub method: u32,
+    /// Completion status (meaningful on responses; `Ok` on requests).
+    pub status: Status,
+}
+
+/// A complete frame: header plus opaque payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame metadata.
+    pub header: FrameHeader,
+    /// Message body, encoded with [`crate::Encode`].
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a request frame.
+    pub fn request(request_id: u64, method: u32, payload: Vec<u8>) -> Frame {
+        Frame {
+            header: FrameHeader {
+                kind: FrameKind::Request,
+                request_id,
+                method,
+                status: Status::Ok,
+            },
+            payload,
+        }
+    }
+
+    /// Builds a response frame.
+    pub fn response(request_id: u64, method: u32, status: Status, payload: Vec<u8>) -> Frame {
+        Frame {
+            header: FrameHeader { kind: FrameKind::Response, request_id, method, status },
+            payload,
+        }
+    }
+
+    /// Serializes the frame to a byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        buf.extend_from_slice(&MAGIC);
+        wire::put_u32_le(&mut buf, self.payload.len() as u32);
+        buf.push(self.header.kind as u8);
+        wire::put_u64_le(&mut buf, self.header.request_id);
+        wire::put_u32_le(&mut buf, self.header.method);
+        wire::put_u32_le(&mut buf, self.header.status as u32);
+        wire::put_u64_le(&mut buf, wire::fnv1a(&self.payload));
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Parses one frame from the front of `bytes`, returning it and the
+    /// remaining input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, bad magic, an oversized
+    /// declared length, or a checksum mismatch.
+    pub fn parse(bytes: &[u8]) -> Result<(Frame, &[u8]), DecodeError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(DecodeError::UnexpectedEof { context: "frame header" });
+        }
+        if bytes[..2] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let rest = &bytes[2..];
+        let (len, rest) = wire::get_u32_le(rest)?;
+        if len as usize > MAX_FRAME_LEN {
+            return Err(DecodeError::LengthOverflow {
+                declared: u64::from(len),
+                max: MAX_FRAME_LEN as u64,
+            });
+        }
+        let (kind_raw, rest) = rest.split_first().ok_or(DecodeError::UnexpectedEof {
+            context: "frame kind",
+        })?;
+        let kind = FrameKind::from_u8(*kind_raw)?;
+        let (request_id, rest) = wire::get_u64_le(rest)?;
+        let (method, rest) = wire::get_u32_le(rest)?;
+        let (status_raw, rest) = wire::get_u32_le(rest)?;
+        let status = Status::from_u32(status_raw)?;
+        let (checksum, rest) = wire::get_u64_le(rest)?;
+        if rest.len() < len as usize {
+            return Err(DecodeError::UnexpectedEof { context: "frame payload" });
+        }
+        let (payload, rest) = rest.split_at(len as usize);
+        if wire::fnv1a(payload) != checksum {
+            return Err(DecodeError::ChecksumMismatch);
+        }
+        Ok((
+            Frame {
+                header: FrameHeader { kind, request_id, method, status },
+                payload: payload.to_vec(),
+            },
+            rest,
+        ))
+    }
+
+    /// Writes the frame to `writer` as a single `write_all`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writer.write_all(&self.to_bytes())
+    }
+
+    /// Reads exactly one frame from `reader` (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Returns `io::ErrorKind::UnexpectedEof` on a cleanly closed
+    /// connection, `io::ErrorKind::InvalidData` on malformed frames, and
+    /// propagates other I/O errors.
+    pub fn read_from<R: Read>(mut reader: R) -> io::Result<Frame> {
+        let mut header = [0u8; HEADER_LEN];
+        reader.read_exact(&mut header)?;
+        if header[..2] != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, DecodeError::BadMagic));
+        }
+        let len = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                DecodeError::LengthOverflow { declared: len as u64, max: MAX_FRAME_LEN as u64 },
+            ));
+        }
+        let mut buf = Vec::with_capacity(HEADER_LEN + len);
+        buf.extend_from_slice(&header);
+        buf.resize(HEADER_LEN + len, 0);
+        reader.read_exact(&mut buf[HEADER_LEN..])?;
+        let (frame, rest) = Frame::parse(&buf)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        debug_assert!(rest.is_empty());
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::request(77, 3, b"hello payload".to_vec())
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let frame = sample();
+        let bytes = frame.to_bytes();
+        let (parsed, rest) = Frame::parse(&bytes).unwrap();
+        assert_eq!(parsed, frame);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_response_with_status() {
+        let frame = Frame::response(9, 1, Status::AppError, vec![1, 2, 3]);
+        let (parsed, _) = Frame::parse(&frame.to_bytes()).unwrap();
+        assert_eq!(parsed.header.status, Status::AppError);
+        assert_eq!(parsed.header.kind, FrameKind::Response);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let frame = Frame::request(0, 0, Vec::new());
+        let (parsed, _) = Frame::parse(&frame.to_bytes()).unwrap();
+        assert!(parsed.payload.is_empty());
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let mut bytes = sample().to_bytes();
+        bytes.extend(Frame::request(78, 4, b"second".to_vec()).to_bytes());
+        let (first, rest) = Frame::parse(&bytes).unwrap();
+        let (second, rest) = Frame::parse(rest).unwrap();
+        assert_eq!(first.header.request_id, 77);
+        assert_eq!(second.header.request_id, 78);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert_eq!(Frame::parse(&bytes).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let mut bytes = sample().to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert_eq!(Frame::parse(&bytes).unwrap_err(), DecodeError::ChecksumMismatch);
+    }
+
+    #[test]
+    fn truncated_header_and_payload() {
+        let bytes = sample().to_bytes();
+        assert!(matches!(
+            Frame::parse(&bytes[..HEADER_LEN - 1]),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+        assert!(matches!(
+            Frame::parse(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[2..6].copy_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(matches!(Frame::parse(&bytes), Err(DecodeError::LengthOverflow { .. })));
+    }
+
+    #[test]
+    fn bad_kind_and_status_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[6] = 9; // kind byte
+        assert!(matches!(
+            Frame::parse(&bytes),
+            Err(DecodeError::InvalidDiscriminant { context: "FrameKind", .. })
+        ));
+        let mut bytes = sample().to_bytes();
+        bytes[19..23].copy_from_slice(&99u32.to_le_bytes()); // status field
+        assert!(matches!(
+            Frame::parse(&bytes),
+            Err(DecodeError::InvalidDiscriminant { context: "Status", .. })
+        ));
+    }
+
+    #[test]
+    fn io_roundtrip() {
+        let frame = sample();
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        let parsed = Frame::read_from(&buf[..]).unwrap();
+        assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn io_eof_on_closed_stream() {
+        let err = Frame::read_from(&b""[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn io_invalid_data_on_bad_magic() {
+        let mut bytes = sample().to_bytes();
+        bytes[1] ^= 0xFF;
+        let err = Frame::read_from(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn status_display_and_is_ok() {
+        assert!(Status::Ok.is_ok());
+        assert!(!Status::AppError.is_ok());
+        assert_eq!(Status::UnknownMethod.to_string(), "unknown method");
+    }
+
+    #[test]
+    fn header_len_matches_layout() {
+        let frame = Frame::request(1, 2, Vec::new());
+        assert_eq!(frame.to_bytes().len(), HEADER_LEN);
+    }
+}

@@ -1,0 +1,234 @@
+//! Low-level wire primitives: LEB128 varints and fixed-width
+//! little-endian integers.
+
+use crate::error::DecodeError;
+
+/// Maximum number of bytes a `u64` varint may occupy.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` as an unsigned LEB128 varint.
+///
+/// # Examples
+///
+/// ```
+/// let mut buf = Vec::new();
+/// musuite_codec::wire::put_uvarint(&mut buf, 300);
+/// assert_eq!(buf, [0xAC, 0x02]);
+/// ```
+pub fn put_uvarint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint, returning the value and remaining bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnexpectedEof`] if the input ends mid-varint and
+/// [`DecodeError::VarintOverflow`] if more than [`MAX_VARINT_LEN`] bytes are
+/// used.
+pub fn get_uvarint(bytes: &[u8]) -> Result<(u64, &[u8]), DecodeError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    for (i, &byte) in bytes.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(DecodeError::VarintOverflow);
+        }
+        let payload = u64::from(byte & 0x7F);
+        if shift >= 64 || (shift == 63 && payload > 1) {
+            return Err(DecodeError::VarintOverflow);
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, &bytes[i + 1..]));
+        }
+        shift += 7;
+    }
+    Err(DecodeError::UnexpectedEof { context: "uvarint" })
+}
+
+/// Appends `value` as a zig-zag-coded signed varint.
+pub fn put_ivarint(buf: &mut Vec<u8>, value: i64) {
+    put_uvarint(buf, zigzag_encode(value));
+}
+
+/// Reads a zig-zag-coded signed varint.
+///
+/// # Errors
+///
+/// Propagates the errors of [`get_uvarint`].
+pub fn get_ivarint(bytes: &[u8]) -> Result<(i64, &[u8]), DecodeError> {
+    let (raw, rest) = get_uvarint(bytes)?;
+    Ok((zigzag_decode(raw), rest))
+}
+
+/// Maps a signed integer to an unsigned one with small absolute values
+/// staying small (`0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`).
+pub fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(raw: u64) -> i64 {
+    ((raw >> 1) as i64) ^ -((raw & 1) as i64)
+}
+
+/// Appends a fixed-width little-endian `u32`.
+pub fn put_u32_le(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Reads a fixed-width little-endian `u32`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnexpectedEof`] if fewer than four bytes remain.
+pub fn get_u32_le(bytes: &[u8]) -> Result<(u32, &[u8]), DecodeError> {
+    if bytes.len() < 4 {
+        return Err(DecodeError::UnexpectedEof { context: "u32_le" });
+    }
+    let (head, rest) = bytes.split_at(4);
+    Ok((u32::from_le_bytes(head.try_into().expect("4 bytes")), rest))
+}
+
+/// Appends a fixed-width little-endian `u64`.
+pub fn put_u64_le(buf: &mut Vec<u8>, value: u64) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Reads a fixed-width little-endian `u64`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnexpectedEof`] if fewer than eight bytes remain.
+pub fn get_u64_le(bytes: &[u8]) -> Result<(u64, &[u8]), DecodeError> {
+    if bytes.len() < 8 {
+        return Err(DecodeError::UnexpectedEof { context: "u64_le" });
+    }
+    let (head, rest) = bytes.split_at(8);
+    Ok((u64::from_le_bytes(head.try_into().expect("8 bytes")), rest))
+}
+
+/// FNV-1a 64-bit hash, used as the frame checksum.
+///
+/// # Examples
+///
+/// ```
+/// let h = musuite_codec::wire::fnv1a(b"hello");
+/// assert_ne!(h, musuite_codec::wire::fnv1a(b"hellp"));
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let (got, rest) = get_uvarint(&buf).unwrap();
+            assert_eq!(got, v);
+            assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn uvarint_single_byte_for_small() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn uvarint_max_uses_ten_bytes() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), MAX_VARINT_LEN);
+    }
+
+    #[test]
+    fn uvarint_truncated_is_eof() {
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, 1_000_000);
+        buf.pop();
+        assert!(matches!(get_uvarint(&buf), Err(DecodeError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn uvarint_overlong_is_overflow() {
+        let buf = [0x80u8; 11];
+        assert_eq!(get_uvarint(&buf), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn uvarint_value_overflow_detected() {
+        // 10 continuation bytes encoding > u64::MAX.
+        let buf = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+        assert_eq!(get_uvarint(&buf), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, -2, 2, i64::MIN, i64::MAX, -123_456_789] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+    }
+
+    #[test]
+    fn ivarint_roundtrip() {
+        for v in [0i64, -1, 63, -64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            let (got, rest) = get_ivarint(&buf).unwrap();
+            assert_eq!(got, v);
+            assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32_le(&mut buf, 0xDEADBEEF);
+        put_u64_le(&mut buf, 0x0123456789ABCDEF);
+        let (a, rest) = get_u32_le(&buf).unwrap();
+        let (b, rest) = get_u64_le(rest).unwrap();
+        assert_eq!(a, 0xDEADBEEF);
+        assert_eq!(b, 0x0123456789ABCDEF);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn fixed_width_eof() {
+        assert!(get_u32_le(&[1, 2, 3]).is_err());
+        assert!(get_u64_le(&[1, 2, 3, 4, 5, 6, 7]).is_err());
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Reference values for FNV-1a 64-bit.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,334 @@
+//! In-process cluster launcher: N leaves plus one mid-tier over real TCP.
+//!
+//! The paper runs "a distributed system of a load generator, a mid-tier
+//! microservice, and a sharded leaf microservice" with "each microservice
+//! on dedicated hardware" (§V). This launcher builds the same topology on
+//! one host: every tier is a real socket server with its own thread pools;
+//! only the network hop is loopback instead of 10 GbE (see DESIGN.md's
+//! substitution notes).
+
+use crate::error::ServiceError;
+use crate::leaf::{LeafHandler, LeafService};
+use crate::midtier::{MidTierHandler, MidTierService};
+use musuite_codec::{Decode, Encode};
+use musuite_rpc::{FanoutGroup, RpcClient, RpcError, Server, ServerConfig};
+use std::marker::PhantomData;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// The method id used for front-end→mid-tier queries.
+pub const QUERY_METHOD: u32 = 1;
+/// The method id used for mid-tier→leaf requests.
+pub const LEAF_METHOD: u32 = 2;
+
+/// Topology and threading configuration for [`Cluster::launch`].
+#[derive(Debug, Clone, Default)]
+pub struct ClusterConfig {
+    leaves: usize,
+    midtier: ServerConfig,
+    leaf: ServerConfig,
+    conns_per_leaf: usize,
+}
+
+impl ClusterConfig {
+    /// Creates a configuration with one leaf and default server settings.
+    pub fn new() -> ClusterConfig {
+        ClusterConfig { leaves: 1, ..Default::default() }
+    }
+
+    /// Sets the number of leaf microservers (consuming builder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn leaves(mut self, count: usize) -> ClusterConfig {
+        assert!(count > 0, "cluster needs at least one leaf");
+        self.leaves = count;
+        self
+    }
+
+    /// Overrides the mid-tier server configuration.
+    pub fn midtier_config(mut self, config: ServerConfig) -> ClusterConfig {
+        self.midtier = config;
+        self
+    }
+
+    /// Overrides the leaf server configuration.
+    pub fn leaf_config(mut self, config: ServerConfig) -> ClusterConfig {
+        self.leaf = config;
+        self
+    }
+
+    /// Sets how many mid-tier→leaf connections to open per leaf (each
+    /// brings its own response pick-up thread). Default 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn conns_per_leaf(mut self, count: usize) -> ClusterConfig {
+        assert!(count > 0, "need at least one connection per leaf");
+        self.conns_per_leaf = count;
+        self
+    }
+
+    /// Configured connections per leaf.
+    pub fn conns_per_leaf_count(&self) -> usize {
+        self.conns_per_leaf.max(1)
+    }
+
+    /// Configured leaf count.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.max(1)
+    }
+}
+
+/// A running three-tier service: leaf servers and the mid-tier in front of
+/// them. Dropping the cluster shuts everything down.
+pub struct Cluster {
+    leaves: Vec<Server>,
+    midtier: Server,
+}
+
+impl Cluster {
+    /// Spawns `config.leaf_count()` leaf servers (handler built per leaf by
+    /// `leaf_factory`), connects the mid-tier to all of them, and spawns
+    /// the mid-tier server.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any server fails to bind or any leaf connection
+    /// fails.
+    pub fn launch<M, L, F>(
+        config: ClusterConfig,
+        midtier: M,
+        mut leaf_factory: F,
+    ) -> Result<Cluster, RpcError>
+    where
+        M: MidTierHandler,
+        L: LeafHandler,
+        F: FnMut(usize) -> L,
+    {
+        let leaves: Result<Vec<Server>, RpcError> = (0..config.leaf_count())
+            .map(|i| {
+                Server::spawn(config.leaf.clone(), Arc::new(LeafService::new(leaf_factory(i))))
+            })
+            .collect();
+        let leaves = leaves?;
+        let addrs: Vec<SocketAddr> = leaves.iter().map(Server::local_addr).collect();
+        let group = FanoutGroup::connect_pooled(&addrs, config.conns_per_leaf_count())?;
+        let midtier = Server::spawn(
+            config.midtier.clone(),
+            Arc::new(MidTierService::new(midtier, group, LEAF_METHOD)),
+        )?;
+        Ok(Cluster { leaves, midtier })
+    }
+
+    /// The mid-tier's listening address (where front-ends connect).
+    pub fn midtier_addr(&self) -> SocketAddr {
+        self.midtier.local_addr()
+    }
+
+    /// The mid-tier server handle (stats, shutdown).
+    pub fn midtier(&self) -> &Server {
+        &self.midtier
+    }
+
+    /// The leaf server handles.
+    pub fn leaf_servers(&self) -> &[Server] {
+        &self.leaves
+    }
+
+    /// Connects a raw front-end client to the mid-tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection fails.
+    pub fn raw_client(&self) -> Result<RpcClient, RpcError> {
+        RpcClient::connect(self.midtier_addr())
+    }
+
+    /// Connects a typed front-end client to the mid-tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection fails.
+    pub fn client<Req: Encode, Resp: Decode>(&self) -> Result<TypedClient<Req, Resp>, RpcError> {
+        Ok(TypedClient::new(self.raw_client()?, QUERY_METHOD))
+    }
+
+    /// Shuts down the mid-tier and every leaf. Idempotent.
+    pub fn shutdown(&self) {
+        self.midtier.shutdown();
+        for leaf in &self.leaves {
+            leaf.shutdown();
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("midtier_addr", &self.midtier_addr())
+            .field("leaves", &self.leaves.len())
+            .finish()
+    }
+}
+
+/// A front-end client that encodes requests and decodes responses.
+pub struct TypedClient<Req, Resp> {
+    client: RpcClient,
+    method: u32,
+    _types: PhantomData<fn(Req) -> Resp>,
+}
+
+impl<Req: Encode, Resp: Decode> TypedClient<Req, Resp> {
+    /// Wraps a raw client with typed encode/decode on `method`.
+    pub fn new(client: RpcClient, method: u32) -> TypedClient<Req, Resp> {
+        TypedClient { client, method, _types: PhantomData }
+    }
+
+    /// Issues a blocking typed call.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors from the client, remote handler errors, or
+    /// a decode error if the response payload is malformed — the latter
+    /// wrapped as [`ServiceError`] inside [`RpcError::Remote`] semantics is
+    /// avoided; decode failures surface as [`RpcError::Decode`].
+    pub fn call_typed(&self, request: &Req) -> Result<Resp, RpcError> {
+        let reply = self.client.call(self.method, musuite_codec::to_bytes(request))?;
+        musuite_codec::from_bytes::<Resp>(&reply).map_err(RpcError::from)
+    }
+
+    /// Issues an asynchronous typed call; the callback runs on the response
+    /// pick-up thread.
+    pub fn call_typed_async<F>(&self, request: &Req, callback: F)
+    where
+        F: FnOnce(Result<Resp, RpcError>) + Send + 'static,
+    {
+        self.client.call_async(self.method, musuite_codec::to_bytes(request), move |result| {
+            callback(result.and_then(|bytes| {
+                musuite_codec::from_bytes::<Resp>(&bytes).map_err(RpcError::from)
+            }));
+        });
+    }
+
+    /// The underlying raw client.
+    pub fn raw(&self) -> &RpcClient {
+        &self.client
+    }
+}
+
+impl<Req, Resp> std::fmt::Debug for TypedClient<Req, Resp> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TypedClient").field("method", &self.method).finish()
+    }
+}
+
+/// A convenience alias so service crates can expose uniform error types.
+pub type ServiceResult<T> = Result<T, ServiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::midtier::Plan;
+
+    struct AddLeaf(u64);
+    impl LeafHandler for AddLeaf {
+        type Request = u64;
+        type Response = u64;
+        fn handle(&self, request: u64) -> Result<u64, ServiceError> {
+            Ok(request + self.0)
+        }
+    }
+
+    struct MaxMid;
+    impl MidTierHandler for MaxMid {
+        type Request = u64;
+        type Response = u64;
+        type LeafRequest = u64;
+        type LeafResponse = u64;
+        fn plan(&self, request: &u64, leaves: usize) -> Plan<u64> {
+            (0..leaves).map(|leaf| (leaf, *request)).collect()
+        }
+        fn merge(
+            &self,
+            _request: u64,
+            replies: Vec<Result<u64, RpcError>>,
+        ) -> Result<u64, ServiceError> {
+            replies
+                .into_iter()
+                .filter_map(Result::ok)
+                .max()
+                .ok_or_else(|| ServiceError::new("no leaf replied"))
+        }
+    }
+
+    fn launch(leaves: usize) -> Cluster {
+        Cluster::launch(ClusterConfig::new().leaves(leaves), MaxMid, |i| AddLeaf(i as u64 * 10))
+            .unwrap()
+    }
+
+    #[test]
+    fn per_leaf_factory_receives_index() {
+        let cluster = launch(4);
+        let client = cluster.client::<u64, u64>().unwrap();
+        // max(q + 0, q + 10, q + 20, q + 30) = q + 30
+        assert_eq!(client.call_typed(&7).unwrap(), 37);
+    }
+
+    #[test]
+    fn single_leaf_cluster() {
+        let cluster = launch(1);
+        let client = cluster.client::<u64, u64>().unwrap();
+        assert_eq!(client.call_typed(&5).unwrap(), 5);
+    }
+
+    #[test]
+    fn typed_async_call() {
+        let cluster = launch(2);
+        let client = cluster.client::<u64, u64>().unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        client.call_typed_async(&3, move |result| {
+            tx.send(result).unwrap();
+        });
+        let value = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(value, 13);
+    }
+
+    #[test]
+    fn pooled_leaf_connections_work_end_to_end() {
+        let config = ClusterConfig::new().leaves(2).conns_per_leaf(3);
+        let cluster = Cluster::launch(config, MaxMid, |i| AddLeaf(i as u64 * 10)).unwrap();
+        let client = cluster.client::<u64, u64>().unwrap();
+        for q in 0..20u64 {
+            assert_eq!(client.call_typed(&q).unwrap(), q + 10);
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let cluster = launch(2);
+        cluster.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn stats_visible_through_handles() {
+        let cluster = launch(2);
+        let client = cluster.client::<u64, u64>().unwrap();
+        for _ in 0..10 {
+            client.call_typed(&1).unwrap();
+        }
+        assert_eq!(cluster.midtier().stats().requests(), 10);
+        let leaf_requests: u64 =
+            cluster.leaf_servers().iter().map(|leaf| leaf.stats().requests()).sum();
+        assert_eq!(leaf_requests, 20); // 10 queries x 2 leaves
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn zero_leaves_rejected() {
+        let _ = ClusterConfig::new().leaves(0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Application-level service errors, mapped onto RPC statuses.
+
+use musuite_codec::Status;
+use std::error::Error;
+use std::fmt;
+
+/// An error raised by a leaf or mid-tier handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    status: Status,
+    message: String,
+}
+
+impl ServiceError {
+    /// Creates an application error with a diagnostic message.
+    pub fn new(message: impl Into<String>) -> ServiceError {
+        ServiceError { status: Status::AppError, message: message.into() }
+    }
+
+    /// Creates a malformed-request error.
+    pub fn bad_request(message: impl Into<String>) -> ServiceError {
+        ServiceError { status: Status::BadRequest, message: message.into() }
+    }
+
+    /// Creates an overload/shutdown error.
+    pub fn unavailable(message: impl Into<String>) -> ServiceError {
+        ServiceError { status: Status::Unavailable, message: message.into() }
+    }
+
+    /// The RPC status this error maps to on the wire.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// The diagnostic message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.status, self.message)
+    }
+}
+
+impl Error for ServiceError {}
+
+impl From<musuite_codec::DecodeError> for ServiceError {
+    fn from(e: musuite_codec::DecodeError) -> ServiceError {
+        ServiceError::bad_request(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_status() {
+        assert_eq!(ServiceError::new("x").status(), Status::AppError);
+        assert_eq!(ServiceError::bad_request("x").status(), Status::BadRequest);
+        assert_eq!(ServiceError::unavailable("x").status(), Status::Unavailable);
+    }
+
+    #[test]
+    fn display_includes_message() {
+        let e = ServiceError::new("index out of range");
+        assert!(e.to_string().contains("index out of range"));
+    }
+
+    #[test]
+    fn decode_error_converts_to_bad_request() {
+        let e: ServiceError = musuite_codec::DecodeError::InvalidUtf8.into();
+        assert_eq!(e.status(), Status::BadRequest);
+        assert!(e.message().contains("UTF-8"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Typed leaf microservice adapter.
+//!
+//! Leaves perform the service's actual computation (distance kernels, set
+//! intersections, memcached lookups, collaborative filtering) and are
+//! synchronous: the worker that dequeues a request computes the response
+//! and replies immediately.
+
+use crate::error::ServiceError;
+use musuite_codec::{Decode, Encode};
+use musuite_rpc::{RequestContext, Service};
+
+/// Typed request→response computation hosted at a leaf microserver.
+pub trait LeafHandler: Send + Sync + 'static {
+    /// The decoded request type.
+    type Request: Decode;
+    /// The encoded response type.
+    type Response: Encode;
+
+    /// Computes the response for one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] for malformed or unprocessable requests;
+    /// the error's status and message travel back to the mid-tier.
+    fn handle(&self, request: Self::Request) -> Result<Self::Response, ServiceError>;
+}
+
+/// Adapts a [`LeafHandler`] to the untyped [`Service`] interface.
+#[derive(Debug)]
+pub struct LeafService<H> {
+    handler: H,
+}
+
+impl<H: LeafHandler> LeafService<H> {
+    /// Wraps `handler` for hosting in an RPC server.
+    pub fn new(handler: H) -> LeafService<H> {
+        LeafService { handler }
+    }
+
+    /// A reference to the wrapped handler.
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+}
+
+impl<H: LeafHandler> Service for LeafService<H> {
+    fn call(&self, mut ctx: RequestContext) {
+        let payload = ctx.take_payload();
+        let request = match musuite_codec::from_bytes::<H::Request>(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                ctx.respond_err(musuite_codec::Status::BadRequest, e.to_string());
+                return;
+            }
+        };
+        match self.handler.handle(request) {
+            Ok(response) => ctx.respond_ok(musuite_codec::to_bytes(&response)),
+            Err(e) => ctx.respond_err(e.status(), e.message()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musuite_rpc::{RpcClient, RpcError, Server, ServerConfig, Status};
+    use std::sync::Arc;
+
+    struct Doubler;
+    impl LeafHandler for Doubler {
+        type Request = u64;
+        type Response = u64;
+        fn handle(&self, request: u64) -> Result<u64, ServiceError> {
+            request
+                .checked_mul(2)
+                .ok_or_else(|| ServiceError::new("overflow doubling value"))
+        }
+    }
+
+    fn doubler_server() -> Server {
+        Server::spawn(ServerConfig::default(), Arc::new(LeafService::new(Doubler))).unwrap()
+    }
+
+    #[test]
+    fn typed_leaf_roundtrip() {
+        let server = doubler_server();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        let reply = client.call(1, musuite_codec::to_bytes(&21u64)).unwrap();
+        let doubled: u64 = musuite_codec::from_bytes(&reply).unwrap();
+        assert_eq!(doubled, 42);
+    }
+
+    #[test]
+    fn handler_error_maps_to_status() {
+        let server = doubler_server();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        let err = client.call(1, musuite_codec::to_bytes(&u64::MAX)).unwrap_err();
+        match err {
+            RpcError::Remote { status, detail } => {
+                assert_eq!(status, Status::AppError);
+                assert!(detail.contains("overflow"));
+            }
+            other => panic!("expected remote error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payload_is_bad_request() {
+        let server = doubler_server();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        // A truncated varint is not a valid u64.
+        let err = client.call(1, vec![0x80]).unwrap_err();
+        assert!(matches!(err, RpcError::Remote { status: Status::BadRequest, .. }));
+    }
+
+    #[test]
+    fn handler_accessor() {
+        let service = LeafService::new(Doubler);
+        assert!(service.handler().handle(5).is_ok());
+    }
+}

@@ -1,0 +1,266 @@
+//! Typed mid-tier microservice adapter: plan → scatter → merge.
+//!
+//! The mid-tier is the paper's object of study: "it acts as both an RPC
+//! client and an RPC server, it must manage fan-out of a single incoming
+//! query to many leaf microservers, and its computation typically takes
+//! tens of microseconds" (§I). [`MidTierService`] implements the request
+//! path of Fig. 8: a worker decodes the query, runs the handler's
+//! [`plan`](MidTierHandler::plan) (e.g. an LSH lookup or SpookyHash route
+//! computation), issues asynchronous RPCs to the planned leaves, and
+//! returns to the pool. The **last** leaf-response pick-up thread runs
+//! [`merge`](MidTierHandler::merge) and completes the front-end RPC —
+//! exactly the count-down design the paper describes.
+
+use crate::error::ServiceError;
+use musuite_codec::{Decode, Encode};
+use musuite_rpc::{FanoutGroup, RequestContext, RpcError, Service};
+use musuite_telemetry::breakdown::Stage;
+use musuite_telemetry::clock::Clock;
+use std::sync::Arc;
+
+/// A fan-out plan: `(leaf index, leaf request)` pairs.
+pub type Plan<L> = Vec<(usize, L)>;
+
+/// Typed mid-tier logic: how to split a query across leaves and how to
+/// merge their replies.
+pub trait MidTierHandler: Send + Sync + 'static {
+    /// The decoded front-end request type.
+    type Request: Decode + Send + 'static;
+    /// The encoded front-end response type.
+    type Response: Encode;
+    /// The encoded per-leaf request type.
+    type LeafRequest: Encode;
+    /// The decoded per-leaf response type.
+    type LeafResponse: Decode + Send + 'static;
+
+    /// Computes which leaves to contact and with what payloads. This is
+    /// the mid-tier's request-path compute (LSH lookup, hash routing,
+    /// query forwarding).
+    fn plan(&self, request: &Self::Request, leaves: usize) -> Plan<Self::LeafRequest>;
+
+    /// Merges leaf replies into the final response. Individual leaves may
+    /// have failed; handlers decide whether partial results are acceptable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] if a usable response cannot be assembled.
+    fn merge(
+        &self,
+        request: Self::Request,
+        replies: Vec<Result<Self::LeafResponse, RpcError>>,
+    ) -> Result<Self::Response, ServiceError>;
+}
+
+/// Adapts a [`MidTierHandler`] plus a [`FanoutGroup`] of leaf connections
+/// to the untyped [`Service`] interface.
+pub struct MidTierService<H> {
+    handler: Arc<H>,
+    leaves: Arc<FanoutGroup>,
+    leaf_method: u32,
+    clock: Clock,
+}
+
+impl<H: MidTierHandler> MidTierService<H> {
+    /// Wires `handler` to a group of leaf connections. `leaf_method` is the
+    /// method id used for every leaf RPC.
+    pub fn new(handler: H, leaves: FanoutGroup, leaf_method: u32) -> MidTierService<H> {
+        MidTierService {
+            handler: Arc::new(handler),
+            leaves: Arc::new(leaves),
+            leaf_method,
+            clock: Clock::new(),
+        }
+    }
+
+    /// A reference to the wrapped handler.
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Number of connected leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+}
+
+impl<H: MidTierHandler> Service for MidTierService<H> {
+    fn call(&self, mut ctx: RequestContext) {
+        let payload = ctx.take_payload();
+        let request = match musuite_codec::from_bytes::<H::Request>(&payload) {
+            Ok(request) => request,
+            Err(e) => {
+                ctx.respond_err(musuite_codec::Status::BadRequest, e.to_string());
+                return;
+            }
+        };
+        let fanout_start = self.clock.now_ns();
+        let plan = self.handler.plan(&request, self.leaves.len());
+        let requests: Vec<(usize, u32, Vec<u8>)> = plan
+            .into_iter()
+            .map(|(leaf, leaf_request)| {
+                (leaf, self.leaf_method, musuite_codec::to_bytes(&leaf_request))
+            })
+            .collect();
+        let handler = self.handler.clone();
+        let stats_breakdown = ctx_breakdown(&ctx);
+        let clock = self.clock;
+        // The worker thread issues the fan-out and returns to the pool;
+        // the last response thread runs this closure.
+        self.leaves.scatter(requests, move |result| {
+            // Fan-out stage = plan + issue + completion dispatch, excluding
+            // the time spent waiting on the leaves themselves.
+            let fanout_ns =
+                clock.now_ns().saturating_sub(fanout_start).saturating_sub(result.elapsed_ns);
+            stats_breakdown.record_ns(Stage::LeafFanout, fanout_ns);
+            ctx.add_leaf_time_ns(result.elapsed_ns);
+            let merge_start = clock.now_ns();
+            let replies: Vec<Result<H::LeafResponse, RpcError>> = result
+                .replies
+                .into_iter()
+                .map(|reply| {
+                    reply.and_then(|bytes| {
+                        musuite_codec::from_bytes::<H::LeafResponse>(&bytes)
+                            .map_err(RpcError::from)
+                    })
+                })
+                .collect();
+            match handler.merge(request, replies) {
+                Ok(response) => {
+                    stats_breakdown
+                        .record_ns(Stage::Merge, clock.now_ns().saturating_sub(merge_start));
+                    ctx.respond_ok(musuite_codec::to_bytes(&response));
+                }
+                Err(e) => ctx.respond_err(e.status(), e.message()),
+            }
+        });
+    }
+}
+
+/// Borrows the breakdown recorder travelling with the request context.
+fn ctx_breakdown(ctx: &RequestContext) -> musuite_telemetry::breakdown::BreakdownRecorder {
+    ctx.breakdown().clone()
+}
+
+impl<H> std::fmt::Debug for MidTierService<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MidTierService")
+            .field("leaves", &self.leaves.len())
+            .field("leaf_method", &self.leaf_method)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leaf::{LeafHandler, LeafService};
+    use musuite_rpc::{RpcClient, Server, ServerConfig, Status};
+
+    struct SquareLeaf;
+    impl LeafHandler for SquareLeaf {
+        type Request = u64;
+        type Response = u64;
+        fn handle(&self, request: u64) -> Result<u64, ServiceError> {
+            Ok(request * request)
+        }
+    }
+
+    /// Sends `request + leaf_index` to every leaf and sums the squares.
+    struct SumSquares;
+    impl MidTierHandler for SumSquares {
+        type Request = u64;
+        type Response = u64;
+        type LeafRequest = u64;
+        type LeafResponse = u64;
+        fn plan(&self, request: &u64, leaves: usize) -> Plan<u64> {
+            (0..leaves).map(|leaf| (leaf, request + leaf as u64)).collect()
+        }
+        fn merge(
+            &self,
+            _request: u64,
+            replies: Vec<Result<u64, RpcError>>,
+        ) -> Result<u64, ServiceError> {
+            let mut sum = 0u64;
+            for reply in replies {
+                sum += reply.map_err(|e| ServiceError::new(e.to_string()))?;
+            }
+            Ok(sum)
+        }
+    }
+
+    fn three_tier() -> (Vec<Server>, Server) {
+        let leaves: Vec<Server> = (0..3)
+            .map(|_| {
+                Server::spawn(ServerConfig::default(), Arc::new(LeafService::new(SquareLeaf)))
+                    .unwrap()
+            })
+            .collect();
+        let addrs: Vec<_> = leaves.iter().map(|s| s.local_addr()).collect();
+        let group = FanoutGroup::connect(&addrs).unwrap();
+        let midtier = Server::spawn(
+            ServerConfig::default(),
+            Arc::new(MidTierService::new(SumSquares, group, 1)),
+        )
+        .unwrap();
+        (leaves, midtier)
+    }
+
+    #[test]
+    fn full_three_tier_roundtrip() {
+        let (_leaves, midtier) = three_tier();
+        let client = RpcClient::connect(midtier.local_addr()).unwrap();
+        let reply = client.call(1, musuite_codec::to_bytes(&10u64)).unwrap();
+        let sum: u64 = musuite_codec::from_bytes(&reply).unwrap();
+        assert_eq!(sum, 100 + 121 + 144); // 10² + 11² + 12²
+    }
+
+    #[test]
+    fn leaf_failure_propagates_as_app_error() {
+        let (leaves, midtier) = three_tier();
+        leaves[2].shutdown();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let client = RpcClient::connect(midtier.local_addr()).unwrap();
+        let err = client.call(1, musuite_codec::to_bytes(&1u64)).unwrap_err();
+        assert!(matches!(err, RpcError::Remote { status: Status::AppError, .. }));
+    }
+
+    #[test]
+    fn malformed_query_is_bad_request() {
+        let (_leaves, midtier) = three_tier();
+        let client = RpcClient::connect(midtier.local_addr()).unwrap();
+        let err = client.call(1, vec![0x80]).unwrap_err();
+        assert!(matches!(err, RpcError::Remote { status: Status::BadRequest, .. }));
+    }
+
+    #[test]
+    fn concurrent_queries_through_midtier() {
+        let (_leaves, midtier) = three_tier();
+        let addr = midtier.local_addr();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            handles.push(std::thread::spawn(move || {
+                let client = RpcClient::connect(addr).unwrap();
+                for q in 0..25u64 {
+                    let reply = client.call(1, musuite_codec::to_bytes(&q)).unwrap();
+                    let sum: u64 = musuite_codec::from_bytes(&reply).unwrap();
+                    assert_eq!(sum, q * q + (q + 1) * (q + 1) + (q + 2) * (q + 2));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn fanout_and_merge_stages_recorded() {
+        let (_leaves, midtier) = three_tier();
+        let client = RpcClient::connect(midtier.local_addr()).unwrap();
+        for _ in 0..5 {
+            client.call(1, musuite_codec::to_bytes(&2u64)).unwrap();
+        }
+        let breakdown = midtier.stats().breakdown();
+        assert!(breakdown.histogram(Stage::LeafFanout).count() >= 4);
+        assert!(breakdown.histogram(Stage::Merge).count() >= 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! Data-placement policies: uniform sharding across leaves.
+//!
+//! Every μSuite service shards its data set "uniformly across leaves"
+//! (paper §III). These helpers keep the placement logic in one place so
+//! leaves and mid-tiers agree on it.
+
+/// Maps a hash to one of `shards` buckets with low bias.
+///
+/// Uses the multiply-shift ("Lemire") reduction, which is unbiased for
+/// well-distributed hashes and avoids the modulo's skew toward low buckets.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_core::shard::shard_for_hash;
+///
+/// let shard = shard_for_hash(0xDEADBEEF, 4);
+/// assert!(shard < 4);
+/// ```
+pub fn shard_for_hash(hash: u64, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    (((u128::from(hash)) * (shards as u128)) >> 64) as usize
+}
+
+/// Assigns `items` round-robin across `shards` buckets, preserving order
+/// within each bucket.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_core::shard::partition_round_robin;
+///
+/// let shards = partition_round_robin(vec![1, 2, 3, 4, 5], 2);
+/// assert_eq!(shards, vec![vec![1, 3, 5], vec![2, 4]]);
+/// ```
+pub fn partition_round_robin<T>(items: Vec<T>, shards: usize) -> Vec<Vec<T>> {
+    assert!(shards > 0, "shard count must be positive");
+    let mut out: Vec<Vec<T>> = (0..shards).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        out[i % shards].push(item);
+    }
+    out
+}
+
+/// Splits `items` into `shards` contiguous, near-equal ranges.
+///
+/// The first `len % shards` buckets receive one extra item, so bucket
+/// sizes differ by at most one.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn partition_contiguous<T>(mut items: Vec<T>, shards: usize) -> Vec<Vec<T>> {
+    assert!(shards > 0, "shard count must be positive");
+    let len = items.len();
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    // Split from the back so each drain is O(bucket).
+    let mut sizes: Vec<usize> =
+        (0..shards).map(|i| base + usize::from(i < extra)).collect();
+    sizes.reverse();
+    for size in sizes {
+        let tail = items.split_off(items.len() - size);
+        out.push(tail);
+    }
+    out.reverse();
+    out
+}
+
+/// A stable mapping from global point ids to `(leaf, local index)` pairs
+/// under round-robin placement — the indirection HDSearch's mid-tier LSH
+/// tables use to reference feature vectors stored in the leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRobinMap {
+    shards: usize,
+}
+
+impl RoundRobinMap {
+    /// Creates a map over `shards` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> RoundRobinMap {
+        assert!(shards > 0, "shard count must be positive");
+        RoundRobinMap { shards }
+    }
+
+    /// The leaf holding global id `id`.
+    pub fn leaf_of(&self, id: u64) -> usize {
+        (id % self.shards as u64) as usize
+    }
+
+    /// The index of global id `id` within its leaf's local storage.
+    pub fn local_index(&self, id: u64) -> u64 {
+        id / self.shards as u64
+    }
+
+    /// Reconstructs the global id from a `(leaf, local index)` pair.
+    pub fn global_id(&self, leaf: usize, local_index: u64) -> u64 {
+        local_index * self.shards as u64 + leaf as u64
+    }
+
+    /// Number of leaves.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_for_hash_in_range_and_spread() {
+        let mut counts = vec![0usize; 8];
+        for i in 0..80_000u64 {
+            // A splitmix-style scramble stands in for a real hash.
+            let hash = i.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(31);
+            let shard = shard_for_hash(hash, 8);
+            counts[shard] += 1;
+        }
+        for &count in &counts {
+            assert!(
+                (8_000..12_000).contains(&count),
+                "uniform hashes must spread evenly: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_for_hash_single_shard() {
+        assert_eq!(shard_for_hash(u64::MAX, 1), 0);
+        assert_eq!(shard_for_hash(0, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shards_panics() {
+        shard_for_hash(1, 0);
+    }
+
+    #[test]
+    fn round_robin_preserves_order() {
+        let shards = partition_round_robin((0..10).collect(), 3);
+        assert_eq!(shards[0], vec![0, 3, 6, 9]);
+        assert_eq!(shards[1], vec![1, 4, 7]);
+        assert_eq!(shards[2], vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn round_robin_empty_input() {
+        let shards: Vec<Vec<u8>> = partition_round_robin(Vec::new(), 4);
+        assert_eq!(shards.len(), 4);
+        assert!(shards.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn contiguous_sizes_differ_by_at_most_one() {
+        for len in 0..50usize {
+            for shards in 1..8usize {
+                let parts = partition_contiguous((0..len).collect(), shards);
+                assert_eq!(parts.len(), shards);
+                let total: usize = parts.iter().map(Vec::len).sum();
+                assert_eq!(total, len);
+                let max = parts.iter().map(Vec::len).max().unwrap();
+                let min = parts.iter().map(Vec::len).min().unwrap();
+                assert!(max - min <= 1, "len={len} shards={shards}: {max} vs {min}");
+                // Order preserved across the concatenation.
+                let flat: Vec<usize> = parts.into_iter().flatten().collect();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_map_roundtrip() {
+        let map = RoundRobinMap::new(4);
+        for id in 0..1000u64 {
+            let leaf = map.leaf_of(id);
+            let local = map.local_index(id);
+            assert!(leaf < map.shards());
+            assert_eq!(map.global_id(leaf, local), id);
+        }
+    }
+
+    #[test]
+    fn round_robin_map_locality() {
+        let map = RoundRobinMap::new(3);
+        // Consecutive local indices on one leaf are 3 apart globally.
+        assert_eq!(map.global_id(1, 0), 1);
+        assert_eq!(map.global_id(1, 1), 4);
+        assert_eq!(map.global_id(2, 2), 8);
+    }
+}

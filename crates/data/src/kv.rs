@@ -1,0 +1,202 @@
+//! Key-value workload generator (Twitter-trace / YCSB-A substitute).
+//!
+//! Router's load generator "picks key or key-value pair queries from an
+//! open-source 'Twitter' data set" with "get and set request distributions
+//! \[that\] mimic YCSB's Workload A with 50/50 gets and sets" (paper
+//! §III-B). This generator reproduces those properties: a fixed key space
+//! with Zipfian popularity and a configurable get fraction defaulting to
+//! 0.5.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One key-value operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read the value of a key.
+    Get {
+        /// The key to read.
+        key: String,
+    },
+    /// Write a key-value pair.
+    Set {
+        /// The key to write.
+        key: String,
+        /// The value bytes.
+        value: Vec<u8>,
+    },
+}
+
+impl KvOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> &str {
+        match self {
+            KvOp::Get { key } => key,
+            KvOp::Set { key, .. } => key,
+        }
+    }
+
+    /// Returns `true` for [`KvOp::Get`].
+    pub fn is_get(&self) -> bool {
+        matches!(self, KvOp::Get { .. })
+    }
+}
+
+/// Configuration for [`KvWorkload`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvWorkloadConfig {
+    /// Number of distinct keys.
+    pub keys: usize,
+    /// Value size in bytes.
+    pub value_len: usize,
+    /// Zipf exponent for key popularity (YCSB uses 0.99).
+    pub zipf_exponent: f64,
+    /// Fraction of operations that are gets (YCSB-A: 0.5).
+    pub get_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KvWorkloadConfig {
+    fn default() -> Self {
+        KvWorkloadConfig {
+            keys: 100_000,
+            value_len: 128,
+            zipf_exponent: 0.99,
+            get_fraction: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+/// A deterministic stream of [`KvOp`]s.
+#[derive(Debug)]
+pub struct KvWorkload {
+    config: KvWorkloadConfig,
+    dist: Zipf,
+    rng: StdRng,
+}
+
+impl KvWorkload {
+    /// Creates a workload per `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero or `get_fraction` is outside `[0, 1]`.
+    pub fn new(config: KvWorkloadConfig) -> KvWorkload {
+        assert!(config.keys > 0, "key space must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.get_fraction),
+            "get fraction must be within [0, 1]"
+        );
+        let dist = Zipf::new(config.keys, config.zipf_exponent);
+        let rng = StdRng::seed_from_u64(config.seed);
+        KvWorkload { config, dist, rng }
+    }
+
+    /// The key string for a rank (stable across runs).
+    pub fn key_for_rank(rank: usize) -> String {
+        format!("user{rank:08}")
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> KvOp {
+        let rank = self.dist.sample(&mut self.rng);
+        let key = Self::key_for_rank(rank);
+        if self.rng.gen_bool(self.config.get_fraction) {
+            KvOp::Get { key }
+        } else {
+            let mut value = vec![0u8; self.config.value_len];
+            self.rng.fill(&mut value[..]);
+            KvOp::Set { key, value }
+        }
+    }
+
+    /// Draws a batch of operations.
+    pub fn take_ops(&mut self, count: usize) -> Vec<KvOp> {
+        (0..count).map(|_| self.next_op()).collect()
+    }
+
+    /// Operations that pre-populate every key once (used before read-heavy
+    /// measurement phases so gets do not all miss).
+    pub fn preload_ops(&mut self) -> Vec<KvOp> {
+        (0..self.config.keys)
+            .map(|rank| {
+                let mut value = vec![0u8; self.config.value_len];
+                self.rng.fill(&mut value[..]);
+                KvOp::Set { key: Self::key_for_rank(rank), value }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> KvWorkloadConfig {
+        KvWorkloadConfig { keys: 100, value_len: 16, ..Default::default() }
+    }
+
+    #[test]
+    fn mix_is_roughly_half_gets() {
+        let mut w = KvWorkload::new(small());
+        let ops = w.take_ops(10_000);
+        let gets = ops.iter().filter(|op| op.is_get()).count();
+        assert!((4_500..5_500).contains(&gets), "got {gets} gets of 10000");
+    }
+
+    #[test]
+    fn get_fraction_extremes() {
+        let mut all_gets = KvWorkload::new(KvWorkloadConfig { get_fraction: 1.0, ..small() });
+        assert!(all_gets.take_ops(100).iter().all(KvOp::is_get));
+        let mut all_sets = KvWorkload::new(KvWorkloadConfig { get_fraction: 0.0, ..small() });
+        assert!(all_sets.take_ops(100).iter().all(|op| !op.is_get()));
+    }
+
+    #[test]
+    fn keys_are_zipf_skewed() {
+        let mut w = KvWorkload::new(small());
+        let ops = w.take_ops(20_000);
+        let hot = KvWorkload::key_for_rank(0);
+        let hot_count = ops.iter().filter(|op| op.key() == hot).count();
+        // Rank 0 of Zipf(0.99, n=100) carries ~19 % of mass.
+        assert!(hot_count > 2_000, "hot key drew only {hot_count}");
+    }
+
+    #[test]
+    fn values_have_configured_length() {
+        let mut w = KvWorkload::new(KvWorkloadConfig { get_fraction: 0.0, ..small() });
+        for op in w.take_ops(50) {
+            match op {
+                KvOp::Set { value, .. } => assert_eq!(value.len(), 16),
+                KvOp::Get { .. } => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn preload_covers_every_key_once() {
+        let mut w = KvWorkload::new(small());
+        let ops = w.preload_ops();
+        assert_eq!(ops.len(), 100);
+        let mut keys: Vec<&str> = ops.iter().map(KvOp::key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = KvWorkload::new(small()).take_ops(100);
+        let b = KvWorkload::new(small()).take_ops(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "get fraction")]
+    fn bad_fraction_panics() {
+        KvWorkload::new(KvWorkloadConfig { get_fraction: 1.5, ..small() });
+    }
+}

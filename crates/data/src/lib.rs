@@ -1,0 +1,36 @@
+//! Deterministic synthetic data sets and workloads for μSuite-rs.
+//!
+//! The paper's services consume proprietary or bulky external data —
+//! Inception-V3 feature vectors of 500 K Open Images (~10 GB), an
+//! open-source "Twitter" key-value trace, 4.3 M Wikipedia documents, and
+//! the MovieLens rating corpus. None are redistributable inside this
+//! repository, so each service gets a seeded generator that reproduces the
+//! *distributional properties* its algorithms are sensitive to:
+//!
+//! * [`vectors`] — clustered Gaussian feature vectors (LSH bucket
+//!   occupancy and recall behave like embedding spaces with cluster
+//!   structure),
+//! * [`zipf`] — Zipfian sampling (key popularity, word frequency),
+//! * [`text`] — documents over a Zipf vocabulary plus ≤ 10-term queries
+//!   matching the paper's query-length citation,
+//! * [`kv`] — YCSB-A style 50/50 get/set workloads over Zipfian keys,
+//! * [`ratings`] — latent-factor user–item rating tuples so NMF has real
+//!   structure to recover.
+//!
+//! All generators are deterministic given a seed. Substitutions are
+//! documented in DESIGN.md §2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kv;
+pub mod ratings;
+pub mod text;
+pub mod vectors;
+pub mod zipf;
+
+pub use kv::{KvOp, KvWorkload, KvWorkloadConfig};
+pub use ratings::{RatingsConfig, RatingsDataset};
+pub use text::{CorpusConfig, TextCorpus};
+pub use vectors::{VectorDataset, VectorDatasetConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,256 @@
+//! Latent-factor rating tuples (MovieLens substitute).
+//!
+//! Recommend trains NMF on `{user, item, rating}` tuples and predicts
+//! held-out cells. For factorization to be a meaningful experiment the
+//! ratings must have low-rank structure; this generator plants it: hidden
+//! non-negative factors `W*` (users × rank) and `H*` (rank × items)
+//! produce ratings `clip(W*H* + noise, 1..=5)`, of which a sparse random
+//! subset is observed. Query pairs are drawn from the *unobserved* cells,
+//! matching the paper's methodology ("the load generator always picks
+//! queries from the 'empty' cells of the utility matrix").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// One observed rating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rating {
+    /// User index.
+    pub user: u32,
+    /// Item index.
+    pub item: u32,
+    /// Rating value in `[1, 5]`.
+    pub value: f32,
+}
+
+/// Configuration for [`RatingsDataset::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatingsConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of items.
+    pub items: usize,
+    /// Hidden rank of the planted factors.
+    pub rank: usize,
+    /// Number of observed ratings.
+    pub observations: usize,
+    /// Gaussian noise added to planted ratings.
+    pub noise: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RatingsConfig {
+    fn default() -> Self {
+        RatingsConfig {
+            users: 500,
+            items: 400,
+            rank: 8,
+            observations: 10_000,
+            noise: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated rating data set with planted low-rank structure.
+#[derive(Debug, Clone)]
+pub struct RatingsDataset {
+    config: RatingsConfig,
+    ratings: Vec<Rating>,
+    true_w: Vec<Vec<f32>>,
+    true_h: Vec<Vec<f32>>,
+}
+
+fn normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+impl RatingsDataset {
+    /// Generates a data set per `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `observations` exceeds the
+    /// number of matrix cells.
+    pub fn generate(config: &RatingsConfig) -> RatingsDataset {
+        assert!(config.users > 0 && config.items > 0 && config.rank > 0, "dimensions positive");
+        let cells = config.users * config.items;
+        assert!(
+            config.observations <= cells,
+            "cannot observe {} of {} cells",
+            config.observations,
+            cells
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Non-negative planted factors scaled so dot products land in ~[1, 5].
+        let scale = (2.0f32 / config.rank as f32).sqrt();
+        let true_w: Vec<Vec<f32>> = (0..config.users)
+            .map(|_| (0..config.rank).map(|_| rng.gen_range(0.0..1.6f32) * scale).collect())
+            .collect();
+        let true_h: Vec<Vec<f32>> = (0..config.rank)
+            .map(|_| (0..config.items).map(|_| rng.gen_range(0.0..1.6f32) * scale).collect())
+            .collect();
+        let mut seen = HashSet::with_capacity(config.observations);
+        let mut ratings = Vec::with_capacity(config.observations);
+        // Guarantee every user has at least one rating (the paper "only
+        // focuses on users for whom the system has at least one rating").
+        for user in 0..config.users.min(config.observations) {
+            let item = rng.gen_range(0..config.items);
+            seen.insert((user as u32, item as u32));
+            ratings.push(Rating {
+                user: user as u32,
+                item: item as u32,
+                value: Self::planted(&true_w, &true_h, user, item, config.noise, &mut rng),
+            });
+        }
+        while ratings.len() < config.observations {
+            let user = rng.gen_range(0..config.users) as u32;
+            let item = rng.gen_range(0..config.items) as u32;
+            if seen.insert((user, item)) {
+                ratings.push(Rating {
+                    user,
+                    item,
+                    value: Self::planted(
+                        &true_w,
+                        &true_h,
+                        user as usize,
+                        item as usize,
+                        config.noise,
+                        &mut rng,
+                    ),
+                });
+            }
+        }
+        RatingsDataset { config: config.clone(), ratings, true_w, true_h }
+    }
+
+    fn planted(
+        w: &[Vec<f32>],
+        h: &[Vec<f32>],
+        user: usize,
+        item: usize,
+        noise: f32,
+        rng: &mut StdRng,
+    ) -> f32 {
+        let dot: f32 = (0..h.len()).map(|k| w[user][k] * h[k][item]).sum();
+        (1.0 + 4.0 * (dot / 2.0).clamp(0.0, 1.0) + noise * normal(rng)).clamp(1.0, 5.0)
+    }
+
+    /// The observed ratings.
+    pub fn ratings(&self) -> &[Rating] {
+        &self.ratings
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.config.users
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.config.items
+    }
+
+    /// The planted (noise-free) rating for a cell — test ground truth.
+    pub fn planted_value(&self, user: usize, item: usize) -> f32 {
+        let dot: f32 =
+            (0..self.config.rank).map(|k| self.true_w[user][k] * self.true_h[k][item]).sum();
+        (1.0 + 4.0 * (dot / 2.0).clamp(0.0, 1.0)).clamp(1.0, 5.0)
+    }
+
+    /// Samples `count` query pairs from *unobserved* cells.
+    pub fn sample_queries(&self, count: usize) -> Vec<(u32, u32)> {
+        let observed: HashSet<(u32, u32)> =
+            self.ratings.iter().map(|r| (r.user, r.item)).collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(0xBEEF));
+        let mut queries = Vec::with_capacity(count);
+        while queries.len() < count {
+            let user = rng.gen_range(0..self.config.users) as u32;
+            let item = rng.gen_range(0..self.config.items) as u32;
+            if !observed.contains(&(user, item)) {
+                queries.push((user, item));
+            }
+        }
+        queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RatingsConfig {
+        RatingsConfig { users: 60, items: 50, rank: 4, observations: 600, noise: 0.05, seed: 3 }
+    }
+
+    #[test]
+    fn observations_are_distinct_and_in_range() {
+        let ds = RatingsDataset::generate(&small());
+        assert_eq!(ds.ratings().len(), 600);
+        let mut cells: Vec<(u32, u32)> = ds.ratings().iter().map(|r| (r.user, r.item)).collect();
+        cells.sort_unstable();
+        cells.dedup();
+        assert_eq!(cells.len(), 600, "observed cells must be distinct");
+        for r in ds.ratings() {
+            assert!((1.0..=5.0).contains(&r.value));
+            assert!((r.user as usize) < ds.users());
+            assert!((r.item as usize) < ds.items());
+        }
+    }
+
+    #[test]
+    fn every_user_has_a_rating() {
+        let ds = RatingsDataset::generate(&small());
+        let mut users: Vec<u32> = ds.ratings().iter().map(|r| r.user).collect();
+        users.sort_unstable();
+        users.dedup();
+        assert_eq!(users.len(), 60);
+    }
+
+    #[test]
+    fn queries_avoid_observed_cells() {
+        let ds = RatingsDataset::generate(&small());
+        let observed: std::collections::HashSet<(u32, u32)> =
+            ds.ratings().iter().map(|r| (r.user, r.item)).collect();
+        for pair in ds.sample_queries(200) {
+            assert!(!observed.contains(&pair));
+        }
+    }
+
+    #[test]
+    fn ratings_track_planted_structure() {
+        let ds = RatingsDataset::generate(&small());
+        let mse: f32 = ds
+            .ratings()
+            .iter()
+            .map(|r| {
+                let p = ds.planted_value(r.user as usize, r.item as usize);
+                (p - r.value) * (p - r.value)
+            })
+            .sum::<f32>()
+            / ds.ratings().len() as f32;
+        assert!(mse < 0.05, "observed ratings must be near planted values, mse={mse}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RatingsDataset::generate(&small());
+        let b = RatingsDataset::generate(&small());
+        assert_eq!(a.ratings(), b.ratings());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot observe")]
+    fn too_many_observations_panics() {
+        RatingsDataset::generate(&RatingsConfig {
+            users: 2,
+            items: 2,
+            observations: 5,
+            ..small()
+        });
+    }
+}

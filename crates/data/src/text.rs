@@ -1,0 +1,214 @@
+//! Synthetic document corpus over a Zipf vocabulary (Wikipedia substitute).
+//!
+//! Set Algebra intersects posting lists of query terms against a sharded
+//! document corpus. What its algorithms are sensitive to is the *shape* of
+//! posting lists — a few very long lists (frequent terms) and a long tail
+//! of short ones — which follows directly from Zipf-distributed word
+//! frequencies. The paper's query generator draws query terms "based on
+//! Wikipedia's word occurrence probabilities" with queries of ≤ 10 words;
+//! [`TextCorpus::sample_queries`] mirrors both properties.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A term identifier in the corpus vocabulary.
+pub type TermId = u32;
+/// A document identifier.
+pub type DocId = u32;
+
+/// Configuration for [`TextCorpus::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusConfig {
+    /// Number of documents.
+    pub documents: usize,
+    /// Vocabulary size.
+    pub vocabulary: usize,
+    /// Words per document (mean; actual lengths vary ±50 %).
+    pub doc_len: usize,
+    /// Zipf exponent for term frequency (≈1 for natural language).
+    pub zipf_exponent: f64,
+    /// Maximum terms per query (the paper cites ≤ 10).
+    pub max_query_terms: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            documents: 20_000,
+            vocabulary: 20_000,
+            doc_len: 120,
+            zipf_exponent: 1.0,
+            max_query_terms: 10,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated corpus: one sorted, deduplicated term list per document.
+#[derive(Debug, Clone)]
+pub struct TextCorpus {
+    documents: Vec<Vec<TermId>>,
+    term_dist: Zipf,
+    max_query_terms: usize,
+    seed: u64,
+}
+
+impl TextCorpus {
+    /// Generates a corpus per `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count in `config` is zero.
+    pub fn generate(config: &CorpusConfig) -> TextCorpus {
+        assert!(config.documents > 0, "documents must be positive");
+        assert!(config.vocabulary > 0, "vocabulary must be positive");
+        assert!(config.doc_len > 0, "doc_len must be positive");
+        assert!(config.max_query_terms > 0, "max_query_terms must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let term_dist = Zipf::new(config.vocabulary, config.zipf_exponent);
+        let documents: Vec<Vec<TermId>> = (0..config.documents)
+            .map(|_| {
+                let len = rng.gen_range(config.doc_len / 2..=config.doc_len * 3 / 2).max(1);
+                let mut terms: Vec<TermId> =
+                    (0..len).map(|_| term_dist.sample(&mut rng) as TermId).collect();
+                terms.sort_unstable();
+                terms.dedup();
+                terms
+            })
+            .collect();
+        TextCorpus {
+            documents,
+            term_dist,
+            max_query_terms: config.max_query_terms,
+            seed: config.seed,
+        }
+    }
+
+    /// The documents, each a sorted set of distinct term ids.
+    pub fn documents(&self) -> &[Vec<TermId>] {
+        &self.documents
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Returns `true` if the corpus has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Samples `count` queries of 1–`max_query_terms` distinct terms drawn
+    /// by occurrence probability.
+    pub fn sample_queries(&self, count: usize) -> Vec<Vec<TermId>> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0xC0FFEE));
+        (0..count)
+            .map(|_| {
+                let len = rng.gen_range(1..=self.max_query_terms);
+                let mut terms: Vec<TermId> =
+                    (0..len).map(|_| self.term_dist.sample(&mut rng) as TermId).collect();
+                terms.sort_unstable();
+                terms.dedup();
+                terms
+            })
+            .collect()
+    }
+
+    /// Exact documents containing *all* of `terms` — brute-force ground
+    /// truth for intersection tests.
+    pub fn matching_documents(&self, terms: &[TermId]) -> Vec<DocId> {
+        self.documents
+            .iter()
+            .enumerate()
+            .filter(|(_, doc)| terms.iter().all(|t| doc.binary_search(t).is_ok()))
+            .map(|(id, _)| id as DocId)
+            .collect()
+    }
+
+    /// Collection frequency of each term (documents containing it).
+    pub fn collection_frequencies(&self, vocabulary: usize) -> Vec<u32> {
+        let mut freq = vec![0u32; vocabulary];
+        for doc in &self.documents {
+            for &t in doc {
+                if (t as usize) < vocabulary {
+                    freq[t as usize] += 1;
+                }
+            }
+        }
+        freq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CorpusConfig {
+        CorpusConfig {
+            documents: 500,
+            vocabulary: 300,
+            doc_len: 40,
+            zipf_exponent: 1.0,
+            max_query_terms: 10,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn documents_are_sorted_distinct() {
+        let corpus = TextCorpus::generate(&small());
+        assert_eq!(corpus.len(), 500);
+        for doc in corpus.documents() {
+            assert!(!doc.is_empty());
+            assert!(doc.windows(2).all(|w| w[0] < w[1]), "sorted and deduplicated");
+        }
+    }
+
+    #[test]
+    fn frequent_terms_have_long_posting_lists() {
+        let corpus = TextCorpus::generate(&small());
+        let freq = corpus.collection_frequencies(300);
+        // Rank 0 must appear in far more documents than rank 250.
+        assert!(freq[0] > freq[250] * 2, "zipf head {} vs tail {}", freq[0], freq[250]);
+        // The most frequent term appears in most documents.
+        assert!(freq[0] as usize > corpus.len() / 2);
+    }
+
+    #[test]
+    fn queries_bounded_and_deterministic() {
+        let corpus = TextCorpus::generate(&small());
+        let queries = corpus.sample_queries(100);
+        assert_eq!(queries.len(), 100);
+        for q in &queries {
+            assert!(!q.is_empty() && q.len() <= 10);
+            assert!(q.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(queries, corpus.sample_queries(100));
+    }
+
+    #[test]
+    fn matching_documents_ground_truth() {
+        let corpus = TextCorpus::generate(&small());
+        // The most frequent term matches many documents; the full document
+        // set matches the empty query.
+        assert_eq!(corpus.matching_documents(&[]).len(), corpus.len());
+        let with_head = corpus.matching_documents(&[0]);
+        assert!(!with_head.is_empty());
+        for &doc in &with_head {
+            assert!(corpus.documents()[doc as usize].binary_search(&0).is_ok());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TextCorpus::generate(&small());
+        let mut config = small();
+        config.seed = 8;
+        let b = TextCorpus::generate(&config);
+        assert_ne!(a.documents(), b.documents());
+    }
+}

@@ -1,0 +1,202 @@
+//! Clustered Gaussian feature-vector generator (Open Images substitute).
+//!
+//! HDSearch indexes Inception-V3 embeddings: high-dimensional vectors with
+//! pronounced cluster structure (images of similar content embed near each
+//! other). The generator reproduces that structure — `clusters` Gaussian
+//! blobs with configurable spread — because it is exactly what LSH's
+//! performance/recall trade-off is sensitive to. Queries are sampled as
+//! perturbations of data-set points so every query has meaningful near
+//! neighbours.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`VectorDataset::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorDatasetConfig {
+    /// Number of data-set vectors.
+    pub points: usize,
+    /// Vector dimensionality (the paper uses 2048; defaults scale down).
+    pub dim: usize,
+    /// Number of Gaussian clusters.
+    pub clusters: usize,
+    /// Standard deviation of points around their cluster centre.
+    pub spread: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VectorDatasetConfig {
+    fn default() -> Self {
+        VectorDatasetConfig { points: 10_000, dim: 128, clusters: 64, spread: 0.15, seed: 42 }
+    }
+}
+
+/// A generated vector data set plus query sampler.
+#[derive(Debug, Clone)]
+pub struct VectorDataset {
+    vectors: Vec<Vec<f32>>,
+    assignments: Vec<usize>,
+    centers: Vec<Vec<f32>>,
+    dim: usize,
+    seed: u64,
+}
+
+/// Draws from a standard normal via Box–Muller (keeps `rand` usage to the
+/// uniform primitive available in the offline crate set).
+fn normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+impl VectorDataset {
+    /// Generates a data set per `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points`, `dim`, or `clusters` is zero.
+    pub fn generate(config: &VectorDatasetConfig) -> VectorDataset {
+        assert!(config.points > 0, "points must be positive");
+        assert!(config.dim > 0, "dim must be positive");
+        assert!(config.clusters > 0, "clusters must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let centers: Vec<Vec<f32>> = (0..config.clusters)
+            .map(|_| (0..config.dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let mut vectors = Vec::with_capacity(config.points);
+        let mut assignments = Vec::with_capacity(config.points);
+        for i in 0..config.points {
+            let cluster = i % config.clusters;
+            let center = &centers[cluster];
+            let v: Vec<f32> =
+                center.iter().map(|&c| c + config.spread * normal(&mut rng)).collect();
+            vectors.push(v);
+            assignments.push(cluster);
+        }
+        VectorDataset { vectors, assignments, centers, dim: config.dim, seed: config.seed }
+    }
+
+    /// The generated vectors.
+    pub fn vectors(&self) -> &[Vec<f32>] {
+        &self.vectors
+    }
+
+    /// Consumes the data set, returning the vectors.
+    pub fn into_vectors(self) -> Vec<Vec<f32>> {
+        self.vectors
+    }
+
+    /// Cluster assignment of each vector.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Returns `true` if the data set has no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Samples `count` query vectors: data-set points perturbed by
+    /// `noise` standard deviations, so each query has close neighbours.
+    pub fn sample_queries(&self, count: usize, noise: f32) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x5EED));
+        (0..count)
+            .map(|_| {
+                let base = &self.vectors[rng.gen_range(0..self.vectors.len())];
+                base.iter().map(|&x| x + noise * normal(&mut rng)).collect()
+            })
+            .collect()
+    }
+
+    /// The cluster centres (useful as ground-truth anchors in tests).
+    pub fn centers(&self) -> &[Vec<f32>] {
+        &self.centers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> VectorDatasetConfig {
+        VectorDatasetConfig { points: 600, dim: 16, clusters: 6, spread: 0.05, seed: 1 }
+    }
+
+    fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+    }
+
+    #[test]
+    fn shapes_match_config() {
+        let ds = VectorDataset::generate(&small());
+        assert_eq!(ds.len(), 600);
+        assert_eq!(ds.dim(), 16);
+        assert!(ds.vectors().iter().all(|v| v.len() == 16));
+        assert_eq!(ds.assignments().len(), 600);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = VectorDataset::generate(&small());
+        let b = VectorDataset::generate(&small());
+        assert_eq!(a.vectors(), b.vectors());
+        let mut other = small();
+        other.seed = 2;
+        let c = VectorDataset::generate(&other);
+        assert_ne!(a.vectors(), c.vectors());
+    }
+
+    #[test]
+    fn points_cluster_around_their_centers() {
+        let ds = VectorDataset::generate(&small());
+        for (v, &cluster) in ds.vectors().iter().zip(ds.assignments()) {
+            let own = euclidean(v, &ds.centers()[cluster]);
+            // With spread 0.05 in 16-d, a point sits ~0.2 from its centre
+            // while centres are ~2 apart; membership must be unambiguous.
+            for (other_idx, other) in ds.centers().iter().enumerate() {
+                if other_idx != cluster {
+                    assert!(own < euclidean(v, other), "point nearer a foreign centre");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queries_are_near_dataset_points() {
+        let ds = VectorDataset::generate(&small());
+        let queries = ds.sample_queries(20, 0.01);
+        assert_eq!(queries.len(), 20);
+        for q in &queries {
+            let nearest = ds
+                .vectors()
+                .iter()
+                .map(|v| euclidean(q, v))
+                .fold(f32::INFINITY, f32::min);
+            assert!(nearest < 0.5, "query must have a close neighbour, got {nearest}");
+        }
+    }
+
+    #[test]
+    fn queries_deterministic() {
+        let ds = VectorDataset::generate(&small());
+        assert_eq!(ds.sample_queries(5, 0.1), ds.sample_queries(5, 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "points must be positive")]
+    fn zero_points_panics() {
+        VectorDataset::generate(&VectorDatasetConfig { points: 0, ..small() });
+    }
+}

@@ -1,0 +1,156 @@
+//! Zipfian sampling over a finite rank set.
+//!
+//! Key popularity in key-value workloads (YCSB) and word frequency in
+//! natural-language corpora are both classically Zipf-distributed; the
+//! `Router` and `Set Algebra` generators sample from this distribution.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = k) ∝ 1 / (k + 1)^s`.
+///
+/// Sampling is O(log n) via binary search on a precomputed CDF.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_data::zipf::Zipf;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(1000, 0.99);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution for `n` ranks with exponent `s`.
+    ///
+    /// `s == 0` degenerates to the uniform distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, or if `s` is negative or not finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "rank count must be positive");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        // Guard against floating-point undershoot at the top end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // n > 0 is enforced at construction
+    }
+
+    /// Probability of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn probability(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draws a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let zipf = Zipf::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let zipf = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        let max_rank = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
+        assert_eq!(max_rank, 0);
+        // Zipf(0.99): rank 0 should take ~13% of mass for n=1000.
+        assert!(counts[0] > 8_000, "head rank too cold: {}", counts[0]);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        for rank in 0..10 {
+            assert!((zipf.probability(rank) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for &s in &[0.5, 0.99, 1.5] {
+            let zipf = Zipf::new(333, s);
+            let total: f64 = (0..333).map(|r| zipf.probability(r)).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let zipf = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(zipf.sample(&mut rng), 0);
+        assert_eq!(zipf.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let zipf = Zipf::new(50, 0.8);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank count")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

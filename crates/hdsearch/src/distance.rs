@@ -1,0 +1,149 @@
+//! Distance kernels for feature-vector comparison.
+//!
+//! "Distance computations are embarrassingly parallel, and can be
+//! accelerated with SIMD" (paper §III-A). The kernels below are written
+//! as four-way unrolled chunk loops that LLVM auto-vectorizes; tests pin
+//! their semantics against scalar references.
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// The square root is deliberately omitted: ordering by squared distance
+/// equals ordering by distance, and leaves rank candidates, so the k-NN
+/// result is identical and the sqrt per candidate is saved.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_hdsearch::distance::euclidean_sq;
+///
+/// assert_eq!(euclidean_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+/// ```
+pub fn euclidean_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "distance requires equal dimensionality");
+    let mut sums = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let base = i * 4;
+        for lane in 0..4 {
+            let d = a[base + lane] - b[base + lane];
+            sums[lane] += d * d;
+        }
+    }
+    let mut total = sums[0] + sums[1] + sums[2] + sums[3];
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        total += d * d;
+    }
+    total
+}
+
+/// Euclidean distance (with square root), for display and accuracy checks.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product requires equal dimensionality");
+    let mut sums = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let base = i * 4;
+        for lane in 0..4 {
+            sums[lane] += a[base + lane] * b[base + lane];
+        }
+    }
+    let mut total = sums[0] + sums[1] + sums[2] + sums[3];
+    for i in chunks * 4..a.len() {
+        total += a[i] * b[i];
+    }
+    total
+}
+
+/// Cosine similarity in `[-1, 1]`; zero vectors yield 0.
+///
+/// HDSearch "quantifies accuracy in terms of the cosine similarity
+/// between the feature vector it reports as the NN … and ground truth"
+/// (paper §III-A).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let denom = dot(a, a).sqrt() * dot(b, b).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (dot(a, b) / denom).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_euclidean_sq(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    #[test]
+    fn matches_scalar_reference_across_lengths() {
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 13, 64, 129] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32).sin()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).cos()).collect();
+            let fast = euclidean_sq(&a, &b);
+            let slow = scalar_euclidean_sq(&a, &b);
+            assert!((fast - slow).abs() <= 1e-4 * slow.max(1.0), "len={len}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn euclidean_known_values() {
+        assert_eq!(euclidean(&[0.0; 3], &[2.0, 3.0, 6.0]), 7.0);
+        assert_eq!(euclidean_sq(&[], &[]), 0.0);
+        assert_eq!(euclidean_sq(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_known_values() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn cosine_similarity_properties() {
+        let v = [0.3f32, -0.5, 0.9, 0.1];
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-6);
+        let neg: Vec<f32> = v.iter().map(|x| -x).collect();
+        assert!((cosine_similarity(&v, &neg) + 1.0).abs() < 1e-6);
+        let ortho_a = [1.0f32, 0.0];
+        let ortho_b = [0.0f32, 1.0];
+        assert_eq!(cosine_similarity(&ortho_a, &ortho_b), 0.0);
+        assert_eq!(cosine_similarity(&[0.0; 4], &v), 0.0);
+    }
+
+    #[test]
+    fn scaling_preserves_cosine() {
+        let a = [0.2f32, 0.8, -0.4];
+        let b: Vec<f32> = a.iter().map(|x| x * 17.0).collect();
+        assert!((cosine_similarity(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn mismatched_lengths_panic() {
+        euclidean_sq(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,262 @@
+//! The HDSearch front-end presentation microservice (paper Fig. 2).
+//!
+//! The paper describes but does not characterize the front end: a web
+//! application accepts a query image, a **feature extractor** (Inception
+//! V3) turns it into a vector, a **feature-vector cache** (Redis) avoids
+//! repeated extraction, the back end returns k-NN ids, and a second cache
+//! maps ids to URLs for response presentation. This module completes the
+//! three-tier picture with from-scratch substitutes:
+//!
+//! * [`FeatureExtractor`] — a deterministic stand-in for the neural
+//!   network: it hashes image bytes into a unit-norm vector, preserving
+//!   the property the pipeline needs (same image → same vector, different
+//!   image → distant vector) at ~ns instead of ~ms cost.
+//! * [`FeatureCache`] — the Redis substitute: a bounded LRU from image
+//!   bytes to extracted vectors, with hit/miss accounting.
+//! * [`FrontEnd`] — wires extractor + cache + back-end client and serves
+//!   `find_similar(image bytes, k)` like the paper's web application.
+
+use crate::protocol::Neighbor;
+use crate::service::HdSearchClient;
+use musuite_rpc::RpcError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Deterministic image→feature-vector extraction (Inception-V3 stand-in).
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureExtractor {
+    dim: usize,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor producing `dim`-dimensional unit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize) -> FeatureExtractor {
+        assert!(dim > 0, "dimensionality must be positive");
+        FeatureExtractor { dim }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Extracts a unit-norm feature vector from image bytes.
+    pub fn extract(&self, image: &[u8]) -> Vec<f32> {
+        // A splitmix stream seeded by an FNV of the image: deterministic,
+        // well spread, and orders of magnitude cheaper than a real CNN.
+        let mut state = image.iter().fold(0xcbf2_9ce4_8422_2325u64, |hash, &b| {
+            (hash ^ u64::from(b)).wrapping_mul(0x1_0000_0000_01b3)
+        });
+        let mut vector: Vec<f32> = (0..self.dim)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                ((z >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect();
+        let norm = vector.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut vector {
+                *x /= norm;
+            }
+        }
+        vector
+    }
+}
+
+/// A bounded LRU cache from image bytes to extracted feature vectors —
+/// the paper's Redis feature-vector cache.
+pub struct FeatureCache {
+    entries: Mutex<HashMap<Vec<u8>, (Vec<f32>, u64)>>,
+    capacity: usize,
+    ticks: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FeatureCache {
+    /// Creates a cache holding at most `capacity` vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> FeatureCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        FeatureCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity,
+            ticks: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached vector for `image`, or computes it with
+    /// `extract`, caches it (evicting the least recently used entry at
+    /// capacity), and returns it.
+    pub fn get_or_extract(&self, image: &[u8], extract: impl FnOnce() -> Vec<f32>) -> Vec<f32> {
+        let tick = self.ticks.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock();
+        if let Some((vector, last_used)) = entries.get_mut(image) {
+            *last_used = tick;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return vector.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let vector = extract();
+        if entries.len() >= self.capacity {
+            if let Some(victim) = entries
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(key, _)| key.clone())
+            {
+                entries.remove(&victim);
+            }
+        }
+        entries.insert(image.to_vec(), (vector.clone(), tick));
+        vector
+    }
+
+    /// Cache hits served.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (extractions performed).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached vectors.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Returns `true` if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for FeatureCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeatureCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+/// The front-end presentation microservice: extract (with caching), query
+/// the mid-tier, return neighbour ids.
+pub struct FrontEnd {
+    extractor: FeatureExtractor,
+    cache: FeatureCache,
+    backend: HdSearchClient,
+}
+
+impl FrontEnd {
+    /// Wires a front end to a back-end client.
+    pub fn new(extractor: FeatureExtractor, cache_capacity: usize, backend: HdSearchClient) -> FrontEnd {
+        FrontEnd { extractor, cache: FeatureCache::new(cache_capacity), backend }
+    }
+
+    /// The full Fig. 2 request path for one query image.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or back-end errors.
+    pub fn find_similar(&self, image: &[u8], k: u32) -> Result<Vec<Neighbor>, RpcError> {
+        let vector = self.cache.get_or_extract(image, || self.extractor.extract(image));
+        self.backend.search(&vector, k)
+    }
+
+    /// Feature-cache statistics `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
+}
+
+impl std::fmt::Debug for FrontEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrontEnd").field("dim", &self.extractor.dim()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extractor_is_deterministic_and_unit_norm() {
+        let extractor = FeatureExtractor::new(64);
+        let a = extractor.extract(b"image-bytes-1");
+        let b = extractor.extract(b"image-bytes-1");
+        let c = extractor.extract(b"image-bytes-2");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn cache_hits_after_first_extraction() {
+        let cache = FeatureCache::new(4);
+        let extractor = FeatureExtractor::new(8);
+        let image = b"photo".to_vec();
+        let first = cache.get_or_extract(&image, || extractor.extract(&image));
+        let second = cache.get_or_extract(&image, || panic!("must not re-extract"));
+        assert_eq!(first, second);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn cache_evicts_lru_at_capacity() {
+        let cache = FeatureCache::new(2);
+        let extractor = FeatureExtractor::new(4);
+        for image in [b"a".as_slice(), b"b", b"c"] {
+            cache.get_or_extract(image, || extractor.extract(image));
+        }
+        assert_eq!(cache.len(), 2);
+        // "a" was coldest and must have been evicted: re-extraction occurs.
+        let mut extracted = false;
+        cache.get_or_extract(b"a", || {
+            extracted = true;
+            extractor.extract(b"a")
+        });
+        assert!(extracted);
+    }
+
+    #[test]
+    fn front_end_round_trips_through_backend() {
+        let extractor = FeatureExtractor::new(16);
+        // Build the corpus FROM extracted vectors so a repeated image is
+        // its own nearest neighbour.
+        let images: Vec<Vec<u8>> = (0..200u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let corpus: Vec<Vec<f32>> = images.iter().map(|img| extractor.extract(img)).collect();
+        let service = crate::service::HdSearchService::launch_with_corpus(
+            corpus,
+            2,
+            Default::default(),
+        )
+        .unwrap();
+        let frontend = FrontEnd::new(extractor, 64, service.client().unwrap());
+        let neighbors = frontend.find_similar(&images[7], 1).unwrap();
+        assert_eq!(neighbors[0].id, 7, "an indexed image must match itself");
+        assert!(neighbors[0].distance < 1e-6);
+        // Second query for the same image hits the feature cache.
+        frontend.find_similar(&images[7], 1).unwrap();
+        assert_eq!(frontend.cache_stats(), (1, 1));
+    }
+}

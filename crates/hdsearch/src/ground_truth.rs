@@ -1,0 +1,134 @@
+//! Brute-force exact k-NN and recall evaluation.
+//!
+//! HDSearch's accuracy is quantified "in terms of the cosine similarity
+//! between the feature vector it reports as the NN for each query and
+//! ground truth established by a brute-force linear search of the entire
+//! data set", with LSH parameters tuned for "a minimum accuracy score of
+//! 93 % across all queries" (paper §III-A).
+
+use crate::distance::{cosine_similarity, euclidean_sq};
+use crate::protocol::Neighbor;
+
+/// Exact k nearest neighbours by linear scan (ids are corpus indices).
+///
+/// # Examples
+///
+/// ```
+/// use musuite_hdsearch::ground_truth::brute_force_knn;
+///
+/// let corpus = vec![vec![0.0f32, 0.0], vec![5.0, 5.0], vec![0.1, 0.0]];
+/// let nn = brute_force_knn(&corpus, &[0.0, 0.0], 2);
+/// assert_eq!(nn[0].id, 0);
+/// assert_eq!(nn[1].id, 2);
+/// ```
+pub fn brute_force_knn(corpus: &[Vec<f32>], query: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = corpus
+        .iter()
+        .enumerate()
+        .map(|(id, vector)| Neighbor { id: id as u64, distance: euclidean_sq(query, vector) })
+        .collect();
+    all.sort_by(|a, b| {
+        (a.distance, a.id).partial_cmp(&(b.distance, b.id)).expect("finite distances")
+    });
+    all.truncate(k);
+    all
+}
+
+/// Fraction of queries whose reported nearest neighbour has cosine
+/// similarity ≥ `threshold` with the true nearest neighbour — the paper's
+/// accuracy score.
+pub fn accuracy_score(
+    corpus: &[Vec<f32>],
+    queries: &[Vec<f32>],
+    reported_nn: &[Option<u64>],
+    threshold: f32,
+) -> f64 {
+    assert_eq!(queries.len(), reported_nn.len(), "one report per query");
+    if queries.is_empty() {
+        return 1.0;
+    }
+    let mut accurate = 0usize;
+    for (query, reported) in queries.iter().zip(reported_nn) {
+        let Some(reported) = reported else { continue };
+        let truth = brute_force_knn(corpus, query, 1);
+        let Some(true_nn) = truth.first() else { continue };
+        let similarity =
+            cosine_similarity(&corpus[*reported as usize], &corpus[true_nn.id as usize]);
+        if similarity >= threshold {
+            accurate += 1;
+        }
+    }
+    accurate as f64 / queries.len() as f64
+}
+
+/// Recall@k: fraction of the true top-`k` ids present in `reported`.
+pub fn recall_at_k(truth: &[Neighbor], reported: &[Neighbor]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let reported_ids: std::collections::HashSet<u64> =
+        reported.iter().map(|n| n.id).collect();
+    let hits = truth.iter().filter(|n| reported_ids.contains(&n.id)).count();
+    hits as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<f32>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![10.0, 10.0],
+        ]
+    }
+
+    #[test]
+    fn brute_force_orders_by_distance() {
+        let nn = brute_force_knn(&corpus(), &[0.9, 0.9], 4);
+        assert_eq!(nn.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 0, 2, 3]);
+        assert!(nn.windows(2).all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    fn brute_force_k_larger_than_corpus() {
+        assert_eq!(brute_force_knn(&corpus(), &[0.0, 0.0], 100).len(), 4);
+        assert!(brute_force_knn(&[], &[0.0, 0.0], 3).is_empty());
+    }
+
+    #[test]
+    fn recall_at_k_counts_overlap() {
+        let truth = brute_force_knn(&corpus(), &[0.0, 0.0], 2);
+        let perfect = truth.clone();
+        assert_eq!(recall_at_k(&truth, &perfect), 1.0);
+        let half = vec![truth[0]];
+        assert_eq!(recall_at_k(&truth, &half), 0.5);
+        assert_eq!(recall_at_k(&truth, &[]), 0.0);
+        assert_eq!(recall_at_k(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn accuracy_score_perfect_and_missing() {
+        let corpus = corpus();
+        // Queries whose true NNs (1 and 3) are non-zero vectors, so cosine
+        // similarity against the exact report is well defined.
+        let queries = vec![vec![1.1f32, 0.9], vec![9.0, 9.0]];
+        // Exact reports score 1.0.
+        let reports = vec![Some(1), Some(3)];
+        assert_eq!(accuracy_score(&corpus, &queries, &reports, 0.99), 1.0);
+        // Missing reports count as inaccurate.
+        let none_reports = vec![None, None];
+        assert_eq!(accuracy_score(&corpus, &queries, &none_reports, 0.99), 0.0);
+    }
+
+    #[test]
+    fn accuracy_accepts_cosine_close_neighbors() {
+        // Points 1 and 2 are colinear from the origin: cosine similarity 1.
+        let corpus = corpus();
+        let queries = vec![vec![1.1f32, 1.1]];
+        let reports = vec![Some(2)]; // true NN is 1, but 2 is cosine-identical
+        assert_eq!(accuracy_score(&corpus, &queries, &reports, 0.999), 1.0);
+    }
+}

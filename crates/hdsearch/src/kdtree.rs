@@ -1,0 +1,257 @@
+//! A k-d tree — the tree-based indexing baseline LSH supersedes.
+//!
+//! The paper's related-work discussion (§III-A): "many prior works improve
+//! high dimensional search via tree-based indexing. Since data sets are
+//! growing rapidly in both size and dimensionality, tree-based indexing
+//! techniques that are efficient for modest dimensionality data sets no
+//! longer apply." This exact-search k-d tree exists to let the suite
+//! *demonstrate* that claim: at low dimensionality its pruned search
+//! visits a fraction of the corpus, while in HDSearch's high-dimensional
+//! regime pruning collapses toward a full scan (the curse of
+//! dimensionality) — see the `ablation_knn_index` bench.
+
+use crate::protocol::Neighbor;
+
+struct Node {
+    /// Index into the corpus.
+    point: u32,
+    /// Split dimension at this node.
+    axis: u32,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+/// An exact k-NN index over a vector corpus, split median-of-axis.
+pub struct KdTree {
+    corpus: Vec<Vec<f32>>,
+    root: Option<Box<Node>>,
+    dim: usize,
+}
+
+impl KdTree {
+    /// Builds a balanced tree over `corpus` (cycling split axes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if vectors disagree in dimensionality.
+    pub fn build(corpus: Vec<Vec<f32>>) -> KdTree {
+        let dim = corpus.first().map_or(0, Vec::len);
+        assert!(corpus.iter().all(|v| v.len() == dim), "uniform dimensionality required");
+        let mut indices: Vec<u32> = (0..corpus.len() as u32).collect();
+        let root = Self::build_node(&corpus, &mut indices, 0, dim);
+        KdTree { corpus, root, dim }
+    }
+
+    fn build_node(
+        corpus: &[Vec<f32>],
+        indices: &mut [u32],
+        depth: usize,
+        dim: usize,
+    ) -> Option<Box<Node>> {
+        if indices.is_empty() || dim == 0 {
+            return None;
+        }
+        let axis = depth % dim;
+        let mid = indices.len() / 2;
+        indices.select_nth_unstable_by(mid, |&a, &b| {
+            corpus[a as usize][axis]
+                .partial_cmp(&corpus[b as usize][axis])
+                .expect("finite coordinates")
+        });
+        let point = indices[mid];
+        let (left_half, rest) = indices.split_at_mut(mid);
+        let right_half = &mut rest[1..];
+        Some(Box::new(Node {
+            point,
+            axis: axis as u32,
+            left: Self::build_node(corpus, left_half, depth + 1, dim),
+            right: Self::build_node(corpus, right_half, depth + 1, dim),
+        }))
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// Returns `true` if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.corpus.is_empty()
+    }
+
+    /// Dimensionality of the indexed vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Exact k nearest neighbours of `query`, distance-sorted. The second
+    /// return value is the number of tree nodes visited — the pruning
+    /// effectiveness measure the ablation reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's dimensionality is wrong.
+    pub fn knn(&self, query: &[f32], k: usize) -> (Vec<Neighbor>, usize) {
+        assert_eq!(query.len(), self.dim, "query dimensionality mismatch");
+        if k == 0 {
+            return (Vec::new(), 0);
+        }
+        // Max-heap of the best k so far, keyed by (distance, id).
+        let mut best: std::collections::BinaryHeap<(Ordered, u64)> =
+            std::collections::BinaryHeap::new();
+        let mut visited = 0usize;
+        self.search(self.root.as_deref(), query, k, &mut best, &mut visited);
+        let mut neighbors: Vec<Neighbor> = best
+            .into_sorted_vec()
+            .into_iter()
+            .map(|(distance, id)| Neighbor { id, distance: distance.0 })
+            .collect();
+        neighbors.sort_by(|a, b| {
+            (a.distance, a.id).partial_cmp(&(b.distance, b.id)).expect("finite distances")
+        });
+        (neighbors, visited)
+    }
+
+    fn search(
+        &self,
+        node: Option<&Node>,
+        query: &[f32],
+        k: usize,
+        best: &mut std::collections::BinaryHeap<(Ordered, u64)>,
+        visited: &mut usize,
+    ) {
+        let Some(node) = node else { return };
+        *visited += 1;
+        let point = &self.corpus[node.point as usize];
+        let distance = crate::distance::euclidean_sq(query, point);
+        if best.len() < k {
+            best.push((Ordered(distance), u64::from(node.point)));
+        } else if let Some(&(worst, _)) = best.peek() {
+            if distance < worst.0 {
+                best.pop();
+                best.push((Ordered(distance), u64::from(node.point)));
+            }
+        }
+        let axis = node.axis as usize;
+        let delta = query[axis] - point[axis];
+        let (near, far) =
+            if delta < 0.0 { (&node.left, &node.right) } else { (&node.right, &node.left) };
+        self.search(near.as_deref(), query, k, best, visited);
+        // Prune the far side unless the splitting plane is closer than the
+        // current kth-best distance.
+        let worst = best.peek().map_or(f32::INFINITY, |&(w, _)| w.0);
+        if best.len() < k || delta * delta < worst {
+            self.search(far.as_deref(), query, k, best, visited);
+        }
+    }
+}
+
+impl std::fmt::Debug for KdTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KdTree").field("points", &self.len()).field("dim", &self.dim).finish()
+    }
+}
+
+/// Total-order wrapper for finite f32 keys in the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ordered(f32);
+
+impl Eq for Ordered {}
+impl PartialOrd for Ordered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ordered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite distances")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::brute_force_knn;
+    use musuite_data::vectors::{VectorDataset, VectorDatasetConfig};
+
+    fn dataset(dim: usize) -> VectorDataset {
+        VectorDataset::generate(&VectorDatasetConfig {
+            points: 2_000,
+            dim,
+            clusters: 16,
+            spread: 0.1,
+            seed: 77,
+        })
+    }
+
+    #[test]
+    fn knn_is_exact() {
+        let ds = dataset(8);
+        let tree = KdTree::build(ds.vectors().to_vec());
+        for query in ds.sample_queries(50, 0.05) {
+            let (tree_nn, _) = tree.knn(&query, 5);
+            let truth = brute_force_knn(ds.vectors(), &query, 5);
+            assert_eq!(
+                tree_nn.iter().map(|n| n.id).collect::<Vec<_>>(),
+                truth.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn low_dimensions_prune_effectively() {
+        let ds = dataset(4);
+        let tree = KdTree::build(ds.vectors().to_vec());
+        let queries = ds.sample_queries(50, 0.02);
+        let mean_visited: f64 = queries
+            .iter()
+            .map(|q| tree.knn(q, 1).1 as f64)
+            .sum::<f64>()
+            / queries.len() as f64;
+        assert!(
+            mean_visited < 2_000.0 * 0.5,
+            "4-d pruning must skip most of the corpus, visited {mean_visited}"
+        );
+    }
+
+    #[test]
+    fn high_dimensions_degrade_toward_full_scan() {
+        // The curse of dimensionality: pruning effectiveness collapses.
+        let low = dataset(4);
+        let high = dataset(64);
+        let low_tree = KdTree::build(low.vectors().to_vec());
+        let high_tree = KdTree::build(high.vectors().to_vec());
+        let mean = |tree: &KdTree, ds: &VectorDataset| {
+            let queries = ds.sample_queries(30, 0.02);
+            queries.iter().map(|q| tree.knn(q, 1).1 as f64).sum::<f64>() / queries.len() as f64
+        };
+        let low_visited = mean(&low_tree, &low);
+        let high_visited = mean(&high_tree, &high);
+        assert!(
+            high_visited > low_visited * 2.0,
+            "64-d must visit far more nodes than 4-d: {high_visited} vs {low_visited}"
+        );
+    }
+
+    #[test]
+    fn handles_small_and_degenerate_inputs() {
+        let tree = KdTree::build(vec![vec![1.0, 2.0]]);
+        let (nn, visited) = tree.knn(&[0.0, 0.0], 3);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].id, 0);
+        assert_eq!(visited, 1);
+        assert_eq!(tree.knn(&[0.0, 0.0], 0).0.len(), 0);
+        let empty = KdTree::build(Vec::new());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_all_reachable() {
+        let tree = KdTree::build(vec![vec![1.0; 3]; 5]);
+        let (nn, _) = tree.knn(&[1.0; 3], 5);
+        assert_eq!(nn.len(), 5);
+        let mut ids: Vec<u64> = nn.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

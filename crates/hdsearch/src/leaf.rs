@@ -1,0 +1,157 @@
+//! The HDSearch leaf: exact distance computation over candidate lists.
+//!
+//! "Leaf microservers compare query feature vectors against point lists
+//! sent by the mid-tier. We use the Euclidean distance metric" (paper
+//! §III-A). The leaf owns one shard of the feature vectors; the mid-tier
+//! sends local candidate indices, the leaf scores them and returns the
+//! top-k with ids translated back to global space.
+
+use crate::distance::euclidean_sq;
+use crate::protocol::{LeafSearchRequest, LeafSearchResponse, Neighbor};
+use musuite_core::error::ServiceError;
+use musuite_core::leaf::LeafHandler;
+use musuite_core::shard::RoundRobinMap;
+
+/// A leaf holding one shard of feature vectors.
+#[derive(Debug)]
+pub struct HdSearchLeaf {
+    vectors: Vec<Vec<f32>>,
+    leaf_index: usize,
+    id_map: RoundRobinMap,
+    dim: usize,
+}
+
+impl HdSearchLeaf {
+    /// Creates a leaf owning `vectors`, which are the round-robin shard
+    /// `leaf_index` of a corpus distributed over `id_map.shards()` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if vectors disagree in dimensionality.
+    pub fn new(vectors: Vec<Vec<f32>>, leaf_index: usize, id_map: RoundRobinMap) -> HdSearchLeaf {
+        let dim = vectors.first().map_or(0, Vec::len);
+        assert!(
+            vectors.iter().all(|v| v.len() == dim),
+            "all shard vectors must share dimensionality"
+        );
+        HdSearchLeaf { vectors, leaf_index, id_map, dim }
+    }
+
+    /// Number of vectors on this shard.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Returns `true` if the shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Scores `candidates` (local indices) against `query`, returning the
+    /// top-`k` as globally-identified, distance-sorted neighbours.
+    pub fn search(&self, query: &[f32], candidates: &[u64], k: usize) -> Vec<Neighbor> {
+        let mut scored: Vec<Neighbor> = candidates
+            .iter()
+            .filter_map(|&local| {
+                let vector = self.vectors.get(local as usize)?;
+                Some(Neighbor {
+                    id: self.id_map.global_id(self.leaf_index, local),
+                    distance: euclidean_sq(query, vector),
+                })
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            (a.distance, a.id).partial_cmp(&(b.distance, b.id)).expect("distances are finite")
+        });
+        scored.truncate(k);
+        scored
+    }
+}
+
+impl LeafHandler for HdSearchLeaf {
+    type Request = LeafSearchRequest;
+    type Response = LeafSearchResponse;
+
+    fn handle(&self, request: LeafSearchRequest) -> Result<LeafSearchResponse, ServiceError> {
+        if !self.vectors.is_empty() && request.vector.len() != self.dim {
+            return Err(ServiceError::bad_request(format!(
+                "query dimension {} does not match corpus dimension {}",
+                request.vector.len(),
+                self.dim
+            )));
+        }
+        Ok(LeafSearchResponse {
+            neighbors: self.search(&request.vector, &request.candidates, request.k as usize),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf() -> HdSearchLeaf {
+        // Shard 1 of 2: local index i corresponds to global id i * 2 + 1.
+        let vectors = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![3.0, 3.0],
+        ];
+        HdSearchLeaf::new(vectors, 1, RoundRobinMap::new(2))
+    }
+
+    #[test]
+    fn scores_and_sorts_candidates() {
+        let leaf = leaf();
+        let result = leaf.search(&[0.0, 0.0], &[0, 1, 2, 3], 4);
+        let ids: Vec<u64> = result.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 3, 5, 7], "global ids in distance order");
+        let distances: Vec<f32> = result.iter().map(|n| n.distance).collect();
+        assert_eq!(distances, vec![0.0, 1.0, 4.0, 18.0]);
+    }
+
+    #[test]
+    fn respects_k() {
+        let leaf = leaf();
+        assert_eq!(leaf.search(&[0.0, 0.0], &[0, 1, 2, 3], 2).len(), 2);
+        assert_eq!(leaf.search(&[0.0, 0.0], &[0, 1], 10).len(), 2);
+    }
+
+    #[test]
+    fn ignores_out_of_range_candidates() {
+        let leaf = leaf();
+        let result = leaf.search(&[0.0, 0.0], &[0, 999], 10);
+        assert_eq!(result.len(), 1, "candidate 999 does not exist on this shard");
+    }
+
+    #[test]
+    fn handler_validates_dimension() {
+        let leaf = leaf();
+        let err = leaf
+            .handle(LeafSearchRequest { vector: vec![0.0; 5], candidates: vec![0], k: 1 })
+            .unwrap_err();
+        assert!(err.message().contains("dimension"));
+    }
+
+    #[test]
+    fn handler_happy_path() {
+        let leaf = leaf();
+        let response = leaf
+            .handle(LeafSearchRequest {
+                vector: vec![1.0, 0.0],
+                candidates: vec![0, 1, 2],
+                k: 1,
+            })
+            .unwrap();
+        assert_eq!(response.neighbors.len(), 1);
+        assert_eq!(response.neighbors[0].id, 3); // local 1 → global 3
+        assert_eq!(response.neighbors[0].distance, 0.0);
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty_response() {
+        let leaf = leaf();
+        assert!(leaf.search(&[0.0, 0.0], &[], 5).is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! `HDSearch` — content-based high-dimensional image similarity search.
+//!
+//! The first μSuite benchmark (paper §III-A): a "find similar images"
+//! service performing k-nearest-neighbour matching in a high-dimensional
+//! feature space. The mid-tier holds Locality-Sensitive Hash tables whose
+//! buckets reference `{leaf, point id}` tuples; leaves hold the feature
+//! vectors and compute exact Euclidean distances over the candidate lists
+//! the mid-tier sends; the mid-tier merges each leaf's distance-sorted
+//! list into the final k-NN result.
+//!
+//! From-scratch substitutes for the paper's stack:
+//!
+//! * [`lsh`] — p-stable-projection LSH with multiprobe, replacing FLANN's
+//!   LSH index,
+//! * [`distance`] — unrolled Euclidean/cosine kernels, replacing the
+//!   SIMD-accelerated leaf math,
+//! * [`ground_truth`] — brute-force exact search used to quantify recall
+//!   ("a minimum accuracy score of 93 % across all queries", §III-A),
+//! * synthetic clustered feature vectors from `musuite-data` replacing
+//!   the Inception-V3/Open Images corpus (see DESIGN.md §2).
+//!
+//! # Examples
+//!
+//! ```
+//! use musuite_data::vectors::{VectorDataset, VectorDatasetConfig};
+//! use musuite_hdsearch::service::HdSearchService;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = VectorDatasetConfig { points: 2000, dim: 32, ..Default::default() };
+//! let dataset = VectorDataset::generate(&config);
+//! let query = dataset.sample_queries(1, 0.01).remove(0);
+//! let service = HdSearchService::launch(dataset, 4, Default::default())?;
+//! let client = service.client()?;
+//! let neighbors = client.search(&query, 5)?;
+//! assert_eq!(neighbors.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod frontend;
+pub mod ground_truth;
+pub mod kdtree;
+pub mod leaf;
+pub mod lsh;
+pub mod merge;
+pub mod midtier;
+pub mod protocol;
+pub mod service;
+
+pub use frontend::{FeatureCache, FeatureExtractor, FrontEnd};
+pub use kdtree::KdTree;
+pub use leaf::HdSearchLeaf;
+pub use lsh::{LshConfig, LshIndex};
+pub use midtier::HdSearchMidTier;
+pub use protocol::{Neighbor, SearchQuery};
+pub use service::{HdSearchClient, HdSearchService};

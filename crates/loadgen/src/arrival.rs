@@ -1,0 +1,178 @@
+//! Request inter-arrival processes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// How requests are spaced in open-loop load generation.
+#[derive(Debug)]
+pub struct ArrivalProcess {
+    kind: Kind,
+    rng: StdRng,
+    counter: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    /// Exponential inter-arrivals (memoryless), the paper's choice.
+    Poisson {
+        /// Mean arrivals per second.
+        rate: f64,
+    },
+    /// Fixed inter-arrivals.
+    Uniform {
+        /// Arrivals per second.
+        rate: f64,
+    },
+    /// Alternates between a high-rate burst and an idle gap — models the
+    /// "flash crowd" load spikes the paper motivates (§VI-B).
+    Bursty {
+        /// Rate within a burst, per second.
+        burst_rate: f64,
+        /// Requests per burst.
+        burst_len: u32,
+        /// Idle gap between bursts.
+        gap: Duration,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `rate` requests/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn poisson(rate: f64, seed: u64) -> ArrivalProcess {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        ArrivalProcess { kind: Kind::Poisson { rate }, rng: StdRng::seed_from_u64(seed), counter: 0 }
+    }
+
+    /// Evenly spaced arrivals at `rate` requests/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn uniform(rate: f64, seed: u64) -> ArrivalProcess {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
+        ArrivalProcess { kind: Kind::Uniform { rate }, rng: StdRng::seed_from_u64(seed), counter: 0 }
+    }
+
+    /// Bursts of `burst_len` requests at `burst_rate`, separated by `gap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_rate` is not positive/finite or `burst_len` is zero.
+    pub fn bursty(burst_rate: f64, burst_len: u32, gap: Duration, seed: u64) -> ArrivalProcess {
+        assert!(burst_rate > 0.0 && burst_rate.is_finite(), "rate must be positive and finite");
+        assert!(burst_len > 0, "burst length must be positive");
+        ArrivalProcess {
+            kind: Kind::Bursty { burst_rate, burst_len, gap },
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
+    }
+
+    /// Mean offered rate in requests/second.
+    pub fn mean_rate(&self) -> f64 {
+        match self.kind {
+            Kind::Poisson { rate } | Kind::Uniform { rate } => rate,
+            Kind::Bursty { burst_rate, burst_len, gap } => {
+                let burst_time = f64::from(burst_len) / burst_rate;
+                f64::from(burst_len) / (burst_time + gap.as_secs_f64())
+            }
+        }
+    }
+
+    /// Draws the next inter-arrival gap.
+    pub fn next_interarrival(&mut self) -> Duration {
+        match self.kind {
+            Kind::Poisson { rate } => {
+                let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                Duration::from_secs_f64(-u.ln() / rate)
+            }
+            Kind::Uniform { rate } => Duration::from_secs_f64(1.0 / rate),
+            Kind::Bursty { burst_rate, burst_len, gap } => {
+                let within = Duration::from_secs_f64(1.0 / burst_rate);
+                let count = self.burst_counter_incr();
+                if count % u64::from(burst_len) == 0 && count > 0 {
+                    within + gap
+                } else {
+                    within
+                }
+            }
+        }
+    }
+
+    fn burst_counter_incr(&mut self) -> u64 {
+        self.counter += 1;
+        self.counter - 1
+    }
+
+    /// Total bursty arrivals drawn so far (drives burst boundaries).
+    pub fn arrivals_drawn(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let mut p = ArrivalProcess::poisson(1000.0, 7);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| p.next_interarrival().as_secs_f64()).sum();
+        let mean = total / f64::from(n);
+        assert!((mean - 0.001).abs() < 0.0001, "mean interarrival {mean}");
+        assert_eq!(p.mean_rate(), 1000.0);
+    }
+
+    #[test]
+    fn poisson_is_variable() {
+        let mut p = ArrivalProcess::poisson(100.0, 7);
+        let gaps: Vec<Duration> = (0..100).map(|_| p.next_interarrival()).collect();
+        let distinct: std::collections::HashSet<Duration> = gaps.iter().copied().collect();
+        assert!(distinct.len() > 90, "exponential gaps must vary");
+    }
+
+    #[test]
+    fn uniform_is_constant() {
+        let mut u = ArrivalProcess::uniform(500.0, 1);
+        let first = u.next_interarrival();
+        assert_eq!(first, Duration::from_secs_f64(1.0 / 500.0));
+        assert_eq!(u.next_interarrival(), first);
+    }
+
+    #[test]
+    fn bursty_inserts_gaps() {
+        let gap = Duration::from_millis(10);
+        let mut b = ArrivalProcess::bursty(10_000.0, 5, gap, 1);
+        let gaps: Vec<Duration> = (0..20).map(|_| b.next_interarrival()).collect();
+        let long: usize = gaps.iter().filter(|g| **g >= gap).count();
+        assert_eq!(long, 3, "one long gap per completed burst: {gaps:?}");
+        assert_eq!(b.arrivals_drawn(), 20);
+    }
+
+    #[test]
+    fn bursty_mean_rate_accounts_for_gaps() {
+        let b = ArrivalProcess::bursty(1000.0, 10, Duration::from_millis(90), 1);
+        // 10 requests per (10 ms burst + 90 ms gap) = 100 QPS.
+        assert!((b.mean_rate() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ArrivalProcess::poisson(100.0, 5);
+        let mut b = ArrivalProcess::poisson(100.0, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_interarrival(), b.next_interarrival());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        ArrivalProcess::poisson(0.0, 1);
+    }
+}

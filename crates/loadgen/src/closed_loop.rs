@@ -1,0 +1,170 @@
+//! Closed-loop load generation — used only to find peak throughput.
+//!
+//! `concurrency` worker threads each hold one connection and issue
+//! back-to-back synchronous calls; offered load self-regulates to whatever
+//! the server sustains. The paper uses exactly this mode to "establish
+//! each service's peak sustainable throughput" (§V) and warns against
+//! using it for latency (coordinated omission), so the report exposes
+//! throughput prominently and latency only as a secondary curiosity.
+
+use crate::recorder::LatencyRecorder;
+use crate::source::RequestSource;
+use musuite_rpc::RpcClient;
+use musuite_telemetry::summary::DistributionSummary;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`run`].
+#[derive(Debug, Clone)]
+pub struct ClosedLoopConfig {
+    /// Number of concurrent closed-loop clients.
+    pub concurrency: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Warm-up period excluded from measurement.
+    pub warmup: Duration,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        ClosedLoopConfig {
+            concurrency: 16,
+            duration: Duration::from_secs(2),
+            warmup: Duration::from_millis(200),
+        }
+    }
+}
+
+/// The outcome of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopReport {
+    /// Achieved throughput in requests/second over the measurement window.
+    pub achieved_qps: f64,
+    /// Requests completed in the measurement window.
+    pub completed: u64,
+    /// Failed requests.
+    pub errors: u64,
+    /// Closed-loop response-time distribution (NOT comparable to open-loop
+    /// latency; subject to coordinated omission by construction).
+    pub latency: DistributionSummary,
+}
+
+/// Runs closed-loop load with `sources` supplying each worker's requests.
+///
+/// `make_source` is called once per worker with the worker index.
+///
+/// # Errors
+///
+/// Returns an error if any connection fails.
+pub fn run<S, F>(
+    config: ClosedLoopConfig,
+    addr: SocketAddr,
+    make_source: F,
+) -> Result<ClosedLoopReport, musuite_rpc::RpcError>
+where
+    S: RequestSource + 'static,
+    F: Fn(usize) -> S,
+{
+    let recorder = LatencyRecorder::new();
+    let measuring = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Result<Vec<RpcClient>, _> =
+        (0..config.concurrency.max(1)).map(|_| RpcClient::connect(addr)).collect();
+    let clients = clients?;
+    let mut handles = Vec::new();
+    for (worker, client) in clients.into_iter().enumerate() {
+        let mut source = make_source(worker);
+        let recorder = recorder.clone();
+        let measuring = measuring.clone();
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let (method, payload) = source.next_request();
+                let sent = Instant::now();
+                match client.call(method, payload) {
+                    Ok(_) => {
+                        if measuring.load(Ordering::Acquire) {
+                            recorder.record_success(sent.elapsed());
+                        }
+                    }
+                    Err(_) => {
+                        if measuring.load(Ordering::Acquire) {
+                            recorder.record_error();
+                        }
+                        // A dead connection cannot recover; stop this worker.
+                        if client.is_closed() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    std::thread::sleep(config.warmup);
+    measuring.store(true, Ordering::Release);
+    let window_start = Instant::now();
+    std::thread::sleep(config.duration);
+    measuring.store(false, Ordering::Release);
+    let window = window_start.elapsed();
+    stop.store(true, Ordering::Release);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let completed = recorder.successes();
+    Ok(ClosedLoopReport {
+        achieved_qps: completed as f64 / window.as_secs_f64(),
+        completed,
+        errors: recorder.errors(),
+        latency: recorder.summary(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musuite_rpc::{RequestContext, Server, ServerConfig, Service};
+
+    struct Echo;
+    impl Service for Echo {
+        fn call(&self, ctx: RequestContext) {
+            let bytes = ctx.payload().to_vec();
+            ctx.respond_ok(bytes);
+        }
+    }
+
+    #[test]
+    fn closed_loop_measures_throughput() {
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+        let config = ClosedLoopConfig {
+            concurrency: 4,
+            duration: Duration::from_millis(400),
+            warmup: Duration::from_millis(50),
+        };
+        let report =
+            run(config, server.local_addr(), |_worker| || (1u32, vec![0u8; 16])).unwrap();
+        assert!(report.achieved_qps > 100.0, "loopback echo must exceed 100 QPS");
+        assert_eq!(report.errors, 0);
+        assert!(report.completed > 0);
+        assert!(report.latency.p50 > Duration::ZERO);
+    }
+
+    #[test]
+    fn dead_server_reports_errors_not_hang() {
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        std::thread::sleep(Duration::from_millis(20));
+        let config = ClosedLoopConfig {
+            concurrency: 2,
+            duration: Duration::from_millis(200),
+            warmup: Duration::from_millis(10),
+        };
+        // Connections may fail outright (Err from run) or accept and then
+        // drop; both are acceptable — the harness must return promptly.
+        let started = Instant::now();
+        let _ = run(config, addr, |_worker| || (1u32, Vec::new()));
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}

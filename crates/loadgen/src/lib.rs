@@ -1,0 +1,44 @@
+//! Load generation and latency measurement methodology for μSuite-rs.
+//!
+//! The paper is explicit about measurement methodology (§II, §V): suites
+//! whose load testers "model only a closed-loop system" are
+//! "methodologically inappropriate for tail latency measurements due to
+//! the coordinated omission problem". μSuite therefore uses
+//!
+//! * **closed-loop** generators only to establish *peak sustainable
+//!   throughput* ([`closed_loop`], [`saturation`]), and
+//! * **open-loop** generators "selecting inter-arrival times from a
+//!   Poisson distribution" for all latency measurements ([`open_loop`]).
+//!
+//! The open-loop generator here avoids coordinated omission the same way
+//! Treadmill does: every request's latency is measured from its *scheduled*
+//! arrival time, not from the instant it was actually written to the
+//! socket, so a stalled server cannot suppress the arrival process.
+//!
+//! # Examples
+//!
+//! ```
+//! use musuite_loadgen::arrival::ArrivalProcess;
+//! use std::time::Duration;
+//!
+//! let mut poisson = ArrivalProcess::poisson(1000.0, 42);
+//! let gap: Duration = poisson.next_interarrival();
+//! assert!(gap < Duration::from_secs(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod closed_loop;
+pub mod open_loop;
+pub mod recorder;
+pub mod saturation;
+pub mod source;
+
+pub use arrival::ArrivalProcess;
+pub use closed_loop::{ClosedLoopConfig, ClosedLoopReport};
+pub use open_loop::{OpenLoopConfig, OpenLoopReport};
+pub use recorder::LatencyRecorder;
+pub use saturation::find_saturation_qps;
+pub use source::RequestSource;

@@ -1,0 +1,202 @@
+//! Open-loop load generation — the paper's latency-measurement mode.
+//!
+//! A dispatcher thread walks a precomputed arrival schedule. At each
+//! scheduled instant it issues the next request *asynchronously* and moves
+//! on, so a slow response never delays subsequent arrivals (the defining
+//! property of an open-loop tester, and what closed-loop testers get wrong
+//! via coordinated omission). Each request's latency is measured from its
+//! *scheduled* arrival time to completion; queueing caused by a stalled
+//! server is therefore charged to the requests that suffered it.
+
+use crate::arrival::ArrivalProcess;
+use crate::recorder::LatencyRecorder;
+use crate::source::RequestSource;
+use musuite_rpc::RpcClient;
+use musuite_telemetry::summary::DistributionSummary;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`run`].
+#[derive(Debug)]
+pub struct OpenLoopConfig {
+    /// The inter-arrival process (the paper uses Poisson).
+    pub arrivals: ArrivalProcess,
+    /// How long to offer load.
+    pub duration: Duration,
+    /// Number of client connections to spread arrivals across (emulates
+    /// "a large pool of clients"; 1 is fine below ~20 K QPS on loopback).
+    pub connections: usize,
+}
+
+impl OpenLoopConfig {
+    /// Poisson arrivals at `qps` for `duration` on one connection.
+    pub fn poisson(qps: f64, duration: Duration, seed: u64) -> OpenLoopConfig {
+        OpenLoopConfig {
+            arrivals: ArrivalProcess::poisson(qps, seed),
+            duration,
+            connections: 1,
+        }
+    }
+}
+
+/// The outcome of an open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Requests issued.
+    pub issued: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that failed.
+    pub errors: u64,
+    /// Offered load in requests/second.
+    pub offered_qps: f64,
+    /// End-to-end latency distribution, measured from scheduled arrival.
+    pub latency: DistributionSummary,
+}
+
+/// Runs open-loop load through one client connection and blocks until
+/// every issued request has completed or failed.
+pub fn run<S: RequestSource>(
+    config: OpenLoopConfig,
+    client: Arc<RpcClient>,
+    source: &mut S,
+) -> OpenLoopReport {
+    drive(config, vec![client], source)
+}
+
+/// Runs open-loop load spread across `config.connections` clients connected
+/// to `addr`, aggregating one report.
+///
+/// # Errors
+///
+/// Returns an error if any connection fails.
+pub fn run_multi<S: RequestSource>(
+    config: OpenLoopConfig,
+    addr: std::net::SocketAddr,
+    source: &mut S,
+) -> Result<OpenLoopReport, musuite_rpc::RpcError> {
+    let connections = config.connections.max(1);
+    let clients: Result<Vec<Arc<RpcClient>>, _> =
+        (0..connections).map(|_| RpcClient::connect(addr).map(Arc::new)).collect();
+    Ok(drive(config, clients?, source))
+}
+
+fn drive<S: RequestSource>(
+    config: OpenLoopConfig,
+    clients: Vec<Arc<RpcClient>>,
+    source: &mut S,
+) -> OpenLoopReport {
+    let recorder = LatencyRecorder::new();
+    let mut arrivals = config.arrivals;
+    let offered_qps = arrivals.mean_rate();
+    let start = Instant::now();
+    let mut next_at = Duration::ZERO;
+    let mut issued = 0u64;
+    while next_at < config.duration {
+        // Hybrid sleep: coarse sleep until close to the deadline, then spin
+        // for the final stretch so arrival times stay accurate at 10 K QPS.
+        loop {
+            let now = start.elapsed();
+            if now >= next_at {
+                break;
+            }
+            let remaining = next_at - now;
+            if remaining > Duration::from_micros(200) {
+                std::thread::sleep(remaining - Duration::from_micros(100));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let (method, payload) = source.next_request();
+        let scheduled = start + next_at;
+        let recorder_handle = recorder.clone();
+        let client = &clients[(issued as usize) % clients.len()];
+        client.call_async(method, payload, move |result| match result {
+            Ok(_) => recorder_handle.record_success(scheduled.elapsed()),
+            Err(_) => recorder_handle.record_error(),
+        });
+        issued += 1;
+        next_at += arrivals.next_interarrival();
+    }
+    // Drain stragglers, bounded so a dead server cannot hang the harness.
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while recorder.successes() + recorder.errors() < issued && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    OpenLoopReport {
+        issued,
+        completed: recorder.successes(),
+        errors: recorder.errors(),
+        offered_qps,
+        latency: recorder.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musuite_rpc::{RequestContext, Server, ServerConfig, Service};
+
+    struct Echo;
+    impl Service for Echo {
+        fn call(&self, ctx: RequestContext) {
+            let bytes = ctx.payload().to_vec();
+            ctx.respond_ok(bytes);
+        }
+    }
+
+    #[test]
+    fn open_loop_issues_at_configured_rate() {
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+        let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+        let config = OpenLoopConfig::poisson(2000.0, Duration::from_millis(500), 1);
+        let mut source = || (1u32, vec![0u8; 32]);
+        let report = run(config, client, &mut source);
+        // ~1000 expected; Poisson variance allows a generous band.
+        assert!(report.issued > 700 && report.issued < 1300, "issued {}", report.issued);
+        assert_eq!(report.completed + report.errors, report.issued);
+        assert_eq!(report.errors, 0);
+        assert!(report.latency.p50 > Duration::ZERO);
+    }
+
+    #[test]
+    fn open_loop_latency_includes_queueing_from_scheduled_time() {
+        // A deliberately slow single-worker server at an offered rate it
+        // cannot sustain: open-loop latencies must grow well beyond the
+        // service time because they are charged from scheduled arrival.
+        struct Slow;
+        impl Service for Slow {
+            fn call(&self, ctx: RequestContext) {
+                std::thread::sleep(Duration::from_millis(5));
+                ctx.respond_ok(Vec::new());
+            }
+        }
+        let mut server_config = ServerConfig::default();
+        server_config.workers(1);
+        let server = Server::spawn(server_config, Arc::new(Slow)).unwrap();
+        let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+        // Offered 1000 QPS vs capacity 200 QPS.
+        let config = OpenLoopConfig::poisson(1000.0, Duration::from_millis(300), 2);
+        let mut source = || (1u32, Vec::new());
+        let report = run(config, client, &mut source);
+        assert!(
+            report.latency.p99 > Duration::from_millis(50),
+            "queueing must inflate tail: {:?}",
+            report.latency.p99
+        );
+    }
+
+    #[test]
+    fn run_multi_spreads_connections() {
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+        let config = OpenLoopConfig {
+            arrivals: ArrivalProcess::poisson(1000.0, 3),
+            duration: Duration::from_millis(300),
+            connections: 4,
+        };
+        let mut source = || (1u32, vec![1u8]);
+        let report = run_multi(config, server.local_addr(), &mut source).unwrap();
+        assert!(report.completed > 0);
+        assert_eq!(report.errors, 0);
+    }
+}

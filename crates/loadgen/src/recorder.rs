@@ -1,0 +1,139 @@
+//! Thread-safe latency recording shared between senders and completions.
+
+use musuite_telemetry::histogram::LatencyHistogram;
+use musuite_telemetry::summary::DistributionSummary;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Collects per-request latencies and success/error counts from many
+/// threads. Cloning is cheap; clones share storage.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_loadgen::recorder::LatencyRecorder;
+/// use std::time::Duration;
+///
+/// let recorder = LatencyRecorder::new();
+/// recorder.record_success(Duration::from_micros(250));
+/// recorder.record_error();
+/// assert_eq!(recorder.successes(), 1);
+/// assert_eq!(recorder.errors(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct LatencyRecorder {
+    histogram: Arc<Mutex<LatencyHistogram>>,
+    successes: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Records a successful request's end-to-end latency.
+    pub fn record_success(&self, latency: Duration) {
+        self.histogram.lock().record(latency);
+        self.successes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a failed request (not included in the latency histogram).
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Successful requests recorded.
+    pub fn successes(&self) -> u64 {
+        self.successes.load(Ordering::Relaxed)
+    }
+
+    /// Failed requests recorded.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the latency histogram.
+    pub fn histogram(&self) -> LatencyHistogram {
+        self.histogram.lock().clone()
+    }
+
+    /// Summary statistics of the latency distribution.
+    pub fn summary(&self) -> DistributionSummary {
+        DistributionSummary::from_histogram(&self.histogram())
+    }
+
+    /// Clears all recorded data.
+    pub fn reset(&self) {
+        self.histogram.lock().reset();
+        self.successes.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for LatencyRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyRecorder")
+            .field("successes", &self.successes())
+            .field("errors", &self.errors())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_from_many_threads() {
+        let recorder = LatencyRecorder::new();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let recorder = recorder.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    recorder.record_success(Duration::from_micros(t * 1000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(recorder.successes(), 4000);
+        assert_eq!(recorder.histogram().count(), 4000);
+    }
+
+    #[test]
+    fn summary_reflects_data() {
+        let recorder = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            recorder.record_success(Duration::from_micros(i));
+        }
+        let s = recorder.summary();
+        assert_eq!(s.count, 100);
+        assert!(s.p50 >= Duration::from_micros(45) && s.p50 <= Duration::from_micros(55));
+    }
+
+    #[test]
+    fn errors_excluded_from_histogram() {
+        let recorder = LatencyRecorder::new();
+        recorder.record_error();
+        recorder.record_error();
+        assert_eq!(recorder.errors(), 2);
+        assert_eq!(recorder.histogram().count(), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let recorder = LatencyRecorder::new();
+        recorder.record_success(Duration::from_micros(10));
+        recorder.record_error();
+        recorder.reset();
+        assert_eq!(recorder.successes(), 0);
+        assert_eq!(recorder.errors(), 0);
+        assert!(recorder.histogram().is_empty());
+    }
+}

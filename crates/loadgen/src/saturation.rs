@@ -1,0 +1,98 @@
+//! Peak sustainable throughput measurement (drives Fig. 9).
+//!
+//! "Using our load generator in closed-loop mode, we measure the
+//! saturation throughput for all benchmarks" (paper §VI-A). Closed-loop
+//! throughput with ample concurrency self-regulates to the server's
+//! capacity, so the measured completion rate *is* the saturation
+//! throughput.
+
+use crate::closed_loop::{self, ClosedLoopConfig, ClosedLoopReport};
+use crate::source::RequestSource;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Measures saturation throughput by ramping closed-loop concurrency until
+/// added clients stop increasing completion rate (within `tolerance`,
+/// e.g. 0.05 = 5 %), and returns the best observed QPS.
+///
+/// # Errors
+///
+/// Returns an error if load connections cannot be established.
+pub fn find_saturation_qps<S, F>(
+    addr: SocketAddr,
+    duration: Duration,
+    make_source: F,
+) -> Result<f64, musuite_rpc::RpcError>
+where
+    S: RequestSource + 'static,
+    F: Fn(usize) -> S + Copy,
+{
+    let mut best = 0.0f64;
+    let mut concurrency = 4usize;
+    let max_concurrency = 256;
+    while concurrency <= max_concurrency {
+        let report = run_at(addr, duration, concurrency, make_source)?;
+        if report.achieved_qps <= best * 1.05 {
+            // Throughput has flattened; the knee is behind us.
+            return Ok(best.max(report.achieved_qps));
+        }
+        best = best.max(report.achieved_qps);
+        concurrency *= 2;
+    }
+    Ok(best)
+}
+
+/// Runs one closed-loop measurement at a fixed concurrency.
+///
+/// # Errors
+///
+/// Returns an error if load connections cannot be established.
+pub fn run_at<S, F>(
+    addr: SocketAddr,
+    duration: Duration,
+    concurrency: usize,
+    make_source: F,
+) -> Result<ClosedLoopReport, musuite_rpc::RpcError>
+where
+    S: RequestSource + 'static,
+    F: Fn(usize) -> S,
+{
+    let config = ClosedLoopConfig {
+        concurrency,
+        duration,
+        warmup: (duration / 10).max(Duration::from_millis(50)),
+    };
+    closed_loop::run(config, addr, make_source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musuite_rpc::{RequestContext, Server, ServerConfig, Service};
+    use std::sync::Arc;
+
+    /// A rate-limited service: each request holds a worker ~1 ms, so with
+    /// W workers capacity is ~W x 1000 QPS.
+    struct Fixed;
+    impl Service for Fixed {
+        fn call(&self, ctx: RequestContext) {
+            std::thread::sleep(Duration::from_millis(1));
+            ctx.respond_ok(Vec::new());
+        }
+    }
+
+    #[test]
+    fn saturation_tracks_service_capacity() {
+        let mut config = ServerConfig::default();
+        config.workers(2); // capacity ≈ 2000 QPS
+        let server = Server::spawn(config, Arc::new(Fixed)).unwrap();
+        let qps = find_saturation_qps(server.local_addr(), Duration::from_millis(300), |_| {
+            || (1u32, Vec::new())
+        })
+        .unwrap();
+        assert!(
+            (500.0..4000.0).contains(&qps),
+            "2-worker 1 ms service must saturate near 2 K QPS, got {qps}"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Request sources: where load-generated request payloads come from.
+
+/// Produces the stream of requests a load generator sends.
+///
+/// Implemented by each service's query generator (image queries, get/set
+/// operations, search-term lists, `{user, item}` pairs). Closures work
+/// directly:
+///
+/// ```
+/// use musuite_loadgen::source::RequestSource;
+///
+/// let mut counter = 0u64;
+/// let mut source = move || {
+///     counter += 1;
+///     (1u32, counter.to_le_bytes().to_vec())
+/// };
+/// let (method, payload) = source.next_request();
+/// assert_eq!(method, 1);
+/// assert_eq!(payload.len(), 8);
+/// ```
+pub trait RequestSource: Send {
+    /// Returns the next `(method id, encoded payload)` to send.
+    fn next_request(&mut self) -> (u32, Vec<u8>);
+}
+
+impl<F> RequestSource for F
+where
+    F: FnMut() -> (u32, Vec<u8>) + Send,
+{
+    fn next_request(&mut self) -> (u32, Vec<u8>) {
+        self()
+    }
+}
+
+/// A source that cycles through a pre-generated query set — the paper's
+/// load generators pick queries from fixed query sets (e.g. 10 K synthetic
+/// search queries, 1 K `{user, item}` pairs).
+#[derive(Debug, Clone)]
+pub struct CyclingSource {
+    method: u32,
+    payloads: Vec<Vec<u8>>,
+    next: usize,
+}
+
+impl CyclingSource {
+    /// Creates a source that sends `payloads` on `method`, round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payloads` is empty.
+    pub fn new(method: u32, payloads: Vec<Vec<u8>>) -> CyclingSource {
+        assert!(!payloads.is_empty(), "query set must not be empty");
+        CyclingSource { method, payloads, next: 0 }
+    }
+
+    /// Number of distinct queries in the set.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Returns `true` if the query set is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl RequestSource for CyclingSource {
+    fn next_request(&mut self) -> (u32, Vec<u8>) {
+        let payload = self.payloads[self.next].clone();
+        self.next = (self.next + 1) % self.payloads.len();
+        (self.method, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycling_source_wraps() {
+        let mut source = CyclingSource::new(3, vec![vec![1], vec![2]]);
+        assert_eq!(source.len(), 2);
+        assert_eq!(source.next_request(), (3, vec![1]));
+        assert_eq!(source.next_request(), (3, vec![2]));
+        assert_eq!(source.next_request(), (3, vec![1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_query_set_panics() {
+        CyclingSource::new(1, Vec::new());
+    }
+
+    #[test]
+    fn closures_implement_source() {
+        fn take_source<S: RequestSource>(_s: &S) {}
+        let source = || (1u32, Vec::new());
+        take_source(&source);
+    }
+}

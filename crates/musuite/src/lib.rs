@@ -1,0 +1,61 @@
+//! μSuite-rs — a Rust reproduction of **μSuite: A Benchmark Suite for
+//! Microservices** (Sriraman & Wenisch, IISWC 2018).
+//!
+//! μSuite is four On-Line Data Intensive services, each built from three
+//! microservice tiers (front-end → mid-tier → leaves) over RPC, designed
+//! so that *sub-millisecond OS and network overheads* — futex wakeups,
+//! scheduler run-queue delay, context switches, socket-lock contention —
+//! are measurable and dominant, unlike in 100 ms-scale monoliths.
+//!
+//! This crate re-exports the whole suite:
+//!
+//! | Service | Crate | Paper section |
+//! |---------|-------|---------------|
+//! | image similarity search | [`hdsearch`] | §III-A |
+//! | replicated KV protocol routing | [`router`] | §III-B |
+//! | posting-list set algebra | [`setalgebra`] | §III-C |
+//! | rating recommendation | [`recommend`] | §III-D |
+//!
+//! and the substrates they stand on: the RPC framework ([`rpc`]), the
+//! wire codec ([`codec`]), the three-tier service framework ([`core`]),
+//! load generation ([`loadgen`]), synthetic data sets ([`data`]), and the
+//! OS/network telemetry ([`telemetry`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use musuite::data::vectors::{VectorDataset, VectorDatasetConfig};
+//! use musuite::hdsearch::service::HdSearchService;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dataset = VectorDataset::generate(&VectorDatasetConfig {
+//!     points: 1000,
+//!     dim: 32,
+//!     ..Default::default()
+//! });
+//! let query = dataset.sample_queries(1, 0.01).remove(0);
+//! let service = HdSearchService::launch(dataset, 2, Default::default())?;
+//! let client = service.client()?;
+//! let neighbors = client.search(&query, 3)?;
+//! assert_eq!(neighbors.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for one runnable program per service plus an OS/network
+//! characterization demo, and the `musuite-bench` crate for the harnesses
+//! that regenerate every figure in the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use musuite_codec as codec;
+pub use musuite_core as core;
+pub use musuite_data as data;
+pub use musuite_hdsearch as hdsearch;
+pub use musuite_loadgen as loadgen;
+pub use musuite_recommend as recommend;
+pub use musuite_router as router;
+pub use musuite_rpc as rpc;
+pub use musuite_setalgebra as setalgebra;
+pub use musuite_telemetry as telemetry;

@@ -1,0 +1,225 @@
+//! User neighbourhoods in factor space (the allknn substitute).
+//!
+//! "We use a neighbourhood algorithm, allknn, which relies on similarity
+//! measures such as cosine … to generate ratings for movies in a user's
+//! neighbourhood" (paper §III-D). Users are compared by the cosine of
+//! their NMF factor rows; a leaf's neighbourhood search runs over its
+//! shard of users only, which is exactly how the paper shards V.
+
+/// The similarity measures the paper's allknn supports ("cosine, Pearson,
+/// Euclidean, etc.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Similarity {
+    /// Cosine of the angle between factor rows (scale-invariant).
+    #[default]
+    Cosine,
+    /// Pearson correlation (mean-centred cosine; shift- and
+    /// scale-invariant).
+    Pearson,
+    /// Negative Euclidean distance mapped to `(0, 1]` via `1 / (1 + d)`.
+    Euclidean,
+}
+
+impl Similarity {
+    /// Evaluates the measure; higher is always more similar.
+    pub fn eval(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Similarity::Cosine => cosine(a, b),
+            Similarity::Pearson => pearson(a, b),
+            Similarity::Euclidean => {
+                let d: f32 =
+                    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt();
+                1.0 / (1.0 + d)
+            }
+        }
+    }
+}
+
+/// Pearson correlation between two equal-length vectors (0 for constant
+/// vectors).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "factor ranks must match");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let n = a.len() as f32;
+    let mean_a: f32 = a.iter().sum::<f32>() / n;
+    let mean_b: f32 = b.iter().sum::<f32>() / n;
+    let centered_a: Vec<f32> = a.iter().map(|x| x - mean_a).collect();
+    let centered_b: Vec<f32> = b.iter().map(|x| x - mean_b).collect();
+    cosine(&centered_a, &centered_b)
+}
+
+/// Cosine similarity between two factor rows (0 for zero vectors).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "factor ranks must match");
+    let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    let denom = na.sqrt() * nb.sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        (dot / denom).clamp(-1.0, 1.0)
+    }
+}
+
+/// Finds the `k` most cosine-similar users to `query` among `candidates`
+/// (indices into `factors`), excluding an exact self-match by index.
+///
+/// Returns `(user index, similarity)` pairs, most similar first.
+pub fn k_nearest_users(
+    factors: &[Vec<f32>],
+    query: &[f32],
+    query_index: Option<usize>,
+    candidates: &[usize],
+    k: usize,
+) -> Vec<(usize, f32)> {
+    let mut scored: Vec<(usize, f32)> = candidates
+        .iter()
+        .filter(|&&candidate| Some(candidate) != query_index)
+        .map(|&candidate| (candidate, cosine(query, &factors[candidate])))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("similarities are finite").then(a.0.cmp(&b.0)));
+    scored.truncate(k);
+    scored
+}
+
+/// Similarity-weighted average of neighbour predictions.
+///
+/// `predictions[i]` is the rating neighbour `i` implies; weights are the
+/// (non-negative-clamped) similarities. Returns `None` when no neighbour
+/// carries positive weight.
+pub fn weighted_rating(neighbors: &[(usize, f32)], predictions: &[f32]) -> Option<f32> {
+    assert_eq!(neighbors.len(), predictions.len(), "one prediction per neighbour");
+    let mut numerator = 0.0f32;
+    let mut denominator = 0.0f32;
+    for ((_, similarity), &prediction) in neighbors.iter().zip(predictions) {
+        let weight = similarity.max(0.0);
+        numerator += weight * prediction;
+        denominator += weight;
+    }
+    if denominator <= 0.0 {
+        None
+    } else {
+        Some(numerator / denominator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factors() -> Vec<Vec<f32>> {
+        vec![
+            vec![1.0, 0.0],  // 0: axis x
+            vec![0.9, 0.1],  // 1: near x
+            vec![0.0, 1.0],  // 2: axis y
+            vec![0.1, 0.9],  // 3: near y
+            vec![0.7, 0.7],  // 4: diagonal
+        ]
+    }
+
+    #[test]
+    fn nearest_users_are_geometrically_sensible() {
+        let f = factors();
+        let all: Vec<usize> = (0..f.len()).collect();
+        let nn = k_nearest_users(&f, &f[0], Some(0), &all, 2);
+        assert_eq!(nn[0].0, 1, "the near-x user is most similar to x");
+        assert!(nn[0].1 > nn[1].1);
+    }
+
+    #[test]
+    fn self_is_excluded() {
+        let f = factors();
+        let all: Vec<usize> = (0..f.len()).collect();
+        let nn = k_nearest_users(&f, &f[2], Some(2), &all, 10);
+        assert_eq!(nn.len(), 4);
+        assert!(nn.iter().all(|(u, _)| *u != 2));
+    }
+
+    #[test]
+    fn candidate_restriction_respected() {
+        let f = factors();
+        let nn = k_nearest_users(&f, &f[0], None, &[2, 3], 5);
+        assert_eq!(nn.len(), 2);
+        assert!(nn.iter().all(|(u, _)| *u == 2 || *u == 3));
+    }
+
+    #[test]
+    fn empty_candidates_yield_empty() {
+        let f = factors();
+        assert!(k_nearest_users(&f, &f[0], None, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn weighted_rating_averages_by_similarity() {
+        let neighbors = vec![(0, 1.0f32), (1, 0.5)];
+        let rating = weighted_rating(&neighbors, &[4.0, 1.0]).unwrap();
+        assert!((rating - 3.0).abs() < 1e-6); // (1·4 + 0.5·1) / 1.5
+    }
+
+    #[test]
+    fn negative_similarities_carry_no_weight() {
+        let neighbors = vec![(0, -0.9f32), (1, 0.3)];
+        let rating = weighted_rating(&neighbors, &[1.0, 5.0]).unwrap();
+        assert!((rating - 5.0).abs() < 1e-6);
+        assert_eq!(weighted_rating(&[(0, -1.0)], &[3.0]), None);
+        assert_eq!(weighted_rating(&[], &[]), None);
+    }
+
+    #[test]
+    fn pearson_is_shift_invariant() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let shifted: Vec<f32> = a.iter().map(|x| x + 100.0).collect();
+        assert!((pearson(&a, &shifted) - 1.0).abs() < 1e-4);
+        let reversed = [4.0f32, 3.0, 2.0, 1.0];
+        assert!((pearson(&a, &reversed) + 1.0).abs() < 1e-4);
+        // Constant vectors have no variance: correlation defined as 0.
+        assert_eq!(pearson(&[5.0, 5.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn similarity_measures_rank_identical_vectors_highest() {
+        let target = [0.3f32, 0.7, 0.1];
+        let same = target;
+        let close = [0.31f32, 0.69, 0.12];
+        let far = [0.9f32, 0.05, 0.9];
+        for measure in [Similarity::Cosine, Similarity::Pearson, Similarity::Euclidean] {
+            let s_same = measure.eval(&target, &same);
+            let s_close = measure.eval(&target, &close);
+            let s_far = measure.eval(&target, &far);
+            assert!(s_same >= s_close, "{measure:?}");
+            assert!(s_close > s_far, "{measure:?}: {s_close} vs {s_far}");
+        }
+    }
+
+    #[test]
+    fn euclidean_similarity_is_bounded() {
+        let s = Similarity::Euclidean;
+        assert_eq!(s.eval(&[1.0, 2.0], &[1.0, 2.0]), 1.0);
+        assert!(s.eval(&[0.0; 2], &[100.0; 2]) > 0.0);
+        assert!(s.eval(&[0.0; 2], &[100.0; 2]) < 0.01);
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let f = factors();
+        for a in &f {
+            for b in &f {
+                let c = cosine(a, b);
+                assert!((-1.0..=1.0).contains(&c));
+            }
+            assert!((cosine(a, a) - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! The Recommend leaf: collaborative filtering over a user shard.
+//!
+//! "Leaves perform collaborative filtering by first performing sparse
+//! matrix composition and matrix factorization offline. During run-time,
+//! they perform collaborative filtering on their corresponding matrix V's
+//! shard using the allknn neighbourhood approach to predict movie ratings"
+//! (paper §III-D). The offline product is the trained [`Nmf`]; at query
+//! time the leaf finds the query user's nearest neighbours *within its
+//! user shard* and returns their similarity-weighted rating for the item.
+
+use crate::knn::{k_nearest_users, weighted_rating};
+use crate::nmf::Nmf;
+use crate::protocol::{LeafRating, RatingQuery};
+use musuite_core::error::ServiceError;
+use musuite_core::leaf::LeafHandler;
+
+/// A leaf predicting ratings from its shard's user neighbourhood.
+#[derive(Debug)]
+pub struct RecommendLeaf {
+    model: Nmf,
+    shard_users: Vec<usize>,
+    neighborhood: usize,
+}
+
+impl RecommendLeaf {
+    /// Creates a leaf serving `shard_users` (indices into the model's user
+    /// matrix) with `neighborhood`-sized kNN voting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neighborhood` is zero or a shard user is out of range.
+    pub fn new(model: Nmf, shard_users: Vec<usize>, neighborhood: usize) -> RecommendLeaf {
+        assert!(neighborhood > 0, "neighbourhood size must be positive");
+        let users = model.user_matrix().len();
+        assert!(
+            shard_users.iter().all(|&u| u < users),
+            "shard users must exist in the model"
+        );
+        RecommendLeaf { model, shard_users, neighborhood }
+    }
+
+    /// Number of users on this shard.
+    pub fn shard_len(&self) -> usize {
+        self.shard_users.len()
+    }
+
+    /// Recommends the `n` items this shard's neighbourhood predicts the
+    /// user would rate highest — the extension the paper sketches ("this
+    /// algorithm can also be further extended to recommend items which
+    /// were not rated by the user"). Returns `(item, predicted rating)`
+    /// pairs, best first.
+    pub fn recommend_top_n(&self, user: usize, n: usize) -> Vec<(u32, f32)> {
+        let items = self.model.item_matrix().first().map_or(0, Vec::len);
+        let query_factors = self.model.user_factors(user);
+        let neighbors = k_nearest_users(
+            self.model.user_matrix(),
+            query_factors,
+            Some(user),
+            &self.shard_users,
+            self.neighborhood,
+        );
+        let mut scored: Vec<(u32, f32)> = (0..items)
+            .map(|item| {
+                let predictions: Vec<f32> = neighbors
+                    .iter()
+                    .map(|&(neighbor, _)| self.model.predict(neighbor, item))
+                    .collect();
+                let rating = weighted_rating(&neighbors, &predictions)
+                    .unwrap_or_else(|| self.model.predict(user, item))
+                    .clamp(1.0, 5.0);
+                (item as u32, rating)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("finite ratings").then(a.0.cmp(&b.0))
+        });
+        scored.truncate(n);
+        scored
+    }
+
+    /// Predicts `user`'s rating of `item` from this shard's neighbourhood.
+    pub fn predict(&self, user: usize, item: usize) -> LeafRating {
+        let query_factors = self.model.user_factors(user);
+        let neighbors = k_nearest_users(
+            self.model.user_matrix(),
+            query_factors,
+            Some(user),
+            &self.shard_users,
+            self.neighborhood,
+        );
+        let predictions: Vec<f32> = neighbors
+            .iter()
+            .map(|&(neighbor, _)| self.model.predict(neighbor, item))
+            .collect();
+        match weighted_rating(&neighbors, &predictions) {
+            Some(rating) => LeafRating {
+                rating: rating.clamp(1.0, 5.0),
+                neighbors: neighbors.len() as u32,
+            },
+            // No usable neighbourhood on this shard: fall back to the
+            // model's own reconstruction with zero voting weight.
+            None => LeafRating {
+                rating: self.model.predict(user, item).clamp(1.0, 5.0),
+                neighbors: 0,
+            },
+        }
+    }
+}
+
+impl LeafHandler for RecommendLeaf {
+    type Request = RatingQuery;
+    type Response = LeafRating;
+
+    fn handle(&self, request: RatingQuery) -> Result<LeafRating, ServiceError> {
+        let users = self.model.user_matrix().len();
+        let items = self.model.item_matrix().first().map_or(0, Vec::len);
+        if request.user as usize >= users {
+            return Err(ServiceError::bad_request(format!("unknown user {}", request.user)));
+        }
+        if request.item as usize >= items {
+            return Err(ServiceError::bad_request(format!("unknown item {}", request.item)));
+        }
+        Ok(self.predict(request.user as usize, request.item as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nmf::NmfConfig;
+    use crate::sparse::CsrMatrix;
+    use musuite_data::ratings::{RatingsConfig, RatingsDataset};
+
+    fn trained() -> (RatingsDataset, Nmf) {
+        let data = RatingsDataset::generate(&RatingsConfig {
+            users: 60,
+            items: 40,
+            rank: 4,
+            observations: 1_500,
+            noise: 0.05,
+            seed: 23,
+        });
+        let v = CsrMatrix::from_ratings(data.users(), data.items(), data.ratings());
+        let model = Nmf::train(&v, &NmfConfig { rank: 6, iterations: 60, seed: 1 });
+        (data, model)
+    }
+
+    #[test]
+    fn predictions_stay_in_rating_range() {
+        let (data, model) = trained();
+        let leaf = RecommendLeaf::new(model, (0..30).collect(), 8);
+        assert_eq!(leaf.shard_len(), 30);
+        for &(user, item) in data.sample_queries(50).iter() {
+            let prediction = leaf.predict(user as usize, item as usize);
+            assert!((1.0..=5.0).contains(&prediction.rating));
+            assert!(prediction.neighbors <= 8);
+        }
+    }
+
+    #[test]
+    fn neighborhood_prediction_tracks_planted_truth() {
+        let (data, model) = trained();
+        let leaf = RecommendLeaf::new(model, (0..60).collect(), 10);
+        let queries = data.sample_queries(100);
+        let mse: f32 = queries
+            .iter()
+            .map(|&(user, item)| {
+                let predicted = leaf.predict(user as usize, item as usize).rating;
+                let truth = data.planted_value(user as usize, item as usize);
+                (predicted - truth) * (predicted - truth)
+            })
+            .sum::<f32>()
+            / queries.len() as f32;
+        assert!(mse < 1.0, "neighbourhood prediction must beat blind guessing: {mse}");
+    }
+
+    #[test]
+    fn handler_validates_ids() {
+        let (_, model) = trained();
+        let leaf = RecommendLeaf::new(model, (0..10).collect(), 4);
+        assert!(leaf.handle(RatingQuery { user: 9999, item: 0 }).is_err());
+        assert!(leaf.handle(RatingQuery { user: 0, item: 9999 }).is_err());
+        assert!(leaf.handle(RatingQuery { user: 0, item: 0 }).is_ok());
+    }
+
+    #[test]
+    fn top_n_recommendations_are_ranked_and_consistent() {
+        let (data, model) = trained();
+        let leaf = RecommendLeaf::new(model, (0..60).collect(), 10);
+        let top = leaf.recommend_top_n(5, 10);
+        assert_eq!(top.len(), 10);
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1), "ranked best-first");
+        // Every recommendation's score equals the point prediction.
+        for &(item, rating) in &top {
+            let point = leaf.predict(5, item as usize);
+            assert!((point.rating - rating).abs() < 1e-5);
+        }
+        // The top recommendation beats the planted average comfortably
+        // for at least some user (sanity on ranking signal).
+        let _ = data;
+        assert!(top[0].1 >= 3.0, "top pick should be a liked item: {}", top[0].1);
+    }
+
+    #[test]
+    fn top_n_truncates_to_item_count() {
+        let (_, model) = trained();
+        let leaf = RecommendLeaf::new(model, (0..20).collect(), 4);
+        let all = leaf.recommend_top_n(0, 10_000);
+        assert_eq!(all.len(), 40, "cannot recommend more items than exist");
+        assert!(leaf.recommend_top_n(0, 0).is_empty());
+    }
+
+    #[test]
+    fn query_user_outside_shard_still_served() {
+        let (_, model) = trained();
+        // Shard holds users 0..10; user 50 queries against their factors.
+        let leaf = RecommendLeaf::new(model, (0..10).collect(), 4);
+        let prediction = leaf.predict(50, 3);
+        assert!((1.0..=5.0).contains(&prediction.rating));
+        assert!(prediction.neighbors > 0, "neighbours come from the shard");
+    }
+}

@@ -1,0 +1,50 @@
+//! `Recommend` — user-based collaborative-filtering rating prediction.
+//!
+//! The fourth μSuite benchmark (paper §III-D): for each `{user, item}`
+//! query, predict the user's rating from how similar users ranked the
+//! item. The pipeline follows the paper's three stages — (1) sparse
+//! utility-matrix composition, (2) Non-negative Matrix Factorization, and
+//! (3) neighbourhood (allknn-style) rating approximation — all built from
+//! scratch in place of mlpack:
+//!
+//! * [`sparse`] — the CSR utility matrix,
+//! * [`nmf`] — multiplicative-update NMF (`V ≈ WH`, non-negative factors),
+//! * [`knn`] — cosine-similarity user neighbourhoods in factor space,
+//! * [`leaf`]/[`midtier`] — leaves predict from their user shard offline
+//!   models; the mid-tier forwards queries and averages leaf ratings.
+//!
+//! # Examples
+//!
+//! ```
+//! use musuite_data::ratings::{RatingsConfig, RatingsDataset};
+//! use musuite_recommend::service::RecommendService;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = RatingsDataset::generate(&RatingsConfig {
+//!     users: 120, items: 80, observations: 2000, ..Default::default()
+//! });
+//! let service = RecommendService::launch(&data, 2, Default::default())?;
+//! let client = service.client()?;
+//! let (user, item) = data.sample_queries(1)[0];
+//! let rating = client.predict(user, item)?;
+//! assert!((1.0..=5.0).contains(&rating));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod knn;
+pub mod leaf;
+pub mod midtier;
+pub mod nmf;
+pub mod protocol;
+pub mod service;
+pub mod sparse;
+
+pub use leaf::RecommendLeaf;
+pub use midtier::RecommendMidTier;
+pub use nmf::{Nmf, NmfConfig};
+pub use service::{RecommendClient, RecommendService};
+pub use sparse::CsrMatrix;

@@ -1,0 +1,146 @@
+//! The Recommend mid-tier: forward the query, average leaf ratings.
+//!
+//! "Recommend uses the mid-tier microservice primarily as a forwarding
+//! service … item ratings returned by the leaves are then averaged and
+//! sent back to the client" (paper §III-D). The average here is weighted
+//! by each shard's neighbour count so empty shards do not dilute the
+//! estimate; an unweighted variant is what the paper literally states and
+//! the weighting reduces to it when shards are balanced.
+
+use crate::protocol::{LeafRating, RatingQuery};
+use musuite_core::error::ServiceError;
+use musuite_core::midtier::{MidTierHandler, Plan};
+use musuite_rpc::RpcError;
+
+/// The forwarding-and-averaging mid-tier microservice.
+#[derive(Debug, Default)]
+pub struct RecommendMidTier;
+
+impl RecommendMidTier {
+    /// Creates the mid-tier handler.
+    pub fn new() -> RecommendMidTier {
+        RecommendMidTier
+    }
+}
+
+impl MidTierHandler for RecommendMidTier {
+    type Request = RatingQuery;
+    type Response = f32;
+    type LeafRequest = RatingQuery;
+    type LeafResponse = LeafRating;
+
+    fn plan(&self, request: &RatingQuery, leaves: usize) -> Plan<RatingQuery> {
+        (0..leaves).map(|leaf| (leaf, *request)).collect()
+    }
+
+    fn merge(
+        &self,
+        request: RatingQuery,
+        replies: Vec<Result<LeafRating, RpcError>>,
+    ) -> Result<f32, ServiceError> {
+        let mut weighted_sum = 0.0f32;
+        let mut total_weight = 0.0f32;
+        let mut fallback_sum = 0.0f32;
+        let mut fallback_count = 0u32;
+        let mut any_ok = false;
+        for reply in replies.into_iter().flatten() {
+            any_ok = true;
+            if reply.neighbors > 0 {
+                weighted_sum += reply.rating * reply.neighbors as f32;
+                total_weight += reply.neighbors as f32;
+            } else {
+                fallback_sum += reply.rating;
+                fallback_count += 1;
+            }
+        }
+        if total_weight > 0.0 {
+            Ok(weighted_sum / total_weight)
+        } else if fallback_count > 0 {
+            Ok(fallback_sum / fallback_count as f32)
+        } else if any_ok {
+            Err(ServiceError::new(format!(
+                "no shard produced a rating for user {} item {}",
+                request.user, request.item
+            )))
+        } else {
+            Err(ServiceError::unavailable("all leaves failed"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query() -> RatingQuery {
+        RatingQuery { user: 1, item: 2 }
+    }
+
+    #[test]
+    fn plan_broadcasts() {
+        let mid = RecommendMidTier::new();
+        let plan = mid.plan(&query(), 3);
+        assert_eq!(plan.len(), 3);
+        assert!(plan.iter().all(|(_, q)| *q == query()));
+    }
+
+    #[test]
+    fn merge_weights_by_neighbor_count() {
+        let mid = RecommendMidTier::new();
+        let merged = mid
+            .merge(
+                query(),
+                vec![
+                    Ok(LeafRating { rating: 5.0, neighbors: 3 }),
+                    Ok(LeafRating { rating: 1.0, neighbors: 1 }),
+                ],
+            )
+            .unwrap();
+        assert!((merged - 4.0).abs() < 1e-6); // (5·3 + 1·1) / 4
+    }
+
+    #[test]
+    fn zero_neighbor_shards_used_only_as_fallback() {
+        let mid = RecommendMidTier::new();
+        let merged = mid
+            .merge(
+                query(),
+                vec![
+                    Ok(LeafRating { rating: 2.0, neighbors: 0 }),
+                    Ok(LeafRating { rating: 4.0, neighbors: 5 }),
+                ],
+            )
+            .unwrap();
+        assert!((merged - 4.0).abs() < 1e-6, "voting shard outweighs fallback");
+        let all_fallback = mid
+            .merge(
+                query(),
+                vec![
+                    Ok(LeafRating { rating: 2.0, neighbors: 0 }),
+                    Ok(LeafRating { rating: 4.0, neighbors: 0 }),
+                ],
+            )
+            .unwrap();
+        assert!((all_fallback - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_tolerates_partial_failure() {
+        let mid = RecommendMidTier::new();
+        let merged = mid
+            .merge(
+                query(),
+                vec![Err(RpcError::TimedOut), Ok(LeafRating { rating: 3.5, neighbors: 2 })],
+            )
+            .unwrap();
+        assert!((merged - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_fails_when_all_leaves_fail() {
+        let mid = RecommendMidTier::new();
+        assert!(mid
+            .merge(query(), vec![Err(RpcError::TimedOut), Err(RpcError::ConnectionClosed)])
+            .is_err());
+    }
+}

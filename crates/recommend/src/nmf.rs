@@ -1,0 +1,255 @@
+//! Non-negative Matrix Factorization via multiplicative updates.
+//!
+//! "We employ Non-negative Matrix Factorization (NMF) to decompose V …
+//! NMF approximately factorizes V into an m×r matrix W and r×n matrix H"
+//! (paper §III-D). Because the utility matrix is sparse-with-*missing*
+//! entries (not sparse-with-zeros), the updates here are the masked
+//! variant of Lee–Seung multiplicative updates: numerators and
+//! denominators sum only over observed cells, so unrated movies exert no
+//! pull toward zero. Factors stay non-negative by construction.
+
+use crate::sparse::CsrMatrix;
+
+/// Training configuration for [`Nmf::train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NmfConfig {
+    /// Factorization rank `r` — "the number of similarity concepts NMF
+    /// identifies".
+    pub rank: usize,
+    /// Multiplicative-update iterations.
+    pub iterations: usize,
+    /// Deterministic initialization seed.
+    pub seed: u64,
+}
+
+impl Default for NmfConfig {
+    fn default() -> Self {
+        NmfConfig { rank: 8, iterations: 60, seed: 42 }
+    }
+}
+
+/// A trained factorization `V ≈ W · H`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nmf {
+    rank: usize,
+    /// `users × rank`, row-major: how users relate to similarity concepts.
+    w: Vec<Vec<f32>>,
+    /// `rank × items`, row-major: how items relate to similarity concepts.
+    h: Vec<Vec<f32>>,
+}
+
+const EPS: f32 = 1e-9;
+
+impl Nmf {
+    /// Trains the factorization on the observed entries of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` or `iterations` is zero.
+    pub fn train(v: &CsrMatrix, config: &NmfConfig) -> Nmf {
+        assert!(config.rank > 0, "rank must be positive");
+        assert!(config.iterations > 0, "iterations must be positive");
+        let (users, items, rank) = (v.rows(), v.cols(), config.rank);
+        // Deterministic positive initialization from a splitmix stream.
+        let mut state = config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next_init = || {
+            state = state.wrapping_mul(0xD128_5E59_59B9_F1E7).wrapping_add(1);
+            let bits = (state >> 40) as u32;
+            0.1 + (bits as f32 / (1u32 << 24) as f32) * 0.9
+        };
+        let mut w: Vec<Vec<f32>> =
+            (0..users).map(|_| (0..rank).map(|_| next_init()).collect()).collect();
+        let mut h: Vec<Vec<f32>> =
+            (0..rank).map(|_| (0..items).map(|_| next_init()).collect()).collect();
+        let mut predicted = vec![0.0f32; v.nnz()];
+        for _ in 0..config.iterations {
+            // Cache WH over observed cells (both updates reuse it).
+            for (slot, (user, item, _)) in predicted.iter_mut().zip(v.iter()) {
+                *slot = dot_wh(&w, &h, user, item as usize, rank);
+            }
+            // H update: h[k][i] *= Σ_obs(i) w[u][k]·v / Σ_obs(i) w[u][k]·(WH)
+            let mut h_num = vec![vec![0.0f32; items]; rank];
+            let mut h_den = vec![vec![EPS; items]; rank];
+            for ((user, item, value), &wh) in v.iter().zip(&predicted) {
+                for k in 0..rank {
+                    h_num[k][item as usize] += w[user][k] * value;
+                    h_den[k][item as usize] += w[user][k] * wh;
+                }
+            }
+            for k in 0..rank {
+                for i in 0..items {
+                    h[k][i] *= h_num[k][i] / h_den[k][i];
+                }
+            }
+            // Refresh predictions with the new H before updating W.
+            for (slot, (user, item, _)) in predicted.iter_mut().zip(v.iter()) {
+                *slot = dot_wh(&w, &h, user, item as usize, rank);
+            }
+            // W update: w[u][k] *= Σ_obs(u) v·h[k][i] / Σ_obs(u) (WH)·h[k][i]
+            let mut w_num = vec![vec![0.0f32; rank]; users];
+            let mut w_den = vec![vec![EPS; rank]; users];
+            for ((user, item, value), &wh) in v.iter().zip(&predicted) {
+                for k in 0..rank {
+                    w_num[user][k] += value * h[k][item as usize];
+                    w_den[user][k] += wh * h[k][item as usize];
+                }
+            }
+            for u in 0..users {
+                for k in 0..rank {
+                    w[u][k] *= w_num[u][k] / w_den[u][k];
+                }
+            }
+        }
+        Nmf { rank, w, h }
+    }
+
+    /// Factorization rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The user-factor row of `user`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn user_factors(&self, user: usize) -> &[f32] {
+        &self.w[user]
+    }
+
+    /// All user-factor rows.
+    pub fn user_matrix(&self) -> &[Vec<f32>] {
+        &self.w
+    }
+
+    /// All item-factor rows (`rank × items`).
+    pub fn item_matrix(&self) -> &[Vec<f32>] {
+        &self.h
+    }
+
+    /// The reconstructed rating `(W·H)[user][item]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn predict(&self, user: usize, item: usize) -> f32 {
+        dot_wh(&self.w, &self.h, user, item, self.rank)
+    }
+
+    /// Root-mean-square reconstruction error over observed entries.
+    pub fn rmse(&self, v: &CsrMatrix) -> f32 {
+        if v.nnz() == 0 {
+            return 0.0;
+        }
+        let sum_sq: f32 = v
+            .iter()
+            .map(|(user, item, value)| {
+                let e = self.predict(user, item as usize) - value;
+                e * e
+            })
+            .sum();
+        (sum_sq / v.nnz() as f32).sqrt()
+    }
+}
+
+fn dot_wh(w: &[Vec<f32>], h: &[Vec<f32>], user: usize, item: usize, rank: usize) -> f32 {
+    (0..rank).map(|k| w[user][k] * h[k][item]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musuite_data::ratings::{Rating, RatingsConfig, RatingsDataset};
+
+    fn dataset() -> (RatingsDataset, CsrMatrix) {
+        let data = RatingsDataset::generate(&RatingsConfig {
+            users: 80,
+            items: 60,
+            rank: 4,
+            observations: 2_400, // 50 % dense — plenty of signal
+            noise: 0.05,
+            seed: 17,
+        });
+        let matrix = CsrMatrix::from_ratings(data.users(), data.items(), data.ratings());
+        (data, matrix)
+    }
+
+    #[test]
+    fn factors_stay_nonnegative() {
+        let (_, v) = dataset();
+        let model = Nmf::train(&v, &NmfConfig { rank: 4, iterations: 30, seed: 1 });
+        assert!(model.user_matrix().iter().flatten().all(|&x| x >= 0.0));
+        assert!(model.item_matrix().iter().flatten().all(|&x| x >= 0.0));
+        assert_eq!(model.rank(), 4);
+    }
+
+    #[test]
+    fn training_reduces_rmse() {
+        let (_, v) = dataset();
+        let early = Nmf::train(&v, &NmfConfig { rank: 4, iterations: 1, seed: 1 });
+        let late = Nmf::train(&v, &NmfConfig { rank: 4, iterations: 60, seed: 1 });
+        assert!(
+            late.rmse(&v) < early.rmse(&v),
+            "more iterations must fit better: {} vs {}",
+            late.rmse(&v),
+            early.rmse(&v)
+        );
+    }
+
+    #[test]
+    fn recovers_planted_structure() {
+        let (_, v) = dataset();
+        let model = Nmf::train(&v, &NmfConfig { rank: 6, iterations: 80, seed: 2 });
+        let rmse = model.rmse(&v);
+        assert!(rmse < 0.35, "rank-4 planted data must reconstruct well, rmse={rmse}");
+    }
+
+    #[test]
+    fn generalizes_to_held_out_cells() {
+        let (data, v) = dataset();
+        let model = Nmf::train(&v, &NmfConfig { rank: 6, iterations: 80, seed: 2 });
+        // Predict unobserved cells and compare with the planted truth.
+        let queries = data.sample_queries(200);
+        let mse: f32 = queries
+            .iter()
+            .map(|&(user, item)| {
+                let predicted = model.predict(user as usize, item as usize).clamp(1.0, 5.0);
+                let truth = data.planted_value(user as usize, item as usize);
+                (predicted - truth) * (predicted - truth)
+            })
+            .sum::<f32>()
+            / queries.len() as f32;
+        // Planted ratings span [1, 5]; predicting the midpoint blindly
+        // gives MSE ≈ 1.3 on this data. The model must beat that soundly.
+        assert!(mse < 0.6, "held-out MSE too high: {mse}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (_, v) = dataset();
+        let a = Nmf::train(&v, &NmfConfig { rank: 3, iterations: 10, seed: 9 });
+        let b = Nmf::train(&v, &NmfConfig { rank: 3, iterations: 10, seed: 9 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_matrix_trains() {
+        let v = CsrMatrix::from_ratings(
+            2,
+            2,
+            &[
+                Rating { user: 0, item: 0, value: 5.0 },
+                Rating { user: 1, item: 1, value: 1.0 },
+            ],
+        );
+        let model = Nmf::train(&v, &NmfConfig { rank: 1, iterations: 50, seed: 3 });
+        assert!((model.predict(0, 0) - 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank must be positive")]
+    fn zero_rank_panics() {
+        let v = CsrMatrix::from_ratings(1, 1, &[]);
+        Nmf::train(&v, &NmfConfig { rank: 0, iterations: 1, seed: 0 });
+    }
+}

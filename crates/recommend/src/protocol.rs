@@ -1,0 +1,76 @@
+//! Typed wire messages for Recommend.
+
+use musuite_codec::{Decode, DecodeError, Encode};
+
+/// A `{user, item}` rating-prediction query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatingQuery {
+    /// User index.
+    pub user: u32,
+    /// Item index.
+    pub item: u32,
+}
+
+impl Encode for RatingQuery {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.user.encode(buf);
+        self.item.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        10
+    }
+}
+
+impl Decode for RatingQuery {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        let (user, rest) = u32::decode(bytes)?;
+        let (item, rest) = u32::decode(rest)?;
+        Ok((RatingQuery { user, item }, rest))
+    }
+}
+
+/// A leaf's rating estimate with the evidence behind it, so the mid-tier
+/// can weight shards by how many neighbours actually voted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafRating {
+    /// The shard's predicted rating.
+    pub rating: f32,
+    /// Number of neighbours contributing to the estimate.
+    pub neighbors: u32,
+}
+
+impl Encode for LeafRating {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.rating.encode(buf);
+        self.neighbors.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        9
+    }
+}
+
+impl Decode for LeafRating {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        let (rating, rest) = f32::decode(bytes)?;
+        let (neighbors, rest) = u32::decode(rest)?;
+        Ok((LeafRating { rating, neighbors }, rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musuite_codec::{from_bytes, to_bytes};
+
+    #[test]
+    fn query_roundtrip() {
+        let q = RatingQuery { user: 42, item: 7 };
+        assert_eq!(from_bytes::<RatingQuery>(&to_bytes(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn leaf_rating_roundtrip() {
+        let r = LeafRating { rating: 3.75, neighbors: 12 };
+        assert_eq!(from_bytes::<LeafRating>(&to_bytes(&r)).unwrap(), r);
+    }
+}

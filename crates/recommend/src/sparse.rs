@@ -1,0 +1,182 @@
+//! Compressed Sparse Row utility matrix.
+//!
+//! "We represent the data set as a sparsely populated user-item rating
+//! matrix V — the utility matrix — where Vij (if known) represents the
+//! rating of movie j by user i" (paper §III-D).
+
+use musuite_data::ratings::Rating;
+
+/// A CSR matrix of observed ratings: rows are users, columns are items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_offsets: Vec<usize>,
+    col_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds the matrix from rating tuples (duplicates: last write wins is
+    /// NOT applied — duplicates are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rating indexes outside `rows`/`cols` or a `{user, item}`
+    /// cell repeats.
+    pub fn from_ratings(rows: usize, cols: usize, ratings: &[Rating]) -> CsrMatrix {
+        let mut per_row: Vec<Vec<(u32, f32)>> = vec![Vec::new(); rows];
+        for r in ratings {
+            assert!((r.user as usize) < rows, "user {} out of range", r.user);
+            assert!((r.item as usize) < cols, "item {} out of range", r.item);
+            per_row[r.user as usize].push((r.item, r.value));
+        }
+        let mut row_offsets = Vec::with_capacity(rows + 1);
+        let mut col_indices = Vec::with_capacity(ratings.len());
+        let mut values = Vec::with_capacity(ratings.len());
+        row_offsets.push(0);
+        for row in &mut per_row {
+            row.sort_by_key(|(item, _)| *item);
+            for window in row.windows(2) {
+                assert_ne!(window[0].0, window[1].0, "duplicate cell in ratings");
+            }
+            for &(item, value) in row.iter() {
+                col_indices.push(item);
+                values.push(value);
+            }
+            row_offsets.push(col_indices.len());
+        }
+        CsrMatrix { rows, cols, row_offsets, col_indices, values }
+    }
+
+    /// Number of user rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of item columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of observed entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The observed `(item, rating)` pairs of `user`, item-sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn row(&self, user: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let start = self.row_offsets[user];
+        let end = self.row_offsets[user + 1];
+        self.col_indices[start..end]
+            .iter()
+            .zip(&self.values[start..end])
+            .map(|(&item, &value)| (item, value))
+    }
+
+    /// The rating of cell `(user, item)`, if observed.
+    pub fn get(&self, user: usize, item: u32) -> Option<f32> {
+        let start = self.row_offsets[user];
+        let end = self.row_offsets[user + 1];
+        let slice = &self.col_indices[start..end];
+        slice.binary_search(&item).ok().map(|i| self.values[start + i])
+    }
+
+    /// Mean of all observed ratings (0 if empty).
+    pub fn mean(&self) -> f32 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f32>() / self.values.len() as f32
+        }
+    }
+
+    /// Mean rating of one user, or `None` if the user rated nothing.
+    pub fn row_mean(&self, user: usize) -> Option<f32> {
+        let start = self.row_offsets[user];
+        let end = self.row_offsets[user + 1];
+        if start == end {
+            None
+        } else {
+            Some(self.values[start..end].iter().sum::<f32>() / (end - start) as f32)
+        }
+    }
+
+    /// Iterates all observed `(user, item, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u32, f32)> + '_ {
+        (0..self.rows).flat_map(move |user| {
+            self.row(user).map(move |(item, value)| (user, item, value))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rating(user: u32, item: u32, value: f32) -> Rating {
+        Rating { user, item, value }
+    }
+
+    #[test]
+    fn build_and_query() {
+        let m = CsrMatrix::from_ratings(
+            3,
+            4,
+            &[rating(0, 2, 5.0), rating(0, 0, 3.0), rating(2, 3, 1.0)],
+        );
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), Some(3.0));
+        assert_eq!(m.get(0, 2), Some(5.0));
+        assert_eq!(m.get(0, 1), None);
+        assert_eq!(m.get(1, 0), None);
+        assert_eq!(m.get(2, 3), Some(1.0));
+    }
+
+    #[test]
+    fn rows_are_item_sorted() {
+        let m = CsrMatrix::from_ratings(
+            1,
+            10,
+            &[rating(0, 7, 1.0), rating(0, 2, 2.0), rating(0, 5, 3.0)],
+        );
+        let row: Vec<(u32, f32)> = m.row(0).collect();
+        assert_eq!(row, vec![(2, 2.0), (5, 3.0), (7, 1.0)]);
+    }
+
+    #[test]
+    fn means() {
+        let m = CsrMatrix::from_ratings(2, 2, &[rating(0, 0, 2.0), rating(0, 1, 4.0)]);
+        assert_eq!(m.mean(), 3.0);
+        assert_eq!(m.row_mean(0), Some(3.0));
+        assert_eq!(m.row_mean(1), None);
+        let empty = CsrMatrix::from_ratings(1, 1, &[]);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn iter_visits_every_entry() {
+        let ratings = [rating(0, 1, 1.0), rating(1, 0, 2.0), rating(1, 1, 3.0)];
+        let m = CsrMatrix::from_ratings(2, 2, &ratings);
+        let all: Vec<(usize, u32, f32)> = m.iter().collect();
+        assert_eq!(all, vec![(0, 1, 1.0), (1, 0, 2.0), (1, 1, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell")]
+    fn duplicate_cells_rejected() {
+        CsrMatrix::from_ratings(1, 2, &[rating(0, 0, 1.0), rating(0, 0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        CsrMatrix::from_ratings(1, 1, &[rating(5, 0, 1.0)]);
+    }
+}

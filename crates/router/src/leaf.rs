@@ -1,0 +1,98 @@
+//! The Router leaf: an RPC wrapper around a [`MemKv`] store.
+//!
+//! "The leaf microserver uses gRPC to build a communication wrapper around
+//! a memcached server process … it rewrites received queries to suitably
+//! query its local memcached server" (paper §III-B). Here the wrapper and
+//! the store live in one process; the request rewrite is the typed
+//! decode → store-call → typed encode path.
+
+use crate::memkv::{MemKv, MemKvConfig};
+use crate::protocol::{KvRequest, KvResponse};
+use musuite_core::error::ServiceError;
+use musuite_core::leaf::LeafHandler;
+use std::sync::Arc;
+
+/// A key-value leaf microservice.
+#[derive(Debug, Clone)]
+pub struct RouterLeaf {
+    store: Arc<MemKv>,
+}
+
+impl Default for RouterLeaf {
+    fn default() -> Self {
+        Self::new(MemKvConfig::default())
+    }
+}
+
+impl RouterLeaf {
+    /// Creates a leaf with a fresh store.
+    pub fn new(config: MemKvConfig) -> RouterLeaf {
+        RouterLeaf { store: Arc::new(MemKv::new(config)) }
+    }
+
+    /// The underlying store (shared with clones of this leaf).
+    pub fn store(&self) -> &Arc<MemKv> {
+        &self.store
+    }
+}
+
+impl LeafHandler for RouterLeaf {
+    type Request = KvRequest;
+    type Response = KvResponse;
+
+    fn handle(&self, request: KvRequest) -> Result<KvResponse, ServiceError> {
+        Ok(match request {
+            KvRequest::Get { key } => KvResponse::Value(self.store.get(&key)),
+            KvRequest::Set { key, value } => {
+                self.store.set(&key, value);
+                KvResponse::Stored
+            }
+            KvRequest::Delete { key } => KvResponse::Deleted(self.store.delete(&key)),
+            KvRequest::SetEx { key, value, ttl_ms } => {
+                self.store.set_with_ttl(
+                    &key,
+                    value,
+                    Some(std::time::Duration::from_millis(ttl_ms)),
+                );
+                KvResponse::Stored
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_delete_through_handler() {
+        let leaf = RouterLeaf::default();
+        assert_eq!(
+            leaf.handle(KvRequest::Set { key: "k".into(), value: vec![7] }).unwrap(),
+            KvResponse::Stored
+        );
+        assert_eq!(
+            leaf.handle(KvRequest::Get { key: "k".into() }).unwrap(),
+            KvResponse::Value(Some(vec![7]))
+        );
+        assert_eq!(
+            leaf.handle(KvRequest::Delete { key: "k".into() }).unwrap(),
+            KvResponse::Deleted(true)
+        );
+        assert_eq!(
+            leaf.handle(KvRequest::Get { key: "k".into() }).unwrap(),
+            KvResponse::Value(None)
+        );
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let leaf = RouterLeaf::default();
+        let clone = leaf.clone();
+        leaf.handle(KvRequest::Set { key: "shared".into(), value: vec![1] }).unwrap();
+        assert_eq!(
+            clone.handle(KvRequest::Get { key: "shared".into() }).unwrap(),
+            KvResponse::Value(Some(vec![1]))
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! `Router` — replication-based protocol routing for key-value stores.
+//!
+//! The second μSuite benchmark (paper §III-B): a McRouter-style mid-tier
+//! that routes memcached-protocol `get`/`set` requests across a fleet of
+//! key-value leaves, providing (1) uniform key distribution via
+//! SpookyHash, (2) replication-based fault tolerance (three replicas in
+//! the paper's experiments), and (3) drop-in proxying — clients speak the
+//! plain get/set protocol and never learn the topology.
+//!
+//! Everything is built from scratch:
+//!
+//! * [`spooky`] — a port of Bob Jenkins's public-domain SpookyHash V2,
+//!   the exact hash the paper selects for its speed and distribution,
+//! * [`memkv`] — the memcached substitute: a sharded in-memory LRU store
+//!   with TTL support,
+//! * [`protocol`] — the typed get/set wire messages,
+//! * [`leaf`] — the RPC wrapper around a [`memkv::MemKv`] instance,
+//! * [`midtier`] — SpookyHash routing plus replica fan-out and merge,
+//! * [`service`] — one-call cluster launcher and typed client.
+//!
+//! # Examples
+//!
+//! ```
+//! use musuite_router::service::RouterService;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = RouterService::launch(4, 2)?; // 4 leaves, 2 replicas
+//! let client = service.client()?;
+//! client.set("user42", b"profile".to_vec())?;
+//! assert_eq!(client.get("user42")?, Some(b"profile".to_vec()));
+//! assert_eq!(client.get("missing")?, None);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod leaf;
+pub mod memkv;
+pub mod midtier;
+pub mod protocol;
+pub mod service;
+pub mod spooky;
+
+pub use leaf::RouterLeaf;
+pub use memkv::{MemKv, MemKvConfig};
+pub use midtier::RouterMidTier;
+pub use protocol::{KvRequest, KvResponse};
+pub use service::{RouterClient, RouterService};
+pub use spooky::SpookyHasher;

@@ -1,0 +1,227 @@
+//! Typed get/set wire messages for Router.
+//!
+//! "In this study, we evaluate only gets and sets" (paper §III-B); a
+//! delete is included because the leaf store supports it and the drop-in
+//! proxy property requires covering the standard client surface.
+
+use musuite_codec::{Decode, DecodeError, Encode};
+
+/// A client request routed by the mid-tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvRequest {
+    /// Read a key.
+    Get {
+        /// The key to read.
+        key: String,
+    },
+    /// Write a key-value pair.
+    Set {
+        /// The key to write.
+        key: String,
+        /// The value bytes.
+        value: Vec<u8>,
+    },
+    /// Remove a key.
+    Delete {
+        /// The key to remove.
+        key: String,
+    },
+    /// Write a key-value pair that expires after a time-to-live — the
+    /// memcached `set` with an expiry, exercised by cache-style callers.
+    SetEx {
+        /// The key to write.
+        key: String,
+        /// The value bytes.
+        value: Vec<u8>,
+        /// Time-to-live in milliseconds.
+        ttl_ms: u64,
+    },
+}
+
+impl KvRequest {
+    /// The key this request touches.
+    pub fn key(&self) -> &str {
+        match self {
+            KvRequest::Get { key }
+            | KvRequest::Set { key, .. }
+            | KvRequest::Delete { key }
+            | KvRequest::SetEx { key, .. } => key,
+        }
+    }
+
+    /// Returns `true` for reads (routed to one replica).
+    pub fn is_read(&self) -> bool {
+        matches!(self, KvRequest::Get { .. })
+    }
+}
+
+impl Encode for KvRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            KvRequest::Get { key } => {
+                buf.push(0);
+                key.encode(buf);
+            }
+            KvRequest::Set { key, value } => {
+                buf.push(1);
+                key.encode(buf);
+                value.encode(buf);
+            }
+            KvRequest::Delete { key } => {
+                buf.push(2);
+                key.encode(buf);
+            }
+            KvRequest::SetEx { key, value, ttl_ms } => {
+                buf.push(3);
+                key.encode(buf);
+                value.encode(buf);
+                ttl_ms.encode(buf);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            KvRequest::Get { key } | KvRequest::Delete { key } => 1 + key.encoded_len(),
+            KvRequest::Set { key, value } => 1 + key.encoded_len() + value.encoded_len(),
+            KvRequest::SetEx { key, value, .. } => {
+                11 + key.encoded_len() + value.encoded_len()
+            }
+        }
+    }
+}
+
+impl Decode for KvRequest {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        let (&tag, rest) =
+            bytes.split_first().ok_or(DecodeError::UnexpectedEof { context: "KvRequest" })?;
+        match tag {
+            0 => {
+                let (key, rest) = String::decode(rest)?;
+                Ok((KvRequest::Get { key }, rest))
+            }
+            1 => {
+                let (key, rest) = String::decode(rest)?;
+                let (value, rest) = Vec::<u8>::decode(rest)?;
+                Ok((KvRequest::Set { key, value }, rest))
+            }
+            2 => {
+                let (key, rest) = String::decode(rest)?;
+                Ok((KvRequest::Delete { key }, rest))
+            }
+            3 => {
+                let (key, rest) = String::decode(rest)?;
+                let (value, rest) = Vec::<u8>::decode(rest)?;
+                let (ttl_ms, rest) = u64::decode(rest)?;
+                Ok((KvRequest::SetEx { key, value, ttl_ms }, rest))
+            }
+            value => Err(DecodeError::InvalidDiscriminant { value, context: "KvRequest" }),
+        }
+    }
+}
+
+/// A leaf's (and the mid-tier's) reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvResponse {
+    /// The value for a get, or `None` on a miss.
+    Value(Option<Vec<u8>>),
+    /// Acknowledgement of a set.
+    Stored,
+    /// Result of a delete: whether the key existed.
+    Deleted(bool),
+}
+
+impl Encode for KvResponse {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            KvResponse::Value(value) => {
+                buf.push(0);
+                value.encode(buf);
+            }
+            KvResponse::Stored => buf.push(1),
+            KvResponse::Deleted(existed) => {
+                buf.push(2);
+                existed.encode(buf);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            KvResponse::Value(value) => 2 + value.as_ref().map_or(0, Encode::encoded_len),
+            KvResponse::Stored => 1,
+            KvResponse::Deleted(_) => 2,
+        }
+    }
+}
+
+impl Decode for KvResponse {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        let (&tag, rest) =
+            bytes.split_first().ok_or(DecodeError::UnexpectedEof { context: "KvResponse" })?;
+        match tag {
+            0 => {
+                let (value, rest) = Option::<Vec<u8>>::decode(rest)?;
+                Ok((KvResponse::Value(value), rest))
+            }
+            1 => Ok((KvResponse::Stored, rest)),
+            2 => {
+                let (existed, rest) = bool::decode(rest)?;
+                Ok((KvResponse::Deleted(existed), rest))
+            }
+            value => Err(DecodeError::InvalidDiscriminant { value, context: "KvResponse" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musuite_codec::{from_bytes, to_bytes};
+
+    #[test]
+    fn request_roundtrips() {
+        for request in [
+            KvRequest::Get { key: "k".into() },
+            KvRequest::Set { key: "k".into(), value: vec![1, 2, 3] },
+            KvRequest::Set { key: String::new(), value: Vec::new() },
+            KvRequest::Delete { key: "gone".into() },
+            KvRequest::SetEx { key: "t".into(), value: vec![9], ttl_ms: 1500 },
+        ] {
+            let bytes = to_bytes(&request);
+            assert_eq!(from_bytes::<KvRequest>(&bytes).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for response in [
+            KvResponse::Value(Some(vec![9; 100])),
+            KvResponse::Value(None),
+            KvResponse::Stored,
+            KvResponse::Deleted(true),
+            KvResponse::Deleted(false),
+        ] {
+            let bytes = to_bytes(&response);
+            assert_eq!(from_bytes::<KvResponse>(&bytes).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn bad_discriminants_rejected() {
+        assert!(from_bytes::<KvRequest>(&[9]).is_err());
+        assert!(from_bytes::<KvResponse>(&[9]).is_err());
+        assert!(from_bytes::<KvRequest>(&[]).is_err());
+    }
+
+    #[test]
+    fn key_and_is_read_accessors() {
+        assert_eq!(KvRequest::Get { key: "a".into() }.key(), "a");
+        assert!(KvRequest::Get { key: "a".into() }.is_read());
+        assert!(!KvRequest::Set { key: "a".into(), value: vec![] }.is_read());
+        assert!(!KvRequest::Delete { key: "a".into() }.is_read());
+        assert!(
+            !KvRequest::SetEx { key: "a".into(), value: vec![], ttl_ms: 1 }.is_read()
+        );
+    }
+}

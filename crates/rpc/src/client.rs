@@ -1,0 +1,432 @@
+//! The RPC client: synchronous calls and asynchronous, callback-completed
+//! calls with explicit in-flight state.
+//!
+//! Each client owns one TCP connection and one **response pick-up thread**
+//! (the paper's "resp. pick-up thread: `<block>`" in Fig. 8) that blocks on
+//! the socket, matches arriving responses to in-flight requests through a
+//! shared table keyed by request id, and either wakes the synchronous
+//! caller or runs the asynchronous completion callback in place. Many
+//! threads may issue calls on one client concurrently; requests are
+//! multiplexed on the connection.
+
+use crate::error::RpcError;
+use musuite_codec::{Frame, FrameKind};
+use musuite_telemetry::counters::{OsOp, OsOpCounters};
+use musuite_telemetry::sync::{CountedCondvar, CountedMutex};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Completion callback for [`RpcClient::call_async`]; runs on the response
+/// pick-up thread.
+pub type Callback = Box<dyn FnOnce(Result<Vec<u8>, RpcError>) + Send + 'static>;
+
+enum Pending {
+    Sync(Arc<SyncSlot>),
+    Async(Callback),
+}
+
+struct SyncSlot {
+    result: CountedMutex<Option<Result<Vec<u8>, RpcError>>>,
+    ready: CountedCondvar,
+}
+
+impl SyncSlot {
+    fn new() -> Arc<SyncSlot> {
+        Arc::new(SyncSlot { result: CountedMutex::new(None), ready: CountedCondvar::new() })
+    }
+
+    fn complete(&self, result: Result<Vec<u8>, RpcError>) {
+        *self.result.lock() = Some(result);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self, timeout: Option<Duration>) -> Result<Vec<u8>, RpcError> {
+        let mut guard = self.result.lock();
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            match timeout {
+                None => self.ready.wait(&mut guard),
+                Some(limit) => {
+                    if self.ready.wait_for(&mut guard, limit) && guard.is_none() {
+                        return Err(RpcError::TimedOut);
+                    }
+                }
+            }
+        }
+    }
+}
+
+type InflightTable = Arc<CountedMutex<HashMap<u64, Pending>>>;
+
+/// A connection to one RPC server.
+///
+/// # Examples
+///
+/// See [`crate`]-level documentation for an end-to-end example.
+pub struct RpcClient {
+    peer_addr: SocketAddr,
+    writer: CountedMutex<TcpStream>,
+    next_id: AtomicU64,
+    inflight: InflightTable,
+    closed: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+    read_half: TcpStream,
+}
+
+impl RpcClient {
+    /// Connects to `addr` and starts the response pick-up thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection cannot be established.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<RpcClient, RpcError> {
+        let stream = TcpStream::connect(addr)?;
+        OsOpCounters::global().incr(OsOp::OpenAt);
+        stream.set_nodelay(true)?;
+        let peer_addr = stream.peer_addr()?;
+        let read_half = stream.try_clone()?;
+        let inflight: InflightTable = Arc::new(CountedMutex::new(HashMap::new()));
+        let closed = Arc::new(AtomicBool::new(false));
+        let reader = spawn_response_thread(read_half.try_clone()?, inflight.clone(), closed.clone());
+        Ok(RpcClient {
+            peer_addr,
+            writer: CountedMutex::new(stream),
+            next_id: AtomicU64::new(1),
+            inflight,
+            closed,
+            reader: Some(reader),
+            read_half,
+        })
+    }
+
+    /// The server address this client is connected to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer_addr
+    }
+
+    /// Returns `true` once the connection has failed or been shut down.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    fn send_request(&self, request_id: u64, method: u32, payload: Vec<u8>) -> Result<(), RpcError> {
+        if self.is_closed() {
+            return Err(RpcError::ConnectionClosed);
+        }
+        let bytes = Frame::request(request_id, method, payload).to_bytes();
+        let mut stream = self.writer.lock();
+        OsOpCounters::global().incr(OsOp::SendMsg);
+        stream.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Issues a blocking call and waits for the response payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RpcError::Remote`] for non-`Ok` response statuses,
+    /// [`RpcError::ConnectionClosed`] if the connection drops mid-call, or
+    /// an I/O error from the send path.
+    pub fn call(&self, method: u32, payload: Vec<u8>) -> Result<Vec<u8>, RpcError> {
+        self.call_with_timeout(method, payload, None)
+    }
+
+    /// Issues a blocking call that fails with [`RpcError::TimedOut`] if no
+    /// response arrives within `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RpcClient::call`], plus [`RpcError::TimedOut`].
+    pub fn call_deadline(
+        &self,
+        method: u32,
+        payload: Vec<u8>,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, RpcError> {
+        self.call_with_timeout(method, payload, Some(timeout))
+    }
+
+    fn call_with_timeout(
+        &self,
+        method: u32,
+        payload: Vec<u8>,
+        timeout: Option<Duration>,
+    ) -> Result<Vec<u8>, RpcError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = SyncSlot::new();
+        self.inflight.lock().insert(request_id, Pending::Sync(slot.clone()));
+        if let Err(e) = self.send_request(request_id, method, payload) {
+            self.inflight.lock().remove(&request_id);
+            return Err(e);
+        }
+        let result = slot.wait(timeout);
+        if matches!(result, Err(RpcError::TimedOut)) {
+            self.inflight.lock().remove(&request_id);
+        }
+        result
+    }
+
+    /// Issues an asynchronous call; `callback` runs on the response
+    /// pick-up thread when the response (or a connection failure) arrives.
+    ///
+    /// This is the mid-tier's leaf-request primitive: the calling worker
+    /// returns immediately and "proceeds to process successive requests"
+    /// (paper §IV) while RPC state lives in the in-flight table.
+    pub fn call_async<F>(&self, method: u32, payload: Vec<u8>, callback: F)
+    where
+        F: FnOnce(Result<Vec<u8>, RpcError>) + Send + 'static,
+    {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inflight.lock().insert(request_id, Pending::Async(Box::new(callback)));
+        if let Err(e) = self.send_request(request_id, method, payload) {
+            if let Some(Pending::Async(cb)) = self.inflight.lock().remove(&request_id) {
+                cb(Err(e));
+            }
+        }
+    }
+
+    /// Sends a one-way notification: no response is expected, no in-flight
+    /// state is kept, and the server invokes [`Service::notify`] instead
+    /// of a request handler. Used for fire-and-forget telemetry such as
+    /// click tracking — one of the microservice roles the paper's
+    /// introduction lists.
+    ///
+    /// [`Service::notify`]: crate::service::Service::notify
+    ///
+    /// # Errors
+    ///
+    /// Returns send-path errors only; delivery is not acknowledged.
+    pub fn notify(&self, method: u32, payload: Vec<u8>) -> Result<(), RpcError> {
+        if self.is_closed() {
+            return Err(RpcError::ConnectionClosed);
+        }
+        let mut frame = Frame::request(0, method, payload);
+        frame.header.kind = FrameKind::OneWay;
+        let bytes = frame.to_bytes();
+        let mut stream = self.writer.lock();
+        OsOpCounters::global().incr(OsOp::SendMsg);
+        stream.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Number of calls awaiting responses.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.lock().len()
+    }
+
+    /// Closes the connection; in-flight calls fail with
+    /// [`RpcError::ConnectionClosed`]. Idempotent.
+    pub fn shutdown(&self) {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = self.read_half.shutdown(Shutdown::Both);
+    }
+}
+
+impl Drop for RpcClient {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for RpcClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcClient")
+            .field("peer_addr", &self.peer_addr)
+            .field("inflight", &self.inflight_len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+fn spawn_response_thread(
+    stream: TcpStream,
+    inflight: InflightTable,
+    closed: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    OsOpCounters::global().incr(OsOp::Clone);
+    std::thread::Builder::new()
+        .name("musuite-response".to_string())
+        .spawn(move || {
+            let counters = OsOpCounters::global();
+            let mut reader = stream;
+            loop {
+                counters.incr(OsOp::EpollPwait);
+                let frame = match Frame::read_from(&mut reader) {
+                    Ok(frame) => frame,
+                    Err(_) => break,
+                };
+                counters.incr(OsOp::RecvMsg);
+                if frame.header.kind != FrameKind::Response {
+                    continue;
+                }
+                let pending = inflight.lock().remove(&frame.header.request_id);
+                let result = if frame.header.status.is_ok() {
+                    Ok(frame.payload)
+                } else {
+                    Err(RpcError::Remote {
+                        status: frame.header.status,
+                        detail: String::from_utf8_lossy(&frame.payload).into_owned(),
+                    })
+                };
+                match pending {
+                    Some(Pending::Sync(slot)) => slot.complete(result),
+                    Some(Pending::Async(callback)) => callback(result),
+                    None => {} // raced with a timeout removal
+                }
+            }
+            closed.store(true, Ordering::Release);
+            counters.incr(OsOp::Close);
+            // Fail everything still in flight.
+            let drained: Vec<Pending> = {
+                let mut table = inflight.lock();
+                table.drain().map(|(_, pending)| pending).collect()
+            };
+            for pending in drained {
+                match pending {
+                    Pending::Sync(slot) => slot.complete(Err(RpcError::ConnectionClosed)),
+                    Pending::Async(callback) => callback(Err(RpcError::ConnectionClosed)),
+                }
+            }
+        })
+        .expect("spawn response thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use crate::server::Server;
+    use crate::service::{RequestContext, Service};
+    use std::sync::mpsc;
+
+    struct Echo;
+    impl Service for Echo {
+        fn call(&self, ctx: RequestContext) {
+            let bytes = ctx.payload().to_vec();
+            ctx.respond_ok(bytes);
+        }
+    }
+
+    fn echo_server() -> Server {
+        Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap()
+    }
+
+    #[test]
+    fn async_call_completes_on_response_thread() {
+        let server = echo_server();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        let (tx, rx) = mpsc::channel();
+        client.call_async(4, b"async".to_vec(), move |result| {
+            tx.send(result).unwrap();
+        });
+        let result = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(result.unwrap(), b"async");
+        assert_eq!(client.inflight_len(), 0);
+    }
+
+    #[test]
+    fn interleaved_async_calls_multiplex() {
+        let server = echo_server();
+        let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+        let (tx, rx) = mpsc::channel();
+        for i in 0..64u32 {
+            let tx = tx.clone();
+            client.call_async(1, i.to_le_bytes().to_vec(), move |result| {
+                let bytes = result.unwrap();
+                let value = u32::from_le_bytes(bytes.try_into().unwrap());
+                tx.send(value).unwrap();
+            });
+        }
+        let mut seen: Vec<u32> = (0..64).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_sync_callers_share_client() {
+        let server = echo_server();
+        let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let client = client.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u32 {
+                    let payload = (t << 16 | i).to_le_bytes().to_vec();
+                    assert_eq!(client.call(9, payload.clone()).unwrap(), payload);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn server_shutdown_fails_inflight_calls() {
+        let server = echo_server();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        // Ensure the connection is live.
+        client.call(1, b"warm".to_vec()).unwrap();
+        server.shutdown();
+        // Subsequent calls fail (either on send or via ConnectionClosed).
+        std::thread::sleep(Duration::from_millis(50));
+        let err = client.call(1, b"after".to_vec());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn client_shutdown_is_idempotent_and_closes() {
+        let server = echo_server();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        client.shutdown();
+        client.shutdown();
+        assert!(client.is_closed());
+        assert!(matches!(client.call(1, Vec::new()), Err(RpcError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn call_deadline_times_out_against_stuck_server() {
+        // A listener that accepts but never responds.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _keeper = std::thread::spawn(move || {
+            let (_stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(2));
+        });
+        let client = RpcClient::connect(addr).unwrap();
+        let start = std::time::Instant::now();
+        let err = client.call_deadline(1, b"never".to_vec(), Duration::from_millis(100));
+        assert!(matches!(err, Err(RpcError::TimedOut)));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(client.inflight_len(), 0, "timed-out call must be deregistered");
+    }
+
+    #[test]
+    fn connect_to_dead_port_errors() {
+        // Bind-then-drop to find a port that is very likely closed.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        assert!(RpcClient::connect(addr).is_err());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let server = echo_server();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        assert!(format!("{client:?}").contains("RpcClient"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Server configuration: thread-pool sizes and execution-model knobs.
+//!
+//! The paper's §VII calls out three design trade-offs as open research
+//! questions this suite should enable: block- vs poll-based waiting,
+//! in-line vs dispatch-based request processing, and thread-pool sizing.
+//! All three are first-class configuration here so the ablation bench can
+//! sweep them.
+
+use serde::{Deserialize, Serialize};
+
+/// How idle threads wait for new work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WaitMode {
+    /// Park on a condition variable (futex), yielding the CPU — μSuite's
+    /// default design, which conserves CPU but pays wakeup latency.
+    #[default]
+    Block,
+    /// Spin with `yield_now`, trading CPU burn for lower hand-off latency.
+    Poll,
+    /// Spin briefly, then park — the dynamic block/poll trade-off the
+    /// paper's §VII proposes ("future microservice monitoring systems
+    /// could dynamically switch between block- and poll-based designs").
+    /// At high load, work arrives during the spin window and the futex
+    /// wakeup is skipped entirely; at low load, threads park and conserve
+    /// CPU as in [`WaitMode::Block`].
+    Adaptive,
+}
+
+/// Where request handlers execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ExecutionModel {
+    /// Network pollers enqueue requests onto the dispatch queue; workers
+    /// execute handlers — μSuite's default design.
+    #[default]
+    Dispatch,
+    /// Network pollers execute handlers in-line, skipping the queue and
+    /// its thread hop (efficient at low load, queue-prone at high load).
+    Inline,
+}
+
+/// Configuration for a [`crate::Server`].
+///
+/// Constructed with a non-consuming builder:
+///
+/// ```
+/// use musuite_rpc::{ServerConfig, WaitMode, ExecutionModel};
+///
+/// let mut config = ServerConfig::default();
+/// config
+///     .workers(8)
+///     .wait_mode(WaitMode::Block)
+///     .execution_model(ExecutionModel::Dispatch);
+/// assert_eq!(config.worker_count(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    addr: String,
+    workers: usize,
+    wait_mode: WaitMode,
+    execution_model: ExecutionModel,
+    queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: default_workers(),
+            wait_mode: WaitMode::default(),
+            execution_model: ExecutionModel::default(),
+            queue_capacity: 4096,
+        }
+    }
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(2, 16)
+}
+
+impl ServerConfig {
+    /// Creates a configuration with suite defaults (ephemeral port,
+    /// CPU-count workers, blocking dispatch).
+    pub fn new() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    /// Sets the bind address (default `127.0.0.1:0`, an ephemeral port).
+    pub fn bind_addr(&mut self, addr: impl Into<String>) -> &mut ServerConfig {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the worker thread-pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn workers(&mut self, count: usize) -> &mut ServerConfig {
+        assert!(count > 0, "worker pool must have at least one thread");
+        self.workers = count;
+        self
+    }
+
+    /// Sets how idle workers wait for new work.
+    pub fn wait_mode(&mut self, mode: WaitMode) -> &mut ServerConfig {
+        self.wait_mode = mode;
+        self
+    }
+
+    /// Sets whether handlers run on workers or in-line on pollers.
+    pub fn execution_model(&mut self, model: ExecutionModel) -> &mut ServerConfig {
+        self.execution_model = model;
+        self
+    }
+
+    /// Sets the dispatch-queue capacity (requests beyond it are rejected
+    /// with `Status::Unavailable`, providing load shedding at saturation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn queue_capacity(&mut self, capacity: usize) -> &mut ServerConfig {
+        assert!(capacity > 0, "queue capacity must be positive");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Configured bind address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Configured worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Configured wait mode.
+    pub fn wait_mode_value(&self) -> WaitMode {
+        self.wait_mode
+    }
+
+    /// Configured execution model.
+    pub fn execution_model_value(&self) -> ExecutionModel {
+        self.execution_model
+    }
+
+    /// Configured queue capacity.
+    pub fn queue_capacity_value(&self) -> usize {
+        self.queue_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.worker_count() >= 2);
+        assert_eq!(c.wait_mode_value(), WaitMode::Block);
+        assert_eq!(c.execution_model_value(), ExecutionModel::Dispatch);
+        assert_eq!(c.addr(), "127.0.0.1:0");
+        assert!(c.queue_capacity_value() > 0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut c = ServerConfig::new();
+        c.workers(3)
+            .wait_mode(WaitMode::Poll)
+            .execution_model(ExecutionModel::Inline)
+            .queue_capacity(10)
+            .bind_addr("127.0.0.1:9999");
+        assert_eq!(c.worker_count(), 3);
+        assert_eq!(c.wait_mode_value(), WaitMode::Poll);
+        assert_eq!(c.execution_model_value(), ExecutionModel::Inline);
+        assert_eq!(c.queue_capacity_value(), 10);
+        assert_eq!(c.addr(), "127.0.0.1:9999");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_workers_rejected() {
+        ServerConfig::new().workers(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        ServerConfig::new().queue_capacity(0);
+    }
+}

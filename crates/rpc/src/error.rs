@@ -1,0 +1,106 @@
+//! RPC error type.
+
+use musuite_codec::{DecodeError, Status};
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by RPC clients and servers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RpcError {
+    /// An underlying socket operation failed.
+    Io(io::Error),
+    /// A frame or payload failed to decode.
+    Decode(DecodeError),
+    /// The remote handler reported a non-`Ok` status.
+    Remote {
+        /// The status carried on the response frame.
+        status: Status,
+        /// Optional diagnostic payload from the server.
+        detail: String,
+    },
+    /// The connection closed while a call was in flight.
+    ConnectionClosed,
+    /// A call did not complete within its deadline.
+    TimedOut,
+    /// The server or client is shutting down.
+    ShuttingDown,
+}
+
+impl RpcError {
+    /// Builds a [`RpcError::Remote`] from a response status.
+    pub fn remote(status: Status) -> RpcError {
+        RpcError::Remote { status, detail: String::new() }
+    }
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Io(e) => write!(f, "socket error: {e}"),
+            RpcError::Decode(e) => write!(f, "decode error: {e}"),
+            RpcError::Remote { status, detail } if detail.is_empty() => {
+                write!(f, "remote error: {status}")
+            }
+            RpcError::Remote { status, detail } => {
+                write!(f, "remote error: {status} ({detail})")
+            }
+            RpcError::ConnectionClosed => write!(f, "connection closed with call in flight"),
+            RpcError::TimedOut => write!(f, "call timed out"),
+            RpcError::ShuttingDown => write!(f, "endpoint is shutting down"),
+        }
+    }
+}
+
+impl Error for RpcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RpcError::Io(e) => Some(e),
+            RpcError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RpcError {
+    fn from(e: io::Error) -> RpcError {
+        RpcError::Io(e)
+    }
+}
+
+impl From<DecodeError> for RpcError {
+    fn from(e: DecodeError) -> RpcError {
+        RpcError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let io_err = RpcError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(io_err.to_string().contains("boom"));
+        assert!(RpcError::remote(Status::AppError).to_string().contains("application error"));
+        assert!(RpcError::ConnectionClosed.to_string().contains("closed"));
+        assert!(RpcError::TimedOut.to_string().contains("timed out"));
+        assert!(RpcError::ShuttingDown.to_string().contains("shutting down"));
+        let detailed = RpcError::Remote { status: Status::BadRequest, detail: "why".into() };
+        assert!(detailed.to_string().contains("why"));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        let e = RpcError::from(DecodeError::BadMagic);
+        assert!(e.source().is_some());
+        assert!(RpcError::TimedOut.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RpcError>();
+    }
+}

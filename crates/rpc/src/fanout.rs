@@ -1,0 +1,361 @@
+//! Scatter–gather fan-out to leaf microservers with count-down merge.
+//!
+//! The mid-tier "must manage fan-out of a single incoming query to many
+//! leaf microservers" (paper §I). [`FanoutGroup`] holds one asynchronous
+//! client per leaf; [`FanoutGroup::scatter`] issues all leaf requests and
+//! arranges for the completion closure to run on the thread that receives
+//! the **last** leaf response. All earlier response threads do negligible
+//! work — stash the payload, decrement a counter — exactly the paper's
+//! design ("we do not explicitly dispatch responses, as all but the last
+//! response thread do negligible work").
+
+use crate::client::RpcClient;
+use crate::error::RpcError;
+use musuite_telemetry::clock::Clock;
+use parking_lot::Mutex;
+use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The gathered outcome of one scatter: per-leaf results in request order
+/// plus the wall-clock time the fan-out took (used to attribute leaf time
+/// vs. mid-tier time in the `Net` stage).
+#[derive(Debug)]
+pub struct FanoutResult {
+    /// One entry per scattered request, in the order they were passed.
+    pub replies: Vec<Result<Vec<u8>, RpcError>>,
+    /// Nanoseconds from scatter to last response.
+    pub elapsed_ns: u64,
+}
+
+impl FanoutResult {
+    /// Returns the payloads of successful replies, dropping failures.
+    pub fn successes(self) -> Vec<Vec<u8>> {
+        self.replies.into_iter().filter_map(Result::ok).collect()
+    }
+
+    /// Returns `true` if every leaf replied successfully.
+    pub fn all_ok(&self) -> bool {
+        self.replies.iter().all(Result::is_ok)
+    }
+}
+
+struct ScatterState {
+    remaining: AtomicUsize,
+    replies: Mutex<Vec<Option<Result<Vec<u8>, RpcError>>>>,
+    on_complete: Mutex<Option<Box<dyn FnOnce(FanoutResult) + Send>>>,
+    started_at_ns: u64,
+    clock: Clock,
+}
+
+impl ScatterState {
+    fn arrive(&self, slot: usize, result: Result<Vec<u8>, RpcError>) {
+        self.replies.lock()[slot] = Some(result);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last response: merge here, on the response pick-up thread.
+            let callback = self.on_complete.lock().take();
+            if let Some(callback) = callback {
+                let replies = self
+                    .replies
+                    .lock()
+                    .iter_mut()
+                    .map(|slot| slot.take().expect("all slots filled at count-down zero"))
+                    .collect();
+                let elapsed_ns = self.clock.now_ns().saturating_sub(self.started_at_ns);
+                callback(FanoutResult { replies, elapsed_ns });
+            }
+        }
+    }
+}
+
+/// The connections to one leaf: a small pool used round-robin, mirroring
+/// the paper's "one TCP connection to a given destination per thread"
+/// (one connection per response pick-up thread here).
+struct LeafConns {
+    conns: Vec<Arc<RpcClient>>,
+    next: AtomicUsize,
+}
+
+impl LeafConns {
+    fn pick(&self) -> &Arc<RpcClient> {
+        let i = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        &self.conns[i % self.conns.len()]
+    }
+}
+
+/// A set of asynchronous clients, one connection pool per leaf
+/// microserver.
+pub struct FanoutGroup {
+    leaves: Vec<LeafConns>,
+    clock: Clock,
+}
+
+impl FanoutGroup {
+    /// Connects one connection to every leaf address, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first connection error encountered.
+    pub fn connect<A: ToSocketAddrs>(addrs: &[A]) -> Result<FanoutGroup, RpcError> {
+        Self::connect_pooled(addrs, 1)
+    }
+
+    /// Connects `conns_per_leaf` connections to every leaf. Each extra
+    /// connection brings its own response pick-up thread, spreading leaf
+    /// responses (and the merge work done on the last one) across threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first connection error encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conns_per_leaf` is zero.
+    pub fn connect_pooled<A: ToSocketAddrs>(
+        addrs: &[A],
+        conns_per_leaf: usize,
+    ) -> Result<FanoutGroup, RpcError> {
+        assert!(conns_per_leaf > 0, "need at least one connection per leaf");
+        let mut leaves = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let mut conns = Vec::with_capacity(conns_per_leaf);
+            for _ in 0..conns_per_leaf {
+                conns.push(Arc::new(RpcClient::connect(addr)?));
+            }
+            leaves.push(LeafConns { conns, next: AtomicUsize::new(0) });
+        }
+        Ok(FanoutGroup { leaves, clock: Clock::new() })
+    }
+
+    /// Builds a group from pre-connected clients, one per leaf.
+    pub fn from_clients(clients: Vec<Arc<RpcClient>>) -> FanoutGroup {
+        FanoutGroup {
+            leaves: clients
+                .into_iter()
+                .map(|client| LeafConns { conns: vec![client], next: AtomicUsize::new(0) })
+                .collect(),
+            clock: Clock::new(),
+        }
+    }
+
+    /// Number of leaves in the group.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Returns `true` if the group has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// A client for leaf `index` (round-robin over its pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn client(&self, index: usize) -> &Arc<RpcClient> {
+        self.leaves[index].pick()
+    }
+
+    /// Scatters `requests` — `(leaf index, method, payload)` triples — and
+    /// runs `on_complete` on the response thread that receives the final
+    /// reply.
+    ///
+    /// An empty request list completes immediately on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any leaf index is out of bounds.
+    pub fn scatter<F>(&self, requests: Vec<(usize, u32, Vec<u8>)>, on_complete: F)
+    where
+        F: FnOnce(FanoutResult) + Send + 'static,
+    {
+        if requests.is_empty() {
+            on_complete(FanoutResult { replies: Vec::new(), elapsed_ns: 0 });
+            return;
+        }
+        for (leaf, _, _) in &requests {
+            assert!(*leaf < self.leaves.len(), "leaf index {leaf} out of bounds");
+        }
+        let state = Arc::new(ScatterState {
+            remaining: AtomicUsize::new(requests.len()),
+            replies: Mutex::new((0..requests.len()).map(|_| None).collect()),
+            on_complete: Mutex::new(Some(Box::new(on_complete))),
+            started_at_ns: self.clock.now_ns(),
+            clock: self.clock,
+        });
+        for (slot, (leaf, method, payload)) in requests.into_iter().enumerate() {
+            let state = state.clone();
+            self.leaves[leaf].pick().call_async(method, payload, move |result| {
+                state.arrive(slot, result);
+            });
+        }
+    }
+
+    /// Scatters the same `(method, payload)` to **every** leaf.
+    pub fn broadcast<F>(&self, method: u32, payload: Vec<u8>, on_complete: F)
+    where
+        F: FnOnce(FanoutResult) + Send + 'static,
+    {
+        let requests = (0..self.leaves.len())
+            .map(|leaf| (leaf, method, payload.clone()))
+            .collect();
+        self.scatter(requests, on_complete);
+    }
+
+    /// Scatters and blocks the calling thread until the merge completes —
+    /// convenience for tests and synchronous front-ends.
+    pub fn scatter_wait(&self, requests: Vec<(usize, u32, Vec<u8>)>) -> FanoutResult {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.scatter(requests, move |result| {
+            let _ = tx.send(result);
+        });
+        rx.recv().expect("scatter completion always runs")
+    }
+}
+
+impl std::fmt::Debug for FanoutGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutGroup").field("leaves", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use crate::server::Server;
+    use crate::service::{RequestContext, Service};
+
+    /// Replies with its configured id plus the request payload.
+    struct TaggedEcho(u8);
+    impl Service for TaggedEcho {
+        fn call(&self, ctx: RequestContext) {
+            let mut reply = vec![self.0];
+            reply.extend_from_slice(ctx.payload());
+            ctx.respond_ok(reply);
+        }
+    }
+
+    fn leaf_cluster(n: u8) -> (Vec<Server>, FanoutGroup) {
+        let servers: Vec<Server> = (0..n)
+            .map(|i| Server::spawn(ServerConfig::default(), Arc::new(TaggedEcho(i))).unwrap())
+            .collect();
+        let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+        let group = FanoutGroup::connect(&addrs).unwrap();
+        (servers, group)
+    }
+
+    #[test]
+    fn scatter_gathers_in_request_order() {
+        let (_servers, group) = leaf_cluster(4);
+        let requests = (0..4).map(|leaf| (leaf, 1u32, vec![9u8])).collect();
+        let result = group.scatter_wait(requests);
+        assert!(result.all_ok());
+        assert!(result.elapsed_ns > 0);
+        let replies = result.successes();
+        for (leaf, reply) in replies.iter().enumerate() {
+            assert_eq!(reply, &[leaf as u8, 9]);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_every_leaf() {
+        let (_servers, group) = leaf_cluster(3);
+        let (tx, rx) = std::sync::mpsc::channel();
+        group.broadcast(2, b"all".to_vec(), move |result| {
+            tx.send(result).unwrap();
+        });
+        let result = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert_eq!(result.replies.len(), 3);
+        assert!(result.all_ok());
+    }
+
+    #[test]
+    fn empty_scatter_completes_immediately() {
+        let (_servers, group) = leaf_cluster(1);
+        let result = group.scatter_wait(Vec::new());
+        assert!(result.replies.is_empty());
+        assert_eq!(result.elapsed_ns, 0);
+    }
+
+    #[test]
+    fn repeated_requests_to_same_leaf() {
+        let (_servers, group) = leaf_cluster(2);
+        let requests = vec![
+            (1usize, 1u32, vec![1]),
+            (1, 1, vec![2]),
+            (0, 1, vec![3]),
+        ];
+        let result = group.scatter_wait(requests);
+        let replies = result.successes();
+        assert_eq!(replies[0], vec![1, 1]);
+        assert_eq!(replies[1], vec![1, 2]);
+        assert_eq!(replies[2], vec![0, 3]);
+    }
+
+    #[test]
+    fn dead_leaf_fails_that_slot_only() {
+        let (servers, group) = leaf_cluster(3);
+        // Kill leaf 1.
+        servers[1].shutdown();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let requests = (0..3).map(|leaf| (leaf, 1u32, vec![5u8])).collect();
+        let result = group.scatter_wait(requests);
+        assert!(result.replies[0].is_ok());
+        assert!(result.replies[1].is_err());
+        assert!(result.replies[2].is_ok());
+        assert!(!result.all_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_leaf_panics() {
+        let (_servers, group) = leaf_cluster(1);
+        group.scatter_wait(vec![(5, 1, Vec::new())]);
+    }
+
+    #[test]
+    fn pooled_connections_round_trip_and_rotate() {
+        let servers: Vec<Server> = (0..2)
+            .map(|i| Server::spawn(ServerConfig::default(), Arc::new(TaggedEcho(i))).unwrap())
+            .collect();
+        let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+        let group = FanoutGroup::connect_pooled(&addrs, 3).unwrap();
+        assert_eq!(group.len(), 2);
+        // Repeated picks must rotate through distinct connections.
+        let a = Arc::as_ptr(group.client(0));
+        let b = Arc::as_ptr(group.client(0));
+        let c = Arc::as_ptr(group.client(0));
+        let d = Arc::as_ptr(group.client(0));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(a, d, "pool of 3 wraps after 3 picks");
+        for round in 0..10u8 {
+            let result = group.scatter_wait(vec![(0, 1, vec![round]), (1, 1, vec![round])]);
+            assert!(result.all_ok());
+        }
+        // Each leaf saw its 10 requests spread over 3 connections.
+        assert_eq!(servers[0].stats().requests(), 10);
+    }
+
+    #[test]
+    fn many_concurrent_scatters() {
+        let (_servers, group) = leaf_cluster(4);
+        let group = Arc::new(group);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let group = group.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..20u8 {
+                    let requests = (0..4).map(|leaf| (leaf, 1u32, vec![round])).collect();
+                    let result = group.scatter_wait(requests);
+                    assert!(result.all_ok());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Threaded RPC framework for μSuite-rs — the gRPC substitute.
+//!
+//! μSuite's object of study is the mid-tier microserver's software
+//! architecture around its RPC platform (paper §IV, Fig. 8):
+//!
+//! * **blocking network pollers** that wait for work on the front-end
+//!   socket and yield the CPU when idle,
+//! * a **dispatch queue** that hands requests from network threads to a
+//!   **worker thread pool** via producer–consumer queues and condition
+//!   variables,
+//! * **asynchronous leaf clients** whose RPC state is explicit (an
+//!   in-flight table keyed by request id, not a blocked thread), and
+//! * **response threads** that pick up leaf responses, count down, and
+//!   merge on the last arrival.
+//!
+//! This crate implements exactly that architecture over real TCP sockets
+//! and real OS threads, with every latency-relevant hand-off instrumented
+//! through `musuite_telemetry`:
+//!
+//! | Paper concept | Type here |
+//! |---------------|-----------|
+//! | network poller threads | [`server::Server`] per-connection pollers |
+//! | producer–consumer task queue | [`queue::DispatchQueue`] |
+//! | worker thread pool | [`server::Server`] workers |
+//! | async leaf clients | [`client::RpcClient::call_async`] |
+//! | response threads | [`client::RpcClient`] reader threads |
+//! | fan-out + count-down merge | [`fanout::FanoutGroup`] |
+//! | block- vs poll-based designs (§VII) | [`config::WaitMode`] |
+//! | inline vs dispatch designs (§VII) | [`config::ExecutionModel`] |
+//!
+//! # Examples
+//!
+//! ```
+//! use musuite_rpc::{RpcClient, Server, ServerConfig, Service, RequestContext};
+//! use std::sync::Arc;
+//!
+//! struct Echo;
+//! impl Service for Echo {
+//!     fn call(&self, ctx: RequestContext) {
+//!         let payload = ctx.payload().to_vec();
+//!         ctx.respond_ok(payload);
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), musuite_rpc::RpcError> {
+//! let server = Server::spawn(ServerConfig::default(), Arc::new(Echo))?;
+//! let client = RpcClient::connect(server.local_addr())?;
+//! let reply = client.call(7, b"ping".to_vec())?;
+//! assert_eq!(reply, b"ping");
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod fanout;
+pub mod queue;
+pub mod server;
+pub mod service;
+pub mod stats;
+
+pub use client::RpcClient;
+pub use config::{ExecutionModel, ServerConfig, WaitMode};
+pub use error::RpcError;
+pub use fanout::FanoutGroup;
+pub use musuite_codec::{Frame, Status};
+pub use queue::DispatchQueue;
+pub use server::Server;
+pub use service::{RequestContext, Service};
+pub use stats::ServerStats;

@@ -1,0 +1,464 @@
+//! The threaded RPC server: network pollers, dispatch queue, worker pool.
+//!
+//! One poller thread per connection blocks on the socket awaiting frames
+//! (the paper's "blocking on the front-end network socket"); complete
+//! requests are either enqueued for the worker pool
+//! ([`ExecutionModel::Dispatch`]) or handled directly on the poller
+//! ([`ExecutionModel::Inline`]). Workers park on the queue's condition
+//! variable when idle, exactly the structure whose futex and wakeup
+//! overheads the paper characterizes.
+
+use crate::config::{ExecutionModel, ServerConfig};
+use crate::error::RpcError;
+use crate::queue::DispatchQueue;
+use crate::service::{RequestContext, Service};
+use crate::stats::ServerStats;
+use musuite_codec::frame::{Frame, FrameKind, HEADER_LEN, MAGIC, MAX_FRAME_LEN};
+use musuite_codec::Status;
+use musuite_telemetry::breakdown::Stage;
+use musuite_telemetry::clock::Clock;
+use musuite_telemetry::counters::{OsOp, OsOpCounters};
+use musuite_telemetry::sync::CountedMutex;
+use parking_lot::Mutex;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running RPC server.
+///
+/// Dropping the server shuts it down and joins every thread it spawned.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_rpc::{Server, ServerConfig, Service, RequestContext};
+/// use std::sync::Arc;
+///
+/// struct Echo;
+/// impl Service for Echo {
+///     fn call(&self, ctx: RequestContext) {
+///         let bytes = ctx.payload().to_vec();
+///         ctx.respond_ok(bytes);
+///     }
+/// }
+///
+/// # fn main() -> Result<(), musuite_rpc::RpcError> {
+/// let server = Server::spawn(ServerConfig::default(), Arc::new(Echo))?;
+/// assert_ne!(server.local_addr().port(), 0);
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct Server {
+    local_addr: SocketAddr,
+    stats: ServerStats,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    pollers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    queue: DispatchQueue<RequestContext>,
+}
+
+impl Server {
+    /// Binds the configured address and spawns the accept loop and worker
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bind address is invalid or in use.
+    pub fn spawn(config: ServerConfig, service: Arc<dyn Service>) -> Result<Server, RpcError> {
+        let listener = TcpListener::bind(config.addr())?;
+        let local_addr = listener.local_addr()?;
+        let stats = ServerStats::new();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = DispatchQueue::new(config.queue_capacity_value(), config.wait_mode_value())
+            .with_breakdown(stats.breakdown().clone());
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let pollers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut worker_handles = Vec::new();
+        if config.execution_model_value() == ExecutionModel::Dispatch {
+            for i in 0..config.worker_count() {
+                let queue = queue.clone();
+                let service = service.clone();
+                OsOpCounters::global().incr(OsOp::Clone);
+                worker_handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("musuite-worker-{i}"))
+                        .spawn(move || {
+                            while let Some(ctx) = queue.pop() {
+                                service.call(ctx);
+                            }
+                        })
+                        .expect("spawn worker thread"),
+                );
+            }
+        }
+
+        let accept_handle = {
+            let shutdown = shutdown.clone();
+            let stats = stats.clone();
+            let queue = queue.clone();
+            let conns = conns.clone();
+            let pollers = pollers.clone();
+            let model = config.execution_model_value();
+            OsOpCounters::global().incr(OsOp::Clone);
+            std::thread::Builder::new()
+                .name("musuite-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        OsOpCounters::global().incr(OsOp::OpenAt);
+                        stream.set_nodelay(true).ok();
+                        let Ok(read_half) = stream.try_clone() else { continue };
+                        conns.lock().push(stream.try_clone().expect("clone registered stream"));
+                        let poller = spawn_poller(
+                            read_half,
+                            stream,
+                            stats.clone(),
+                            queue.clone(),
+                            service.clone(),
+                            model,
+                            shutdown.clone(),
+                        );
+                        pollers.lock().push(poller);
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            local_addr,
+            stats,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            pollers,
+            conns,
+            queue,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared telemetry for this server.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stops accepting, closes every connection, drains the worker pool,
+    /// and joins all threads. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        // Unblock pollers parked in read().
+        for conn in self.conns.lock().iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        self.queue.close();
+    }
+
+    fn join_all(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        let pollers: Vec<_> = std::mem::take(&mut *self.pollers.lock());
+        for handle in pollers {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.join_all();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_poller(
+    mut read_half: TcpStream,
+    write_half: TcpStream,
+    stats: ServerStats,
+    queue: DispatchQueue<RequestContext>,
+    service: Arc<dyn Service>,
+    model: ExecutionModel,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    OsOpCounters::global().incr(OsOp::Clone);
+    let writer = Arc::new(CountedMutex::new(write_half));
+    std::thread::Builder::new()
+        .name("musuite-poller".to_string())
+        .spawn(move || {
+            let clock = Clock::new();
+            let counters = OsOpCounters::global();
+            loop {
+                // Wait for readiness: the blocking first-byte read is the
+                // userspace edge of epoll_pwait + hardirq delivery.
+                counters.incr(OsOp::EpollPwait);
+                let mut first = [0u8; 1];
+                if read_half.read_exact(&mut first).is_err() {
+                    break;
+                }
+                // Data has arrived; everything from here to a parsed frame
+                // is the Net_rx stage.
+                let rx_start = clock.now_ns();
+                counters.incr(OsOp::RecvMsg);
+                let frame = match read_frame_after_first_byte(&mut read_half, first[0]) {
+                    Ok(frame) => frame,
+                    Err(_) => break,
+                };
+                let received = clock.now_ns();
+                stats
+                    .breakdown()
+                    .record(Stage::NetRx, clock.delta(rx_start, received));
+                if frame.header.kind == FrameKind::OneWay {
+                    service.notify(frame.header.method, frame.payload);
+                    continue;
+                }
+                if frame.header.kind != FrameKind::Request {
+                    continue;
+                }
+                stats.record_request();
+                let ctx = RequestContext::new(frame, received, writer.clone(), stats.clone());
+                match model {
+                    ExecutionModel::Inline => service.call(ctx),
+                    ExecutionModel::Dispatch => {
+                        // The queue holds the context by value; a failed
+                        // push sheds load so saturation does not grow an
+                        // unbounded backlog.
+                        if let Err(ctx) = queue.try_push(ctx) {
+                            stats.record_rejected();
+                            ctx.respond_err(Status::Unavailable, "dispatch queue full");
+                        }
+                    }
+                }
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            counters.incr(OsOp::Close);
+        })
+        .expect("spawn poller thread")
+}
+
+fn read_frame_after_first_byte(stream: &mut TcpStream, first: u8) -> Result<Frame, RpcError> {
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first;
+    stream.read_exact(&mut header[1..])?;
+    if header[..2] != MAGIC {
+        return Err(RpcError::Decode(musuite_codec::DecodeError::BadMagic));
+    }
+    let len = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(RpcError::Decode(musuite_codec::DecodeError::LengthOverflow {
+            declared: len as u64,
+            max: MAX_FRAME_LEN as u64,
+        }));
+    }
+    let mut buf = Vec::with_capacity(HEADER_LEN + len);
+    buf.extend_from_slice(&header);
+    buf.resize(HEADER_LEN + len, 0);
+    stream.read_exact(&mut buf[HEADER_LEN..])?;
+    let (frame, rest) = Frame::parse(&buf)?;
+    debug_assert!(rest.is_empty());
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RpcClient;
+    use crate::config::WaitMode;
+
+    struct Echo;
+    impl Service for Echo {
+        fn call(&self, ctx: RequestContext) {
+            let bytes = ctx.payload().to_vec();
+            ctx.respond_ok(bytes);
+        }
+    }
+
+    #[test]
+    fn spawn_and_shutdown() {
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn echo_roundtrip_dispatch() {
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        let reply = client.call(1, b"hello".to_vec()).unwrap();
+        assert_eq!(reply, b"hello");
+        assert_eq!(server.stats().requests(), 1);
+        assert_eq!(server.stats().responses(), 1);
+    }
+
+    #[test]
+    fn echo_roundtrip_inline() {
+        let mut config = ServerConfig::default();
+        config.execution_model(ExecutionModel::Inline);
+        let server = Server::spawn(config, Arc::new(Echo)).unwrap();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.call(1, b"inline".to_vec()).unwrap(), b"inline");
+    }
+
+    #[test]
+    fn echo_roundtrip_polling_workers() {
+        let mut config = ServerConfig::default();
+        config.wait_mode(WaitMode::Poll).workers(2);
+        let server = Server::spawn(config, Arc::new(Echo)).unwrap();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.call(1, b"poll".to_vec()).unwrap(), b"poll");
+    }
+
+    #[test]
+    fn many_sequential_calls_on_one_connection() {
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        for i in 0..200u32 {
+            let payload = i.to_le_bytes().to_vec();
+            assert_eq!(client.call(2, payload.clone()).unwrap(), payload);
+        }
+        assert_eq!(server.stats().responses(), 200);
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = Arc::new(Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let addr = server.local_addr();
+            handles.push(std::thread::spawn(move || {
+                let client = RpcClient::connect(addr).unwrap();
+                for i in 0..50u32 {
+                    let payload = (t * 1000 + i).to_le_bytes().to_vec();
+                    assert_eq!(client.call(3, payload.clone()).unwrap(), payload);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.stats().responses(), 400);
+    }
+
+    #[test]
+    fn breakdown_stages_populated_after_traffic() {
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        for _ in 0..20 {
+            client.call(1, vec![0u8; 128]).unwrap();
+        }
+        let breakdown = server.stats().breakdown();
+        assert_eq!(breakdown.histogram(Stage::NetRx).count(), 20);
+        assert_eq!(breakdown.histogram(Stage::Block).count(), 20);
+        assert_eq!(breakdown.histogram(Stage::Net).count(), 20);
+        // The final NetTx sample is recorded just after the reply bytes
+        // reach the kernel, so it may trail the client's receive by a hair.
+        assert!(breakdown.histogram(Stage::NetTx).count() >= 19);
+    }
+
+    #[test]
+    fn service_error_surfaces_to_client() {
+        struct Failing;
+        impl Service for Failing {
+            fn call(&self, ctx: RequestContext) {
+                ctx.respond_err(Status::AppError, "deliberate");
+            }
+        }
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Failing)).unwrap();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        let err = client.call(1, Vec::new()).unwrap_err();
+        assert!(matches!(err, RpcError::Remote { status: Status::AppError, .. }));
+    }
+
+    #[test]
+    fn handler_panic_safety_via_drop_response() {
+        // A handler that drops the context without responding must still
+        // unblock the client (AppError from the Drop impl).
+        struct Dropper;
+        impl Service for Dropper {
+            fn call(&self, ctx: RequestContext) {
+                drop(ctx);
+            }
+        }
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Dropper)).unwrap();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        let err = client.call(1, Vec::new()).unwrap_err();
+        assert!(matches!(err, RpcError::Remote { status: Status::AppError, .. }));
+    }
+
+    #[test]
+    fn one_way_notifications_reach_the_service() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        struct Counting {
+            notified: Arc<AtomicU64>,
+        }
+        impl Service for Counting {
+            fn call(&self, ctx: RequestContext) {
+                ctx.respond_ok(Vec::new());
+            }
+            fn notify(&self, method: u32, payload: Vec<u8>) {
+                assert_eq!(method, 9);
+                assert_eq!(payload, b"click");
+                self.notified.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let notified = Arc::new(AtomicU64::new(0));
+        let server = Server::spawn(
+            ServerConfig::default(),
+            Arc::new(Counting { notified: notified.clone() }),
+        )
+        .unwrap();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        for _ in 0..10 {
+            client.notify(9, b"click".to_vec()).unwrap();
+        }
+        // A regular call after the notifications flushes the stream and
+        // proves ordering: all ten one-ways were consumed first.
+        client.call(1, Vec::new()).unwrap();
+        assert_eq!(notified.load(Ordering::Relaxed), 10);
+        assert_eq!(server.stats().requests(), 1, "one-ways are not counted as requests");
+    }
+
+    #[test]
+    fn garbage_bytes_close_connection_without_crash() {
+        use std::io::Write;
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+        let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+        raw.write_all(b"this is not a frame at all............").unwrap();
+        // The poller detects bad magic and drops the connection; a healthy
+        // client must still work.
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.call(1, b"ok".to_vec()).unwrap(), b"ok");
+    }
+}

@@ -1,0 +1,309 @@
+//! The server-side service abstraction: handlers with *explicit* RPC state.
+//!
+//! μSuite services are asynchronous: "there is no association between an
+//! execution thread and a particular RPC — all RPC state is explicit"
+//! (paper §IV). A handler therefore receives a [`RequestContext`] it can
+//! move into closures (e.g. a leaf fan-out completion); whichever thread
+//! ends up holding the context completes the RPC by calling
+//! [`RequestContext::respond_ok`]. Mid-tier handlers typically hand the
+//! context to the *last* leaf-response thread, which merges and responds —
+//! the worker moves on to the next request immediately after issuing the
+//! fan-out.
+
+use crate::stats::ServerStats;
+use musuite_codec::{Frame, Status};
+use musuite_telemetry::breakdown::Stage;
+use musuite_telemetry::clock::Clock;
+use musuite_telemetry::counters::{OsOp, OsOpCounters};
+use musuite_telemetry::sync::CountedMutex;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A request handler.
+///
+/// Handlers run on worker threads (dispatch model) or network pollers
+/// (inline model). They receive ownership of the [`RequestContext`] and
+/// must eventually complete it — either synchronously before returning or
+/// from another thread (a dropped, uncompleted context automatically
+/// responds with [`Status::AppError`] so clients never hang).
+pub trait Service: Send + Sync + 'static {
+    /// Handles one request.
+    fn call(&self, ctx: RequestContext);
+
+    /// Handles a one-way notification (no response channel). The default
+    /// implementation drops it; services that accept fire-and-forget
+    /// traffic (click tracking, cache invalidation) override this.
+    fn notify(&self, method: u32, payload: Vec<u8>) {
+        let _ = (method, payload);
+    }
+}
+
+impl<F> Service for F
+where
+    F: Fn(RequestContext) + Send + Sync + 'static,
+{
+    fn call(&self, ctx: RequestContext) {
+        self(ctx)
+    }
+}
+
+#[cfg(test)]
+mod notify_tests {
+    use super::*;
+
+    #[test]
+    fn default_notify_is_a_no_op() {
+        struct Quiet;
+        impl Service for Quiet {
+            fn call(&self, ctx: RequestContext) {
+                ctx.respond_ok(Vec::new());
+            }
+        }
+        Quiet.notify(1, vec![1, 2, 3]);
+    }
+}
+
+/// Shared, mutex-guarded write half of a connection.
+pub(crate) type SharedWriter = Arc<CountedMutex<TcpStream>>;
+
+/// Everything a handler needs to process and complete one RPC.
+///
+/// The context is completed at most once; completing it responds on the
+/// originating connection. If a handler drops the context without
+/// responding, an [`Status::AppError`] response is sent so the client is
+/// never left waiting.
+#[derive(Debug)]
+pub struct RequestContext {
+    method: u32,
+    request_id: u64,
+    payload: Vec<u8>,
+    received_at_ns: u64,
+    leaf_ns: Arc<AtomicU64>,
+    writer: SharedWriter,
+    stats: ServerStats,
+    clock: Clock,
+    completed: bool,
+}
+
+impl RequestContext {
+    pub(crate) fn new(
+        frame: Frame,
+        received_at_ns: u64,
+        writer: SharedWriter,
+        stats: ServerStats,
+    ) -> RequestContext {
+        RequestContext {
+            method: frame.header.method,
+            request_id: frame.header.request_id,
+            payload: frame.payload,
+            received_at_ns,
+            leaf_ns: Arc::new(AtomicU64::new(0)),
+            writer,
+            stats,
+            clock: Clock::new(),
+            completed: false,
+        }
+    }
+
+    /// The method id the client invoked.
+    pub fn method(&self) -> u32 {
+        self.method
+    }
+
+    /// The client's request id (unique per connection).
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// The request payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Takes ownership of the payload, leaving it empty.
+    pub fn take_payload(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.payload)
+    }
+
+    /// Monotonic timestamp at which the request was fully read.
+    pub fn received_at_ns(&self) -> u64 {
+        self.received_at_ns
+    }
+
+    /// The server's stage-breakdown recorder, for handlers that attribute
+    /// additional stages (e.g. fan-out issue and merge time).
+    pub fn breakdown(&self) -> &musuite_telemetry::breakdown::BreakdownRecorder {
+        self.stats.breakdown()
+    }
+
+    /// Attributes `ns` of this request's latency to waiting on leaves,
+    /// excluding it from the `Net` (mid-tier) stage. Called by the fan-out
+    /// helper.
+    pub fn add_leaf_time_ns(&self, ns: u64) {
+        self.leaf_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Completes the RPC successfully with `payload`.
+    pub fn respond_ok(self, payload: Vec<u8>) {
+        self.respond(Status::Ok, payload);
+    }
+
+    /// Completes the RPC with an error status and diagnostic bytes.
+    pub fn respond_err(self, status: Status, detail: impl Into<Vec<u8>>) {
+        self.respond(status, detail.into());
+    }
+
+    /// Completes the RPC with an explicit status.
+    pub fn respond(mut self, status: Status, payload: Vec<u8>) {
+        self.completed = true;
+        self.send_response(status, payload);
+    }
+
+    fn send_response(&self, status: Status, payload: Vec<u8>) {
+        let frame = Frame::response(self.request_id, self.method, status, payload);
+        let bytes = frame.to_bytes();
+        let tx_start = self.clock.now_ns();
+        // Account the response *before* the bytes hit the wire: the moment
+        // `write_all` hands the frame to the kernel, the client can observe
+        // completion, and observers expect the server's counters to already
+        // reflect it.
+        let total = tx_start.saturating_sub(self.received_at_ns);
+        let leaf = self.leaf_ns.load(Ordering::Relaxed);
+        let breakdown = self.stats.breakdown();
+        breakdown.record_ns(Stage::Net, total.saturating_sub(leaf));
+        self.stats
+            .record_response(self.clock.delta(self.received_at_ns, tx_start));
+        {
+            let mut stream = self.writer.lock();
+            OsOpCounters::global().incr(OsOp::SendMsg);
+            // A send failure means the client went away; there is nobody
+            // left to report the error to, so it is intentionally dropped.
+            let _ = stream.write_all(&bytes);
+            // NetTx is recorded inside the lock so the sample pairs with
+            // this frame's write rather than a competing response's.
+            breakdown.record(Stage::NetTx, self.clock.delta(tx_start, self.clock.now_ns()));
+        }
+    }
+}
+
+impl Drop for RequestContext {
+    fn drop(&mut self) {
+        if !self.completed {
+            // C-DTOR-FAIL: never panic here; make a best effort to unblock
+            // the client.
+            self.completed = true;
+            self.send_response(Status::AppError, Vec::new());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musuite_codec::FrameKind;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    fn context_for(stream: TcpStream, stats: &ServerStats) -> RequestContext {
+        let frame = Frame::request(11, 5, b"req".to_vec());
+        RequestContext::new(
+            frame,
+            Clock::new().now_ns(),
+            Arc::new(CountedMutex::new(stream)),
+            stats.clone(),
+        )
+    }
+
+    fn read_response(stream: &mut TcpStream) -> Frame {
+        let mut bytes = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            let n = stream.read(&mut buf).unwrap();
+            bytes.extend_from_slice(&buf[..n]);
+            if let Ok((frame, _)) = Frame::parse(&bytes) {
+                return frame;
+            }
+        }
+    }
+
+    #[test]
+    fn respond_ok_writes_response_frame() {
+        let (mut client, server_side) = loopback_pair();
+        let stats = ServerStats::new();
+        let ctx = context_for(server_side, &stats);
+        assert_eq!(ctx.method(), 5);
+        assert_eq!(ctx.request_id(), 11);
+        assert_eq!(ctx.payload(), b"req");
+        ctx.respond_ok(b"resp".to_vec());
+        let frame = read_response(&mut client);
+        assert_eq!(frame.header.kind, FrameKind::Response);
+        assert_eq!(frame.header.request_id, 11);
+        assert_eq!(frame.header.status, Status::Ok);
+        assert_eq!(frame.payload, b"resp");
+        assert_eq!(stats.responses(), 1);
+    }
+
+    #[test]
+    fn dropped_context_sends_app_error() {
+        let (mut client, server_side) = loopback_pair();
+        let stats = ServerStats::new();
+        {
+            let _ctx = context_for(server_side, &stats);
+            // dropped without responding
+        }
+        let frame = read_response(&mut client);
+        assert_eq!(frame.header.status, Status::AppError);
+    }
+
+    #[test]
+    fn respond_err_carries_detail() {
+        let (mut client, server_side) = loopback_pair();
+        let stats = ServerStats::new();
+        let ctx = context_for(server_side, &stats);
+        ctx.respond_err(Status::BadRequest, "bad field");
+        let frame = read_response(&mut client);
+        assert_eq!(frame.header.status, Status::BadRequest);
+        assert_eq!(frame.payload, b"bad field");
+    }
+
+    #[test]
+    fn leaf_time_reduces_net_stage() {
+        let (_client, server_side) = loopback_pair();
+        let stats = ServerStats::new();
+        let ctx = context_for(server_side, &stats);
+        ctx.add_leaf_time_ns(u64::MAX / 2); // enormous leaf time
+        ctx.respond_ok(Vec::new());
+        let net = stats.breakdown().histogram(Stage::Net);
+        assert_eq!(net.count(), 1);
+        // total - leaf saturates to ~0 because leaf time exceeds total.
+        assert!(net.max() < std::time::Duration::from_millis(1));
+    }
+
+    #[test]
+    fn take_payload_moves_bytes() {
+        let (_client, server_side) = loopback_pair();
+        let stats = ServerStats::new();
+        let mut ctx = context_for(server_side, &stats);
+        let payload = ctx.take_payload();
+        assert_eq!(payload, b"req");
+        assert!(ctx.payload().is_empty());
+        ctx.respond_ok(Vec::new());
+    }
+
+    #[test]
+    fn closure_is_a_service() {
+        fn assert_service<S: Service>(_s: &S) {}
+        let echo = |ctx: RequestContext| ctx.respond_ok(Vec::new());
+        assert_service(&echo);
+    }
+}

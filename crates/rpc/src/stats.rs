@@ -1,0 +1,141 @@
+//! Per-server telemetry aggregation.
+
+use musuite_telemetry::breakdown::BreakdownRecorder;
+use musuite_telemetry::histogram::LatencyHistogram;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Default)]
+struct Inner {
+    requests: AtomicU64,
+    responses: AtomicU64,
+    rejected: AtomicU64,
+    service_time: Mutex<LatencyHistogram>,
+}
+
+/// Shared counters and latency recorders for one server.
+///
+/// Cloning is cheap; clones share storage. One instance is distributed to
+/// the server's pollers, workers, and response handles.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_rpc::ServerStats;
+///
+/// let stats = ServerStats::new();
+/// stats.record_request();
+/// assert_eq!(stats.requests(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct ServerStats {
+    inner: Arc<Inner>,
+    breakdown: BreakdownRecorder,
+}
+
+impl ServerStats {
+    /// Creates a zeroed stats bundle.
+    pub fn new() -> ServerStats {
+        ServerStats::default()
+    }
+
+    /// Counts an accepted request.
+    pub fn record_request(&self) {
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a completed response with its server-side service time.
+    pub fn record_response(&self, service_time: Duration) {
+        self.inner.responses.fetch_add(1, Ordering::Relaxed);
+        self.inner.service_time.lock().record(service_time);
+    }
+
+    /// Counts a request shed because the dispatch queue was full.
+    pub fn record_rejected(&self) {
+        self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests accepted so far.
+    pub fn requests(&self) -> u64 {
+        self.inner.requests.load(Ordering::Relaxed)
+    }
+
+    /// Responses completed so far.
+    pub fn responses(&self) -> u64 {
+        self.inner.responses.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed so far.
+    pub fn rejected(&self) -> u64 {
+        self.inner.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the server-side service-time histogram.
+    pub fn service_time(&self) -> LatencyHistogram {
+        self.inner.service_time.lock().clone()
+    }
+
+    /// The stage-breakdown recorder shared with queue and I/O paths.
+    pub fn breakdown(&self) -> &BreakdownRecorder {
+        &self.breakdown
+    }
+
+    /// Clears all counters and histograms.
+    pub fn reset(&self) {
+        self.inner.requests.store(0, Ordering::Relaxed);
+        self.inner.responses.store(0, Ordering::Relaxed);
+        self.inner.rejected.store(0, Ordering::Relaxed);
+        self.inner.service_time.lock().reset();
+        self.breakdown.reset();
+    }
+}
+
+impl fmt::Debug for ServerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerStats")
+            .field("requests", &self.requests())
+            .field("responses", &self.responses())
+            .field("rejected", &self.rejected())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ServerStats::new();
+        s.record_request();
+        s.record_request();
+        s.record_response(Duration::from_micros(5));
+        s.record_rejected();
+        assert_eq!(s.requests(), 2);
+        assert_eq!(s.responses(), 1);
+        assert_eq!(s.rejected(), 1);
+        assert_eq!(s.service_time().count(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = ServerStats::new();
+        let clone = s.clone();
+        clone.record_request();
+        assert_eq!(s.requests(), 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = ServerStats::new();
+        s.record_request();
+        s.record_response(Duration::from_micros(1));
+        s.reset();
+        assert_eq!(s.requests(), 0);
+        assert_eq!(s.responses(), 0);
+        assert!(s.service_time().is_empty());
+    }
+}

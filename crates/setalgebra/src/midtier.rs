@@ -1,0 +1,90 @@
+//! The Set Algebra mid-tier: broadcast terms, union shard results.
+//!
+//! "The mid-tier forwards client queries of search terms to the leaves,
+//! which return intersected posting lists … it then merges intersected
+//! posting lists received from all leaves via set union operations" (paper
+//! §III-C). The mid-tier's own compute is the k-way union — small, like
+//! all μSuite mid-tier work, which is what makes OS overheads dominant.
+
+use crate::protocol::{PostingList, TermQuery};
+use crate::union_merge::union_sorted;
+use musuite_core::error::ServiceError;
+use musuite_core::midtier::{MidTierHandler, Plan};
+use musuite_rpc::RpcError;
+
+/// The broadcast-and-union mid-tier microservice.
+#[derive(Debug, Default)]
+pub struct SetAlgebraMidTier;
+
+impl SetAlgebraMidTier {
+    /// Creates the mid-tier handler.
+    pub fn new() -> SetAlgebraMidTier {
+        SetAlgebraMidTier
+    }
+}
+
+impl MidTierHandler for SetAlgebraMidTier {
+    type Request = TermQuery;
+    type Response = PostingList;
+    type LeafRequest = TermQuery;
+    type LeafResponse = PostingList;
+
+    fn plan(&self, request: &TermQuery, leaves: usize) -> Plan<TermQuery> {
+        (0..leaves).map(|leaf| (leaf, request.clone())).collect()
+    }
+
+    fn merge(
+        &self,
+        _request: TermQuery,
+        replies: Vec<Result<PostingList, RpcError>>,
+    ) -> Result<PostingList, ServiceError> {
+        // Document retrieval must not silently drop a shard: a missing
+        // shard means missing documents, so any leaf failure is an error.
+        let mut lists = Vec::with_capacity(replies.len());
+        for reply in replies {
+            lists.push(reply.map_err(|e| ServiceError::unavailable(e.to_string()))?.docs);
+        }
+        Ok(PostingList { docs: union_sorted(lists) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_broadcasts_to_all_leaves() {
+        let mid = SetAlgebraMidTier::new();
+        let plan = mid.plan(&TermQuery { terms: vec![1, 2] }, 4);
+        assert_eq!(plan.len(), 4);
+        assert!(plan.iter().all(|(_, q)| q.terms == vec![1, 2]));
+        let leaves: Vec<usize> = plan.iter().map(|(leaf, _)| *leaf).collect();
+        assert_eq!(leaves, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_unions_shard_results() {
+        let mid = SetAlgebraMidTier::new();
+        let merged = mid
+            .merge(
+                TermQuery::default(),
+                vec![
+                    Ok(PostingList { docs: vec![0, 4] }),
+                    Ok(PostingList { docs: vec![1, 5] }),
+                    Ok(PostingList { docs: vec![2] }),
+                ],
+            )
+            .unwrap();
+        assert_eq!(merged.docs, vec![0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn merge_fails_on_any_shard_failure() {
+        let mid = SetAlgebraMidTier::new();
+        let result = mid.merge(
+            TermQuery::default(),
+            vec![Ok(PostingList { docs: vec![1] }), Err(RpcError::TimedOut)],
+        );
+        assert!(result.is_err(), "a lost shard means lost documents");
+    }
+}

@@ -1,0 +1,71 @@
+//! Typed wire messages for Set Algebra.
+
+use musuite_codec::{Decode, DecodeError, Encode};
+use musuite_data::text::{DocId, TermId};
+
+/// A search query: the terms whose posting lists must all contain a
+/// matching document. The paper caps queries at ~10 terms.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TermQuery {
+    /// Query term ids.
+    pub terms: Vec<TermId>,
+}
+
+impl Encode for TermQuery {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.terms.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.terms.encoded_len()
+    }
+}
+
+impl Decode for TermQuery {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        let (terms, rest) = Vec::<TermId>::decode(bytes)?;
+        Ok((TermQuery { terms }, rest))
+    }
+}
+
+/// A posting list of matching document ids, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PostingList {
+    /// Matching document ids.
+    pub docs: Vec<DocId>,
+}
+
+impl Encode for PostingList {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.docs.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.docs.encoded_len()
+    }
+}
+
+impl Decode for PostingList {
+    fn decode(bytes: &[u8]) -> Result<(Self, &[u8]), DecodeError> {
+        let (docs, rest) = Vec::<DocId>::decode(bytes)?;
+        Ok((PostingList { docs }, rest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musuite_codec::{from_bytes, to_bytes};
+
+    #[test]
+    fn query_roundtrip() {
+        let q = TermQuery { terms: vec![1, 5, 9] };
+        assert_eq!(from_bytes::<TermQuery>(&to_bytes(&q)).unwrap(), q);
+        let empty = TermQuery::default();
+        assert_eq!(from_bytes::<TermQuery>(&to_bytes(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn posting_list_roundtrip() {
+        let p = PostingList { docs: (0..1000).collect() };
+        assert_eq!(from_bytes::<PostingList>(&to_bytes(&p)).unwrap(), p);
+    }
+}

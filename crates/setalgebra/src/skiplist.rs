@@ -1,0 +1,343 @@
+//! A skip list for sorted posting lists.
+//!
+//! "The posting list of each term is a sorted list of document identifiers
+//! that is stored as a skip list … skips are typically used to speed up
+//! list intersections" (paper §III-C, citing Pugh's probabilistic skip
+//! lists). The structure here is the classic array-of-forward-pointers
+//! design with geometrically distributed tower heights; the operation that
+//! matters for intersection is [`Cursor::seek`] — advance to the first
+//! element ≥ a target in expected O(log n).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_LEVEL: usize = 16;
+/// Probability a node's tower grows one more level (classic p = 1/4 keeps
+/// towers short while preserving O(log n) seeks).
+const P_NUMERATOR: u32 = 1;
+const P_DENOMINATOR: u32 = 4;
+
+struct Node {
+    value: u32,
+    /// `forward[level]` is the index (into `nodes`) of the next node at
+    /// that level, or `usize::MAX` for none.
+    forward: Vec<usize>,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A sorted set of `u32` document ids with probabilistic skip pointers.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_setalgebra::skiplist::SkipList;
+///
+/// let list: SkipList = [5u32, 1, 9, 3].into_iter().collect();
+/// assert_eq!(list.iter().collect::<Vec<_>>(), vec![1, 3, 5, 9]);
+/// assert!(list.contains(5));
+/// assert_eq!(list.len(), 4);
+/// ```
+pub struct SkipList {
+    nodes: Vec<Node>,
+    head: Vec<usize>,
+    level: usize,
+    len: usize,
+    rng: StdRng,
+}
+
+impl Default for SkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SkipList {
+    /// Creates an empty list.
+    pub fn new() -> SkipList {
+        SkipList::with_seed(0x5EED_1157)
+    }
+
+    /// Creates an empty list whose tower heights draw from `seed`.
+    pub fn with_seed(seed: u64) -> SkipList {
+        SkipList {
+            nodes: Vec::new(),
+            head: vec![NIL; MAX_LEVEL],
+            level: 1,
+            len: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn random_level(&mut self) -> usize {
+        let mut level = 1;
+        while level < MAX_LEVEL && self.rng.gen_ratio(P_NUMERATOR, P_DENOMINATOR) {
+            level += 1;
+        }
+        level
+    }
+
+    /// Number of stored ids.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value`; returns `false` if it was already present.
+    pub fn insert(&mut self, value: u32) -> bool {
+        let mut update = [NIL; MAX_LEVEL]; // NIL here means "head pointer"
+        let mut current = NIL;
+        for level in (0..self.level).rev() {
+            loop {
+                let next = self.next_at(current, level);
+                if next != NIL && self.nodes[next].value < value {
+                    current = next;
+                } else {
+                    break;
+                }
+            }
+            update[level] = current;
+        }
+        let next = self.next_at(current, 0);
+        if next != NIL && self.nodes[next].value == value {
+            return false;
+        }
+        let new_level = self.random_level();
+        if new_level > self.level {
+            for slot in update.iter_mut().take(new_level).skip(self.level) {
+                *slot = NIL;
+            }
+            self.level = new_level;
+        }
+        let new_index = self.nodes.len();
+        let mut forward = vec![NIL; new_level];
+        for (level, slot) in forward.iter_mut().enumerate() {
+            *slot = self.next_at(update[level], level);
+        }
+        self.nodes.push(Node { value, forward });
+        for level in 0..new_level {
+            match update[level] {
+                NIL => self.head[level] = new_index,
+                prev => self.nodes[prev].forward[level] = new_index,
+            }
+        }
+        self.len += 1;
+        true
+    }
+
+    fn next_at(&self, node: usize, level: usize) -> usize {
+        match node {
+            NIL => self.head[level],
+            index => *self.nodes[index].forward.get(level).unwrap_or(&NIL),
+        }
+    }
+
+    /// Returns `true` if `value` is present.
+    pub fn contains(&self, value: u32) -> bool {
+        let mut cursor = self.cursor();
+        cursor.seek(value) == Some(value)
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { list: self, node: self.head.first().copied().unwrap_or(NIL) }
+    }
+
+    /// Opens a seekable cursor at the start of the list.
+    pub fn cursor(&self) -> Cursor<'_> {
+        Cursor { list: self, node: NIL }
+    }
+}
+
+impl FromIterator<u32> for SkipList {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> SkipList {
+        let mut list = SkipList::new();
+        for value in iter {
+            list.insert(value);
+        }
+        list
+    }
+}
+
+impl std::fmt::Debug for SkipList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkipList").field("len", &self.len).field("level", &self.level).finish()
+    }
+}
+
+/// Ascending iterator over a [`SkipList`].
+pub struct Iter<'a> {
+    list: &'a SkipList,
+    node: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.node == NIL {
+            return None;
+        }
+        let value = self.list.nodes[self.node].value;
+        self.node = self.list.nodes[self.node].forward[0];
+        Some(value)
+    }
+}
+
+/// A forward-only cursor supporting galloping `seek`, the primitive that
+/// makes skip-based intersection sub-linear.
+pub struct Cursor<'a> {
+    list: &'a SkipList,
+    /// Current node, or NIL when still before the first element.
+    node: usize,
+}
+
+impl Cursor<'_> {
+    /// Advances to the first element ≥ `target` at or after the current
+    /// position and returns it, or `None` if the list is exhausted.
+    pub fn seek(&mut self, target: u32) -> Option<u32> {
+        // If already at a satisfying element, stay (seek is monotone).
+        if self.node != NIL && self.list.nodes[self.node].value >= target {
+            return Some(self.list.nodes[self.node].value);
+        }
+        let mut current = self.node;
+        for level in (0..self.list.level).rev() {
+            loop {
+                let next = self.list.next_at(current, level);
+                if next != NIL && self.list.nodes[next].value < target {
+                    current = next;
+                } else {
+                    break;
+                }
+            }
+        }
+        let found = self.list.next_at(current, 0);
+        self.node = found;
+        if found == NIL {
+            None
+        } else {
+            Some(self.list.nodes[found].value)
+        }
+    }
+
+    /// The element under the cursor, if positioned.
+    pub fn current(&self) -> Option<u32> {
+        if self.node == NIL {
+            None
+        } else {
+            Some(self.list.nodes[self.node].value)
+        }
+    }
+
+    /// Steps to the next element and returns it.
+    pub fn advance(&mut self) -> Option<u32> {
+        self.node = self.list.next_at(self.node, 0);
+        self.current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_sorts_and_dedups() {
+        let mut list = SkipList::new();
+        assert!(list.insert(5));
+        assert!(list.insert(1));
+        assert!(list.insert(3));
+        assert!(!list.insert(5), "duplicate insert must be rejected");
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.iter().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let list = SkipList::new();
+        assert!(list.is_empty());
+        assert!(!list.contains(0));
+        assert_eq!(list.iter().count(), 0);
+        assert_eq!(list.cursor().seek(0), None);
+    }
+
+    #[test]
+    fn contains_over_random_set() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut truth = std::collections::BTreeSet::new();
+        let mut list = SkipList::new();
+        for _ in 0..2_000 {
+            let v: u32 = rng.gen_range(0..5_000);
+            assert_eq!(list.insert(v), truth.insert(v));
+        }
+        assert_eq!(list.len(), truth.len());
+        assert_eq!(list.iter().collect::<Vec<_>>(), truth.iter().copied().collect::<Vec<_>>());
+        for probe in 0..5_000 {
+            assert_eq!(list.contains(probe), truth.contains(&probe), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn seek_finds_first_geq() {
+        let list: SkipList = [10u32, 20, 30, 40].into_iter().collect();
+        let mut cursor = list.cursor();
+        assert_eq!(cursor.seek(15), Some(20));
+        assert_eq!(cursor.seek(20), Some(20), "seek is monotone and idempotent");
+        assert_eq!(cursor.seek(35), Some(40));
+        assert_eq!(cursor.seek(41), None);
+    }
+
+    #[test]
+    fn seek_from_start_hits_first() {
+        let list: SkipList = [7u32, 9].into_iter().collect();
+        assert_eq!(list.cursor().seek(0), Some(7));
+        assert_eq!(list.cursor().seek(7), Some(7));
+    }
+
+    #[test]
+    fn cursor_advance_walks_level_zero() {
+        let list: SkipList = (0..20u32).map(|i| i * 2).collect();
+        let mut cursor = list.cursor();
+        cursor.seek(0);
+        let mut walked = vec![cursor.current().unwrap()];
+        while let Some(v) = cursor.advance() {
+            walked.push(v);
+        }
+        assert_eq!(walked, (0..20u32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn towers_actually_skip() {
+        // With 10 K elements, the top level must be above 1 (overwhelming
+        // probability), confirming the probabilistic towers exist.
+        let list: SkipList = (0..10_000u32).collect();
+        assert!(list.level > 3, "tower levels {} too low for 10 K entries", list.level);
+    }
+
+    #[test]
+    fn seek_interleaves_two_lists_correctly() {
+        // Mimic an intersection access pattern with alternating seeks.
+        let a: SkipList = (0..1000u32).map(|i| i * 3).collect();
+        let b: SkipList = (0..1000u32).map(|i| i * 5).collect();
+        let mut ca = a.cursor();
+        let mut cb = b.cursor();
+        let mut common = Vec::new();
+        let mut va = ca.seek(0);
+        while let Some(x) = va {
+            match cb.seek(x) {
+                Some(y) if y == x => {
+                    common.push(x);
+                    va = ca.advance();
+                }
+                Some(y) => va = ca.seek(y),
+                None => break,
+            }
+        }
+        let expected: Vec<u32> = (0..3000u32).filter(|v| v % 3 == 0 && v % 5 == 0).collect();
+        assert_eq!(common, expected);
+    }
+}

@@ -1,0 +1,101 @@
+//! Monotonic nanosecond clock shared by all telemetry probes.
+//!
+//! Every latency measurement in the suite is a difference of two readings
+//! of the same process-wide monotonic clock, so stage latencies recorded on
+//! different threads (e.g. a notify timestamp taken on a network poller and
+//! a wake timestamp taken on a worker) are directly comparable.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A process-wide monotonic clock reporting nanoseconds since an arbitrary
+/// but fixed epoch (the first time any [`Clock`] is created in the process).
+///
+/// `Clock` is a zero-sized handle; copies are free and all copies share the
+/// same epoch.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_telemetry::clock::Clock;
+///
+/// let clock = Clock::new();
+/// let t0 = clock.now_ns();
+/// let t1 = clock.now_ns();
+/// assert!(t1 >= t0);
+/// ```
+#[derive(Clone, Copy, Default)]
+pub struct Clock;
+
+fn epoch() -> Instant {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+impl Clock {
+    /// Creates a clock handle. All handles share one process-wide epoch.
+    pub fn new() -> Self {
+        // Touch the epoch so later readings are relative to first use.
+        let _ = epoch();
+        Clock
+    }
+
+    /// Returns nanoseconds elapsed since the process-wide epoch.
+    pub fn now_ns(&self) -> u64 {
+        epoch().elapsed().as_nanos() as u64
+    }
+
+    /// Returns the elapsed time between two readings taken with [`Clock::now_ns`].
+    ///
+    /// Saturates to zero if `end < start` (which cannot happen for readings
+    /// taken on the same thread, but guards cross-thread rounding).
+    pub fn delta(&self, start_ns: u64, end_ns: u64) -> Duration {
+        Duration::from_nanos(end_ns.saturating_sub(start_ns))
+    }
+}
+
+impl fmt::Debug for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Clock").field("now_ns", &self.now_ns()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic() {
+        let clock = Clock::new();
+        let mut prev = clock.now_ns();
+        for _ in 0..1000 {
+            let now = clock.now_ns();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn handles_share_epoch() {
+        let a = Clock::new();
+        let b = Clock::new();
+        let t0 = a.now_ns();
+        let t1 = b.now_ns();
+        // Readings from distinct handles are on the same timeline.
+        assert!(t1 >= t0);
+        assert!(t1 - t0 < 1_000_000_000, "same epoch implies small delta");
+    }
+
+    #[test]
+    fn delta_saturates() {
+        let clock = Clock::new();
+        assert_eq!(clock.delta(10, 5), Duration::ZERO);
+        assert_eq!(clock.delta(5, 10), Duration::from_nanos(5));
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!("{:?}", Clock::new()).is_empty());
+    }
+}

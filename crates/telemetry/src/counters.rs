@@ -1,0 +1,273 @@
+//! Process-wide counters for OS-operation classes.
+//!
+//! Figs. 11–14 of the paper count *system call invocations per QPS* for
+//! each service using eBPF's `syscount`. We cannot attach kernel probes, so
+//! the suite instead instruments the exact userspace operations that issue
+//! those syscalls: condition-variable waits/notifies and contended lock
+//! acquisitions issue `futex`, socket sends issue `sendmsg`, socket
+//! receives issue `recvmsg`, readiness blocking issues `epoll_pwait`,
+//! thread spawns issue `clone`, and so on. The RPC framework and the
+//! instrumented sync primitives tick these counters at those call sites.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Classes of OS operations tallied by the suite, mirroring the syscalls
+/// the paper's `syscount` histograms report (Figs. 11–14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum OsOp {
+    /// `futex` — condvar wait/notify and contended mutex acquisition.
+    Futex,
+    /// `sendmsg` — message transmitted on a socket.
+    SendMsg,
+    /// `recvmsg` — message received from a socket.
+    RecvMsg,
+    /// `epoll_pwait` — blocking wait for socket readiness.
+    EpollPwait,
+    /// `read` — raw reads (framing headers).
+    Read,
+    /// `write` — raw writes (framing headers).
+    Write,
+    /// `clone` — thread creation.
+    Clone,
+    /// `mmap` — large buffer allocation.
+    Mmap,
+    /// `munmap` — large buffer release.
+    Munmap,
+    /// `close` — socket teardown.
+    Close,
+    /// `openat` — connection establishment (socket/accept).
+    OpenAt,
+    /// `sched_yield` — explicit yields in poll-mode loops.
+    SchedYield,
+}
+
+/// All operation classes in display order (matches the paper's x-axes).
+pub const ALL_OPS: [OsOp; 12] = [
+    OsOp::OpenAt,
+    OsOp::SendMsg,
+    OsOp::EpollPwait,
+    OsOp::Write,
+    OsOp::Read,
+    OsOp::RecvMsg,
+    OsOp::Close,
+    OsOp::Futex,
+    OsOp::Clone,
+    OsOp::Mmap,
+    OsOp::Munmap,
+    OsOp::SchedYield,
+];
+
+impl OsOp {
+    /// The syscall name this operation class corresponds to.
+    pub fn syscall_name(&self) -> &'static str {
+        match self {
+            OsOp::Futex => "futex",
+            OsOp::SendMsg => "sendmsg",
+            OsOp::RecvMsg => "recvmsg",
+            OsOp::EpollPwait => "epoll_pwait",
+            OsOp::Read => "read",
+            OsOp::Write => "write",
+            OsOp::Clone => "clone",
+            OsOp::Mmap => "mmap",
+            OsOp::Munmap => "munmap",
+            OsOp::Close => "close",
+            OsOp::OpenAt => "openat",
+            OsOp::SchedYield => "sched_yield",
+        }
+    }
+
+    fn index(&self) -> usize {
+        ALL_OPS.iter().position(|op| op == self).expect("op present in ALL_OPS")
+    }
+}
+
+impl fmt::Display for OsOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.syscall_name())
+    }
+}
+
+/// A set of per-class atomic counters.
+///
+/// One process-wide instance (see [`OsOpCounters::global`]) is ticked by the
+/// RPC framework and the instrumented sync primitives; scoped instances can
+/// be created for tests.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_telemetry::counters::{OsOp, OsOpCounters};
+///
+/// let counters = OsOpCounters::new();
+/// counters.incr(OsOp::Futex);
+/// counters.add(OsOp::SendMsg, 3);
+/// assert_eq!(counters.get(OsOp::Futex), 1);
+/// assert_eq!(counters.get(OsOp::SendMsg), 3);
+/// ```
+#[derive(Default)]
+pub struct OsOpCounters {
+    counts: [AtomicU64; ALL_OPS.len()],
+}
+
+impl OsOpCounters {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the process-wide counter set.
+    pub fn global() -> &'static OsOpCounters {
+        use std::sync::OnceLock;
+        static GLOBAL: OnceLock<OsOpCounters> = OnceLock::new();
+        GLOBAL.get_or_init(OsOpCounters::new)
+    }
+
+    /// Increments the counter for `op` by one.
+    #[inline]
+    pub fn incr(&self, op: OsOp) {
+        self.counts[op.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments the counter for `op` by `n`.
+    #[inline]
+    pub fn add(&self, op: OsOp, n: u64) {
+        self.counts[op.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count for `op`.
+    pub fn get(&self, op: OsOp) -> u64 {
+        self.counts[op.index()].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all counters in [`ALL_OPS`] order.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let mut counts = [0u64; ALL_OPS.len()];
+        for (slot, counter) in counts.iter_mut().zip(self.counts.iter()) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        CounterSnapshot { counts }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for counter in &self.counts {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl fmt::Debug for OsOpCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("OsOpCounters").field("snapshot", &snap).finish()
+    }
+}
+
+/// An immutable point-in-time copy of an [`OsOpCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    counts: [u64; ALL_OPS.len()],
+}
+
+impl CounterSnapshot {
+    /// Count for `op` at snapshot time.
+    pub fn get(&self, op: OsOp) -> u64 {
+        self.counts[op.index()]
+    }
+
+    /// Per-op difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut counts = [0u64; ALL_OPS.len()];
+        for (i, slot) in counts.iter_mut().enumerate() {
+            *slot = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        CounterSnapshot { counts }
+    }
+
+    /// Iterates over `(op, count)` pairs in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (OsOp, u64)> + '_ {
+        ALL_OPS.iter().map(move |&op| (op, self.get(op)))
+    }
+
+    /// Total of all counters.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incr_and_get() {
+        let c = OsOpCounters::new();
+        assert_eq!(c.get(OsOp::Futex), 0);
+        c.incr(OsOp::Futex);
+        c.incr(OsOp::Futex);
+        assert_eq!(c.get(OsOp::Futex), 2);
+        assert_eq!(c.get(OsOp::RecvMsg), 0);
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let c = OsOpCounters::new();
+        c.add(OsOp::SendMsg, 5);
+        let s1 = c.snapshot();
+        c.add(OsOp::SendMsg, 7);
+        c.incr(OsOp::Close);
+        let s2 = c.snapshot();
+        let d = s2.since(&s1);
+        assert_eq!(d.get(OsOp::SendMsg), 7);
+        assert_eq!(d.get(OsOp::Close), 1);
+        assert_eq!(d.get(OsOp::Futex), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = OsOpCounters::new();
+        for &op in ALL_OPS.iter() {
+            c.add(op, 3);
+        }
+        c.reset();
+        assert_eq!(c.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn all_ops_unique_and_displayable() {
+        let mut names: Vec<_> = ALL_OPS.iter().map(|op| op.syscall_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_OPS.len());
+        for op in ALL_OPS {
+            assert!(!format!("{op}").is_empty());
+        }
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let c = std::sync::Arc::new(OsOpCounters::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.incr(OsOp::Futex);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(OsOp::Futex), 80_000);
+    }
+
+    #[test]
+    fn global_is_singleton() {
+        let a = OsOpCounters::global() as *const _;
+        let b = OsOpCounters::global() as *const _;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,327 @@
+//! Log-bucketed latency histograms with percentile queries.
+//!
+//! The paper reports latency *distributions* (violin plots with median bars
+//! and tail whiskers, Figs. 10 and 15–18). [`LatencyHistogram`] is an
+//! HDR-style histogram: values are bucketed with bounded relative error
+//! (~1/64 ≈ 1.6 %), recording is O(1) and allocation-free after
+//! construction, and histograms merge so per-thread recorders can be
+//! combined into a run-wide distribution.
+
+use std::time::Duration;
+
+/// Number of linear sub-buckets per power-of-two range. Must be a power of
+/// two; 64 bounds quantile error to ~1.6 % of the reported value.
+const SUB_BUCKETS: usize = 64;
+const SUB_BUCKET_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Values up to 2^40 ns (~18 minutes) are representable; larger values clamp.
+const MAX_EXPONENT: u32 = 40;
+const BUCKET_COUNT: usize = ((MAX_EXPONENT - SUB_BUCKET_BITS) as usize + 1) * SUB_BUCKETS;
+
+/// A mergeable, log-bucketed histogram of latency samples.
+///
+/// Values are stored in nanoseconds with ~1.6 % relative bucketing error.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_telemetry::histogram::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for i in 1..=1000u64 {
+///     h.record(Duration::from_micros(i));
+/// }
+/// let p50 = h.quantile(0.50);
+/// assert!(p50 >= Duration::from_micros(490) && p50 <= Duration::from_micros(510));
+/// ```
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn index_for(value_ns: u64) -> usize {
+        // First SUB_BUCKETS values map linearly; beyond that, each power of
+        // two above 2^SUB_BUCKET_BITS contributes SUB_BUCKETS buckets.
+        if value_ns < SUB_BUCKETS as u64 {
+            return value_ns as usize;
+        }
+        let exponent = 63 - value_ns.leading_zeros(); // floor(log2(value))
+        let exponent = exponent.min(MAX_EXPONENT);
+        let shift = exponent - SUB_BUCKET_BITS;
+        let sub = ((value_ns >> shift) as usize) & (SUB_BUCKETS - 1);
+        let base = (exponent - SUB_BUCKET_BITS + 1) as usize * SUB_BUCKETS;
+        (base + sub).min(BUCKET_COUNT - 1)
+    }
+
+    /// Lowest representable value for a bucket index (used to report quantiles).
+    fn value_for(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let range = index / SUB_BUCKETS; // >= 1
+        let sub = index % SUB_BUCKETS;
+        let exponent = SUB_BUCKET_BITS + range as u32 - 1;
+        let shift = exponent - SUB_BUCKET_BITS;
+        ((SUB_BUCKETS + sub) as u64) << shift
+    }
+
+    /// Records a latency sample.
+    pub fn record(&mut self, value: Duration) {
+        self.record_ns(value.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records a latency sample given in raw nanoseconds.
+    pub fn record_ns(&mut self, value_ns: u64) {
+        self.buckets[Self::index_for(value_ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(value_ns);
+        self.min_ns = self.min_ns.min(value_ns);
+        self.max_ns = self.max_ns.max(value_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample, or zero if empty.
+    pub fn min(&self) -> Duration {
+        if self.is_empty() {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Largest recorded sample, or zero if empty.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Arithmetic mean of recorded samples, or zero if empty.
+    pub fn mean(&self) -> Duration {
+        if self.is_empty() {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((self.sum_ns / u128::from(self.count)) as u64)
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, with ~1.6 % relative bucketing error.
+    ///
+    /// Returns zero for an empty histogram. The exact minimum and maximum
+    /// are reported at `q == 0.0` and `q == 1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]` or is NaN.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be within [0, 1], got {q}");
+        if self.is_empty() {
+            return Duration::ZERO;
+        }
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 {
+            return self.max();
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_nanos(Self::value_for(i).min(self.max_ns).max(self.min_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        if other.count > 0 {
+            self.min_ns = self.min_ns.min(other.min_ns);
+            self.max_ns = self.max_ns.max(other.max_ns);
+        }
+    }
+
+    /// Clears all recorded samples.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum_ns = 0;
+        self.min_ns = u64::MAX;
+        self.max_ns = 0;
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.min(), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Duration::from_micros(100));
+        assert_eq!(h.max(), Duration::from_micros(100));
+        assert_eq!(h.quantile(0.5), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record_ns(v);
+        }
+        assert_eq!(h.quantile(0.0), Duration::ZERO);
+        assert_eq!(h.max(), Duration::from_nanos(SUB_BUCKETS as u64 - 1));
+    }
+
+    #[test]
+    fn quantile_relative_error_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=100_000u64 {
+            h.record_ns(i * 37);
+        }
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let exact = (q * 100_000f64).ceil() as u64 * 37;
+            let got = h.quantile(q).as_nanos() as f64;
+            let rel = (got - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.04, "q={q}: exact={exact} got={got} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record_ns(100);
+        h.record_ns(300);
+        assert_eq!(h.mean(), Duration::from_nanos(200));
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * i % 77_777;
+            if i % 2 == 0 {
+                a.record_ns(v);
+            } else {
+                b.record_ns(v);
+            }
+            c.record_ns(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        for &q in &[0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), c.quantile(q));
+        }
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+    }
+
+    #[test]
+    fn merge_with_empty_preserves_bounds() {
+        let mut a = LatencyHistogram::new();
+        a.record_ns(500);
+        let b = LatencyHistogram::new();
+        a.merge(&b);
+        assert_eq!(a.min(), Duration::from_nanos(500));
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = LatencyHistogram::new();
+        h.record_ns(123);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn clamps_huge_values() {
+        let mut h = LatencyHistogram::new();
+        h.record_ns(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Duration::from_nanos(u64::MAX));
+        // Quantile is clamped to the recorded max rather than bucket floor.
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be within")]
+    fn quantile_out_of_range_panics() {
+        LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn index_value_roundtrip_monotone() {
+        let mut prev_index = 0usize;
+        for exp in 0..63u32 {
+            let v = 1u64 << exp;
+            let idx = LatencyHistogram::index_for(v);
+            assert!(idx >= prev_index, "index must be monotone in value");
+            prev_index = idx;
+            let floor = LatencyHistogram::value_for(idx);
+            assert!(floor <= v, "bucket floor {floor} must not exceed value {v}");
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Userspace observability substrate for μSuite-rs.
+//!
+//! The original μSuite characterization (IISWC 2018) relied on kernel-side
+//! tooling — eBPF's `syscount`, `runqlat`, `hardirqs`/`softirqs`,
+//! `tcpretrans`, and Linux `perf` — to attribute mid-tier microservice
+//! latency to OS and network effects. This crate rebuilds the *measurement
+//! methodology* in userspace so the whole suite is self-contained:
+//!
+//! * [`counters`] — process-wide counts of the operations that issue the
+//!   syscalls the paper tallies (futex, sendmsg, recvmsg, epoll_pwait, …).
+//! * [`histogram`] — log-bucketed latency histograms with percentile
+//!   queries, the building block for every latency distribution reported.
+//! * [`sync`] — instrumented mutex/condvar wrappers that count futex-class
+//!   operations and measure notify→wake latency ("Active-Exe" in the
+//!   paper's breakdown figures).
+//! * [`breakdown`] — a per-request lifecycle recorder that attributes time
+//!   to the stages of Figs. 15–18 (NetRx, Block, Sched, ActiveExe, NetTx,
+//!   Net).
+//! * [`procstat`] — `/proc` sampling for context switches (Fig. 19) and
+//!   kernel-reported run-queue delay (`schedstat`).
+//! * [`report`] — plain-text table rendering used by the bench harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use musuite_telemetry::histogram::LatencyHistogram;
+//! use std::time::Duration;
+//!
+//! let mut h = LatencyHistogram::new();
+//! for us in [120_u64, 95, 430, 88, 2100] {
+//!     h.record(Duration::from_micros(us));
+//! }
+//! assert!(h.quantile(0.5) >= Duration::from_micros(88));
+//! assert_eq!(h.count(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod clock;
+pub mod counters;
+pub mod histogram;
+pub mod procstat;
+pub mod report;
+pub mod summary;
+pub mod sync;
+pub mod wakeup;
+
+pub use breakdown::{BreakdownRecorder, Stage};
+pub use clock::Clock;
+pub use counters::{OsOp, OsOpCounters};
+pub use histogram::LatencyHistogram;
+pub use procstat::{ContextSwitches, SchedStat, TcpStats};
+pub use summary::DistributionSummary;
+pub use sync::{CountedCondvar, CountedMutex};
+pub use wakeup::WakeupProbe;

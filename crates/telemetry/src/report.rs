@@ -1,0 +1,151 @@
+//! Plain-text table rendering for the bench harness.
+//!
+//! Every figure harness prints its series as an aligned text table so runs
+//! are diffable and greppable (`EXPERIMENTS.md` records them verbatim).
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_telemetry::report::Table;
+///
+/// let mut t = Table::new(&["service", "qps"]);
+/// t.row(&["HDSearch", "11500"]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("HDSearch"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows are
+    /// truncated to the header width.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Table {
+        let mut row: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a row from owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Table {
+        let mut row = cells;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a separator rule.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        write_row(&self.headers, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a duration in microseconds with one decimal.
+pub fn us(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a count with thousands separators.
+pub fn count(n: u64) -> String {
+    let raw = n.to_string();
+    let mut out = String::with_capacity(raw.len() + raw.len() / 3);
+    for (i, ch) in raw.chars().enumerate() {
+        if i > 0 && (raw.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a", "1"]).row(&["long-name", "123456"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1].chars().collect::<Vec<_>>().iter().filter(|c| **c == '-').count(), lines[1].len());
+        // All rows are the same width.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["only-one"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let rendered = t.render();
+        assert!(rendered.contains("only-one"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(Duration::from_micros(1500)), "1500.0");
+        assert_eq!(ms(Duration::from_millis(3)), "3.00");
+        assert_eq!(count(1_234_567), "1,234,567");
+        assert_eq!(count(42), "42");
+        assert_eq!(count(1000), "1,000");
+    }
+}

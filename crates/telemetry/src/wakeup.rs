@@ -1,0 +1,151 @@
+//! Notify→wake latency probe ("Active-Exe" measurement).
+//!
+//! The paper's dominant OS overhead is *Active-Exe*: "time from when a
+//! thread enters the active or runnable state to when it starts running on
+//! a CPU", measured with eBPF `runqlat`. Userspace cannot observe the
+//! scheduler directly, but the interval a mid-tier actually suffers is the
+//! one from the moment work is published (condvar notify / response
+//! arrival) to the moment the woken thread executes its first instruction —
+//! which *contains* the run-queue delay. [`WakeupProbe`] timestamps the
+//! notify side and lets the woken side record the difference.
+//!
+//! A complementary kernel-truth source is [`crate::procstat::SchedStat`],
+//! which reads the scheduler's own cumulative run-queue delay.
+
+use crate::clock::Clock;
+use crate::histogram::LatencyHistogram;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared probe that aggregates notify→wake latencies into a histogram.
+///
+/// Cloning is cheap; clones share the same histogram.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_telemetry::wakeup::WakeupProbe;
+///
+/// let probe = WakeupProbe::new();
+/// let token = probe.notified();      // producer side: work published
+/// probe.woken(token);                // consumer side: thread starts running
+/// assert_eq!(probe.histogram().count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WakeupProbe {
+    clock: Clock,
+    histogram: Arc<Mutex<LatencyHistogram>>,
+    pending: Arc<AtomicU64>,
+}
+
+/// Opaque timestamp handed from the notifying thread to the woken thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotifyToken {
+    notified_at_ns: u64,
+}
+
+impl NotifyToken {
+    /// The raw monotonic timestamp captured at notify time.
+    pub fn notified_at_ns(&self) -> u64 {
+        self.notified_at_ns
+    }
+}
+
+impl Default for WakeupProbe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WakeupProbe {
+    /// Creates a probe with an empty histogram.
+    pub fn new() -> Self {
+        WakeupProbe {
+            clock: Clock::new(),
+            histogram: Arc::new(Mutex::new(LatencyHistogram::new())),
+            pending: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Called by the notifying side immediately before waking a consumer.
+    pub fn notified(&self) -> NotifyToken {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        NotifyToken { notified_at_ns: self.clock.now_ns() }
+    }
+
+    /// Called by the woken thread as its first action; records the
+    /// notify→wake latency and returns it.
+    pub fn woken(&self, token: NotifyToken) -> Duration {
+        let delta = self.clock.delta(token.notified_at_ns, self.clock.now_ns());
+        self.histogram.lock().record(delta);
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+        delta
+    }
+
+    /// Number of notifies not yet matched by a wake.
+    pub fn pending(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the aggregated wakeup-latency histogram.
+    pub fn histogram(&self) -> LatencyHistogram {
+        self.histogram.lock().clone()
+    }
+
+    /// Clears the aggregated histogram (between bench runs).
+    pub fn reset(&self) {
+        self.histogram.lock().reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn records_cross_thread_wakeup() {
+        let probe = WakeupProbe::new();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let probe2 = probe.clone();
+        let h = thread::spawn(move || {
+            let token: NotifyToken = rx.recv().unwrap();
+            probe2.woken(token);
+        });
+        tx.send(probe.notified()).unwrap();
+        h.join().unwrap();
+        let hist = probe.histogram();
+        assert_eq!(hist.count(), 1);
+        assert!(hist.max() > Duration::ZERO);
+        assert_eq!(probe.pending(), 0);
+    }
+
+    #[test]
+    fn pending_tracks_unmatched_notifies() {
+        let probe = WakeupProbe::new();
+        let t1 = probe.notified();
+        let _t2 = probe.notified();
+        assert_eq!(probe.pending(), 2);
+        probe.woken(t1);
+        assert_eq!(probe.pending(), 1);
+    }
+
+    #[test]
+    fn clones_share_histogram() {
+        let probe = WakeupProbe::new();
+        let clone = probe.clone();
+        let token = probe.notified();
+        clone.woken(token);
+        assert_eq!(probe.histogram().count(), 1);
+    }
+
+    #[test]
+    fn reset_clears_histogram() {
+        let probe = WakeupProbe::new();
+        probe.woken(probe.notified());
+        probe.reset();
+        assert_eq!(probe.histogram().count(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Recommend in depth: NMF + user-kNN rating prediction on held-out cells
+//! of a latent-factor rating matrix (paper §III-D).
+//!
+//! Run with: `cargo run --release --example movie_recommend`
+
+use musuite::data::ratings::{RatingsConfig, RatingsDataset};
+use musuite::recommend::nmf::NmfConfig;
+use musuite::recommend::service::RecommendService;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Recommend: collaborative-filtering rating prediction");
+    println!("=====================================================");
+    let data = RatingsDataset::generate(&RatingsConfig {
+        users: 1_000,
+        items: 500,
+        rank: 8,
+        observations: 10_000, // the paper's 10 K MovieLens tuples
+        noise: 0.1,
+        seed: 42,
+    });
+    println!(
+        "data set: {} users x {} items, {} observed ratings",
+        data.users(),
+        data.items(),
+        data.ratings().len()
+    );
+
+    let service = RecommendService::launch(&data, 4, NmfConfig::default())?;
+    println!(
+        "cluster up: 4 leaves, offline NMF trained (train RMSE {:.3}), mid-tier at {}",
+        service.model_rmse(),
+        service.addr()
+    );
+
+    let client = service.client()?;
+    // The paper's 1 K query pairs drawn from empty utility-matrix cells.
+    let queries = data.sample_queries(1_000);
+    let mut mse = 0.0f64;
+    let start = std::time::Instant::now();
+    for &(user, item) in &queries {
+        let predicted = client.predict(user, item)?;
+        let truth = data.planted_value(user as usize, item as usize);
+        mse += f64::from((predicted - truth) * (predicted - truth));
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{} predictions in {:.2} s ({:.0} QPS closed-loop)",
+        queries.len(),
+        elapsed.as_secs_f64(),
+        queries.len() as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "held-out RMSE vs planted truth: {:.3} (blind midpoint guess ≈ 1.15)",
+        (mse / queries.len() as f64).sqrt()
+    );
+
+    // Show a few individual predictions.
+    for &(user, item) in queries.iter().take(5) {
+        let predicted = client.predict(user, item)?;
+        println!(
+            "user {user:>4} x item {item:>4}: predicted {predicted:.2}, planted {:.2}",
+            data.planted_value(user as usize, item as usize)
+        );
+    }
+    service.shutdown();
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! A miniature of the paper's OS/network characterization (§V–§VI): run
+//! open-loop Poisson load against one service and print the syscall-class
+//! counts (Figs. 11–14), the OS-stage latency breakdown (Figs. 15–18),
+//! and context-switch/contention counts (Fig. 19).
+//!
+//! Run with: `cargo run --release --example os_characterization`
+
+use musuite::data::vectors::{VectorDataset, VectorDatasetConfig};
+use musuite::hdsearch::protocol::SearchQuery;
+use musuite::hdsearch::service::HdSearchService;
+use musuite::loadgen::open_loop::{self, OpenLoopConfig};
+use musuite::loadgen::source::CyclingSource;
+use musuite::telemetry::breakdown::ALL_STAGES;
+use musuite::telemetry::counters::OsOpCounters;
+use musuite::telemetry::procstat::ContextSwitches;
+use musuite::telemetry::report::Table;
+use musuite::telemetry::summary::DistributionSummary;
+use musuite::telemetry::sync;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("OS/network characterization demo (HDSearch mid-tier)");
+    println!("=====================================================");
+    let dataset = VectorDataset::generate(&VectorDatasetConfig {
+        points: 5_000,
+        dim: 64,
+        ..Default::default()
+    });
+    let queries: Vec<Vec<u8>> = dataset
+        .sample_queries(256, 0.02)
+        .into_iter()
+        .map(|vector| musuite::codec::to_bytes(&SearchQuery { vector, k: 10 }))
+        .collect();
+    let service = HdSearchService::launch(dataset, 4, Default::default())?;
+
+    for qps in [100.0, 1_000.0] {
+        OsOpCounters::global().reset();
+        sync::reset_contention_events();
+        service.cluster().midtier().stats().reset();
+        let cs_before = ContextSwitches::sample_or_default();
+
+        let client = Arc::new(musuite::rpc::RpcClient::connect(service.addr())?);
+        let mut source = CyclingSource::new(1, queries.clone());
+        let report = open_loop::run(
+            OpenLoopConfig::poisson(qps, Duration::from_secs(3), 42),
+            client,
+            &mut source,
+        );
+        let cs_delta = ContextSwitches::sample_or_default() - cs_before;
+
+        println!("\n--- offered load {qps} QPS ---");
+        println!(
+            "issued {} completed {} errors {}",
+            report.issued, report.completed, report.errors
+        );
+        println!("end-to-end latency: {}", report.latency);
+
+        // Figs. 11–14 analog: OS-op invocations per completed query.
+        let snapshot = OsOpCounters::global().snapshot();
+        let mut ops = Table::new(&["os op", "calls", "calls/query"]);
+        for (op, count) in snapshot.iter().filter(|(_, c)| *c > 0) {
+            ops.row_owned(vec![
+                op.to_string(),
+                count.to_string(),
+                format!("{:.2}", count as f64 / report.completed.max(1) as f64),
+            ]);
+        }
+        println!("{}", ops.render());
+
+        // Figs. 15–18 analog: per-stage latency distributions.
+        let breakdown = service.cluster().midtier().stats().breakdown();
+        let mut stages = Table::new(&["stage", "count", "p50_us", "p99_us"]);
+        for stage in ALL_STAGES {
+            let h = breakdown.histogram(stage);
+            if h.is_empty() {
+                continue;
+            }
+            let s = DistributionSummary::from_histogram(&h);
+            stages.row_owned(vec![
+                stage.to_string(),
+                s.count.to_string(),
+                format!("{:.1}", s.p50.as_secs_f64() * 1e6),
+                format!("{:.1}", s.p99.as_secs_f64() * 1e6),
+            ]);
+        }
+        println!("{}", stages.render());
+
+        // Fig. 19 analog.
+        println!(
+            "context switches: {} | contention (HITM analog) events: {}",
+            cs_delta.total(),
+            sync::contention_events()
+        );
+    }
+    service.shutdown();
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: launch a complete three-tier μSuite service and query it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use musuite::data::vectors::{VectorDataset, VectorDatasetConfig};
+use musuite::hdsearch::service::HdSearchService;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("μSuite-rs quickstart: HDSearch (image similarity search)");
+    println!("=========================================================");
+
+    // 1. Generate a synthetic image-embedding corpus (stand-in for the
+    //    paper's Inception-V3 features of 500 K Open Images).
+    let config = VectorDatasetConfig { points: 20_000, dim: 128, ..Default::default() };
+    println!(
+        "generating corpus: {} vectors x {} dims, {} clusters",
+        config.points, config.dim, config.clusters
+    );
+    let dataset = VectorDataset::generate(&config);
+    let queries = dataset.sample_queries(5, 0.01);
+
+    // 2. Launch the three-tier service: 4 leaf shards + LSH mid-tier,
+    //    each a real TCP server with its own thread pools.
+    let service = HdSearchService::launch(dataset, 4, Default::default())?;
+    println!("cluster up: mid-tier at {}", service.addr());
+
+    // 3. Query it like a front-end would.
+    let client = service.client()?;
+    for (i, query) in queries.iter().enumerate() {
+        let start = std::time::Instant::now();
+        let neighbors = client.search(query, 3)?;
+        let elapsed = start.elapsed();
+        println!(
+            "query {i}: top-3 neighbours {:?} in {:.1} µs",
+            neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+            elapsed.as_secs_f64() * 1e6
+        );
+    }
+
+    // 4. Tier-level stats collected along the way.
+    let stats = service.cluster().midtier().stats();
+    println!(
+        "mid-tier served {} requests ({} responses)",
+        stats.requests(),
+        stats.responses()
+    );
+    service.shutdown();
+    println!("done");
+    Ok(())
+}

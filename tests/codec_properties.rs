@@ -1,0 +1,116 @@
+//! Property-based tests for the wire codec and frame layer.
+
+use musuite::codec::{from_bytes, to_bytes, Decode, Encode, Frame, Status};
+use proptest::prelude::*;
+
+fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: &T) {
+    let bytes = to_bytes(value);
+    let decoded: T = from_bytes(&bytes).expect("well-formed bytes decode");
+    assert_eq!(&decoded, value);
+}
+
+proptest! {
+    #[test]
+    fn u64_roundtrips(v: u64) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn i64_roundtrips(v: i64) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn f64_roundtrips_bitwise(v: f64) {
+        let bytes = to_bytes(&v);
+        let decoded: f64 = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(decoded.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn strings_roundtrip(s in ".*") {
+        roundtrip(&s.to_string());
+    }
+
+    #[test]
+    fn nested_containers_roundtrip(v in proptest::collection::vec(
+        (any::<u32>(), proptest::collection::vec(any::<f32>(), 0..8)), 0..16)
+    ) {
+        let bytes = to_bytes(&v);
+        let decoded: Vec<(u32, Vec<f32>)> = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(decoded.len(), v.len());
+        for (a, b) in decoded.iter().zip(&v) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.len(), b.1.len());
+            for (x, y) in a.1.iter().zip(&b.1) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn options_and_tuples_roundtrip(v: Option<(u8, i32, bool)>) {
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any byte soup must produce Ok or Err, never a panic/abort.
+        let _ = from_bytes::<Vec<(u64, String)>>(&bytes);
+        let _ = from_bytes::<Option<Vec<f32>>>(&bytes);
+        let _ = from_bytes::<String>(&bytes);
+        let _ = Frame::parse(&bytes);
+    }
+
+    #[test]
+    fn frames_roundtrip(request_id: u64, method: u32, payload in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let frame = Frame::request(request_id, method, payload);
+        let bytes = frame.to_bytes();
+        let (parsed, rest) = Frame::parse(&bytes).unwrap();
+        prop_assert_eq!(parsed, frame);
+        prop_assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn frame_streams_reparse(frames in proptest::collection::vec(
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)), 1..8)
+    ) {
+        // Concatenated frames must parse back one by one without
+        // desynchronizing.
+        let mut stream = Vec::new();
+        for (id, payload) in &frames {
+            stream.extend(Frame::response(*id, 1, Status::Ok, payload.clone()).to_bytes());
+        }
+        let mut rest: &[u8] = &stream;
+        for (id, payload) in &frames {
+            let (frame, next) = Frame::parse(rest).unwrap();
+            prop_assert_eq!(frame.header.request_id, *id);
+            prop_assert_eq!(&frame.payload, payload);
+            rest = next;
+        }
+        prop_assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn truncated_frames_error_not_panic(payload in proptest::collection::vec(any::<u8>(), 0..128), cut in 0usize..160) {
+        let bytes = Frame::request(1, 2, payload).to_bytes();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        prop_assert!(Frame::parse(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn single_payload_bitflip_detected(payload in proptest::collection::vec(any::<u8>(), 1..128), flip_bit: u8) {
+        let frame = Frame::request(9, 9, payload.clone());
+        let mut bytes = frame.to_bytes();
+        let header_len = bytes.len() - payload.len();
+        let index = header_len + (usize::from(flip_bit) % payload.len());
+        bytes[index] ^= 1 << (flip_bit % 8);
+        // Either the checksum catches it, or (if we flipped a bit that the
+        // decoder reads as structure) a structural error results. Parsing
+        // must never succeed with wrong payload bytes.
+        match Frame::parse(&bytes) {
+            Ok((parsed, _)) => prop_assert_ne!(parsed.payload, payload),
+            Err(_) => {}
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Load-generation methodology tests: the properties §II/§V of the paper
+//! demand from a correct tail-latency harness.
+
+use musuite::loadgen::arrival::ArrivalProcess;
+use musuite::loadgen::open_loop::{self, OpenLoopConfig};
+use musuite::loadgen::saturation;
+use musuite::rpc::{RequestContext, RpcClient, Server, ServerConfig, Service};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Echo;
+impl Service for Echo {
+    fn call(&self, ctx: RequestContext) {
+        let bytes = ctx.payload().to_vec();
+        ctx.respond_ok(bytes);
+    }
+}
+
+#[test]
+fn open_loop_offered_rate_is_independent_of_service_speed() {
+    // The defining open-loop property: a slow server does not slow the
+    // arrival process (no coordinated omission).
+    struct Slow;
+    impl Service for Slow {
+        fn call(&self, ctx: RequestContext) {
+            std::thread::sleep(Duration::from_millis(10));
+            ctx.respond_ok(Vec::new());
+        }
+    }
+    let mut slow_config = ServerConfig::default();
+    slow_config.workers(1);
+    let slow = Server::spawn(slow_config, Arc::new(Slow)).unwrap();
+    let fast = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+
+    let run = |addr| {
+        let client = Arc::new(RpcClient::connect(addr).unwrap());
+        let mut source = || (1u32, Vec::new());
+        open_loop::run(
+            OpenLoopConfig::poisson(500.0, Duration::from_millis(600), 7),
+            client,
+            &mut source,
+        )
+    };
+    let slow_report = run(slow.local_addr());
+    let fast_report = run(fast.local_addr());
+    // Identical seeds → identical arrival schedules → identical issue
+    // counts, regardless of server speed.
+    assert_eq!(slow_report.issued, fast_report.issued);
+    // And the slow server's latency reflects the queueing it caused.
+    assert!(slow_report.latency.p99 > fast_report.latency.p99);
+}
+
+#[test]
+fn poisson_arrivals_are_bursty_uniform_are_not() {
+    let sample_max_gap = |mut p: ArrivalProcess| {
+        (0..2_000).map(|_| p.next_interarrival()).max().unwrap()
+    };
+    let poisson_max = sample_max_gap(ArrivalProcess::poisson(1_000.0, 3));
+    let uniform_max = sample_max_gap(ArrivalProcess::uniform(1_000.0, 3));
+    // Exponential tails produce gaps far above the mean; uniform never does.
+    assert!(poisson_max > uniform_max * 3);
+}
+
+#[test]
+fn saturation_measurement_finds_the_capacity_knee() {
+    struct Paced;
+    impl Service for Paced {
+        fn call(&self, ctx: RequestContext) {
+            std::thread::sleep(Duration::from_micros(500));
+            ctx.respond_ok(Vec::new());
+        }
+    }
+    let mut config = ServerConfig::default();
+    config.workers(4); // capacity ≈ 4 / 0.5 ms = 8 000 QPS
+    let server = Server::spawn(config, Arc::new(Paced)).unwrap();
+    let qps = saturation::find_saturation_qps(
+        server.local_addr(),
+        Duration::from_millis(400),
+        |_| || (1u32, Vec::new()),
+    )
+    .unwrap();
+    assert!(
+        (2_000.0..20_000.0).contains(&qps),
+        "4-worker 500 µs service must saturate near 8 K QPS, got {qps}"
+    );
+}
+
+#[test]
+fn latency_rises_with_offered_load() {
+    // The qualitative Fig. 10 property: tail latency at high load exceeds
+    // tail latency at low load on the same service.
+    let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+    let run = |qps| {
+        let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+        let mut source = || (1u32, vec![0u8; 64]);
+        open_loop::run(
+            OpenLoopConfig::poisson(qps, Duration::from_secs(1), 11),
+            client,
+            &mut source,
+        )
+    };
+    let low = run(200.0);
+    let high = run(5_000.0);
+    assert_eq!(low.errors, 0);
+    assert_eq!(high.errors, 0);
+    // An unloaded echo server serves every request quickly.
+    assert!(low.latency.p50 < Duration::from_millis(5));
+    assert!(high.completed > low.completed);
+}

@@ -1,0 +1,166 @@
+//! Fault-injection and robustness tests for the RPC substrate.
+
+use musuite::rpc::{
+    ExecutionModel, RequestContext, RpcClient, RpcError, Server, ServerConfig, Service, Status,
+    WaitMode,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Echo;
+impl Service for Echo {
+    fn call(&self, ctx: RequestContext) {
+        let bytes = ctx.payload().to_vec();
+        ctx.respond_ok(bytes);
+    }
+}
+
+fn echo_server(config: ServerConfig) -> Server {
+    Server::spawn(config, Arc::new(Echo)).unwrap()
+}
+
+#[test]
+fn all_execution_model_combinations_roundtrip() {
+    for wait in [WaitMode::Block, WaitMode::Poll, WaitMode::Adaptive] {
+        for model in [ExecutionModel::Dispatch, ExecutionModel::Inline] {
+            let mut config = ServerConfig::default();
+            config.wait_mode(wait).execution_model(model).workers(2);
+            let server = echo_server(config);
+            let client = RpcClient::connect(server.local_addr()).unwrap();
+            for i in 0..20u32 {
+                let payload = i.to_le_bytes().to_vec();
+                assert_eq!(
+                    client.call(1, payload.clone()).unwrap(),
+                    payload,
+                    "{wait:?}/{model:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_frame_is_rejected_cleanly() {
+    let server = echo_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    // Hand-craft a header declaring a payload beyond MAX_FRAME_LEN.
+    let mut bytes = vec![0xB5, 0x53];
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+    bytes.extend_from_slice(&[0u8; 25]); // kind + ids + checksum filler
+    raw.write_all(&bytes).unwrap();
+    // The server drops that connection; the listener must stay healthy.
+    std::thread::sleep(Duration::from_millis(50));
+    let client = RpcClient::connect(server.local_addr()).unwrap();
+    assert_eq!(client.call(1, b"still alive".to_vec()).unwrap(), b"still alive");
+}
+
+#[test]
+fn queue_overflow_sheds_with_unavailable() {
+    struct Slow;
+    impl Service for Slow {
+        fn call(&self, ctx: RequestContext) {
+            std::thread::sleep(Duration::from_millis(30));
+            ctx.respond_ok(Vec::new());
+        }
+    }
+    let mut config = ServerConfig::default();
+    config.workers(1).queue_capacity(1);
+    let server = Server::spawn(config, Arc::new(Slow)).unwrap();
+    let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+    let (tx, rx) = std::sync::mpsc::channel();
+    for _ in 0..20 {
+        let tx = tx.clone();
+        client.call_async(1, Vec::new(), move |result| {
+            tx.send(result).unwrap();
+        });
+    }
+    drop(tx);
+    let mut shed = 0;
+    let mut served = 0;
+    while let Ok(result) = rx.recv() {
+        match result {
+            Ok(_) => served += 1,
+            Err(RpcError::Remote { status: Status::Unavailable, .. }) => shed += 1,
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    assert!(served >= 1, "at least one request must be served: {served}");
+    assert!(shed > 0, "a 1-deep queue under 20 instant requests must shed");
+    assert!(server.stats().rejected() > 0);
+}
+
+#[test]
+fn many_connections_churn() {
+    let server = echo_server(ServerConfig::default());
+    for round in 0..30 {
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        let payload = vec![round as u8; 16];
+        assert_eq!(client.call(1, payload.clone()).unwrap(), payload);
+        client.shutdown();
+    }
+}
+
+#[test]
+fn huge_payload_roundtrips() {
+    let server = echo_server(ServerConfig::default());
+    let client = RpcClient::connect(server.local_addr()).unwrap();
+    let payload = vec![0xA5u8; 4 << 20]; // 4 MiB, well under MAX_FRAME_LEN
+    assert_eq!(client.call(1, payload.clone()).unwrap(), payload);
+}
+
+#[test]
+fn concurrent_mixed_sync_async_traffic() {
+    let server = echo_server(ServerConfig::default());
+    let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+    let (tx, rx) = std::sync::mpsc::channel();
+    let async_count = 100u32;
+    for i in 0..async_count {
+        let tx = tx.clone();
+        client.call_async(1, i.to_le_bytes().to_vec(), move |result| {
+            tx.send(result.is_ok()).unwrap();
+        });
+    }
+    let mut threads = Vec::new();
+    for t in 0..4u32 {
+        let client = client.clone();
+        threads.push(std::thread::spawn(move || {
+            for i in 0..50u32 {
+                let payload = (t * 1000 + i).to_le_bytes().to_vec();
+                assert_eq!(client.call(1, payload.clone()).unwrap(), payload);
+            }
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    for _ in 0..async_count {
+        assert!(rx.recv_timeout(Duration::from_secs(10)).unwrap());
+    }
+}
+
+#[test]
+fn midtier_survives_leaf_flap() {
+    use musuite::data::text::{CorpusConfig, TextCorpus};
+    use musuite::setalgebra::service::SetAlgebraService;
+    let corpus = TextCorpus::generate(&CorpusConfig {
+        documents: 300,
+        vocabulary: 150,
+        doc_len: 25,
+        ..Default::default()
+    });
+    let service = SetAlgebraService::launch(&corpus, 3, 0).unwrap();
+    let client = service.client().unwrap();
+    let query = corpus.sample_queries(1).remove(0);
+    client.search(&query).unwrap();
+    // Kill one shard: Set Algebra treats a lost shard as an error (missing
+    // documents); the mid-tier must return that error, not hang or crash.
+    service.cluster().leaf_servers()[1].shutdown();
+    std::thread::sleep(Duration::from_millis(50));
+    let result = client.search(&query);
+    assert!(result.is_err(), "lost shard must surface as an error");
+    // And the mid-tier must still serve its socket (error again, promptly).
+    let again = client.search(&query);
+    assert!(again.is_err());
+}

@@ -1,0 +1,147 @@
+//! End-to-end integration tests: each μSuite service running as a real
+//! three-tier deployment over TCP, queried through its public client.
+
+use musuite::data::kv::{KvOp, KvWorkload, KvWorkloadConfig};
+use musuite::data::ratings::{RatingsConfig, RatingsDataset};
+use musuite::data::text::{CorpusConfig, TextCorpus};
+use musuite::data::vectors::{VectorDataset, VectorDatasetConfig};
+use musuite::hdsearch::ground_truth::{brute_force_knn, recall_at_k};
+use musuite::hdsearch::service::HdSearchService;
+use musuite::recommend::nmf::NmfConfig;
+use musuite::recommend::service::RecommendService;
+use musuite::router::service::RouterService;
+use musuite::setalgebra::service::SetAlgebraService;
+
+#[test]
+fn hdsearch_end_to_end_accuracy() {
+    let dataset = VectorDataset::generate(&VectorDatasetConfig {
+        points: 3_000,
+        dim: 32,
+        clusters: 24,
+        spread: 0.05,
+        seed: 100,
+    });
+    let corpus = dataset.vectors().to_vec();
+    let queries = dataset.sample_queries(40, 0.01);
+    let service = HdSearchService::launch(dataset, 4, Default::default()).unwrap();
+    let client = service.client().unwrap();
+    let mut recall_sum = 0.0;
+    for query in &queries {
+        let reported = client.search(query, 5).unwrap();
+        let truth = brute_force_knn(&corpus, query, 5);
+        recall_sum += recall_at_k(&truth, &reported);
+    }
+    let mean_recall = recall_sum / queries.len() as f64;
+    assert!(mean_recall >= 0.9, "mean recall@5 {mean_recall}");
+}
+
+#[test]
+fn router_end_to_end_ycsb_a() {
+    let service = RouterService::launch(8, 3).unwrap();
+    let client = service.client().unwrap();
+    let mut workload = KvWorkload::new(KvWorkloadConfig {
+        keys: 500,
+        value_len: 64,
+        ..Default::default()
+    });
+    // Preload all keys, then run the 50/50 mix; every get must hit.
+    for op in workload.preload_ops() {
+        if let KvOp::Set { key, value } = op {
+            client.set(&key, value).unwrap();
+        }
+    }
+    let mut gets = 0u32;
+    for op in workload.take_ops(2_000) {
+        match op {
+            KvOp::Get { key } => {
+                gets += 1;
+                assert!(client.get(&key).unwrap().is_some(), "preloaded key {key} missed");
+            }
+            KvOp::Set { key, value } => client.set(&key, value).unwrap(),
+        }
+    }
+    assert!(gets > 800, "mix must contain roughly half gets, saw {gets}");
+}
+
+#[test]
+fn setalgebra_end_to_end_equals_brute_force() {
+    let corpus = TextCorpus::generate(&CorpusConfig {
+        documents: 1_500,
+        vocabulary: 800,
+        doc_len: 50,
+        ..Default::default()
+    });
+    let service = SetAlgebraService::launch(&corpus, 4, 0).unwrap();
+    let client = service.client().unwrap();
+    for query in corpus.sample_queries(40) {
+        assert_eq!(client.search(&query).unwrap(), corpus.matching_documents(&query));
+    }
+}
+
+#[test]
+fn recommend_end_to_end_beats_blind_guess() {
+    let data = RatingsDataset::generate(&RatingsConfig {
+        users: 150,
+        items: 100,
+        rank: 4,
+        observations: 4_000,
+        noise: 0.05,
+        seed: 200,
+    });
+    let service = RecommendService::launch(&data, 3, NmfConfig::default()).unwrap();
+    let client = service.client().unwrap();
+    let queries = data.sample_queries(100);
+    let mse: f32 = queries
+        .iter()
+        .map(|&(user, item)| {
+            let predicted = client.predict(user, item).unwrap();
+            let truth = data.planted_value(user as usize, item as usize);
+            (predicted - truth) * (predicted - truth)
+        })
+        .sum::<f32>()
+        / queries.len() as f32;
+    assert!(mse < 1.0, "end-to-end MSE {mse}");
+}
+
+#[test]
+fn all_four_services_coexist_in_one_process() {
+    // The characterization harness runs services back to back; they must
+    // not interfere through global state (ports, counters, thread pools).
+    let dataset = VectorDataset::generate(&VectorDatasetConfig {
+        points: 500,
+        dim: 16,
+        ..Default::default()
+    });
+    let query = dataset.sample_queries(1, 0.01).remove(0);
+    let hdsearch = HdSearchService::launch(dataset, 2, Default::default()).unwrap();
+    let router = RouterService::launch(2, 2).unwrap();
+    let corpus = TextCorpus::generate(&CorpusConfig {
+        documents: 200,
+        vocabulary: 100,
+        doc_len: 20,
+        ..Default::default()
+    });
+    let setalgebra = SetAlgebraService::launch(&corpus, 2, 0).unwrap();
+    let ratings = RatingsDataset::generate(&RatingsConfig {
+        users: 40,
+        items: 30,
+        observations: 400,
+        ..Default::default()
+    });
+    let recommend = RecommendService::launch(&ratings, 2, NmfConfig::default()).unwrap();
+
+    assert!(!hdsearch.client().unwrap().search(&query, 3).unwrap().is_empty());
+    let router_client = router.client().unwrap();
+    router_client.set("x", b"y".to_vec()).unwrap();
+    assert_eq!(router_client.get("x").unwrap(), Some(b"y".to_vec()));
+    let sa_query = corpus.sample_queries(1).remove(0);
+    let _ = setalgebra.client().unwrap().search(&sa_query).unwrap();
+    let (user, item) = ratings.sample_queries(1)[0];
+    let rating = recommend.client().unwrap().predict(user, item).unwrap();
+    assert!((1.0..=5.0).contains(&rating));
+
+    hdsearch.shutdown();
+    router.shutdown();
+    setalgebra.shutdown();
+    recommend.shutdown();
+}
