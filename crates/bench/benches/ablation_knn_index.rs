@@ -22,9 +22,7 @@ fn main() {
     let env = BenchEnv::from_env();
     let points = 10_000 * env.scale;
     println!("\nSec. III-A ablation: k-NN index structures ({points} points, 100 queries)\n");
-    let mut table = Table::new(&[
-        "dim", "index", "mean visited", "lookup p50_us", "1-NN recall",
-    ]);
+    let mut table = Table::new(&["dim", "index", "mean visited", "lookup p50_us", "1-NN recall"]);
     for dim in [4usize, 16, 64, 128] {
         let dataset = VectorDataset::generate(&VectorDatasetConfig {
             points,

@@ -54,13 +54,8 @@ fn main() {
                     continue; // inline mode has no worker pool to size
                 }
                 let mut midtier_config = ServerConfig::default();
-                midtier_config
-                    .wait_mode(wait)
-                    .execution_model(execution)
-                    .workers(workers);
-                let config = ClusterConfig::new()
-                    .leaves(env.leaves)
-                    .midtier_config(midtier_config);
+                midtier_config.wait_mode(wait).execution_model(execution).workers(workers);
+                let config = ClusterConfig::new().leaves(env.leaves).midtier_config(midtier_config);
                 let service =
                     HdSearchService::launch_with(config, dataset.clone(), Default::default())
                         .expect("launch HDSearch");

@@ -26,11 +26,7 @@ fn main() {
             source.clone()
         })
         .expect("saturation measurement");
-        table.row_owned(vec![
-            kind.name().to_string(),
-            format!("{qps:.0}"),
-            paper_qps.to_string(),
-        ]);
+        table.row_owned(vec![kind.name().to_string(), format!("{qps:.0}"), paper_qps.to_string()]);
         deployment.shutdown();
         println!("{}: {qps:.0} QPS", kind.name());
     }

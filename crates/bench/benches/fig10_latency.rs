@@ -22,8 +22,8 @@ fn main() {
     for kind in ALL_SERVICES {
         let deployment = Deployment::launch(kind, &env);
         let mut table = Table::new(&[
-            "load", "issued", "p5_us", "p25_us", "p50_us", "p75_us", "p95_us", "p99_us",
-            "p999_us", "max_us",
+            "load", "issued", "p5_us", "p25_us", "p50_us", "p75_us", "p95_us", "p99_us", "p999_us",
+            "max_us",
         ]);
         let mut medians = Vec::new();
         for &qps in &env.loads {

@@ -17,10 +17,7 @@ use musuite_telemetry::report::Table;
 
 fn main() {
     let env = BenchEnv::from_env();
-    println!(
-        "\nFigs. 11-14: OS-op invocations per QPS (process-wide, {}s per point)\n",
-        env.secs
-    );
+    println!("\nFigs. 11-14: OS-op invocations per QPS (process-wide, {}s per point)\n", env.secs);
     for (figure, kind) in (11..).zip(ALL_SERVICES) {
         let deployment = Deployment::launch(kind, &env);
         let mut header = vec!["os op".to_string()];

@@ -32,8 +32,7 @@ fn main() {
             let report = offer_load(&deployment, qps, env.duration());
             let sched_delta = SchedStat::sample_or_default().since(&sched_before);
             let breakdown = deployment.midtier().stats().breakdown();
-            let mut table =
-                Table::new(&["stage", "count", "p50_us", "p95_us", "p99_us", "max_us"]);
+            let mut table = Table::new(&["stage", "count", "p50_us", "p95_us", "p99_us", "max_us"]);
             let mut stage_p99 = Vec::new();
             for stage in ALL_STAGES {
                 let histogram = breakdown.histogram(stage);
@@ -52,11 +51,7 @@ fn main() {
                     us(s.max),
                 ]);
             }
-            println!(
-                "load {} QPS ({} completed):",
-                load_label(qps),
-                report.completed
-            );
+            println!("load {} QPS ({} completed):", load_label(qps), report.completed);
             println!("{}", table.render());
             println!(
                 "kernel schedstat: run-queue delay {:.1} ms total, {:.1} us mean/timeslice",

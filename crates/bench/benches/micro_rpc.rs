@@ -36,6 +36,26 @@ fn bench_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
+/// Echo round-trips across the payload spectrum, 64 B to 64 KiB. The
+/// large end is where the zero-copy read path pays off: the server hands
+/// the service a slice of its pooled read buffer instead of reallocating
+/// and copying the payload, so cost should grow with wire time, not with
+/// per-frame allocator traffic.
+fn bench_payload_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpc_payload_sweep");
+    let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).expect("spawn server");
+    let client = RpcClient::connect(server.local_addr()).expect("connect");
+    for size in [64usize, 1024, 4 * 1024, 16 * 1024, 64 * 1024] {
+        let payload = vec![0xA5u8; size];
+        let label =
+            if size < 1024 { format!("echo_{size}B") } else { format!("echo_{}KiB", size / 1024) };
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(client.call(1, payload.clone()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
 fn bench_queue_handoff(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch_queue");
     for (label, mode) in [("block", WaitMode::Block), ("poll", WaitMode::Poll)] {
@@ -59,7 +79,8 @@ fn bench_fanout(c: &mut Criterion) {
     let group_clients = FanoutGroup::connect(&addrs).expect("connect fan-out");
     c.bench_function("fanout_scatter_gather_4_leaves", |b| {
         b.iter(|| {
-            let requests = (0..4).map(|leaf| (leaf, 1u32, vec![0u8; 64])).collect();
+            let requests: Vec<(usize, u32, Vec<u8>)> =
+                (0..4).map(|leaf| (leaf, 1u32, vec![0u8; 64])).collect();
             black_box(group_clients.scatter_wait(requests))
         })
     });
@@ -75,6 +96,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_roundtrip, bench_queue_handoff, bench_fanout
+    targets = bench_roundtrip, bench_payload_sweep, bench_queue_handoff, bench_fanout
 }
 criterion_main!(benches);

@@ -132,11 +132,7 @@ fn bench_codec(c: &mut Criterion) {
     let bytes = to_bytes(&query);
     let mut group = c.benchmark_group("codec");
     group.bench_function("encode_search_query_128d", |b| {
-        b.iter_batched(
-            || query.clone(),
-            |q| black_box(to_bytes(&q)),
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| query.clone(), |q| black_box(to_bytes(&q)), BatchSize::SmallInput)
     });
     group.bench_function("decode_search_query_128d", |b| {
         b.iter(|| black_box(from_bytes::<SearchQuery>(black_box(&bytes)).unwrap()))

@@ -10,7 +10,9 @@ use musuite_telemetry::report::Table;
 
 fn main() {
     println!("\nTable II: mid-tier microservice hardware specification");
-    println!("(paper: Intel Gold 6148 'Skylake', 2.40 GHz, 40C/80T, 64 GB, 10 Gbit/s, Linux 4.13)\n");
+    println!(
+        "(paper: Intel Gold 6148 'Skylake', 2.40 GHz, 40C/80T, 64 GB, 10 Gbit/s, Linux 4.13)\n"
+    );
     let info = HostInfo::probe();
     let mut table = Table::new(&["field", "this host"]);
     table

@@ -1,0 +1,69 @@
+//! Heap-allocation probe for the RPC echo path: counts allocator calls
+//! and bytes requested per 64 KiB round trip, steady state. The harness
+//! itself contributes two allocations per iteration (the cloned request
+//! payload and the echo service's owned copy); everything beyond that is
+//! wire-path overhead.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static LARGE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if layout.size() >= 4096 {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+use musuite_rpc::{RequestContext, RpcClient, Server, ServerConfig, Service};
+
+struct Echo;
+impl Service for Echo {
+    fn call(&self, ctx: RequestContext) {
+        let bytes = ctx.payload().to_vec();
+        ctx.respond_ok(bytes);
+    }
+}
+
+fn main() {
+    let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).expect("spawn server");
+    let client = RpcClient::connect(server.local_addr()).expect("connect");
+    let payload = vec![0xA5u8; 64 * 1024];
+    for _ in 0..200 {
+        client.call(1, payload.clone()).expect("warm-up call");
+    }
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let large_before = LARGE_ALLOCS.load(Ordering::Relaxed);
+    let bytes_before = BYTES.load(Ordering::Relaxed);
+    const CALLS: u64 = 2_000;
+    for _ in 0..CALLS {
+        client.call(1, payload.clone()).expect("measured call");
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let large = LARGE_ALLOCS.load(Ordering::Relaxed) - large_before;
+    let bytes = BYTES.load(Ordering::Relaxed) - bytes_before;
+    println!(
+        "64KiB echo steady state: {:.2} allocations/call ({:.2} of them >= 4 KiB), \
+         {:.0} bytes requested/call",
+        allocs as f64 / CALLS as f64,
+        large as f64 / CALLS as f64,
+        bytes as f64 / CALLS as f64,
+    );
+}

@@ -63,25 +63,17 @@ impl Default for BenchEnv {
 impl BenchEnv {
     /// Reads the knobs from the environment, applying defaults.
     pub fn from_env() -> BenchEnv {
-        let secs = std::env::var("MUSUITE_BENCH_SECS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(2.0);
+        let secs =
+            std::env::var("MUSUITE_BENCH_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(2.0);
         let loads = std::env::var("MUSUITE_BENCH_LOADS")
             .ok()
             .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
             .filter(|v: &Vec<f64>| !v.is_empty())
             .unwrap_or_else(|| vec![100.0, 1_000.0, 10_000.0]);
-        let leaves = std::env::var("MUSUITE_LEAVES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(4)
-            .max(1);
-        let scale = std::env::var("MUSUITE_SCALE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1)
-            .max(1);
+        let leaves =
+            std::env::var("MUSUITE_LEAVES").ok().and_then(|v| v.parse().ok()).unwrap_or(4).max(1);
+        let scale =
+            std::env::var("MUSUITE_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
         BenchEnv { secs, loads, leaves, scale }
     }
 
@@ -105,12 +97,8 @@ pub enum ServiceKind {
 }
 
 /// All services in the paper's presentation order.
-pub const ALL_SERVICES: [ServiceKind; 4] = [
-    ServiceKind::HdSearch,
-    ServiceKind::Router,
-    ServiceKind::SetAlgebra,
-    ServiceKind::Recommend,
-];
+pub const ALL_SERVICES: [ServiceKind; 4] =
+    [ServiceKind::HdSearch, ServiceKind::Router, ServiceKind::SetAlgebra, ServiceKind::Recommend];
 
 impl ServiceKind {
     /// Display name matching the paper.
@@ -159,9 +147,8 @@ impl Deployment {
                     .into_iter()
                     .map(|vector| to_bytes(&SearchQuery { vector, k: 10 }))
                     .collect();
-                let service =
-                    HdSearchService::launch(dataset, env.leaves, Default::default())
-                        .expect("launch HDSearch");
+                let service = HdSearchService::launch(dataset, env.leaves, Default::default())
+                    .expect("launch HDSearch");
                 Deployment { kind, inner: DeploymentInner::HdSearch(service), queries }
             }
             ServiceKind::Router => {
@@ -176,9 +163,7 @@ impl Deployment {
                 // Preload a slice of the key space so gets hit.
                 let client = service.client().expect("router client");
                 for rank in 0..2_000 * env.scale {
-                    client
-                        .set(&KvWorkload::key_for_rank(rank), vec![0u8; 128])
-                        .expect("preload");
+                    client.set(&KvWorkload::key_for_rank(rank), vec![0u8; 128]).expect("preload");
                 }
                 let queries = workload
                     .take_ops(1_024)
@@ -222,9 +207,8 @@ impl Deployment {
                     .into_iter()
                     .map(|(user, item)| to_bytes(&RatingQuery { user, item }))
                     .collect();
-                let service =
-                    RecommendService::launch(&data, env.leaves, Default::default())
-                        .expect("launch Recommend");
+                let service = RecommendService::launch(&data, env.leaves, Default::default())
+                    .expect("launch Recommend");
                 Deployment { kind, inner: DeploymentInner::Recommend(service), queries }
             }
         }
@@ -288,8 +272,7 @@ impl std::fmt::Debug for Deployment {
 ///
 /// Panics if the load connection cannot be established.
 pub fn offer_load(deployment: &Deployment, qps: f64, duration: Duration) -> OpenLoopReport {
-    let client =
-        Arc::new(RpcClient::connect(deployment.addr()).expect("connect load client"));
+    let client = Arc::new(RpcClient::connect(deployment.addr()).expect("connect load client"));
     let mut source = deployment.source();
     open_loop::run(OpenLoopConfig::poisson(qps, duration, 42), client, &mut source)
 }

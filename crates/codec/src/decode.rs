@@ -134,9 +134,7 @@ impl<T: Decode> Decode for Option<T> {
                 let (value, rest) = T::decode(rest)?;
                 Ok((Some(value), rest))
             }
-            Some((&value, _)) => {
-                Err(DecodeError::InvalidDiscriminant { value, context: "Option" })
-            }
+            Some((&value, _)) => Err(DecodeError::InvalidDiscriminant { value, context: "Option" }),
             None => Err(DecodeError::UnexpectedEof { context: "Option" }),
         }
     }
@@ -257,10 +255,7 @@ mod tests {
         let mut buf = Vec::new();
         wire::put_uvarint(&mut buf, 1u64 << 60);
         buf.push(0);
-        assert!(matches!(
-            Vec::<u8>::decode(&buf),
-            Err(DecodeError::LengthOverflow { .. })
-        ));
+        assert!(matches!(Vec::<u8>::decode(&buf), Err(DecodeError::LengthOverflow { .. })));
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! The [`Encode`] trait and implementations for standard types.
 
 use crate::wire;
+use bytes::BufMut;
 
 /// Types that can be serialized to the μSuite wire format.
 ///
 /// Implementations append bytes to a caller-provided buffer so composite
-/// messages serialize without intermediate allocations.
+/// messages serialize without intermediate allocations. The buffer is any
+/// [`BufMut`], so call sites can target a plain `Vec<u8>` or a reusable
+/// [`bytes::BytesMut`] scratch buffer that amortizes allocations across
+/// messages.
 ///
 /// # Examples
 ///
@@ -16,10 +20,16 @@ use crate::wire;
 /// "hello".encode(&mut buf);
 /// 7u32.encode(&mut buf);
 /// assert!(buf.len() >= 7);
+///
+/// // The same value can encode into a reusable scratch buffer.
+/// let mut scratch = bytes::BytesMut::new();
+/// "hello".encode(&mut scratch);
+/// 7u32.encode(&mut scratch);
+/// assert_eq!(buf, scratch[..]);
 /// ```
 pub trait Encode {
     /// Appends this value's wire representation to `buf`.
-    fn encode(&self, buf: &mut Vec<u8>);
+    fn encode<B: BufMut>(&self, buf: &mut B);
 
     /// A cheap upper-bound hint for the encoded size, used to pre-size
     /// buffers. The default is a small constant; containers override it.
@@ -31,7 +41,7 @@ pub trait Encode {
 macro_rules! impl_encode_uvarint {
     ($($t:ty),*) => {$(
         impl Encode for $t {
-            fn encode(&self, buf: &mut Vec<u8>) {
+            fn encode<B: BufMut>(&self, buf: &mut B) {
                 wire::put_uvarint(buf, u64::from(*self));
             }
             fn encoded_len(&self) -> usize {
@@ -44,7 +54,7 @@ macro_rules! impl_encode_uvarint {
 impl_encode_uvarint!(u8, u16, u32, u64);
 
 impl Encode for usize {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         wire::put_uvarint(buf, *self as u64);
     }
     fn encoded_len(&self) -> usize {
@@ -55,7 +65,7 @@ impl Encode for usize {
 macro_rules! impl_encode_ivarint {
     ($($t:ty),*) => {$(
         impl Encode for $t {
-            fn encode(&self, buf: &mut Vec<u8>) {
+            fn encode<B: BufMut>(&self, buf: &mut B) {
                 wire::put_ivarint(buf, i64::from(*self));
             }
             fn encoded_len(&self) -> usize {
@@ -68,8 +78,8 @@ macro_rules! impl_encode_ivarint {
 impl_encode_ivarint!(i8, i16, i32, i64);
 
 impl Encode for bool {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        buf.push(u8::from(*self));
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(u8::from(*self));
     }
     fn encoded_len(&self) -> usize {
         1
@@ -77,8 +87,8 @@ impl Encode for bool {
 }
 
 impl Encode for f32 {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        buf.extend_from_slice(&self.to_le_bytes());
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_slice(&self.to_le_bytes());
     }
     fn encoded_len(&self) -> usize {
         4
@@ -86,8 +96,8 @@ impl Encode for f32 {
 }
 
 impl Encode for f64 {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        buf.extend_from_slice(&self.to_le_bytes());
+    fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_slice(&self.to_le_bytes());
     }
     fn encoded_len(&self) -> usize {
         8
@@ -95,9 +105,9 @@ impl Encode for f64 {
 }
 
 impl Encode for str {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         wire::put_uvarint(buf, self.len() as u64);
-        buf.extend_from_slice(self.as_bytes());
+        buf.put_slice(self.as_bytes());
     }
     fn encoded_len(&self) -> usize {
         wire::MAX_VARINT_LEN + self.len()
@@ -105,7 +115,7 @@ impl Encode for str {
 }
 
 impl Encode for String {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         self.as_str().encode(buf);
     }
     fn encoded_len(&self) -> usize {
@@ -114,7 +124,7 @@ impl Encode for String {
 }
 
 impl<T: Encode> Encode for [T] {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         wire::put_uvarint(buf, self.len() as u64);
         for item in self {
             item.encode(buf);
@@ -126,7 +136,7 @@ impl<T: Encode> Encode for [T] {
 }
 
 impl<T: Encode> Encode for Vec<T> {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         self.as_slice().encode(buf);
     }
     fn encoded_len(&self) -> usize {
@@ -135,11 +145,11 @@ impl<T: Encode> Encode for Vec<T> {
 }
 
 impl<T: Encode> Encode for Option<T> {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         match self {
-            None => buf.push(0),
+            None => buf.put_u8(0),
             Some(value) => {
-                buf.push(1);
+                buf.put_u8(1);
                 value.encode(buf);
             }
         }
@@ -150,7 +160,7 @@ impl<T: Encode> Encode for Option<T> {
 }
 
 impl<T: Encode + ?Sized> Encode for &T {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         (**self).encode(buf);
     }
     fn encoded_len(&self) -> usize {
@@ -159,7 +169,7 @@ impl<T: Encode + ?Sized> Encode for &T {
 }
 
 impl Encode for () {
-    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn encode<B: BufMut>(&self, _buf: &mut B) {}
     fn encoded_len(&self) -> usize {
         0
     }
@@ -168,7 +178,7 @@ impl Encode for () {
 macro_rules! impl_encode_tuple {
     ($($name:ident : $idx:tt),+) => {
         impl<$($name: Encode),+> Encode for ($($name,)+) {
-            fn encode(&self, buf: &mut Vec<u8>) {
+            fn encode<BUF: BufMut>(&self, buf: &mut BUF) {
                 $(self.$idx.encode(buf);)+
             }
             fn encoded_len(&self) -> usize {
@@ -215,14 +225,14 @@ mod tests {
         let mut a = Vec::new();
         let mut b = Vec::new();
         42u32.encode(&mut a);
-        (&42u32).encode(&mut b);
+        let by_ref: &u32 = &42u32;
+        by_ref.encode(&mut b);
         assert_eq!(a, b);
     }
 
     #[test]
     fn encoded_len_is_upper_bound() {
-        let values: Vec<(u64, String)> =
-            (0..50).map(|i| (i, format!("value-{i}"))).collect();
+        let values: Vec<(u64, String)> = (0..50).map(|i| (i, format!("value-{i}"))).collect();
         let mut buf = Vec::new();
         values.encode(&mut buf);
         assert!(values.encoded_len() >= buf.len());
@@ -233,5 +243,15 @@ mod tests {
         let mut buf = Vec::new();
         1.5f32.encode(&mut buf);
         assert_eq!(buf, 1.5f32.to_le_bytes());
+    }
+
+    #[test]
+    fn bytes_mut_matches_vec_encoding() {
+        let value = (7u32, String::from("scatter"), vec![1.0f32, -2.5], Some(3i64));
+        let mut vec_buf = Vec::new();
+        let mut scratch = bytes::BytesMut::with_capacity(4);
+        value.encode(&mut vec_buf);
+        value.encode(&mut scratch);
+        assert_eq!(vec_buf[..], scratch[..]);
     }
 }

@@ -16,9 +16,15 @@
 //! what lets the mid-tier issue asynchronous leaf requests with *explicit*
 //! RPC state — the paper's "no association between an execution thread and
 //! a particular RPC".
+//!
+//! Payloads are [`Bytes`] handles: [`Frame::parse`] slices the payload out
+//! of the input buffer without copying, so a frame decoded from a pooled
+//! connection read buffer shares that buffer's allocation all the way into
+//! the service handler.
 
 use crate::error::DecodeError;
 use crate::wire;
+use bytes::{BufMut, Bytes};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -118,18 +124,124 @@ pub struct FrameHeader {
     pub status: Status,
 }
 
+impl FrameHeader {
+    /// Serializes a complete frame into `buf`: this header followed by a
+    /// payload assembled from `parts` in order.
+    ///
+    /// The payload length and FNV-1a checksum are computed across part
+    /// boundaries, so a scatter payload built from a shared prefix plus a
+    /// per-leaf suffix goes on the wire without being joined first.
+    pub fn encode_with_payload<B: BufMut>(&self, parts: &[&[u8]], buf: &mut B) {
+        let len: usize = parts.iter().map(|part| part.len()).sum();
+        debug_assert!(len <= MAX_FRAME_LEN, "frame payload exceeds MAX_FRAME_LEN");
+        buf.put_slice(&MAGIC);
+        wire::put_u32_le(buf, len as u32);
+        buf.put_u8(self.kind as u8);
+        wire::put_u64_le(buf, self.request_id);
+        wire::put_u32_le(buf, self.method);
+        wire::put_u32_le(buf, self.status as u32);
+        let mut checksum = wire::FNV_OFFSET;
+        for part in parts {
+            checksum = wire::fnv1a_update(checksum, part);
+        }
+        wire::put_u64_le(buf, checksum);
+        for part in parts {
+            buf.put_slice(part);
+        }
+    }
+}
+
+/// The fixed-size frame preamble, parsed ahead of the payload.
+///
+/// Streaming readers pull [`HEADER_LEN`] bytes into a stack buffer, parse
+/// this prefix, then read exactly [`FramePrefix::payload_len`] payload
+/// bytes into a pooled buffer — no heap allocation for the header and no
+/// re-validation once the payload arrives (see [`FramePrefix::check_payload`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramePrefix {
+    /// The decoded frame header fields.
+    pub header: FrameHeader,
+    /// Declared payload length in bytes (validated `<=` [`MAX_FRAME_LEN`]).
+    pub payload_len: usize,
+    /// Declared FNV-1a checksum of the payload.
+    pub checksum: u64,
+}
+
+impl FramePrefix {
+    /// Parses and validates the first [`HEADER_LEN`] bytes of a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on bad magic, an oversized declared length,
+    /// or invalid kind/status discriminants.
+    pub fn parse(bytes: &[u8; HEADER_LEN]) -> Result<FramePrefix, DecodeError> {
+        if bytes[..2] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let rest = &bytes[2..];
+        let (len, rest) = wire::get_u32_le(rest)?;
+        let payload_len = len as usize;
+        if payload_len > MAX_FRAME_LEN {
+            return Err(DecodeError::LengthOverflow {
+                declared: payload_len as u64,
+                max: MAX_FRAME_LEN as u64,
+            });
+        }
+        let (kind_raw, rest) =
+            rest.split_first().ok_or(DecodeError::UnexpectedEof { context: "frame kind" })?;
+        let kind = FrameKind::from_u8(*kind_raw)?;
+        let (request_id, rest) = wire::get_u64_le(rest)?;
+        let (method, rest) = wire::get_u32_le(rest)?;
+        let (status_raw, rest) = wire::get_u32_le(rest)?;
+        let status = Status::from_u32(status_raw)?;
+        let (checksum, _) = wire::get_u64_le(rest)?;
+        Ok(FramePrefix {
+            header: FrameHeader { kind, request_id, method, status },
+            payload_len,
+            checksum,
+        })
+    }
+
+    /// Verifies `payload` against the declared length and checksum,
+    /// assembling the complete frame. `payload` is moved, not copied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::ChecksumMismatch`] if the payload does not
+    /// hash to the declared checksum, or
+    /// [`DecodeError::UnexpectedEof`]/[`DecodeError::TrailingBytes`] if
+    /// its length disagrees with the prefix.
+    pub fn check_payload(&self, payload: Bytes) -> Result<Frame, DecodeError> {
+        if payload.len() < self.payload_len {
+            return Err(DecodeError::UnexpectedEof { context: "frame payload" });
+        }
+        if payload.len() > self.payload_len {
+            return Err(DecodeError::TrailingBytes { count: payload.len() - self.payload_len });
+        }
+        if wire::fnv1a(&payload) != self.checksum {
+            return Err(DecodeError::ChecksumMismatch);
+        }
+        Ok(Frame { header: self.header, payload })
+    }
+}
+
 /// A complete frame: header plus opaque payload bytes.
+///
+/// The payload is a [`Bytes`] handle. Frames built by [`Frame::parse`]
+/// alias the input buffer; frames built by constructors own whatever
+/// allocation the caller converted into `Bytes` (a `Vec<u8>` converts
+/// without copying).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Frame metadata.
     pub header: FrameHeader,
     /// Message body, encoded with [`crate::Encode`].
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
 }
 
 impl Frame {
     /// Builds a request frame.
-    pub fn request(request_id: u64, method: u32, payload: Vec<u8>) -> Frame {
+    pub fn request(request_id: u64, method: u32, payload: impl Into<Bytes>) -> Frame {
         Frame {
             header: FrameHeader {
                 kind: FrameKind::Request,
@@ -137,77 +249,62 @@ impl Frame {
                 method,
                 status: Status::Ok,
             },
-            payload,
+            payload: payload.into(),
         }
     }
 
     /// Builds a response frame.
-    pub fn response(request_id: u64, method: u32, status: Status, payload: Vec<u8>) -> Frame {
+    pub fn response(
+        request_id: u64,
+        method: u32,
+        status: Status,
+        payload: impl Into<Bytes>,
+    ) -> Frame {
         Frame {
             header: FrameHeader { kind: FrameKind::Response, request_id, method, status },
-            payload,
+            payload: payload.into(),
         }
     }
 
     /// Serializes the frame to a byte vector.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len());
-        buf.extend_from_slice(&MAGIC);
-        wire::put_u32_le(&mut buf, self.payload.len() as u32);
-        buf.push(self.header.kind as u8);
-        wire::put_u64_le(&mut buf, self.header.request_id);
-        wire::put_u32_le(&mut buf, self.header.method);
-        wire::put_u32_le(&mut buf, self.header.status as u32);
-        wire::put_u64_le(&mut buf, wire::fnv1a(&self.payload));
-        buf.extend_from_slice(&self.payload);
+        self.encode_into(&mut buf);
         buf
     }
 
-    /// Parses one frame from the front of `bytes`, returning it and the
+    /// Serializes the frame into a caller-provided buffer, typically a
+    /// reused [`bytes::BytesMut`] scratch that amortizes allocations
+    /// across frames on a connection.
+    pub fn encode_into<B: BufMut>(&self, buf: &mut B) {
+        self.header.encode_with_payload(&[&self.payload], buf);
+    }
+
+    /// Parses one frame from the front of `src`, returning it and the
     /// remaining input.
+    ///
+    /// The returned frame's payload is a zero-copy slice of `src`: it
+    /// shares `src`'s allocation instead of copying into a fresh buffer,
+    /// so handing the payload to a service handler costs a reference-count
+    /// bump, not a memcpy.
     ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] on truncation, bad magic, an oversized
     /// declared length, or a checksum mismatch.
-    pub fn parse(bytes: &[u8]) -> Result<(Frame, &[u8]), DecodeError> {
+    pub fn parse(src: &Bytes) -> Result<(Frame, Bytes), DecodeError> {
+        let bytes: &[u8] = src;
         if bytes.len() < HEADER_LEN {
             return Err(DecodeError::UnexpectedEof { context: "frame header" });
         }
-        if bytes[..2] != MAGIC {
-            return Err(DecodeError::BadMagic);
-        }
-        let rest = &bytes[2..];
-        let (len, rest) = wire::get_u32_le(rest)?;
-        if len as usize > MAX_FRAME_LEN {
-            return Err(DecodeError::LengthOverflow {
-                declared: u64::from(len),
-                max: MAX_FRAME_LEN as u64,
-            });
-        }
-        let (kind_raw, rest) = rest.split_first().ok_or(DecodeError::UnexpectedEof {
-            context: "frame kind",
-        })?;
-        let kind = FrameKind::from_u8(*kind_raw)?;
-        let (request_id, rest) = wire::get_u64_le(rest)?;
-        let (method, rest) = wire::get_u32_le(rest)?;
-        let (status_raw, rest) = wire::get_u32_le(rest)?;
-        let status = Status::from_u32(status_raw)?;
-        let (checksum, rest) = wire::get_u64_le(rest)?;
-        if rest.len() < len as usize {
+        let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("HEADER_LEN bytes");
+        let prefix = FramePrefix::parse(header)?;
+        let end = HEADER_LEN + prefix.payload_len;
+        if bytes.len() < end {
             return Err(DecodeError::UnexpectedEof { context: "frame payload" });
         }
-        let (payload, rest) = rest.split_at(len as usize);
-        if wire::fnv1a(payload) != checksum {
-            return Err(DecodeError::ChecksumMismatch);
-        }
-        Ok((
-            Frame {
-                header: FrameHeader { kind, request_id, method, status },
-                payload: payload.to_vec(),
-            },
-            rest,
-        ))
+        let frame = prefix.check_payload(src.slice(HEADER_LEN..end))?;
+        Ok((frame, src.slice(end..)))
     }
 
     /// Writes the frame to `writer` as a single `write_all`.
@@ -221,6 +318,10 @@ impl Frame {
 
     /// Reads exactly one frame from `reader` (blocking).
     ///
+    /// This convenience allocates a fresh buffer per frame; hot paths use
+    /// a pooled read buffer (see `musuite_rpc`'s `FrameReader`) and call
+    /// [`Frame::parse`] on the frozen slice instead.
+    ///
     /// # Errors
     ///
     /// Returns `io::ErrorKind::UnexpectedEof` on a cleanly closed
@@ -229,24 +330,13 @@ impl Frame {
     pub fn read_from<R: Read>(mut reader: R) -> io::Result<Frame> {
         let mut header = [0u8; HEADER_LEN];
         reader.read_exact(&mut header)?;
-        if header[..2] != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, DecodeError::BadMagic));
-        }
-        let len = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes")) as usize;
-        if len > MAX_FRAME_LEN {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                DecodeError::LengthOverflow { declared: len as u64, max: MAX_FRAME_LEN as u64 },
-            ));
-        }
-        let mut buf = Vec::with_capacity(HEADER_LEN + len);
-        buf.extend_from_slice(&header);
-        buf.resize(HEADER_LEN + len, 0);
-        reader.read_exact(&mut buf[HEADER_LEN..])?;
-        let (frame, rest) = Frame::parse(&buf)
+        let prefix = FramePrefix::parse(&header)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        debug_assert!(rest.is_empty());
-        Ok(frame)
+        let mut buf = vec![0u8; prefix.payload_len];
+        reader.read_exact(&mut buf)?;
+        prefix
+            .check_payload(Bytes::from(buf))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -261,7 +351,7 @@ mod tests {
     #[test]
     fn roundtrip_bytes() {
         let frame = sample();
-        let bytes = frame.to_bytes();
+        let bytes = Bytes::from(frame.to_bytes());
         let (parsed, rest) = Frame::parse(&bytes).unwrap();
         assert_eq!(parsed, frame);
         assert!(rest.is_empty());
@@ -270,7 +360,7 @@ mod tests {
     #[test]
     fn roundtrip_response_with_status() {
         let frame = Frame::response(9, 1, Status::AppError, vec![1, 2, 3]);
-        let (parsed, _) = Frame::parse(&frame.to_bytes()).unwrap();
+        let (parsed, _) = Frame::parse(&Bytes::from(frame.to_bytes())).unwrap();
         assert_eq!(parsed.header.status, Status::AppError);
         assert_eq!(parsed.header.kind, FrameKind::Response);
     }
@@ -278,7 +368,7 @@ mod tests {
     #[test]
     fn empty_payload_roundtrips() {
         let frame = Frame::request(0, 0, Vec::new());
-        let (parsed, _) = Frame::parse(&frame.to_bytes()).unwrap();
+        let (parsed, _) = Frame::parse(&Bytes::from(frame.to_bytes())).unwrap();
         assert!(parsed.payload.is_empty());
     }
 
@@ -286,10 +376,24 @@ mod tests {
     fn two_frames_back_to_back() {
         let mut bytes = sample().to_bytes();
         bytes.extend(Frame::request(78, 4, b"second".to_vec()).to_bytes());
+        let bytes = Bytes::from(bytes);
         let (first, rest) = Frame::parse(&bytes).unwrap();
-        let (second, rest) = Frame::parse(rest).unwrap();
+        let (second, rest) = Frame::parse(&rest).unwrap();
         assert_eq!(first.header.request_id, 77);
         assert_eq!(second.header.request_id, 78);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn parse_payload_aliases_input() {
+        let frame = sample();
+        let src = Bytes::from(frame.to_bytes());
+        let (parsed, rest) = Frame::parse(&src).unwrap();
+        // Zero-copy: the payload points into the source buffer rather
+        // than a fresh allocation, and the remainder picks up after it.
+        let base = src.as_ptr() as usize;
+        assert_eq!(parsed.payload.as_ptr() as usize, base + HEADER_LEN);
+        assert_eq!(parsed.payload, frame.payload);
         assert!(rest.is_empty());
     }
 
@@ -297,7 +401,7 @@ mod tests {
     fn bad_magic_rejected() {
         let mut bytes = sample().to_bytes();
         bytes[0] ^= 0xFF;
-        assert_eq!(Frame::parse(&bytes).unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(Frame::parse(&Bytes::from(bytes)).unwrap_err(), DecodeError::BadMagic);
     }
 
     #[test]
@@ -305,18 +409,18 @@ mod tests {
         let mut bytes = sample().to_bytes();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
-        assert_eq!(Frame::parse(&bytes).unwrap_err(), DecodeError::ChecksumMismatch);
+        assert_eq!(Frame::parse(&Bytes::from(bytes)).unwrap_err(), DecodeError::ChecksumMismatch);
     }
 
     #[test]
     fn truncated_header_and_payload() {
-        let bytes = sample().to_bytes();
+        let bytes = Bytes::from(sample().to_bytes());
         assert!(matches!(
-            Frame::parse(&bytes[..HEADER_LEN - 1]),
+            Frame::parse(&bytes.slice(..HEADER_LEN - 1)),
             Err(DecodeError::UnexpectedEof { .. })
         ));
         assert!(matches!(
-            Frame::parse(&bytes[..bytes.len() - 1]),
+            Frame::parse(&bytes.slice(..bytes.len() - 1)),
             Err(DecodeError::UnexpectedEof { .. })
         ));
     }
@@ -325,7 +429,10 @@ mod tests {
     fn oversized_declared_length_rejected() {
         let mut bytes = sample().to_bytes();
         bytes[2..6].copy_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
-        assert!(matches!(Frame::parse(&bytes), Err(DecodeError::LengthOverflow { .. })));
+        assert!(matches!(
+            Frame::parse(&Bytes::from(bytes)),
+            Err(DecodeError::LengthOverflow { .. })
+        ));
     }
 
     #[test]
@@ -333,15 +440,33 @@ mod tests {
         let mut bytes = sample().to_bytes();
         bytes[6] = 9; // kind byte
         assert!(matches!(
-            Frame::parse(&bytes),
+            Frame::parse(&Bytes::from(bytes)),
             Err(DecodeError::InvalidDiscriminant { context: "FrameKind", .. })
         ));
         let mut bytes = sample().to_bytes();
         bytes[19..23].copy_from_slice(&99u32.to_le_bytes()); // status field
         assert!(matches!(
-            Frame::parse(&bytes),
+            Frame::parse(&Bytes::from(bytes)),
             Err(DecodeError::InvalidDiscriminant { context: "Status", .. })
         ));
+    }
+
+    #[test]
+    fn encode_with_payload_parts_match_contiguous() {
+        let frame = Frame::request(5, 2, b"abcdef".to_vec());
+        let mut split = Vec::new();
+        frame.header.encode_with_payload(&[b"abc", b"", b"def"], &mut split);
+        assert_eq!(split, frame.to_bytes());
+        let (parsed, _) = Frame::parse(&Bytes::from(split)).unwrap();
+        assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn encode_into_scratch_matches_to_bytes() {
+        let frame = sample();
+        let mut scratch = bytes::BytesMut::with_capacity(8);
+        frame.encode_into(&mut scratch);
+        assert_eq!(scratch[..], frame.to_bytes()[..]);
     }
 
     #[test]

@@ -34,10 +34,11 @@ pub mod error;
 pub mod frame;
 pub mod wire;
 
+pub use bytes::BufMut;
 pub use decode::Decode;
 pub use encode::Encode;
 pub use error::DecodeError;
-pub use frame::{Frame, FrameHeader, FrameKind, Status, MAX_FRAME_LEN};
+pub use frame::{Frame, FrameHeader, FrameKind, FramePrefix, Status, HEADER_LEN, MAX_FRAME_LEN};
 
 /// Encodes a value into a fresh byte vector.
 ///

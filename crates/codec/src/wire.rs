@@ -2,6 +2,7 @@
 //! little-endian integers.
 
 use crate::error::DecodeError;
+use bytes::BufMut;
 
 /// Maximum number of bytes a `u64` varint may occupy.
 pub const MAX_VARINT_LEN: usize = 10;
@@ -15,15 +16,15 @@ pub const MAX_VARINT_LEN: usize = 10;
 /// musuite_codec::wire::put_uvarint(&mut buf, 300);
 /// assert_eq!(buf, [0xAC, 0x02]);
 /// ```
-pub fn put_uvarint(buf: &mut Vec<u8>, mut value: u64) {
+pub fn put_uvarint<B: BufMut>(buf: &mut B, mut value: u64) {
     loop {
         let byte = (value & 0x7F) as u8;
         value >>= 7;
         if value == 0 {
-            buf.push(byte);
+            buf.put_u8(byte);
             return;
         }
-        buf.push(byte | 0x80);
+        buf.put_u8(byte | 0x80);
     }
 }
 
@@ -55,7 +56,7 @@ pub fn get_uvarint(bytes: &[u8]) -> Result<(u64, &[u8]), DecodeError> {
 }
 
 /// Appends `value` as a zig-zag-coded signed varint.
-pub fn put_ivarint(buf: &mut Vec<u8>, value: i64) {
+pub fn put_ivarint<B: BufMut>(buf: &mut B, value: i64) {
     put_uvarint(buf, zigzag_encode(value));
 }
 
@@ -81,8 +82,8 @@ pub fn zigzag_decode(raw: u64) -> i64 {
 }
 
 /// Appends a fixed-width little-endian `u32`.
-pub fn put_u32_le(buf: &mut Vec<u8>, value: u32) {
-    buf.extend_from_slice(&value.to_le_bytes());
+pub fn put_u32_le<B: BufMut>(buf: &mut B, value: u32) {
+    buf.put_slice(&value.to_le_bytes());
 }
 
 /// Reads a fixed-width little-endian `u32`.
@@ -99,8 +100,8 @@ pub fn get_u32_le(bytes: &[u8]) -> Result<(u32, &[u8]), DecodeError> {
 }
 
 /// Appends a fixed-width little-endian `u64`.
-pub fn put_u64_le(buf: &mut Vec<u8>, value: u64) {
-    buf.extend_from_slice(&value.to_le_bytes());
+pub fn put_u64_le<B: BufMut>(buf: &mut B, value: u64) {
+    buf.put_slice(&value.to_le_bytes());
 }
 
 /// Reads a fixed-width little-endian `u64`.
@@ -125,9 +126,30 @@ pub fn get_u64_le(bytes: &[u8]) -> Result<(u64, &[u8]), DecodeError> {
 /// assert_ne!(h, musuite_codec::wire::fnv1a(b"hellp"));
 /// ```
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf29ce484222325;
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+/// FNV-1a 64-bit offset basis: the hash state before any input bytes.
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+/// Folds `bytes` into an in-progress FNV-1a hash state.
+///
+/// Chaining `fnv1a_update` over several slices produces the same digest as
+/// [`fnv1a`] over their concatenation, letting callers checksum scattered
+/// buffers (e.g. a shared payload prefix plus a per-leaf suffix) without
+/// joining them first.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_codec::wire::{fnv1a, fnv1a_update, FNV_OFFSET};
+///
+/// let whole = fnv1a(b"hello world");
+/// let chained = fnv1a_update(fnv1a_update(FNV_OFFSET, b"hello "), b"world");
+/// assert_eq!(whole, chained);
+/// ```
+pub fn fnv1a_update(mut hash: u64, bytes: &[u8]) -> u64 {
     const PRIME: u64 = 0x100000001b3;
-    let mut hash = OFFSET;
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(PRIME);
@@ -230,5 +252,30 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
         assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv1a_update_chains_like_concatenation() {
+        let parts: [&[u8]; 4] = [b"foo", b"", b"ba", b"r"];
+        let mut hash = FNV_OFFSET;
+        for part in parts {
+            hash = fnv1a_update(hash, part);
+        }
+        assert_eq!(hash, fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn put_helpers_accept_bytes_mut() {
+        fn fill<B: BufMut>(buf: &mut B) {
+            put_uvarint(buf, 300);
+            put_ivarint(buf, -7);
+            put_u32_le(buf, 0xDEADBEEF);
+            put_u64_le(buf, 42);
+        }
+        let mut vec_buf = Vec::new();
+        let mut bytes_buf = bytes::BytesMut::new();
+        fill(&mut vec_buf);
+        fill(&mut bytes_buf);
+        assert_eq!(vec_buf[..], bytes_buf[..]);
     }
 }

@@ -246,10 +246,11 @@ mod tests {
     impl MidTierHandler for MaxMid {
         type Request = u64;
         type Response = u64;
-        type LeafRequest = u64;
+        type SharedRequest = u64;
+        type LeafRequest = ();
         type LeafResponse = u64;
-        fn plan(&self, request: &u64, leaves: usize) -> Plan<u64> {
-            (0..leaves).map(|leaf| (leaf, *request)).collect()
+        fn plan(&self, request: &u64, leaves: usize) -> Plan<u64, ()> {
+            Plan::broadcast(*request, (), leaves)
         }
         fn merge(
             &self,

@@ -55,7 +55,7 @@ impl<H: LeafHandler> Service for LeafService<H> {
         };
         match self.handler.handle(request) {
             Ok(response) => ctx.respond_ok(musuite_codec::to_bytes(&response)),
-            Err(e) => ctx.respond_err(e.status(), e.message()),
+            Err(e) => ctx.respond_err(e.status(), e.message().to_owned()),
         }
     }
 }
@@ -71,9 +71,7 @@ mod tests {
         type Request = u64;
         type Response = u64;
         fn handle(&self, request: u64) -> Result<u64, ServiceError> {
-            request
-                .checked_mul(2)
-                .ok_or_else(|| ServiceError::new("overflow doubling value"))
+            request.checked_mul(2).ok_or_else(|| ServiceError::new("overflow doubling value"))
         }
     }
 

@@ -34,15 +34,18 @@
 //!     }
 //! }
 //!
-//! /// The mid-tier broadcasts the query and sums leaf counts.
+//! /// The mid-tier broadcasts the query and sums leaf counts. The query
+//! /// bytes are the *shared* request state: they are encoded once and the
+//! /// same buffer is fanned out to every leaf.
 //! struct SumMidTier;
 //! impl MidTierHandler for SumMidTier {
 //!     type Request = Vec<u8>;
 //!     type Response = u64;
-//!     type LeafRequest = Vec<u8>;
+//!     type SharedRequest = Vec<u8>;
+//!     type LeafRequest = ();
 //!     type LeafResponse = u64;
-//!     fn plan(&self, request: &Vec<u8>, leaves: usize) -> Plan<Vec<u8>> {
-//!         (0..leaves).map(|leaf| (leaf, request.clone())).collect()
+//!     fn plan(&self, request: &Vec<u8>, leaves: usize) -> Plan<Vec<u8>, ()> {
+//!         Plan::broadcast(request.clone(), (), leaves)
 //!     }
 //!     fn merge(
 //!         &self,

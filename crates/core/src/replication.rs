@@ -89,10 +89,7 @@ mod tests {
             let writes = rs.write_set(hash);
             for choice in 0..10u64 {
                 let read = rs.read_replica(hash, choice);
-                assert!(
-                    writes.contains(&read),
-                    "get must be served by a leaf holding the key"
-                );
+                assert!(writes.contains(&read), "get must be served by a leaf holding the key");
             }
         }
     }
@@ -111,7 +108,10 @@ mod tests {
     fn ring_wraps_at_the_end() {
         let rs = ReplicaSet::new(4, 3);
         // Find a hash homing to the last shard.
-        let hash = (0..).map(|k: u64| k.wrapping_mul(0x2545F4914F6CDD1D)).find(|&h| rs.home(h) == 3).unwrap();
+        let hash = (0..)
+            .map(|k: u64| k.wrapping_mul(0x2545F4914F6CDD1D))
+            .find(|&h| rs.home(h) == 3)
+            .unwrap();
         assert_eq!(rs.write_set(hash), vec![3, 0, 1]);
     }
 

@@ -65,8 +65,7 @@ pub fn partition_contiguous<T>(mut items: Vec<T>, shards: usize) -> Vec<Vec<T>> 
     let extra = len % shards;
     let mut out = Vec::with_capacity(shards);
     // Split from the back so each drain is O(bucket).
-    let mut sizes: Vec<usize> =
-        (0..shards).map(|i| base + usize::from(i < extra)).collect();
+    let mut sizes: Vec<usize> = (0..shards).map(|i| base + usize::from(i < extra)).collect();
     sizes.reverse();
     for size in sizes {
         let tail = items.split_off(items.len() - size);

@@ -86,10 +86,7 @@ impl KvWorkload {
     /// Panics if `keys` is zero or `get_fraction` is outside `[0, 1]`.
     pub fn new(config: KvWorkloadConfig) -> KvWorkload {
         assert!(config.keys > 0, "key space must be positive");
-        assert!(
-            (0.0..=1.0).contains(&config.get_fraction),
-            "get fraction must be within [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&config.get_fraction), "get fraction must be within [0, 1]");
         let dist = Zipf::new(config.keys, config.zipf_exponent);
         let rng = StdRng::seed_from_u64(config.seed);
         KvWorkload { config, dist, rng }

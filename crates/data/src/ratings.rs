@@ -164,8 +164,7 @@ impl RatingsDataset {
 
     /// Samples `count` query pairs from *unobserved* cells.
     pub fn sample_queries(&self, count: usize) -> Vec<(u32, u32)> {
-        let observed: HashSet<(u32, u32)> =
-            self.ratings.iter().map(|r| (r.user, r.item)).collect();
+        let observed: HashSet<(u32, u32)> = self.ratings.iter().map(|r| (r.user, r.item)).collect();
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(0xBEEF));
         let mut queries = Vec::with_capacity(count);
         while queries.len() < count {
@@ -246,11 +245,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot observe")]
     fn too_many_observations_panics() {
-        RatingsDataset::generate(&RatingsConfig {
-            users: 2,
-            items: 2,
-            observations: 5,
-            ..small()
-        });
+        RatingsDataset::generate(&RatingsConfig { users: 2, items: 2, observations: 5, ..small() });
     }
 }

@@ -179,11 +179,8 @@ mod tests {
         let queries = ds.sample_queries(20, 0.01);
         assert_eq!(queries.len(), 20);
         for q in &queries {
-            let nearest = ds
-                .vectors()
-                .iter()
-                .map(|v| euclidean(q, v))
-                .fold(f32::INFINITY, f32::min);
+            let nearest =
+                ds.vectors().iter().map(|v| euclidean(q, v)).fold(f32::INFINITY, f32::min);
             assert!(nearest < 0.5, "query must have a close neighbour, got {nearest}");
         }
     }

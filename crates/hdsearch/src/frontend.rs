@@ -72,10 +72,13 @@ impl FeatureExtractor {
     }
 }
 
+/// Cache slot: the extracted feature vector plus its last-touch tick.
+type CacheEntry = (Vec<f32>, u64);
+
 /// A bounded LRU cache from image bytes to extracted feature vectors —
 /// the paper's Redis feature-vector cache.
 pub struct FeatureCache {
-    entries: Mutex<HashMap<Vec<u8>, (Vec<f32>, u64)>>,
+    entries: Mutex<HashMap<Vec<u8>, CacheEntry>>,
     capacity: usize,
     ticks: AtomicU64,
     hits: AtomicU64,
@@ -166,7 +169,11 @@ pub struct FrontEnd {
 
 impl FrontEnd {
     /// Wires a front end to a back-end client.
-    pub fn new(extractor: FeatureExtractor, cache_capacity: usize, backend: HdSearchClient) -> FrontEnd {
+    pub fn new(
+        extractor: FeatureExtractor,
+        cache_capacity: usize,
+        backend: HdSearchClient,
+    ) -> FrontEnd {
         FrontEnd { extractor, cache: FeatureCache::new(cache_capacity), backend }
     }
 
@@ -245,12 +252,9 @@ mod tests {
         // its own nearest neighbour.
         let images: Vec<Vec<u8>> = (0..200u32).map(|i| i.to_le_bytes().to_vec()).collect();
         let corpus: Vec<Vec<f32>> = images.iter().map(|img| extractor.extract(img)).collect();
-        let service = crate::service::HdSearchService::launch_with_corpus(
-            corpus,
-            2,
-            Default::default(),
-        )
-        .unwrap();
+        let service =
+            crate::service::HdSearchService::launch_with_corpus(corpus, 2, Default::default())
+                .unwrap();
         let frontend = FrontEnd::new(extractor, 64, service.client().unwrap());
         let neighbors = frontend.find_similar(&images[7], 1).unwrap();
         assert_eq!(neighbors[0].id, 7, "an indexed image must match itself");

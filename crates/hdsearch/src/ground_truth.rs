@@ -66,8 +66,7 @@ pub fn recall_at_k(truth: &[Neighbor], reported: &[Neighbor]) -> f64 {
     if truth.is_empty() {
         return 1.0;
     }
-    let reported_ids: std::collections::HashSet<u64> =
-        reported.iter().map(|n| n.id).collect();
+    let reported_ids: std::collections::HashSet<u64> = reported.iter().map(|n| n.id).collect();
     let hits = truth.iter().filter(|n| reported_ids.contains(&n.id)).count();
     hits as f64 / truth.len() as f64
 }
@@ -77,12 +76,7 @@ mod tests {
     use super::*;
 
     fn corpus() -> Vec<Vec<f32>> {
-        vec![
-            vec![0.0, 0.0],
-            vec![1.0, 1.0],
-            vec![2.0, 2.0],
-            vec![10.0, 10.0],
-        ]
+        vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0], vec![10.0, 10.0]]
     }
 
     #[test]

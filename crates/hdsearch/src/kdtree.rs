@@ -203,11 +203,8 @@ mod tests {
         let ds = dataset(4);
         let tree = KdTree::build(ds.vectors().to_vec());
         let queries = ds.sample_queries(50, 0.02);
-        let mean_visited: f64 = queries
-            .iter()
-            .map(|q| tree.knn(q, 1).1 as f64)
-            .sum::<f64>()
-            / queries.len() as f64;
+        let mean_visited: f64 =
+            queries.iter().map(|q| tree.knn(q, 1).1 as f64).sum::<f64>() / queries.len() as f64;
         assert!(
             mean_visited < 2_000.0 * 0.5,
             "4-d pruning must skip most of the corpus, visited {mean_visited}"

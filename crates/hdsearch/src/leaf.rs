@@ -92,12 +92,7 @@ mod tests {
 
     fn leaf() -> HdSearchLeaf {
         // Shard 1 of 2: local index i corresponds to global id i * 2 + 1.
-        let vectors = vec![
-            vec![0.0, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 2.0],
-            vec![3.0, 3.0],
-        ];
+        let vectors = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 3.0]];
         HdSearchLeaf::new(vectors, 1, RoundRobinMap::new(2))
     }
 
@@ -138,11 +133,7 @@ mod tests {
     fn handler_happy_path() {
         let leaf = leaf();
         let response = leaf
-            .handle(LeafSearchRequest {
-                vector: vec![1.0, 0.0],
-                candidates: vec![0, 1, 2],
-                k: 1,
-            })
+            .handle(LeafSearchRequest { vector: vec![1.0, 0.0], candidates: vec![0, 1, 2], k: 1 })
             .unwrap();
         assert_eq!(response.neighbors.len(), 1);
         assert_eq!(response.neighbors[0].id, 3); // local 1 → global 3

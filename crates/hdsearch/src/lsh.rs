@@ -303,11 +303,8 @@ mod tests {
         let ds = dataset();
         let index = build_index(&ds);
         let queries = ds.sample_queries(20, 0.01);
-        let mean: f64 = queries
-            .iter()
-            .map(|q| index.candidates(q).len() as f64)
-            .sum::<f64>()
-            / 20.0;
+        let mean: f64 =
+            queries.iter().map(|q| index.candidates(q).len() as f64).sum::<f64>() / 20.0;
         assert!(
             mean < 2_000.0 * 0.6,
             "candidate set must be much smaller than the corpus, got {mean}"

@@ -72,11 +72,7 @@ mod tests {
     #[test]
     fn merges_across_lists_in_distance_order() {
         let merged = merge_top_k(
-            vec![
-                vec![n(1, 0.1), n(4, 0.7)],
-                vec![n(2, 0.2), n(5, 0.8)],
-                vec![n(3, 0.3)],
-            ],
+            vec![vec![n(1, 0.1), n(4, 0.7)], vec![n(2, 0.2), n(5, 0.8)], vec![n(3, 0.3)]],
             5,
         );
         assert_eq!(merged.iter().map(|x| x.id).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);

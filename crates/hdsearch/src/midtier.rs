@@ -7,7 +7,7 @@
 
 use crate::lsh::{LshConfig, LshIndex};
 use crate::merge::merge_top_k;
-use crate::protocol::{LeafSearchRequest, LeafSearchResponse, Neighbor, SearchQuery};
+use crate::protocol::{LeafSearchResponse, Neighbor, SearchQuery};
 use musuite_core::error::ServiceError;
 use musuite_core::midtier::{MidTierHandler, Plan};
 use musuite_core::shard::RoundRobinMap;
@@ -43,10 +43,16 @@ impl HdSearchMidTier {
 impl MidTierHandler for HdSearchMidTier {
     type Request = SearchQuery;
     type Response = Vec<Neighbor>;
-    type LeafRequest = LeafSearchRequest;
+    // The query vector — often the largest part of a leaf request by far —
+    // is shared state: it is serialized once per fan-out and every leaf
+    // payload references that single buffer. The per-leaf suffix carries
+    // only that leaf's candidate list and `k`. On the wire each leaf still
+    // sees `vector ++ candidates ++ k`, i.e. a `LeafSearchRequest`.
+    type SharedRequest = Vec<f32>;
+    type LeafRequest = (Vec<u64>, u32);
     type LeafResponse = LeafSearchResponse;
 
-    fn plan(&self, request: &SearchQuery, leaves: usize) -> Plan<LeafSearchRequest> {
+    fn plan(&self, request: &SearchQuery, leaves: usize) -> Plan<Vec<f32>, (Vec<u64>, u32)> {
         // 1. LSH lookup (the mid-tier's own compute).
         let candidates = self.index.candidates(&request.vector);
         // 2. Route each candidate to the leaf holding its vector.
@@ -58,21 +64,13 @@ impl MidTierHandler for HdSearchMidTier {
             }
         }
         // 3. One RPC per leaf that has candidates.
-        per_leaf
+        let targets = per_leaf
             .into_iter()
             .enumerate()
             .filter(|(_, candidates)| !candidates.is_empty())
-            .map(|(leaf, candidates)| {
-                (
-                    leaf,
-                    LeafSearchRequest {
-                        vector: request.vector.clone(),
-                        candidates,
-                        k: request.k,
-                    },
-                )
-            })
-            .collect()
+            .map(|(leaf, candidates)| (leaf, (candidates, request.k)))
+            .collect();
+        Plan::new(request.vector.clone(), targets)
     }
 
     fn merge(
@@ -129,12 +127,13 @@ mod tests {
         let query = SearchQuery { vector: ds.vectors()[0].clone(), k: 5 };
         let plan = mid.plan(&query, 4);
         assert!(!plan.is_empty(), "an indexed point must produce candidates");
-        for (leaf, request) in &plan {
+        assert_eq!(plan.shared, query.vector, "query vector is the shared state");
+        for (leaf, (candidates, k)) in &plan.targets {
             assert!(*leaf < 4);
-            assert!(!request.candidates.is_empty());
-            assert_eq!(request.k, 5);
+            assert!(!candidates.is_empty());
+            assert_eq!(*k, 5);
             // Every candidate routed to leaf L must belong to leaf L.
-            for &local in &request.candidates {
+            for &local in candidates {
                 let global = RoundRobinMap::new(4).global_id(*leaf, local);
                 assert_eq!(RoundRobinMap::new(4).leaf_of(global), *leaf);
             }
@@ -152,9 +151,7 @@ mod tests {
                     Neighbor { id: 2, distance: 0.3 },
                 ],
             }),
-            Ok(LeafSearchResponse {
-                neighbors: vec![Neighbor { id: 1, distance: 0.2 }],
-            }),
+            Ok(LeafSearchResponse { neighbors: vec![Neighbor { id: 1, distance: 0.2 }] }),
         ];
         let query = SearchQuery { vector: ds.vectors()[0].clone(), k: 2 };
         let merged = mid.merge(query, replies).unwrap();

@@ -1,6 +1,6 @@
 //! Typed wire messages for HDSearch.
 
-use musuite_codec::{Decode, DecodeError, Encode};
+use musuite_codec::{BufMut, Decode, DecodeError, Encode};
 
 /// A front-end k-NN query: the extracted feature vector plus the number of
 /// neighbours wanted.
@@ -13,7 +13,7 @@ pub struct SearchQuery {
 }
 
 impl Encode for SearchQuery {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         self.vector.encode(buf);
         self.k.encode(buf);
     }
@@ -40,7 +40,7 @@ pub struct Neighbor {
 }
 
 impl Encode for Neighbor {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         self.id.encode(buf);
         self.distance.encode(buf);
     }
@@ -70,7 +70,7 @@ pub struct LeafSearchRequest {
 }
 
 impl Encode for LeafSearchRequest {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         self.vector.encode(buf);
         self.candidates.encode(buf);
         self.k.encode(buf);
@@ -98,7 +98,7 @@ pub struct LeafSearchResponse {
 }
 
 impl Encode for LeafSearchResponse {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         self.neighbors.encode(buf);
     }
     fn encoded_len(&self) -> usize {
@@ -126,17 +126,11 @@ mod tests {
 
     #[test]
     fn leaf_messages_roundtrip() {
-        let request = LeafSearchRequest {
-            vector: vec![0.1; 16],
-            candidates: vec![5, 9, 1000],
-            k: 3,
-        };
+        let request =
+            LeafSearchRequest { vector: vec![0.1; 16], candidates: vec![5, 9, 1000], k: 3 };
         assert_eq!(from_bytes::<LeafSearchRequest>(&to_bytes(&request)).unwrap(), request);
         let response = LeafSearchResponse {
-            neighbors: vec![
-                Neighbor { id: 7, distance: 0.25 },
-                Neighbor { id: 9, distance: 1.5 },
-            ],
+            neighbors: vec![Neighbor { id: 7, distance: 0.25 }, Neighbor { id: 9, distance: 1.5 }],
         };
         assert_eq!(from_bytes::<LeafSearchResponse>(&to_bytes(&response)).unwrap(), response);
     }

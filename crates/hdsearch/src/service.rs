@@ -76,8 +76,7 @@ impl HdSearchService {
         for (global, vector) in corpus.into_iter().enumerate() {
             shards[id_map.leaf_of(global as u64)].push(vector);
         }
-        let mut shard_slots: Vec<Option<Vec<Vec<f32>>>> =
-            shards.into_iter().map(Some).collect();
+        let mut shard_slots: Vec<Option<Vec<Vec<f32>>>> = shards.into_iter().map(Some).collect();
         let cluster = Cluster::launch(config, midtier, move |leaf| {
             // Cluster invokes the factory once per leaf index, in order.
             let shard = shard_slots[leaf].take().expect("each shard consumed once");

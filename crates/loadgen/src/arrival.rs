@@ -44,7 +44,11 @@ impl ArrivalProcess {
     /// Panics if `rate` is not positive and finite.
     pub fn poisson(rate: f64, seed: u64) -> ArrivalProcess {
         assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
-        ArrivalProcess { kind: Kind::Poisson { rate }, rng: StdRng::seed_from_u64(seed), counter: 0 }
+        ArrivalProcess {
+            kind: Kind::Poisson { rate },
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
     }
 
     /// Evenly spaced arrivals at `rate` requests/second.
@@ -54,7 +58,11 @@ impl ArrivalProcess {
     /// Panics if `rate` is not positive and finite.
     pub fn uniform(rate: f64, seed: u64) -> ArrivalProcess {
         assert!(rate > 0.0 && rate.is_finite(), "rate must be positive and finite");
-        ArrivalProcess { kind: Kind::Uniform { rate }, rng: StdRng::seed_from_u64(seed), counter: 0 }
+        ArrivalProcess {
+            kind: Kind::Uniform { rate },
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+        }
     }
 
     /// Bursts of `burst_len` requests at `burst_rate`, separated by `gap`.
@@ -94,7 +102,7 @@ impl ArrivalProcess {
             Kind::Bursty { burst_rate, burst_len, gap } => {
                 let within = Duration::from_secs_f64(1.0 / burst_rate);
                 let count = self.burst_counter_incr();
-                if count % u64::from(burst_len) == 0 && count > 0 {
+                if count.is_multiple_of(u64::from(burst_len)) && count > 0 {
                     within + gap
                 } else {
                     within

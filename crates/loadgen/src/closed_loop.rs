@@ -142,8 +142,7 @@ mod tests {
             duration: Duration::from_millis(400),
             warmup: Duration::from_millis(50),
         };
-        let report =
-            run(config, server.local_addr(), |_worker| || (1u32, vec![0u8; 16])).unwrap();
+        let report = run(config, server.local_addr(), |_worker| || (1u32, vec![0u8; 16])).unwrap();
         assert!(report.achieved_qps > 100.0, "loopback echo must exceed 100 QPS");
         assert_eq!(report.errors, 0);
         assert!(report.completed > 0);

@@ -31,11 +31,7 @@ pub struct OpenLoopConfig {
 impl OpenLoopConfig {
     /// Poisson arrivals at `qps` for `duration` on one connection.
     pub fn poisson(qps: f64, duration: Duration, seed: u64) -> OpenLoopConfig {
-        OpenLoopConfig {
-            arrivals: ArrivalProcess::poisson(qps, seed),
-            duration,
-            connections: 1,
-        }
+        OpenLoopConfig { arrivals: ArrivalProcess::poisson(qps, seed), duration, connections: 1 }
     }
 }
 

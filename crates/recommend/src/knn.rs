@@ -27,8 +27,7 @@ impl Similarity {
             Similarity::Cosine => cosine(a, b),
             Similarity::Pearson => pearson(a, b),
             Similarity::Euclidean => {
-                let d: f32 =
-                    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt();
+                let d: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt();
                 1.0 / (1.0 + d)
             }
         }
@@ -87,7 +86,9 @@ pub fn k_nearest_users(
         .filter(|&&candidate| Some(candidate) != query_index)
         .map(|&candidate| (candidate, cosine(query, &factors[candidate])))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("similarities are finite").then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).expect("similarities are finite").then(a.0.cmp(&b.0))
+    });
     scored.truncate(k);
     scored
 }
@@ -119,11 +120,11 @@ mod tests {
 
     fn factors() -> Vec<Vec<f32>> {
         vec![
-            vec![1.0, 0.0],  // 0: axis x
-            vec![0.9, 0.1],  // 1: near x
-            vec![0.0, 1.0],  // 2: axis y
-            vec![0.1, 0.9],  // 3: near y
-            vec![0.7, 0.7],  // 4: diagonal
+            vec![1.0, 0.0], // 0: axis x
+            vec![0.9, 0.1], // 1: near x
+            vec![0.0, 1.0], // 2: axis y
+            vec![0.1, 0.9], // 3: near y
+            vec![0.7, 0.7], // 4: diagonal
         ]
     }
 

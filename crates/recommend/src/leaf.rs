@@ -32,10 +32,7 @@ impl RecommendLeaf {
     pub fn new(model: Nmf, shard_users: Vec<usize>, neighborhood: usize) -> RecommendLeaf {
         assert!(neighborhood > 0, "neighbourhood size must be positive");
         let users = model.user_matrix().len();
-        assert!(
-            shard_users.iter().all(|&u| u < users),
-            "shard users must exist in the model"
-        );
+        assert!(shard_users.iter().all(|&u| u < users), "shard users must exist in the model");
         RecommendLeaf { model, shard_users, neighborhood }
     }
 
@@ -71,9 +68,7 @@ impl RecommendLeaf {
                 (item as u32, rating)
             })
             .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("finite ratings").then(a.0.cmp(&b.0))
-        });
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite ratings").then(a.0.cmp(&b.0)));
         scored.truncate(n);
         scored
     }
@@ -88,21 +83,17 @@ impl RecommendLeaf {
             &self.shard_users,
             self.neighborhood,
         );
-        let predictions: Vec<f32> = neighbors
-            .iter()
-            .map(|&(neighbor, _)| self.model.predict(neighbor, item))
-            .collect();
+        let predictions: Vec<f32> =
+            neighbors.iter().map(|&(neighbor, _)| self.model.predict(neighbor, item)).collect();
         match weighted_rating(&neighbors, &predictions) {
-            Some(rating) => LeafRating {
-                rating: rating.clamp(1.0, 5.0),
-                neighbors: neighbors.len() as u32,
-            },
+            Some(rating) => {
+                LeafRating { rating: rating.clamp(1.0, 5.0), neighbors: neighbors.len() as u32 }
+            }
             // No usable neighbourhood on this shard: fall back to the
             // model's own reconstruction with zero voting weight.
-            None => LeafRating {
-                rating: self.model.predict(user, item).clamp(1.0, 5.0),
-                neighbors: 0,
-            },
+            None => {
+                LeafRating { rating: self.model.predict(user, item).clamp(1.0, 5.0), neighbors: 0 }
+            }
         }
     }
 }

@@ -26,11 +26,14 @@ impl RecommendMidTier {
 impl MidTierHandler for RecommendMidTier {
     type Request = RatingQuery;
     type Response = f32;
-    type LeafRequest = RatingQuery;
+    // The user/item pair goes to every shard verbatim: encode it once and
+    // share the buffer across the fan-out.
+    type SharedRequest = RatingQuery;
+    type LeafRequest = ();
     type LeafResponse = LeafRating;
 
-    fn plan(&self, request: &RatingQuery, leaves: usize) -> Plan<RatingQuery> {
-        (0..leaves).map(|leaf| (leaf, *request)).collect()
+    fn plan(&self, request: &RatingQuery, leaves: usize) -> Plan<RatingQuery, ()> {
+        Plan::broadcast(*request, (), leaves)
     }
 
     fn merge(
@@ -81,7 +84,9 @@ mod tests {
         let mid = RecommendMidTier::new();
         let plan = mid.plan(&query(), 3);
         assert_eq!(plan.len(), 3);
-        assert!(plan.iter().all(|(_, q)| *q == query()));
+        assert_eq!(plan.shared, query(), "the query is the shared state");
+        let leaves: Vec<usize> = plan.targets.iter().map(|(leaf, ())| *leaf).collect();
+        assert_eq!(leaves, vec![0, 1, 2]);
     }
 
     #[test]

@@ -237,10 +237,7 @@ mod tests {
         let v = CsrMatrix::from_ratings(
             2,
             2,
-            &[
-                Rating { user: 0, item: 0, value: 5.0 },
-                Rating { user: 1, item: 1, value: 1.0 },
-            ],
+            &[Rating { user: 0, item: 0, value: 5.0 }, Rating { user: 1, item: 1, value: 1.0 }],
         );
         let model = Nmf::train(&v, &NmfConfig { rank: 1, iterations: 50, seed: 3 });
         assert!((model.predict(0, 0) - 5.0).abs() < 1.0);

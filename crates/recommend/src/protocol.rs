@@ -1,6 +1,6 @@
 //! Typed wire messages for Recommend.
 
-use musuite_codec::{Decode, DecodeError, Encode};
+use musuite_codec::{BufMut, Decode, DecodeError, Encode};
 
 /// A `{user, item}` rating-prediction query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,7 +12,7 @@ pub struct RatingQuery {
 }
 
 impl Encode for RatingQuery {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         self.user.encode(buf);
         self.item.encode(buf);
     }
@@ -40,7 +40,7 @@ pub struct LeafRating {
 }
 
 impl Encode for LeafRating {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         self.rating.encode(buf);
         self.neighbors.encode(buf);
     }

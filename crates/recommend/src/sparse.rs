@@ -108,9 +108,8 @@ impl CsrMatrix {
 
     /// Iterates all observed `(user, item, value)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u32, f32)> + '_ {
-        (0..self.rows).flat_map(move |user| {
-            self.row(user).map(move |(item, value)| (user, item, value))
-        })
+        (0..self.rows)
+            .flat_map(move |user| self.row(user).map(move |(item, value)| (user, item, value)))
     }
 }
 

@@ -138,11 +138,7 @@ impl MemKv {
         let tick = self.tick();
         let mut shard = self.shard_of(key).lock();
         let cost = Shard::entry_cost(key, &value);
-        let entry = Entry {
-            value,
-            last_used: tick,
-            expires_at: ttl.map(|t| Instant::now() + t),
-        };
+        let entry = Entry { value, last_used: tick, expires_at: ttl.map(|t| Instant::now() + t) };
         let old = shard.map.insert(key.to_string(), entry);
         shard.bytes += cost;
         if let Some(ref old_entry) = old {
@@ -187,7 +183,7 @@ impl MemKv {
         match shard.map.remove(key) {
             Some(entry) => {
                 shard.bytes -= Shard::entry_cost(key, &entry.value);
-                !entry.expires_at.is_some_and(|at| Instant::now() >= at)
+                entry.expires_at.is_none_or(|at| Instant::now() < at)
             }
             None => false,
         }

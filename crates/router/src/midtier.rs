@@ -47,25 +47,26 @@ impl RouterMidTier {
 impl MidTierHandler for RouterMidTier {
     type Request = KvRequest;
     type Response = KvResponse;
-    type LeafRequest = KvRequest;
+    // Every replica receives the identical request (key + value bytes), so
+    // the whole request is shared state: it is serialized once and the
+    // write fan-out to N replicas reuses the same buffer.
+    type SharedRequest = KvRequest;
+    type LeafRequest = ();
     type LeafResponse = KvResponse;
 
-    fn plan(&self, request: &KvRequest, leaves: usize) -> Plan<KvRequest> {
+    fn plan(&self, request: &KvRequest, leaves: usize) -> Plan<KvRequest, ()> {
         let replica_set = self.replica_set(leaves);
         let hash = self.hasher.hash64(request.key().as_bytes());
-        match request {
+        let targets = match request {
             KvRequest::Get { .. } => {
                 let choice = self.read_choice.fetch_add(1, Ordering::Relaxed);
-                vec![(replica_set.read_replica(hash, choice), request.clone())]
+                vec![(replica_set.read_replica(hash, choice), ())]
             }
             KvRequest::Set { .. } | KvRequest::Delete { .. } | KvRequest::SetEx { .. } => {
-                replica_set
-                    .write_set(hash)
-                    .into_iter()
-                    .map(|leaf| (leaf, request.clone()))
-                    .collect()
+                replica_set.write_set(hash).into_iter().map(|leaf| (leaf, ())).collect()
             }
-        }
+        };
+        Plan::new(request.clone(), targets)
     }
 
     fn merge(
@@ -83,10 +84,8 @@ impl MidTierHandler for RouterMidTier {
             },
             KvRequest::Set { key, .. } | KvRequest::SetEx { key, .. } => {
                 let total = replies.len();
-                let stored = replies
-                    .iter()
-                    .filter(|reply| matches!(reply, Ok(KvResponse::Stored)))
-                    .count();
+                let stored =
+                    replies.iter().filter(|reply| matches!(reply, Ok(KvResponse::Stored))).count();
                 // Majority write: tolerate a minority of dead replicas while
                 // keeping reads (which hit a random replica) mostly coherent.
                 if stored * 2 > total {
@@ -143,7 +142,7 @@ mod tests {
         let router = RouterMidTier::new(3);
         let plan = router.plan(&set("k"), 16);
         assert_eq!(plan.len(), 3);
-        let mut leaves: Vec<usize> = plan.iter().map(|(leaf, _)| *leaf).collect();
+        let mut leaves: Vec<usize> = plan.targets.iter().map(|(leaf, _)| *leaf).collect();
         leaves.sort_unstable();
         leaves.dedup();
         assert_eq!(leaves.len(), 3, "replicas must be distinct leaves");
@@ -152,9 +151,10 @@ mod tests {
     #[test]
     fn reads_rotate_across_replicas_of_one_key() {
         let router = RouterMidTier::new(3);
-        let set_plan: Vec<usize> = router.plan(&set("hot"), 16).into_iter().map(|(l, _)| l).collect();
+        let set_plan: Vec<usize> =
+            router.plan(&set("hot"), 16).targets.into_iter().map(|(l, _)| l).collect();
         let mut read_leaves: Vec<usize> =
-            (0..30).map(|_| router.plan(&get("hot"), 16)[0].0).collect();
+            (0..30).map(|_| router.plan(&get("hot"), 16).targets[0].0).collect();
         read_leaves.sort_unstable();
         read_leaves.dedup();
         assert_eq!(read_leaves.len(), 3, "reads must balance across all replicas");
@@ -182,8 +182,7 @@ mod tests {
     #[test]
     fn merge_get_passes_value_through() {
         let router = RouterMidTier::new(3);
-        let merged =
-            router.merge(get("k"), vec![Ok(KvResponse::Value(Some(vec![9])))]).unwrap();
+        let merged = router.merge(get("k"), vec![Ok(KvResponse::Value(Some(vec![9])))]).unwrap();
         assert_eq!(merged, KvResponse::Value(Some(vec![9])));
         assert!(router.merge(get("k"), vec![Err(RpcError::TimedOut)]).is_err());
     }
@@ -207,8 +206,10 @@ mod tests {
     #[test]
     fn same_key_same_replica_set() {
         let router = RouterMidTier::new(3);
-        let a: Vec<usize> = router.plan(&set("stable"), 8).into_iter().map(|(l, _)| l).collect();
-        let b: Vec<usize> = router.plan(&set("stable"), 8).into_iter().map(|(l, _)| l).collect();
+        let a: Vec<usize> =
+            router.plan(&set("stable"), 8).targets.into_iter().map(|(l, _)| l).collect();
+        let b: Vec<usize> =
+            router.plan(&set("stable"), 8).targets.into_iter().map(|(l, _)| l).collect();
         assert_eq!(a, b, "placement must be deterministic per key");
     }
 }

@@ -4,7 +4,7 @@
 //! delete is included because the leaf store supports it and the drop-in
 //! proxy property requires covering the standard client surface.
 
-use musuite_codec::{Decode, DecodeError, Encode};
+use musuite_codec::{BufMut, Decode, DecodeError, Encode};
 
 /// A client request routed by the mid-tier.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,23 +56,23 @@ impl KvRequest {
 }
 
 impl Encode for KvRequest {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         match self {
             KvRequest::Get { key } => {
-                buf.push(0);
+                buf.put_u8(0);
                 key.encode(buf);
             }
             KvRequest::Set { key, value } => {
-                buf.push(1);
+                buf.put_u8(1);
                 key.encode(buf);
                 value.encode(buf);
             }
             KvRequest::Delete { key } => {
-                buf.push(2);
+                buf.put_u8(2);
                 key.encode(buf);
             }
             KvRequest::SetEx { key, value, ttl_ms } => {
-                buf.push(3);
+                buf.put_u8(3);
                 key.encode(buf);
                 value.encode(buf);
                 ttl_ms.encode(buf);
@@ -84,9 +84,7 @@ impl Encode for KvRequest {
         match self {
             KvRequest::Get { key } | KvRequest::Delete { key } => 1 + key.encoded_len(),
             KvRequest::Set { key, value } => 1 + key.encoded_len() + value.encoded_len(),
-            KvRequest::SetEx { key, value, .. } => {
-                11 + key.encoded_len() + value.encoded_len()
-            }
+            KvRequest::SetEx { key, value, .. } => 11 + key.encoded_len() + value.encoded_len(),
         }
     }
 }
@@ -132,15 +130,15 @@ pub enum KvResponse {
 }
 
 impl Encode for KvResponse {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         match self {
             KvResponse::Value(value) => {
-                buf.push(0);
+                buf.put_u8(0);
                 value.encode(buf);
             }
-            KvResponse::Stored => buf.push(1),
+            KvResponse::Stored => buf.put_u8(1),
             KvResponse::Deleted(existed) => {
-                buf.push(2);
+                buf.put_u8(2);
                 existed.encode(buf);
             }
         }
@@ -220,8 +218,6 @@ mod tests {
         assert!(KvRequest::Get { key: "a".into() }.is_read());
         assert!(!KvRequest::Set { key: "a".into(), value: vec![] }.is_read());
         assert!(!KvRequest::Delete { key: "a".into() }.is_read());
-        assert!(
-            !KvRequest::SetEx { key: "a".into(), value: vec![], ttl_ms: 1 }.is_read()
-        );
+        assert!(!KvRequest::SetEx { key: "a".into(), value: vec![], ttl_ms: 1 }.is_read());
     }
 }

@@ -127,11 +127,8 @@ impl RouterClient {
         value: Vec<u8>,
         ttl: std::time::Duration,
     ) -> Result<(), RpcError> {
-        let request = KvRequest::SetEx {
-            key: key.to_string(),
-            value,
-            ttl_ms: ttl.as_millis() as u64,
-        };
+        let request =
+            KvRequest::SetEx { key: key.to_string(), value, ttl_ms: ttl.as_millis() as u64 };
         match self.inner.call_typed(&request)? {
             KvResponse::Stored => Ok(()),
             other => Err(unexpected(other)),
@@ -203,12 +200,8 @@ mod tests {
         for i in 0..50 {
             client.set(&format!("key{i}"), vec![0u8; 8]).unwrap();
         }
-        let total_entries: u64 = service
-            .cluster()
-            .leaf_servers()
-            .iter()
-            .map(|leaf| leaf.stats().requests())
-            .sum();
+        let total_entries: u64 =
+            service.cluster().leaf_servers().iter().map(|leaf| leaf.stats().requests()).sum();
         assert_eq!(total_entries, 150, "50 sets x 3 replicas = 150 leaf requests");
     }
 
@@ -234,7 +227,9 @@ mod tests {
     fn ttl_sets_expire_on_every_replica() {
         let service = RouterService::launch(4, 3).unwrap();
         let client = service.client().unwrap();
-        client.set_ex("ephemeral", b"soon gone".to_vec(), std::time::Duration::from_millis(40)).unwrap();
+        client
+            .set_ex("ephemeral", b"soon gone".to_vec(), std::time::Duration::from_millis(40))
+            .unwrap();
         assert_eq!(client.get("ephemeral").unwrap(), Some(b"soon gone".to_vec()));
         std::thread::sleep(std::time::Duration::from_millis(80));
         // Reads rotate replicas; all must agree the key expired.

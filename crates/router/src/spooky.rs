@@ -417,10 +417,7 @@ mod tests {
         let all = hashes(20_000, 16);
         for bit in 0..64 {
             let ones = all.iter().filter(|h| (*h >> bit) & 1 == 1).count();
-            assert!(
-                (8_500..11_500).contains(&ones),
-                "bit {bit} biased: {ones}/20000 ones"
-            );
+            assert!((8_500..11_500).contains(&ones), "bit {bit} biased: {ones}/20000 ones");
         }
     }
 
@@ -435,10 +432,7 @@ mod tests {
             counts[(((u128::from(hash)) * shards as u128) >> 64) as usize] += 1;
         }
         for &count in &counts {
-            assert!(
-                (3_400..4_600).contains(&count),
-                "shard imbalance: {counts:?}"
-            );
+            assert!((3_400..4_600).contains(&count), "shard imbalance: {counts:?}");
         }
     }
 }

@@ -1,0 +1,308 @@
+//! Pooled wire buffers: the zero-copy plumbing under every connection.
+//!
+//! Three pieces keep payload bytes from being copied between the socket
+//! and the service handler:
+//!
+//! * [`Payload`] — an outgoing message body as up to two [`Bytes`]
+//!   segments (a shared prefix plus a per-request suffix). A mid-tier
+//!   scatter encodes its shared request state **once** and hands every
+//!   leaf a reference-counted clone of the same allocation; the per-leaf
+//!   suffix rides in the second segment. Length and checksum are computed
+//!   across the segment boundary, so the two are never joined in memory.
+//! * [`FrameReader`] — a socket read loop with a persistent [`BytesMut`]:
+//!   the header lands in a stack buffer, the payload in pooled memory
+//!   that is frozen into a [`Bytes`] and handed out without a copy.
+//! * [`FrameWriter`] — the serialized write half of a connection with a
+//!   reusable scratch buffer, so response/request serialization reuses
+//!   one allocation for the life of the connection instead of building a
+//!   fresh `Vec` per frame.
+
+use bytes::{Bytes, BytesMut};
+use musuite_codec::frame::{FrameHeader, FramePrefix, HEADER_LEN};
+use musuite_codec::{DecodeError, Frame};
+use std::io::{self, Read, Write};
+
+/// An outgoing message body: a shared head plus a per-request tail.
+///
+/// Both segments are cheap reference-counted handles. Converting a
+/// `Vec<u8>` or [`Bytes`] produces a single-segment payload; a two-part
+/// payload shares its head across sibling requests.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_rpc::Payload;
+/// use bytes::Bytes;
+///
+/// let shared = Bytes::from(vec![1u8, 2, 3]);
+/// let a = Payload::with_suffix(shared.clone(), vec![4u8]);
+/// let b = Payload::with_suffix(shared, vec![5u8]);
+/// assert_eq!(a.len(), 4);
+/// assert_eq!(a.to_vec(), [1, 2, 3, 4]);
+/// assert_eq!(b.to_vec(), [1, 2, 3, 5]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Payload {
+    head: Bytes,
+    tail: Bytes,
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn new() -> Payload {
+        Payload::default()
+    }
+
+    /// A payload sharing `head` and appending an owned `tail`.
+    ///
+    /// The head's allocation is shared (reference-counted), not copied —
+    /// this is how a fan-out encodes common request state once.
+    pub fn with_suffix(head: Bytes, tail: impl Into<Bytes>) -> Payload {
+        Payload { head, tail: tail.into() }
+    }
+
+    /// Total length in bytes across both segments.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+
+    /// Returns `true` if both segments are empty.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty() && self.tail.is_empty()
+    }
+
+    /// The payload as wire-order segments, for scatter-write APIs.
+    pub fn parts(&self) -> [&[u8]; 2] {
+        [&self.head, &self.tail]
+    }
+
+    /// Copies both segments into one contiguous vector (for diagnostics
+    /// and tests; the hot path never joins them).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend_from_slice(&self.head);
+        out.extend_from_slice(&self.tail);
+        out
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(head: Vec<u8>) -> Payload {
+        Payload { head: Bytes::from(head), tail: Bytes::new() }
+    }
+}
+
+impl From<Bytes> for Payload {
+    fn from(head: Bytes) -> Payload {
+        Payload { head, tail: Bytes::new() }
+    }
+}
+
+impl From<&'static [u8]> for Payload {
+    fn from(head: &'static [u8]) -> Payload {
+        Payload { head: Bytes::from_static(head), tail: Bytes::new() }
+    }
+}
+
+/// Streaming frame reader with a pooled payload buffer.
+///
+/// Reads the fixed-size header into a stack array, then the payload into
+/// a persistent [`BytesMut`] that is frozen and handed out as a [`Bytes`]
+/// — the frame's payload is *never* copied after leaving the kernel. The
+/// seed path (`Frame::read_from`) allocated a header+payload vector per
+/// frame and then copied the payload out of it; this reader does one
+/// payload-sized buffer per frame and zero copies, and empty payloads
+/// touch the allocator not at all.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    reader: R,
+    buf: BytesMut,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `reader` with an empty pooled buffer.
+    pub fn new(reader: R) -> FrameReader<R> {
+        FrameReader { reader, buf: BytesMut::new() }
+    }
+
+    /// A shared reference to the underlying reader.
+    pub fn get_ref(&self) -> &R {
+        &self.reader
+    }
+
+    /// Reads exactly one frame (blocking).
+    ///
+    /// # Errors
+    ///
+    /// `io::ErrorKind::UnexpectedEof` on a cleanly closed connection,
+    /// `io::ErrorKind::InvalidData` on malformed frames; other I/O errors
+    /// propagate.
+    pub fn read_frame(&mut self) -> io::Result<Frame> {
+        let mut header = [0u8; HEADER_LEN];
+        self.reader.read_exact(&mut header)?;
+        self.finish_frame(header)
+    }
+
+    /// Reads one frame whose first byte was already consumed by a
+    /// readiness probe (the server poller's blocking first-byte read).
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameReader::read_frame`].
+    pub fn read_frame_after_first_byte(&mut self, first: u8) -> io::Result<Frame> {
+        let mut header = [0u8; HEADER_LEN];
+        header[0] = first;
+        self.reader.read_exact(&mut header[1..])?;
+        self.finish_frame(header)
+    }
+
+    fn finish_frame(&mut self, header: [u8; HEADER_LEN]) -> io::Result<Frame> {
+        let prefix = FramePrefix::parse(&header).map_err(invalid_data)?;
+        let payload = if prefix.payload_len == 0 {
+            Bytes::new()
+        } else {
+            // One read_exact into pooled memory, then a zero-copy freeze:
+            // the Bytes handed to the service aliases this read buffer.
+            self.buf.resize(prefix.payload_len, 0);
+            self.reader.read_exact(&mut self.buf[..])?;
+            self.buf.split_to(prefix.payload_len).freeze()
+        };
+        prefix.check_payload(payload).map_err(invalid_data)
+    }
+}
+
+fn invalid_data(e: DecodeError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+/// The write half of a connection with a reusable serialization scratch.
+///
+/// Every frame is serialized into the same [`BytesMut`] (cleared, never
+/// shrunk) and written with a single `write_all`, so steady-state framing
+/// performs no allocation. [`FrameWriter::write_parts`] streams a
+/// multi-segment [`Payload`] without joining the segments first.
+#[derive(Debug)]
+pub struct FrameWriter<W> {
+    writer: W,
+    scratch: BytesMut,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps `writer` with an empty scratch buffer.
+    pub fn new(writer: W) -> FrameWriter<W> {
+        FrameWriter { writer, scratch: BytesMut::new() }
+    }
+
+    /// A shared reference to the underlying writer.
+    pub fn get_ref(&self) -> &W {
+        &self.writer
+    }
+
+    /// Serializes and writes one complete frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_frame(&mut self, frame: &Frame) -> io::Result<()> {
+        self.write_parts(&frame.header, &[&frame.payload])
+    }
+
+    /// Serializes `header` with a payload assembled from `parts` and
+    /// writes it as one `write_all`. Length and checksum span the part
+    /// boundaries, so scattered segments go on the wire without a join.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_parts(&mut self, header: &FrameHeader, parts: &[&[u8]]) -> io::Result<()> {
+        self.scratch.clear();
+        header.encode_with_payload(parts, &mut self.scratch);
+        self.writer.write_all(&self.scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use musuite_codec::frame::FrameKind;
+    use musuite_codec::Status;
+
+    #[test]
+    fn payload_conversions() {
+        let from_vec = Payload::from(vec![1u8, 2]);
+        assert_eq!(from_vec.len(), 2);
+        assert!(!from_vec.is_empty());
+        let empty = Payload::new();
+        assert!(empty.is_empty());
+        let from_bytes = Payload::from(Bytes::from(vec![3u8]));
+        assert_eq!(from_bytes.to_vec(), [3]);
+        let from_static = Payload::from(&b"hi"[..]);
+        assert_eq!(from_static.to_vec(), b"hi");
+    }
+
+    #[test]
+    fn payload_suffix_shares_head_allocation() {
+        let shared = Bytes::from(vec![9u8; 32]);
+        let base = shared.as_ptr();
+        let a = Payload::with_suffix(shared.clone(), vec![1u8]);
+        let b = Payload::with_suffix(shared, vec![2u8]);
+        // Both payloads alias the same head allocation — no deep copy.
+        assert_eq!(a.parts()[0].as_ptr(), base);
+        assert_eq!(b.parts()[0].as_ptr(), base);
+        assert_eq!(a.parts()[1], [1]);
+        assert_eq!(b.parts()[1], [2]);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip_through_pipe() {
+        let mut wire = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut wire);
+            writer.write_frame(&Frame::request(1, 7, b"first".to_vec())).unwrap();
+            let payload = Payload::with_suffix(Bytes::from(vec![0xAA; 3]), vec![0xBB]);
+            let header = Frame::request(2, 8, Vec::new()).header;
+            writer.write_parts(&header, &payload.parts()).unwrap();
+            writer.write_frame(&Frame::response(1, 7, Status::Ok, Vec::new())).unwrap();
+        }
+        let mut reader = FrameReader::new(&wire[..]);
+        let first = reader.read_frame().unwrap();
+        assert_eq!(first.header.request_id, 1);
+        assert_eq!(first.payload, b"first");
+        let second = reader.read_frame().unwrap();
+        assert_eq!(second.header.request_id, 2);
+        assert_eq!(second.payload, [0xAA, 0xAA, 0xAA, 0xBB]);
+        let third = reader.read_frame().unwrap();
+        assert_eq!(third.header.kind, FrameKind::Response);
+        assert!(third.payload.is_empty());
+        assert!(reader.read_frame().is_err(), "stream exhausted");
+    }
+
+    #[test]
+    fn reader_first_byte_path_matches_whole_frame() {
+        let bytes = Frame::request(5, 2, b"probe".to_vec()).to_bytes();
+        let mut reader = FrameReader::new(&bytes[1..]);
+        let frame = reader.read_frame_after_first_byte(bytes[0]).unwrap();
+        assert_eq!(frame.header.request_id, 5);
+        assert_eq!(frame.payload, b"probe");
+    }
+
+    #[test]
+    fn reader_rejects_corruption() {
+        let mut bytes = Frame::request(5, 2, b"x".to_vec()).to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let err = FrameReader::new(&bytes[..]).read_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut bytes = Frame::request(5, 2, Vec::new()).to_bytes();
+        bytes[0] ^= 0xFF;
+        let err = FrameReader::new(&bytes[..]).read_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn reader_eof_on_empty_stream() {
+        let err = FrameReader::new(&b""[..]).read_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -8,22 +8,38 @@
 //! caller or runs the asynchronous completion callback in place. Many
 //! threads may issue calls on one client concurrently; requests are
 //! multiplexed on the connection.
+//!
+//! Response payloads are [`Bytes`] slices of the pick-up thread's pooled
+//! read buffer — they travel from the socket to the caller without being
+//! copied. Requests are [`Payload`]s, so a fan-out can share one encoded
+//! prefix across many calls by reference count instead of deep copy.
+//!
+//! In-flight hygiene: synchronous deadline waits use an absolute deadline
+//! (spurious wakeups cannot extend the timeout), and asynchronous calls
+//! may register a deadline with a lazily-spawned reaper thread that fails
+//! overdue entries with [`RpcError::TimedOut`] and removes them from the
+//! in-flight table — without it, a leaf that never responds would leak
+//! its table entry and callback forever.
 
+use crate::buf::{FrameWriter, Payload};
 use crate::error::RpcError;
-use musuite_codec::{Frame, FrameKind};
+use bytes::Bytes;
+use musuite_codec::frame::FrameHeader;
+use musuite_codec::{FrameKind, Status};
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
 use musuite_telemetry::sync::{CountedCondvar, CountedMutex};
-use std::collections::HashMap;
-use std::io::Write;
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Completion callback for [`RpcClient::call_async`]; runs on the response
 /// pick-up thread.
-pub type Callback = Box<dyn FnOnce(Result<Vec<u8>, RpcError>) + Send + 'static>;
+pub type Callback = Box<dyn FnOnce(Result<Bytes, RpcError>) + Send + 'static>;
 
 enum Pending {
     Sync(Arc<SyncSlot>),
@@ -31,7 +47,7 @@ enum Pending {
 }
 
 struct SyncSlot {
-    result: CountedMutex<Option<Result<Vec<u8>, RpcError>>>,
+    result: CountedMutex<Option<Result<Bytes, RpcError>>>,
     ready: CountedCondvar,
 }
 
@@ -40,23 +56,28 @@ impl SyncSlot {
         Arc::new(SyncSlot { result: CountedMutex::new(None), ready: CountedCondvar::new() })
     }
 
-    fn complete(&self, result: Result<Vec<u8>, RpcError>) {
+    fn complete(&self, result: Result<Bytes, RpcError>) {
         *self.result.lock() = Some(result);
         self.ready.notify_one();
     }
 
-    fn wait(&self, timeout: Option<Duration>) -> Result<Vec<u8>, RpcError> {
+    fn wait(&self, timeout: Option<Duration>) -> Result<Bytes, RpcError> {
+        // The deadline is absolute: a spurious wakeup re-waits only for
+        // the *remaining* time instead of restarting the full timeout.
+        let deadline = timeout.map(|limit| Instant::now() + limit);
         let mut guard = self.result.lock();
         loop {
             if let Some(result) = guard.take() {
                 return result;
             }
-            match timeout {
+            match deadline {
                 None => self.ready.wait(&mut guard),
-                Some(limit) => {
-                    if self.ready.wait_for(&mut guard, limit) && guard.is_none() {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Err(RpcError::TimedOut);
                     }
+                    self.ready.wait_for(&mut guard, deadline - now);
                 }
             }
         }
@@ -65,6 +86,9 @@ impl SyncSlot {
 
 type InflightTable = Arc<CountedMutex<HashMap<u64, Pending>>>;
 
+/// Min-heap of `(deadline, request id)` shared with the reaper thread.
+type DeadlineQueue = Arc<(Mutex<BinaryHeap<Reverse<(Instant, u64)>>>, Condvar)>;
+
 /// A connection to one RPC server.
 ///
 /// # Examples
@@ -72,12 +96,14 @@ type InflightTable = Arc<CountedMutex<HashMap<u64, Pending>>>;
 /// See [`crate`]-level documentation for an end-to-end example.
 pub struct RpcClient {
     peer_addr: SocketAddr,
-    writer: CountedMutex<TcpStream>,
+    writer: CountedMutex<FrameWriter<TcpStream>>,
     next_id: AtomicU64,
     inflight: InflightTable,
     closed: Arc<AtomicBool>,
     reader: Option<JoinHandle<()>>,
     read_half: TcpStream,
+    deadlines: DeadlineQueue,
+    reaper: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl RpcClient {
@@ -94,15 +120,18 @@ impl RpcClient {
         let read_half = stream.try_clone()?;
         let inflight: InflightTable = Arc::new(CountedMutex::new(HashMap::new()));
         let closed = Arc::new(AtomicBool::new(false));
-        let reader = spawn_response_thread(read_half.try_clone()?, inflight.clone(), closed.clone());
+        let reader =
+            spawn_response_thread(read_half.try_clone()?, inflight.clone(), closed.clone());
         Ok(RpcClient {
             peer_addr,
-            writer: CountedMutex::new(stream),
+            writer: CountedMutex::new(FrameWriter::new(stream)),
             next_id: AtomicU64::new(1),
             inflight,
             closed,
             reader: Some(reader),
             read_half,
+            deadlines: Arc::new((Mutex::new(BinaryHeap::new()), Condvar::new())),
+            reaper: Mutex::new(None),
         })
     }
 
@@ -116,14 +145,22 @@ impl RpcClient {
         self.closed.load(Ordering::Acquire)
     }
 
-    fn send_request(&self, request_id: u64, method: u32, payload: Vec<u8>) -> Result<(), RpcError> {
+    fn send_request(
+        &self,
+        request_id: u64,
+        method: u32,
+        kind: FrameKind,
+        payload: &Payload,
+    ) -> Result<(), RpcError> {
         if self.is_closed() {
             return Err(RpcError::ConnectionClosed);
         }
-        let bytes = Frame::request(request_id, method, payload).to_bytes();
-        let mut stream = self.writer.lock();
+        let header = FrameHeader { kind, request_id, method, status: Status::Ok };
+        let mut writer = self.writer.lock();
         OsOpCounters::global().incr(OsOp::SendMsg);
-        stream.write_all(&bytes)?;
+        // The payload's segments go on the wire without being joined; the
+        // frame serializes into this connection's reusable scratch buffer.
+        writer.write_parts(&header, &payload.parts())?;
         Ok(())
     }
 
@@ -134,8 +171,8 @@ impl RpcClient {
     /// Returns [`RpcError::Remote`] for non-`Ok` response statuses,
     /// [`RpcError::ConnectionClosed`] if the connection drops mid-call, or
     /// an I/O error from the send path.
-    pub fn call(&self, method: u32, payload: Vec<u8>) -> Result<Vec<u8>, RpcError> {
-        self.call_with_timeout(method, payload, None)
+    pub fn call(&self, method: u32, payload: impl Into<Payload>) -> Result<Bytes, RpcError> {
+        self.call_with_timeout(method, payload.into(), None)
     }
 
     /// Issues a blocking call that fails with [`RpcError::TimedOut`] if no
@@ -147,27 +184,30 @@ impl RpcClient {
     pub fn call_deadline(
         &self,
         method: u32,
-        payload: Vec<u8>,
+        payload: impl Into<Payload>,
         timeout: Duration,
-    ) -> Result<Vec<u8>, RpcError> {
-        self.call_with_timeout(method, payload, Some(timeout))
+    ) -> Result<Bytes, RpcError> {
+        self.call_with_timeout(method, payload.into(), Some(timeout))
     }
 
     fn call_with_timeout(
         &self,
         method: u32,
-        payload: Vec<u8>,
+        payload: Payload,
         timeout: Option<Duration>,
-    ) -> Result<Vec<u8>, RpcError> {
+    ) -> Result<Bytes, RpcError> {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let slot = SyncSlot::new();
         self.inflight.lock().insert(request_id, Pending::Sync(slot.clone()));
-        if let Err(e) = self.send_request(request_id, method, payload) {
+        if let Err(e) = self.send_request(request_id, method, FrameKind::Request, &payload) {
             self.inflight.lock().remove(&request_id);
             return Err(e);
         }
         let result = slot.wait(timeout);
         if matches!(result, Err(RpcError::TimedOut)) {
+            // Deregister so a timed-out call cannot leak its table entry;
+            // a response racing this removal lands in the `None` arm of
+            // the pick-up thread's match and is dropped.
             self.inflight.lock().remove(&request_id);
         }
         result
@@ -179,16 +219,60 @@ impl RpcClient {
     /// This is the mid-tier's leaf-request primitive: the calling worker
     /// returns immediately and "proceeds to process successive requests"
     /// (paper §IV) while RPC state lives in the in-flight table.
-    pub fn call_async<F>(&self, method: u32, payload: Vec<u8>, callback: F)
+    pub fn call_async<F>(&self, method: u32, payload: impl Into<Payload>, callback: F)
     where
-        F: FnOnce(Result<Vec<u8>, RpcError>) + Send + 'static,
+        F: FnOnce(Result<Bytes, RpcError>) + Send + 'static,
     {
+        self.call_async_inner(method, payload.into(), None, Box::new(callback));
+    }
+
+    /// As [`RpcClient::call_async`], but the callback is guaranteed to run
+    /// within roughly `timeout`: if no response arrives in time, a reaper
+    /// thread removes the in-flight entry and invokes the callback with
+    /// [`RpcError::TimedOut`]. This is what bounds a scatter against a
+    /// stuck leaf.
+    pub fn call_async_deadline<F>(
+        &self,
+        method: u32,
+        payload: impl Into<Payload>,
+        timeout: Duration,
+        callback: F,
+    ) where
+        F: FnOnce(Result<Bytes, RpcError>) + Send + 'static,
+    {
+        self.call_async_inner(method, payload.into(), Some(timeout), Box::new(callback));
+    }
+
+    fn call_async_inner(
+        &self,
+        method: u32,
+        payload: Payload,
+        timeout: Option<Duration>,
+        callback: Callback,
+    ) {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.inflight.lock().insert(request_id, Pending::Async(Box::new(callback)));
-        if let Err(e) = self.send_request(request_id, method, payload) {
+        self.inflight.lock().insert(request_id, Pending::Async(callback));
+        if let Some(timeout) = timeout {
+            self.register_deadline(Instant::now() + timeout, request_id);
+        }
+        if let Err(e) = self.send_request(request_id, method, FrameKind::Request, &payload) {
             if let Some(Pending::Async(cb)) = self.inflight.lock().remove(&request_id) {
                 cb(Err(e));
             }
+        }
+    }
+
+    fn register_deadline(&self, when: Instant, request_id: u64) {
+        let (heap, cv) = &*self.deadlines;
+        heap.lock().push(Reverse((when, request_id)));
+        cv.notify_one();
+        let mut reaper = self.reaper.lock();
+        if reaper.is_none() {
+            *reaper = Some(spawn_reaper_thread(
+                self.deadlines.clone(),
+                self.inflight.clone(),
+                self.closed.clone(),
+            ));
         }
     }
 
@@ -203,17 +287,8 @@ impl RpcClient {
     /// # Errors
     ///
     /// Returns send-path errors only; delivery is not acknowledged.
-    pub fn notify(&self, method: u32, payload: Vec<u8>) -> Result<(), RpcError> {
-        if self.is_closed() {
-            return Err(RpcError::ConnectionClosed);
-        }
-        let mut frame = Frame::request(0, method, payload);
-        frame.header.kind = FrameKind::OneWay;
-        let bytes = frame.to_bytes();
-        let mut stream = self.writer.lock();
-        OsOpCounters::global().incr(OsOp::SendMsg);
-        stream.write_all(&bytes)?;
-        Ok(())
+    pub fn notify(&self, method: u32, payload: impl Into<Payload>) -> Result<(), RpcError> {
+        self.send_request(0, method, FrameKind::OneWay, &payload.into())
     }
 
     /// Number of calls awaiting responses.
@@ -228,6 +303,9 @@ impl RpcClient {
             return;
         }
         let _ = self.read_half.shutdown(Shutdown::Both);
+        // Wake the reaper (if any) so it observes the closed flag.
+        let (_, cv) = &*self.deadlines;
+        cv.notify_all();
     }
 }
 
@@ -235,6 +313,9 @@ impl Drop for RpcClient {
     fn drop(&mut self) {
         self.shutdown();
         if let Some(handle) = self.reader.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.reaper.lock().take() {
             let _ = handle.join();
         }
     }
@@ -260,10 +341,12 @@ fn spawn_response_thread(
         .name("musuite-response".to_string())
         .spawn(move || {
             let counters = OsOpCounters::global();
-            let mut reader = stream;
+            // One pooled read buffer for the life of the connection; each
+            // response payload is a zero-copy slice of it.
+            let mut reader = crate::buf::FrameReader::new(stream);
             loop {
                 counters.incr(OsOp::EpollPwait);
-                let frame = match Frame::read_from(&mut reader) {
+                let frame = match reader.read_frame() {
                     Ok(frame) => frame,
                     Err(_) => break,
                 };
@@ -303,6 +386,50 @@ fn spawn_response_thread(
         .expect("spawn response thread")
 }
 
+/// Reaps in-flight entries whose deadlines have passed. Parked on a
+/// condition variable until the earliest deadline (or a new registration);
+/// overdue entries are removed from the table and completed with
+/// [`RpcError::TimedOut`]. Entries already completed by the response
+/// thread are simply absent — the heap entry is then a no-op.
+fn spawn_reaper_thread(
+    deadlines: DeadlineQueue,
+    inflight: InflightTable,
+    closed: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("musuite-reaper".to_string())
+        .spawn(move || {
+            let (heap_lock, cv) = &*deadlines;
+            let mut heap = heap_lock.lock();
+            loop {
+                if closed.load(Ordering::Acquire) {
+                    break;
+                }
+                let Some(&Reverse((when, request_id))) = heap.peek() else {
+                    cv.wait(&mut heap);
+                    continue;
+                };
+                let now = Instant::now();
+                if when > now {
+                    cv.wait_for(&mut heap, when - now);
+                    continue;
+                }
+                heap.pop();
+                // Complete outside the heap lock: the callback may issue
+                // follow-up calls that register new deadlines.
+                drop(heap);
+                if let Some(pending) = inflight.lock().remove(&request_id) {
+                    match pending {
+                        Pending::Sync(slot) => slot.complete(Err(RpcError::TimedOut)),
+                        Pending::Async(callback) => callback(Err(RpcError::TimedOut)),
+                    }
+                }
+                heap = heap_lock.lock();
+            }
+        })
+        .expect("spawn reaper thread")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -313,8 +440,8 @@ mod tests {
 
     struct Echo;
     impl Service for Echo {
-        fn call(&self, ctx: RequestContext) {
-            let bytes = ctx.payload().to_vec();
+        fn call(&self, mut ctx: RequestContext) {
+            let bytes = ctx.take_payload();
             ctx.respond_ok(bytes);
         }
     }
@@ -345,11 +472,12 @@ mod tests {
             let tx = tx.clone();
             client.call_async(1, i.to_le_bytes().to_vec(), move |result| {
                 let bytes = result.unwrap();
-                let value = u32::from_le_bytes(bytes.try_into().unwrap());
+                let value = u32::from_le_bytes(bytes[..].try_into().unwrap());
                 tx.send(value).unwrap();
             });
         }
-        let mut seen: Vec<u32> = (0..64).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        let mut seen: Vec<u32> =
+            (0..64).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..64).collect::<Vec<_>>());
     }
@@ -414,6 +542,41 @@ mod tests {
     }
 
     #[test]
+    fn async_deadline_reaps_stuck_request() {
+        // A listener that accepts but never responds: without the reaper,
+        // the async entry would sit in the in-flight table forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _keeper = std::thread::spawn(move || {
+            let (_stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(2));
+        });
+        let client = RpcClient::connect(addr).unwrap();
+        let (tx, rx) = mpsc::channel();
+        client.call_async_deadline(1, b"never".to_vec(), Duration::from_millis(100), move |r| {
+            tx.send(r).unwrap();
+        });
+        assert_eq!(client.inflight_len(), 1);
+        let result = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(result, Err(RpcError::TimedOut)));
+        assert_eq!(client.inflight_len(), 0, "reaper must deregister the entry");
+    }
+
+    #[test]
+    fn async_deadline_does_not_fire_on_fast_response() {
+        let server = echo_server();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        let (tx, rx) = mpsc::channel();
+        client.call_async_deadline(1, b"fast".to_vec(), Duration::from_secs(30), move |r| {
+            tx.send(r).unwrap();
+        });
+        let result = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(result.unwrap(), b"fast");
+        assert_eq!(client.inflight_len(), 0);
+        // The stale heap entry is harmless: its id is gone from the table.
+    }
+
+    #[test]
     fn connect_to_dead_port_errors() {
         // Bind-then-drop to find a port that is very likely closed.
         let addr = {
@@ -421,6 +584,20 @@ mod tests {
             listener.local_addr().unwrap()
         };
         assert!(RpcClient::connect(addr).is_err());
+    }
+
+    #[test]
+    fn payload_prefix_sharing_round_trips() {
+        let server = echo_server();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        let shared = Bytes::from(vec![7u8; 1024]);
+        for suffix in 0u8..4 {
+            let payload = Payload::with_suffix(shared.clone(), vec![suffix]);
+            let reply = client.call(1, payload).unwrap();
+            assert_eq!(reply.len(), 1025);
+            assert_eq!(reply[..1024], [7u8; 1024][..]);
+            assert_eq!(reply[1024], suffix);
+        }
     }
 
     #[test]

@@ -81,7 +81,7 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let io_err = RpcError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let io_err = RpcError::from(io::Error::other("boom"));
         assert!(io_err.to_string().contains("boom"));
         assert!(RpcError::remote(Status::AppError).to_string().contains("application error"));
         assert!(RpcError::ConnectionClosed.to_string().contains("closed"));

@@ -8,14 +8,24 @@
 //! work — stash the payload, decrement a counter — exactly the paper's
 //! design ("we do not explicitly dispatch responses, as all but the last
 //! response thread do negligible work").
+//!
+//! Request payloads are [`Payload`]s: a fan-out that sends the same
+//! request state to every leaf (the common case — a query vector, a key)
+//! encodes it **once** and hands each leaf a reference-counted clone of
+//! the same allocation. Replies come back as [`Bytes`] slices of each
+//! client connection's pooled read buffer, so neither direction copies
+//! payload bytes inside the process.
 
+use crate::buf::Payload;
 use crate::client::RpcClient;
 use crate::error::RpcError;
+use bytes::Bytes;
 use musuite_telemetry::clock::Clock;
 use parking_lot::Mutex;
 use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The gathered outcome of one scatter: per-leaf results in request order
 /// plus the wall-clock time the fan-out took (used to attribute leaf time
@@ -23,14 +33,16 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct FanoutResult {
     /// One entry per scattered request, in the order they were passed.
-    pub replies: Vec<Result<Vec<u8>, RpcError>>,
+    /// Successful replies are zero-copy slices of the leaf connection's
+    /// read buffer.
+    pub replies: Vec<Result<Bytes, RpcError>>,
     /// Nanoseconds from scatter to last response.
     pub elapsed_ns: u64,
 }
 
 impl FanoutResult {
     /// Returns the payloads of successful replies, dropping failures.
-    pub fn successes(self) -> Vec<Vec<u8>> {
+    pub fn successes(self) -> Vec<Bytes> {
         self.replies.into_iter().filter_map(Result::ok).collect()
     }
 
@@ -40,16 +52,18 @@ impl FanoutResult {
     }
 }
 
+type CompletionFn = Box<dyn FnOnce(FanoutResult) + Send>;
+
 struct ScatterState {
     remaining: AtomicUsize,
-    replies: Mutex<Vec<Option<Result<Vec<u8>, RpcError>>>>,
-    on_complete: Mutex<Option<Box<dyn FnOnce(FanoutResult) + Send>>>,
+    replies: Mutex<Vec<Option<Result<Bytes, RpcError>>>>,
+    on_complete: Mutex<Option<CompletionFn>>,
     started_at_ns: u64,
     clock: Clock,
 }
 
 impl ScatterState {
-    fn arrive(&self, slot: usize, result: Result<Vec<u8>, RpcError>) {
+    fn arrive(&self, slot: usize, result: Result<Bytes, RpcError>) {
         self.replies.lock()[slot] = Some(result);
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last response: merge here, on the response pick-up thread.
@@ -166,8 +180,41 @@ impl FanoutGroup {
     /// # Panics
     ///
     /// Panics if any leaf index is out of bounds.
-    pub fn scatter<F>(&self, requests: Vec<(usize, u32, Vec<u8>)>, on_complete: F)
+    pub fn scatter<P, F>(&self, requests: Vec<(usize, u32, P)>, on_complete: F)
     where
+        P: Into<Payload>,
+        F: FnOnce(FanoutResult) + Send + 'static,
+    {
+        self.scatter_inner(requests, None, on_complete);
+    }
+
+    /// Like [`FanoutGroup::scatter`], but each leaf request that has not
+    /// completed within `timeout` fails its slot with
+    /// [`RpcError::TimedOut`] instead of stalling the merge forever — the
+    /// mid-tier's defense against a wedged leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any leaf index is out of bounds.
+    pub fn scatter_deadline<P, F>(
+        &self,
+        requests: Vec<(usize, u32, P)>,
+        timeout: Duration,
+        on_complete: F,
+    ) where
+        P: Into<Payload>,
+        F: FnOnce(FanoutResult) + Send + 'static,
+    {
+        self.scatter_inner(requests, Some(timeout), on_complete);
+    }
+
+    fn scatter_inner<P, F>(
+        &self,
+        requests: Vec<(usize, u32, P)>,
+        timeout: Option<Duration>,
+        on_complete: F,
+    ) where
+        P: Into<Payload>,
         F: FnOnce(FanoutResult) + Send + 'static,
     {
         if requests.is_empty() {
@@ -186,28 +233,46 @@ impl FanoutGroup {
         });
         for (slot, (leaf, method, payload)) in requests.into_iter().enumerate() {
             let state = state.clone();
-            self.leaves[leaf].pick().call_async(method, payload, move |result| {
-                state.arrive(slot, result);
-            });
+            let client = self.leaves[leaf].pick();
+            let done = move |result| state.arrive(slot, result);
+            match timeout {
+                Some(timeout) => client.call_async_deadline(method, payload, timeout, done),
+                None => client.call_async(method, payload, done),
+            }
         }
     }
 
-    /// Scatters the same `(method, payload)` to **every** leaf.
-    pub fn broadcast<F>(&self, method: u32, payload: Vec<u8>, on_complete: F)
+    /// Scatters the same `(method, payload)` to **every** leaf. The
+    /// payload is converted to a [`Payload`] once; each leaf receives a
+    /// reference-counted clone of the same allocation, not a deep copy.
+    pub fn broadcast<P, F>(&self, method: u32, payload: P, on_complete: F)
     where
+        P: Into<Payload>,
         F: FnOnce(FanoutResult) + Send + 'static,
     {
-        let requests = (0..self.leaves.len())
-            .map(|leaf| (leaf, method, payload.clone()))
-            .collect();
+        let payload = payload.into();
+        let requests = (0..self.leaves.len()).map(|leaf| (leaf, method, payload.clone())).collect();
         self.scatter(requests, on_complete);
     }
 
     /// Scatters and blocks the calling thread until the merge completes —
     /// convenience for tests and synchronous front-ends.
-    pub fn scatter_wait(&self, requests: Vec<(usize, u32, Vec<u8>)>) -> FanoutResult {
+    pub fn scatter_wait<P: Into<Payload>>(&self, requests: Vec<(usize, u32, P)>) -> FanoutResult {
         let (tx, rx) = std::sync::mpsc::channel();
         self.scatter(requests, move |result| {
+            let _ = tx.send(result);
+        });
+        rx.recv().expect("scatter completion always runs")
+    }
+
+    /// Blocking variant of [`FanoutGroup::scatter_deadline`].
+    pub fn scatter_wait_deadline<P: Into<Payload>>(
+        &self,
+        requests: Vec<(usize, u32, P)>,
+        timeout: Duration,
+    ) -> FanoutResult {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.scatter_deadline(requests, timeout, move |result| {
             let _ = tx.send(result);
         });
         rx.recv().expect("scatter completion always runs")
@@ -249,7 +314,7 @@ mod tests {
     #[test]
     fn scatter_gathers_in_request_order() {
         let (_servers, group) = leaf_cluster(4);
-        let requests = (0..4).map(|leaf| (leaf, 1u32, vec![9u8])).collect();
+        let requests: Vec<_> = (0..4).map(|leaf| (leaf, 1u32, vec![9u8])).collect();
         let result = group.scatter_wait(requests);
         assert!(result.all_ok());
         assert!(result.elapsed_ns > 0);
@@ -272,9 +337,41 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_shares_one_payload_allocation() {
+        let (_servers, group) = leaf_cluster(3);
+        // Encode the shared state once; every leaf's reply must embed it.
+        let shared = Bytes::from(vec![0x5A; 256]);
+        let (tx, rx) = std::sync::mpsc::channel();
+        group.broadcast(2, shared.clone(), move |result| {
+            tx.send(result).unwrap();
+        });
+        let result = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        for reply in result.successes() {
+            assert_eq!(&reply[1..], &shared[..]);
+        }
+    }
+
+    #[test]
+    fn scatter_with_shared_prefix_payloads() {
+        let (_servers, group) = leaf_cluster(3);
+        let shared = Bytes::from(vec![7u8; 64]);
+        let requests: Vec<_> = (0..3)
+            .map(|leaf| (leaf, 1u32, Payload::with_suffix(shared.clone(), vec![leaf as u8])))
+            .collect();
+        let result = group.scatter_wait(requests);
+        assert!(result.all_ok());
+        for (leaf, reply) in result.successes().iter().enumerate() {
+            // TaggedEcho prepends the leaf id, then echoes head + tail.
+            assert_eq!(reply[0], leaf as u8);
+            assert_eq!(&reply[1..65], &shared[..]);
+            assert_eq!(reply[65], leaf as u8);
+        }
+    }
+
+    #[test]
     fn empty_scatter_completes_immediately() {
         let (_servers, group) = leaf_cluster(1);
-        let result = group.scatter_wait(Vec::new());
+        let result = group.scatter_wait(Vec::<(usize, u32, Vec<u8>)>::new());
         assert!(result.replies.is_empty());
         assert_eq!(result.elapsed_ns, 0);
     }
@@ -282,16 +379,12 @@ mod tests {
     #[test]
     fn repeated_requests_to_same_leaf() {
         let (_servers, group) = leaf_cluster(2);
-        let requests = vec![
-            (1usize, 1u32, vec![1]),
-            (1, 1, vec![2]),
-            (0, 1, vec![3]),
-        ];
+        let requests = vec![(1usize, 1u32, vec![1]), (1, 1, vec![2]), (0, 1, vec![3])];
         let result = group.scatter_wait(requests);
         let replies = result.successes();
-        assert_eq!(replies[0], vec![1, 1]);
-        assert_eq!(replies[1], vec![1, 2]);
-        assert_eq!(replies[2], vec![0, 3]);
+        assert_eq!(replies[0], [1, 1]);
+        assert_eq!(replies[1], [1, 2]);
+        assert_eq!(replies[2], [0, 3]);
     }
 
     #[test]
@@ -300,7 +393,7 @@ mod tests {
         // Kill leaf 1.
         servers[1].shutdown();
         std::thread::sleep(std::time::Duration::from_millis(50));
-        let requests = (0..3).map(|leaf| (leaf, 1u32, vec![5u8])).collect();
+        let requests: Vec<_> = (0..3).map(|leaf| (leaf, 1u32, vec![5u8])).collect();
         let result = group.scatter_wait(requests);
         assert!(result.replies[0].is_ok());
         assert!(result.replies[1].is_err());
@@ -348,7 +441,7 @@ mod tests {
             let group = group.clone();
             handles.push(std::thread::spawn(move || {
                 for round in 0..20u8 {
-                    let requests = (0..4).map(|leaf| (leaf, 1u32, vec![round])).collect();
+                    let requests: Vec<_> = (0..4).map(|leaf| (leaf, 1u32, vec![round])).collect();
                     let result = group.scatter_wait(requests);
                     assert!(result.all_ok());
                 }
@@ -357,5 +450,31 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn scatter_deadline_times_out_stuck_leaf() {
+        use std::net::TcpListener;
+        // Leaf 0 is healthy; "leaf" 1 accepts but never responds.
+        let server = Server::spawn(ServerConfig::default(), Arc::new(TaggedEcho(0))).unwrap();
+        let stuck = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stuck_addr = stuck.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while let Ok((stream, _)) = stuck.accept() {
+                held.push(stream);
+            }
+        });
+        let group = FanoutGroup::connect(&[server.local_addr(), stuck_addr]).unwrap();
+        let requests = vec![(0usize, 1u32, vec![1u8]), (1, 1, vec![2u8])];
+        let result = group.scatter_wait_deadline(requests, std::time::Duration::from_millis(200));
+        assert!(result.replies[0].is_ok(), "healthy leaf replied");
+        assert!(
+            matches!(result.replies[1], Err(RpcError::TimedOut)),
+            "stuck leaf timed out: {:?}",
+            result.replies[1]
+        );
+        drop(group);
+        drop(hold);
     }
 }

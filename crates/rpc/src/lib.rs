@@ -28,6 +28,13 @@
 //! | block- vs poll-based designs (§VII) | [`config::WaitMode`] |
 //! | inline vs dispatch designs (§VII) | [`config::ExecutionModel`] |
 //!
+//! The wire path is zero-copy end to end: each connection's poller and
+//! response pick-up thread reads into a pooled buffer
+//! ([`buf::FrameReader`]) and hands out `bytes::Bytes` slices of it;
+//! outgoing frames serialize into a reusable scratch
+//! ([`buf::FrameWriter`]); and a fan-out encodes shared request state
+//! once, sharing the allocation across leaves via [`buf::Payload`].
+//!
 //! # Examples
 //!
 //! ```
@@ -55,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod client;
 pub mod config;
 pub mod error;
@@ -64,6 +72,7 @@ pub mod server;
 pub mod service;
 pub mod stats;
 
+pub use buf::{FrameReader, FrameWriter, Payload};
 pub use client::RpcClient;
 pub use config::{ExecutionModel, ServerConfig, WaitMode};
 pub use error::RpcError;

@@ -7,24 +7,69 @@
 //! ([`ExecutionModel::Inline`]). Workers park on the queue's condition
 //! variable when idle, exactly the structure whose futex and wakeup
 //! overheads the paper characterizes.
+//!
+//! Each poller owns a pooled [`FrameReader`]: request payloads are
+//! zero-copy slices of its read buffer, handed through the dispatch queue
+//! into the service without a memcpy. Connection bookkeeping is id-keyed
+//! and reaped — when a poller exits (client hung up, bad frame), its
+//! stream and join handle are removed instead of accumulating for the
+//! lifetime of the server.
 
+use crate::buf::{FrameReader, FrameWriter};
 use crate::config::{ExecutionModel, ServerConfig};
 use crate::error::RpcError;
 use crate::queue::DispatchQueue;
 use crate::service::{RequestContext, Service};
 use crate::stats::ServerStats;
-use musuite_codec::frame::{Frame, FrameKind, HEADER_LEN, MAGIC, MAX_FRAME_LEN};
+use musuite_codec::frame::FrameKind;
 use musuite_codec::Status;
 use musuite_telemetry::breakdown::Stage;
 use musuite_telemetry::clock::Clock;
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
 use musuite_telemetry::sync::CountedMutex;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Id-keyed connection bookkeeping plus the list of pollers that have
+/// exited and are ready to be reaped.
+#[derive(Default)]
+struct ConnTable {
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    pollers: Mutex<HashMap<u64, JoinHandle<()>>>,
+    finished: Mutex<Vec<u64>>,
+}
+
+impl ConnTable {
+    /// Removes (and joins) every poller that has announced completion.
+    /// Called opportunistically from the accept loop and from accessors,
+    /// so a long-lived server shedding short-lived connections holds
+    /// state proportional to *live* connections, not historical ones.
+    fn reap(&self) {
+        let done: Vec<u64> = std::mem::take(&mut *self.finished.lock());
+        if done.is_empty() {
+            return;
+        }
+        for id in done {
+            self.conns.lock().remove(&id);
+            let handle = self.pollers.lock().remove(&id);
+            if let Some(handle) = handle {
+                // The poller pushed its id as its final act, so this join
+                // completes promptly.
+                let _ = handle.join();
+            }
+        }
+    }
+
+    fn live_connections(&self) -> usize {
+        self.reap();
+        self.conns.lock().len()
+    }
+}
 
 /// A running RPC server.
 ///
@@ -38,8 +83,8 @@ use std::thread::JoinHandle;
 ///
 /// struct Echo;
 /// impl Service for Echo {
-///     fn call(&self, ctx: RequestContext) {
-///         let bytes = ctx.payload().to_vec();
+///     fn call(&self, mut ctx: RequestContext) {
+///         let bytes = ctx.take_payload();
 ///         ctx.respond_ok(bytes);
 ///     }
 /// }
@@ -57,8 +102,7 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
-    pollers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
+    table: Arc<ConnTable>,
     queue: DispatchQueue<RequestContext>,
 }
 
@@ -76,8 +120,7 @@ impl Server {
         let shutdown = Arc::new(AtomicBool::new(false));
         let queue = DispatchQueue::new(config.queue_capacity_value(), config.wait_mode_value())
             .with_breakdown(stats.breakdown().clone());
-        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
-        let pollers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let table = Arc::new(ConnTable::default());
 
         let mut worker_handles = Vec::new();
         if config.execution_model_value() == ExecutionModel::Dispatch {
@@ -102,23 +145,32 @@ impl Server {
             let shutdown = shutdown.clone();
             let stats = stats.clone();
             let queue = queue.clone();
-            let conns = conns.clone();
-            let pollers = pollers.clone();
+            let table = table.clone();
             let model = config.execution_model_value();
             OsOpCounters::global().incr(OsOp::Clone);
             std::thread::Builder::new()
                 .name("musuite-accept".to_string())
                 .spawn(move || {
+                    let mut next_conn_id = 0u64;
                     for stream in listener.incoming() {
                         if shutdown.load(Ordering::Acquire) {
                             break;
                         }
+                        // Retire bookkeeping for pollers that exited since
+                        // the last accept before adding the new one.
+                        table.reap();
                         let Ok(stream) = stream else { continue };
                         OsOpCounters::global().incr(OsOp::OpenAt);
                         stream.set_nodelay(true).ok();
                         let Ok(read_half) = stream.try_clone() else { continue };
-                        conns.lock().push(stream.try_clone().expect("clone registered stream"));
+                        let conn_id = next_conn_id;
+                        next_conn_id += 1;
+                        table
+                            .conns
+                            .lock()
+                            .insert(conn_id, stream.try_clone().expect("clone registered stream"));
                         let poller = spawn_poller(
+                            conn_id,
                             read_half,
                             stream,
                             stats.clone(),
@@ -126,8 +178,9 @@ impl Server {
                             service.clone(),
                             model,
                             shutdown.clone(),
+                            table.clone(),
                         );
-                        pollers.lock().push(poller);
+                        table.pollers.lock().insert(conn_id, poller);
                     }
                 })
                 .expect("spawn accept thread")
@@ -139,8 +192,7 @@ impl Server {
             shutdown,
             accept_handle: Some(accept_handle),
             worker_handles,
-            pollers,
-            conns,
+            table,
             queue,
         })
     }
@@ -155,6 +207,13 @@ impl Server {
         &self.stats
     }
 
+    /// Number of connections with a live poller. Exited pollers are
+    /// reaped before counting, so this reflects current, not historical,
+    /// connections.
+    pub fn connection_count(&self) -> usize {
+        self.table.live_connections()
+    }
+
     /// Stops accepting, closes every connection, drains the worker pool,
     /// and joins all threads. Idempotent.
     pub fn shutdown(&self) {
@@ -164,7 +223,7 @@ impl Server {
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         // Unblock pollers parked in read().
-        for conn in self.conns.lock().iter() {
+        for conn in self.table.conns.lock().values() {
             let _ = conn.shutdown(Shutdown::Both);
         }
         self.queue.close();
@@ -178,10 +237,15 @@ impl Server {
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
-        let pollers: Vec<_> = std::mem::take(&mut *self.pollers.lock());
+        let pollers: Vec<_> = {
+            let mut map = self.table.pollers.lock();
+            map.drain().map(|(_, handle)| handle).collect()
+        };
         for handle in pollers {
             let _ = handle.join();
         }
+        self.table.conns.lock().clear();
+        self.table.finished.lock().clear();
     }
 }
 
@@ -202,41 +266,44 @@ impl std::fmt::Debug for Server {
 
 #[allow(clippy::too_many_arguments)]
 fn spawn_poller(
-    mut read_half: TcpStream,
+    conn_id: u64,
+    read_half: TcpStream,
     write_half: TcpStream,
     stats: ServerStats,
     queue: DispatchQueue<RequestContext>,
     service: Arc<dyn Service>,
     model: ExecutionModel,
     shutdown: Arc<AtomicBool>,
+    table: Arc<ConnTable>,
 ) -> JoinHandle<()> {
     OsOpCounters::global().incr(OsOp::Clone);
-    let writer = Arc::new(CountedMutex::new(write_half));
+    let writer = Arc::new(CountedMutex::new(FrameWriter::new(write_half)));
     std::thread::Builder::new()
         .name("musuite-poller".to_string())
         .spawn(move || {
             let clock = Clock::new();
             let counters = OsOpCounters::global();
+            // Persistent pooled read buffer for this connection; request
+            // payloads are zero-copy slices of it.
+            let mut reader = FrameReader::new(read_half);
             loop {
                 // Wait for readiness: the blocking first-byte read is the
                 // userspace edge of epoll_pwait + hardirq delivery.
                 counters.incr(OsOp::EpollPwait);
                 let mut first = [0u8; 1];
-                if read_half.read_exact(&mut first).is_err() {
+                if reader.get_ref().read_exact(&mut first).is_err() {
                     break;
                 }
                 // Data has arrived; everything from here to a parsed frame
                 // is the Net_rx stage.
                 let rx_start = clock.now_ns();
                 counters.incr(OsOp::RecvMsg);
-                let frame = match read_frame_after_first_byte(&mut read_half, first[0]) {
+                let frame = match reader.read_frame_after_first_byte(first[0]) {
                     Ok(frame) => frame,
                     Err(_) => break,
                 };
                 let received = clock.now_ns();
-                stats
-                    .breakdown()
-                    .record(Stage::NetRx, clock.delta(rx_start, received));
+                stats.breakdown().record(Stage::NetRx, clock.delta(rx_start, received));
                 if frame.header.kind == FrameKind::OneWay {
                     service.notify(frame.header.method, frame.payload);
                     continue;
@@ -263,31 +330,11 @@ fn spawn_poller(
                 }
             }
             counters.incr(OsOp::Close);
+            // Announce completion so the accept loop (or an accessor)
+            // retires this connection's bookkeeping.
+            table.finished.lock().push(conn_id);
         })
         .expect("spawn poller thread")
-}
-
-fn read_frame_after_first_byte(stream: &mut TcpStream, first: u8) -> Result<Frame, RpcError> {
-    let mut header = [0u8; HEADER_LEN];
-    header[0] = first;
-    stream.read_exact(&mut header[1..])?;
-    if header[..2] != MAGIC {
-        return Err(RpcError::Decode(musuite_codec::DecodeError::BadMagic));
-    }
-    let len = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes")) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(RpcError::Decode(musuite_codec::DecodeError::LengthOverflow {
-            declared: len as u64,
-            max: MAX_FRAME_LEN as u64,
-        }));
-    }
-    let mut buf = Vec::with_capacity(HEADER_LEN + len);
-    buf.extend_from_slice(&header);
-    buf.resize(HEADER_LEN + len, 0);
-    stream.read_exact(&mut buf[HEADER_LEN..])?;
-    let (frame, rest) = Frame::parse(&buf)?;
-    debug_assert!(rest.is_empty());
-    Ok(frame)
 }
 
 #[cfg(test)]
@@ -295,11 +342,13 @@ mod tests {
     use super::*;
     use crate::client::RpcClient;
     use crate::config::WaitMode;
+    use bytes::Bytes;
+    use std::time::Duration;
 
     struct Echo;
     impl Service for Echo {
-        fn call(&self, ctx: RequestContext) {
-            let bytes = ctx.payload().to_vec();
+        fn call(&self, mut ctx: RequestContext) {
+            let bytes = ctx.take_payload();
             ctx.respond_ok(bytes);
         }
     }
@@ -372,6 +421,34 @@ mod tests {
     }
 
     #[test]
+    fn closed_connections_are_reaped() {
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+        for _ in 0..5 {
+            let client = RpcClient::connect(server.local_addr()).unwrap();
+            client.call(1, b"hi".to_vec()).unwrap();
+            drop(client); // hangs up; the poller exits shortly after
+        }
+        // The pollers notice the hang-ups asynchronously; poll until the
+        // bookkeeping drains rather than racing a fixed sleep.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if server.connection_count() == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "dead connections were never reaped: {} still tracked",
+                server.connection_count()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // A fresh connection still works and is tracked.
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        client.call(1, b"again".to_vec()).unwrap();
+        assert_eq!(server.connection_count(), 1);
+    }
+
+    #[test]
     fn breakdown_stages_populated_after_traffic() {
         let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
         let client = RpcClient::connect(server.local_addr()).unwrap();
@@ -427,7 +504,7 @@ mod tests {
             fn call(&self, ctx: RequestContext) {
                 ctx.respond_ok(Vec::new());
             }
-            fn notify(&self, method: u32, payload: Vec<u8>) {
+            fn notify(&self, method: u32, payload: Bytes) {
                 assert_eq!(method, 9);
                 assert_eq!(payload, b"click");
                 self.notified.fetch_add(1, Ordering::Relaxed);

@@ -10,13 +10,15 @@
 //! the worker moves on to the next request immediately after issuing the
 //! fan-out.
 
+use crate::buf::FrameWriter;
 use crate::stats::ServerStats;
-use musuite_codec::{Frame, Status};
+use bytes::Bytes;
+use musuite_codec::frame::FrameHeader;
+use musuite_codec::{Frame, FrameKind, Status};
 use musuite_telemetry::breakdown::Stage;
 use musuite_telemetry::clock::Clock;
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
 use musuite_telemetry::sync::CountedMutex;
-use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -32,10 +34,11 @@ pub trait Service: Send + Sync + 'static {
     /// Handles one request.
     fn call(&self, ctx: RequestContext);
 
-    /// Handles a one-way notification (no response channel). The default
+    /// Handles a one-way notification (no response channel). The payload
+    /// is a zero-copy slice of the connection's read buffer. The default
     /// implementation drops it; services that accept fire-and-forget
     /// traffic (click tracking, cache invalidation) override this.
-    fn notify(&self, method: u32, payload: Vec<u8>) {
+    fn notify(&self, method: u32, payload: Bytes) {
         let _ = (method, payload);
     }
 }
@@ -61,14 +64,18 @@ mod notify_tests {
                 ctx.respond_ok(Vec::new());
             }
         }
-        Quiet.notify(1, vec![1, 2, 3]);
+        Quiet.notify(1, Bytes::from(vec![1, 2, 3]));
     }
 }
 
-/// Shared, mutex-guarded write half of a connection.
-pub(crate) type SharedWriter = Arc<CountedMutex<TcpStream>>;
+/// Shared, mutex-guarded write half of a connection, with its reusable
+/// serialization scratch buffer.
+pub(crate) type SharedWriter = Arc<CountedMutex<FrameWriter<TcpStream>>>;
 
 /// Everything a handler needs to process and complete one RPC.
+///
+/// The request payload is a [`Bytes`] slice of the connection's pooled
+/// read buffer — no copy was made between the socket and this context.
 ///
 /// The context is completed at most once; completing it responds on the
 /// originating connection. If a handler drops the context without
@@ -78,7 +85,7 @@ pub(crate) type SharedWriter = Arc<CountedMutex<TcpStream>>;
 pub struct RequestContext {
     method: u32,
     request_id: u64,
-    payload: Vec<u8>,
+    payload: Bytes,
     received_at_ns: u64,
     leaf_ns: Arc<AtomicU64>,
     writer: SharedWriter,
@@ -117,13 +124,15 @@ impl RequestContext {
         self.request_id
     }
 
-    /// The request payload bytes.
-    pub fn payload(&self) -> &[u8] {
+    /// The request payload: a zero-copy slice of the connection's read
+    /// buffer (dereferences to `&[u8]` for decoding).
+    pub fn payload(&self) -> &Bytes {
         &self.payload
     }
 
-    /// Takes ownership of the payload, leaving it empty.
-    pub fn take_payload(&mut self) -> Vec<u8> {
+    /// Takes a cheap owned handle to the payload, leaving the context's
+    /// copy empty. Cloning `Bytes` bumps a reference count; no bytes move.
+    pub fn take_payload(&mut self) -> Bytes {
         std::mem::take(&mut self.payload)
     }
 
@@ -146,24 +155,28 @@ impl RequestContext {
     }
 
     /// Completes the RPC successfully with `payload`.
-    pub fn respond_ok(self, payload: Vec<u8>) {
+    pub fn respond_ok(self, payload: impl Into<Bytes>) {
         self.respond(Status::Ok, payload);
     }
 
     /// Completes the RPC with an error status and diagnostic bytes.
-    pub fn respond_err(self, status: Status, detail: impl Into<Vec<u8>>) {
-        self.respond(status, detail.into());
+    pub fn respond_err(self, status: Status, detail: impl Into<Bytes>) {
+        self.respond(status, detail);
     }
 
     /// Completes the RPC with an explicit status.
-    pub fn respond(mut self, status: Status, payload: Vec<u8>) {
+    pub fn respond(mut self, status: Status, payload: impl Into<Bytes>) {
         self.completed = true;
-        self.send_response(status, payload);
+        self.send_response(status, &payload.into());
     }
 
-    fn send_response(&self, status: Status, payload: Vec<u8>) {
-        let frame = Frame::response(self.request_id, self.method, status, payload);
-        let bytes = frame.to_bytes();
+    fn send_response(&self, status: Status, payload: &[u8]) {
+        let header = FrameHeader {
+            kind: FrameKind::Response,
+            request_id: self.request_id,
+            method: self.method,
+            status,
+        };
         let tx_start = self.clock.now_ns();
         // Account the response *before* the bytes hit the wire: the moment
         // `write_all` hands the frame to the kernel, the client can observe
@@ -173,14 +186,15 @@ impl RequestContext {
         let leaf = self.leaf_ns.load(Ordering::Relaxed);
         let breakdown = self.stats.breakdown();
         breakdown.record_ns(Stage::Net, total.saturating_sub(leaf));
-        self.stats
-            .record_response(self.clock.delta(self.received_at_ns, tx_start));
+        self.stats.record_response(self.clock.delta(self.received_at_ns, tx_start));
         {
-            let mut stream = self.writer.lock();
+            let mut writer = self.writer.lock();
             OsOpCounters::global().incr(OsOp::SendMsg);
             // A send failure means the client went away; there is nobody
             // left to report the error to, so it is intentionally dropped.
-            let _ = stream.write_all(&bytes);
+            // The frame serializes into the connection's reusable scratch
+            // buffer — no per-response allocation.
+            let _ = writer.write_parts(&header, &[payload]);
             // NetTx is recorded inside the lock so the sample pairs with
             // this frame's write rather than a competing response's.
             breakdown.record(Stage::NetTx, self.clock.delta(tx_start, self.clock.now_ns()));
@@ -194,7 +208,7 @@ impl Drop for RequestContext {
             // C-DTOR-FAIL: never panic here; make a best effort to unblock
             // the client.
             self.completed = true;
-            self.send_response(Status::AppError, Vec::new());
+            self.send_response(Status::AppError, &[]);
         }
     }
 }
@@ -219,7 +233,7 @@ mod tests {
         RequestContext::new(
             frame,
             Clock::new().now_ns(),
-            Arc::new(CountedMutex::new(stream)),
+            Arc::new(CountedMutex::new(FrameWriter::new(stream))),
             stats.clone(),
         )
     }
@@ -230,7 +244,7 @@ mod tests {
         loop {
             let n = stream.read(&mut buf).unwrap();
             bytes.extend_from_slice(&buf[..n]);
-            if let Ok((frame, _)) = Frame::parse(&bytes) {
+            if let Ok((frame, _)) = Frame::parse(&Bytes::from(bytes.clone())) {
                 return frame;
             }
         }

@@ -20,7 +20,7 @@ use crate::skiplist::SkipList;
 ///
 /// assert_eq!(intersect_linear(&[1, 3, 5, 7], &[3, 4, 5, 6]), vec![3, 5]);
 /// ```
-pub fn intersect_linear(a: &[u32], b: &[u32], ) -> Vec<u32> {
+pub fn intersect_linear(a: &[u32], b: &[u32]) -> Vec<u32> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
@@ -140,7 +140,8 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         for _ in 0..20 {
-            let mut a: Vec<u32> = (0..rng.gen_range(0..200)).map(|_| rng.gen_range(0..1000)).collect();
+            let mut a: Vec<u32> =
+                (0..rng.gen_range(0..200)).map(|_| rng.gen_range(0..1000)).collect();
             a.sort_unstable();
             a.dedup();
             let mut b_vec: Vec<u32> =

@@ -27,9 +27,7 @@ impl SetAlgebraLeaf {
         doc_ids: &[DocId],
         stop_list: Vec<TermId>,
     ) -> SetAlgebraLeaf {
-        SetAlgebraLeaf {
-            index: InvertedIndex::build_with_stop_list(documents, doc_ids, stop_list),
-        }
+        SetAlgebraLeaf { index: InvertedIndex::build_with_stop_list(documents, doc_ids, stop_list) }
     }
 
     /// The underlying index (diagnostics).

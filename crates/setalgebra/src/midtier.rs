@@ -26,11 +26,14 @@ impl SetAlgebraMidTier {
 impl MidTierHandler for SetAlgebraMidTier {
     type Request = TermQuery;
     type Response = PostingList;
-    type LeafRequest = TermQuery;
+    // Every shard receives the identical term list, so the query is shared
+    // state: serialized once, fanned out by reference count.
+    type SharedRequest = TermQuery;
+    type LeafRequest = ();
     type LeafResponse = PostingList;
 
-    fn plan(&self, request: &TermQuery, leaves: usize) -> Plan<TermQuery> {
-        (0..leaves).map(|leaf| (leaf, request.clone())).collect()
+    fn plan(&self, request: &TermQuery, leaves: usize) -> Plan<TermQuery, ()> {
+        Plan::broadcast(request.clone(), (), leaves)
     }
 
     fn merge(
@@ -57,8 +60,8 @@ mod tests {
         let mid = SetAlgebraMidTier::new();
         let plan = mid.plan(&TermQuery { terms: vec![1, 2] }, 4);
         assert_eq!(plan.len(), 4);
-        assert!(plan.iter().all(|(_, q)| q.terms == vec![1, 2]));
-        let leaves: Vec<usize> = plan.iter().map(|(leaf, _)| *leaf).collect();
+        assert_eq!(plan.shared.terms, vec![1, 2], "term list is the shared state");
+        let leaves: Vec<usize> = plan.targets.iter().map(|(leaf, ())| *leaf).collect();
         assert_eq!(leaves, vec![0, 1, 2, 3]);
     }
 

@@ -1,6 +1,6 @@
 //! Typed wire messages for Set Algebra.
 
-use musuite_codec::{Decode, DecodeError, Encode};
+use musuite_codec::{BufMut, Decode, DecodeError, Encode};
 use musuite_data::text::{DocId, TermId};
 
 /// A search query: the terms whose posting lists must all contain a
@@ -12,7 +12,7 @@ pub struct TermQuery {
 }
 
 impl Encode for TermQuery {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         self.terms.encode(buf);
     }
     fn encoded_len(&self) -> usize {
@@ -35,7 +35,7 @@ pub struct PostingList {
 }
 
 impl Encode for PostingList {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode<B: BufMut>(&self, buf: &mut B) {
         self.docs.encode(buf);
     }
     fn encoded_len(&self) -> usize {

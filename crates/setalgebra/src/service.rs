@@ -51,8 +51,7 @@ impl SetAlgebraService {
         }
         // One corpus-global stop list, shared by every shard, so stop
         // semantics do not depend on which shard a document landed on.
-        let stop_list =
-            crate::index::InvertedIndex::stop_list_for(corpus.documents(), stop_top);
+        let stop_list = crate::index::InvertedIndex::stop_list_for(corpus.documents(), stop_top);
         let cluster = Cluster::launch(config, SetAlgebraMidTier::new(), move |leaf| {
             SetAlgebraLeaf::build_with_stop_list(
                 &shard_docs[leaf],
@@ -185,8 +184,7 @@ mod tests {
         let stopped = SetAlgebraService::launch(&corpus, 2, 5).unwrap();
         let plain_client = plain.client().unwrap();
         let stopped_client = stopped.client().unwrap();
-        let stop_list =
-            crate::index::InvertedIndex::stop_list_for(corpus.documents(), 5);
+        let stop_list = crate::index::InvertedIndex::stop_list_for(corpus.documents(), 5);
         for query in corpus.sample_queries(10) {
             let exact = plain_client.search(&query).unwrap();
             let with_stops = stopped_client.search(&query).unwrap();

@@ -119,8 +119,8 @@ impl SkipList {
             *slot = self.next_at(update[level], level);
         }
         self.nodes.push(Node { value, forward });
-        for level in 0..new_level {
-            match update[level] {
+        for (level, &prev) in update.iter().enumerate().take(new_level) {
+            match prev {
                 NIL => self.head[level] = new_index,
                 prev => self.nodes[prev].forward[level] = new_index,
             }

@@ -148,10 +148,8 @@ impl BreakdownRecorder {
     /// contributes to mid-tier tails by up to ~87 %": the stage's p99
     /// divided by the sum of all stages' p99s.
     pub fn tail_share(&self, stage: Stage) -> f64 {
-        let total: f64 = ALL_STAGES
-            .iter()
-            .map(|s| self.histogram(*s).quantile(0.99).as_nanos() as f64)
-            .sum();
+        let total: f64 =
+            ALL_STAGES.iter().map(|s| self.histogram(*s).quantile(0.99).as_nanos() as f64).sum();
         if total == 0.0 {
             return 0.0;
         }

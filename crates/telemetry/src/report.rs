@@ -26,10 +26,7 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Table {
-        Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
-            rows: Vec::new(),
-        }
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
     }
 
     /// Appends a row. Short rows are padded with empty cells; long rows are
@@ -105,7 +102,7 @@ pub fn count(n: u64) -> String {
     let raw = n.to_string();
     let mut out = String::with_capacity(raw.len() + raw.len() / 3);
     for (i, ch) in raw.chars().enumerate() {
-        if i > 0 && (raw.len() - i) % 3 == 0 {
+        if i > 0 && (raw.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(ch);
@@ -125,7 +122,10 @@ mod tests {
         let rendered = t.render();
         let lines: Vec<&str> = rendered.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert_eq!(lines[1].chars().collect::<Vec<_>>().iter().filter(|c| **c == '-').count(), lines[1].len());
+        assert_eq!(
+            lines[1].chars().collect::<Vec<_>>().iter().filter(|c| **c == '-').count(),
+            lines[1].len()
+        );
         // All rows are the same width.
         assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
     }

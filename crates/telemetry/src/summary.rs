@@ -11,8 +11,7 @@ use std::fmt;
 use std::time::Duration;
 
 /// The quantiles reported for every latency distribution in the suite.
-pub const SUMMARY_QUANTILES: [f64; 9] =
-    [0.05, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0];
+pub const SUMMARY_QUANTILES: [f64; 9] = [0.05, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999, 1.0];
 
 /// Fixed set of summary statistics extracted from a latency distribution.
 ///
@@ -101,11 +100,7 @@ impl DistributionSummary {
 
 impl fmt::Display for DistributionSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "n={} p50={:?} p99={:?} max={:?}",
-            self.count, self.p50, self.p99, self.max
-        )
+        write!(f, "n={} p50={:?} p99={:?} max={:?}", self.count, self.p50, self.p99, self.max)
     }
 }
 

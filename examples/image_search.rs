@@ -36,8 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let truth = brute_force_knn(&corpus, query, 10);
             recall_sum += recall_at_k(&truth, &reported);
         }
-        let mean_latency_us =
-            start.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
+        let mean_latency_us = start.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
         println!(
             "probes {probes:>2}: recall@10 {:.3}, mean end-to-end {:.0} µs",
             recall_sum / queries.len() as f64,

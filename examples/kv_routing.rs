@@ -15,11 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let client = service.client()?;
     println!("cluster up: 8 leaves, 3 replicas per key, mid-tier at {}", service.addr());
 
-    let mut workload = KvWorkload::new(KvWorkloadConfig {
-        keys: 10_000,
-        value_len: 128,
-        ..Default::default()
-    });
+    let mut workload =
+        KvWorkload::new(KvWorkloadConfig { keys: 10_000, value_len: 128, ..Default::default() });
 
     // Preload so gets hit.
     let preload = workload.preload_ops();
@@ -29,11 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             client.set(key, value.clone())?;
         }
     }
-    println!(
-        "preloaded {} keys in {:.2} s",
-        preload.len(),
-        start.elapsed().as_secs_f64()
-    );
+    println!("preloaded {} keys in {:.2} s", preload.len(), start.elapsed().as_secs_f64());
 
     // Mixed phase.
     let ops = workload.take_ops(20_000);

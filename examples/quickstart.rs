@@ -39,11 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Tier-level stats collected along the way.
     let stats = service.cluster().midtier().stats();
-    println!(
-        "mid-tier served {} requests ({} responses)",
-        stats.requests(),
-        stats.responses()
-    );
+    println!("mid-tier served {} requests ({} responses)", stats.requests(), stats.responses());
     service.shutdown();
     println!("done");
     Ok(())

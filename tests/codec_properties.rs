@@ -1,6 +1,11 @@
-//! Property-based tests for the wire codec and frame layer.
+//! Property-based tests for the wire codec and frame layer, including the
+//! zero-copy guarantees: parsed payloads alias the input buffer (no copy)
+//! and remain intact when the source handle is dropped or the reader's
+//! pooled buffer is reused for later frames.
 
+use bytes::Bytes;
 use musuite::codec::{from_bytes, to_bytes, Decode, Encode, Frame, Status};
+use musuite::rpc::FrameReader;
 use proptest::prelude::*;
 
 fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: &T) {
@@ -59,16 +64,61 @@ proptest! {
         let _ = from_bytes::<Vec<(u64, String)>>(&bytes);
         let _ = from_bytes::<Option<Vec<f32>>>(&bytes);
         let _ = from_bytes::<String>(&bytes);
-        let _ = Frame::parse(&bytes);
+        let _ = Frame::parse(&Bytes::from(bytes));
     }
 
     #[test]
     fn frames_roundtrip(request_id: u64, method: u32, payload in proptest::collection::vec(any::<u8>(), 0..1024)) {
         let frame = Frame::request(request_id, method, payload);
-        let bytes = frame.to_bytes();
+        let bytes = Bytes::from(frame.to_bytes());
         let (parsed, rest) = Frame::parse(&bytes).unwrap();
         prop_assert_eq!(parsed, frame);
         prop_assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn parsed_payloads_alias_the_input_buffer(payload in proptest::collection::vec(any::<u8>(), 1..512)) {
+        // The zero-copy contract: a parsed payload is a slice of the very
+        // allocation it was parsed from, at the offset past the header —
+        // no intermediate copy is ever made.
+        let bytes = Bytes::from(Frame::request(3, 4, payload.clone()).to_bytes());
+        let header_len = bytes.len() - payload.len();
+        let (parsed, _) = Frame::parse(&bytes).unwrap();
+        prop_assert_eq!(
+            parsed.payload.as_ptr() as usize,
+            bytes.as_ptr() as usize + header_len,
+            "payload must alias the input buffer, not a copy"
+        );
+    }
+
+    #[test]
+    fn parsed_payloads_survive_source_drop(payload in proptest::collection::vec(any::<u8>(), 1..256)) {
+        // The payload handle keeps the shared backing alive: dropping the
+        // original buffer must not invalidate or corrupt the payload.
+        let bytes = Bytes::from(Frame::request(5, 6, payload.clone()).to_bytes());
+        let (parsed, rest) = Frame::parse(&bytes).unwrap();
+        drop(bytes);
+        drop(rest);
+        prop_assert_eq!(&parsed.payload[..], &payload[..]);
+    }
+
+    #[test]
+    fn reader_payloads_survive_buffer_reuse(payloads in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..128), 2..6)
+    ) {
+        // A FrameReader reuses one pooled buffer across frames. Payloads
+        // handed out for earlier frames must stay intact while later
+        // frames are read into the pool.
+        let mut wire = Vec::new();
+        for (i, payload) in payloads.iter().enumerate() {
+            wire.extend(Frame::request(i as u64, 1, payload.clone()).to_bytes());
+        }
+        let mut reader = FrameReader::new(&wire[..]);
+        let held: Vec<Bytes> =
+            (0..payloads.len()).map(|_| reader.read_frame().unwrap().payload).collect();
+        for (held_payload, original) in held.iter().zip(&payloads) {
+            prop_assert_eq!(&held_payload[..], &original[..]);
+        }
     }
 
     #[test]
@@ -81,11 +131,11 @@ proptest! {
         for (id, payload) in &frames {
             stream.extend(Frame::response(*id, 1, Status::Ok, payload.clone()).to_bytes());
         }
-        let mut rest: &[u8] = &stream;
+        let mut rest = Bytes::from(stream);
         for (id, payload) in &frames {
-            let (frame, next) = Frame::parse(rest).unwrap();
+            let (frame, next) = Frame::parse(&rest).unwrap();
             prop_assert_eq!(frame.header.request_id, *id);
-            prop_assert_eq!(&frame.payload, payload);
+            prop_assert_eq!(&frame.payload[..], &payload[..]);
             rest = next;
         }
         prop_assert!(rest.is_empty());
@@ -93,9 +143,9 @@ proptest! {
 
     #[test]
     fn truncated_frames_error_not_panic(payload in proptest::collection::vec(any::<u8>(), 0..128), cut in 0usize..160) {
-        let bytes = Frame::request(1, 2, payload).to_bytes();
+        let bytes = Bytes::from(Frame::request(1, 2, payload).to_bytes());
         let cut = cut.min(bytes.len().saturating_sub(1));
-        prop_assert!(Frame::parse(&bytes[..cut]).is_err());
+        prop_assert!(Frame::parse(&bytes.slice(..cut)).is_err());
     }
 
     #[test]
@@ -108,9 +158,8 @@ proptest! {
         // Either the checksum catches it, or (if we flipped a bit that the
         // decoder reads as structure) a structural error results. Parsing
         // must never succeed with wrong payload bytes.
-        match Frame::parse(&bytes) {
-            Ok((parsed, _)) => prop_assert_ne!(parsed.payload, payload),
-            Err(_) => {}
+        if let Ok((parsed, _)) = Frame::parse(&Bytes::from(bytes)) {
+            prop_assert_ne!(&parsed.payload[..], &payload[..]);
         }
     }
 }

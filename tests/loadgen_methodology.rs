@@ -52,9 +52,8 @@ fn open_loop_offered_rate_is_independent_of_service_speed() {
 
 #[test]
 fn poisson_arrivals_are_bursty_uniform_are_not() {
-    let sample_max_gap = |mut p: ArrivalProcess| {
-        (0..2_000).map(|_| p.next_interarrival()).max().unwrap()
-    };
+    let sample_max_gap =
+        |mut p: ArrivalProcess| (0..2_000).map(|_| p.next_interarrival()).max().unwrap();
     let poisson_max = sample_max_gap(ArrivalProcess::poisson(1_000.0, 3));
     let uniform_max = sample_max_gap(ArrivalProcess::uniform(1_000.0, 3));
     // Exponential tails produce gaps far above the mean; uniform never does.
@@ -73,12 +72,11 @@ fn saturation_measurement_finds_the_capacity_knee() {
     let mut config = ServerConfig::default();
     config.workers(4); // capacity ≈ 4 / 0.5 ms = 8 000 QPS
     let server = Server::spawn(config, Arc::new(Paced)).unwrap();
-    let qps = saturation::find_saturation_qps(
-        server.local_addr(),
-        Duration::from_millis(400),
-        |_| || (1u32, Vec::new()),
-    )
-    .unwrap();
+    let qps =
+        saturation::find_saturation_qps(server.local_addr(), Duration::from_millis(400), |_| {
+            || (1u32, Vec::new())
+        })
+        .unwrap();
     assert!(
         (2_000.0..20_000.0).contains(&qps),
         "4-worker 500 µs service must saturate near 8 K QPS, got {qps}"

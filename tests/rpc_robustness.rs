@@ -31,11 +31,7 @@ fn all_execution_model_combinations_roundtrip() {
             let client = RpcClient::connect(server.local_addr()).unwrap();
             for i in 0..20u32 {
                 let payload = i.to_le_bytes().to_vec();
-                assert_eq!(
-                    client.call(1, payload.clone()).unwrap(),
-                    payload,
-                    "{wait:?}/{model:?}"
-                );
+                assert_eq!(client.call(1, payload.clone()).unwrap(), payload, "{wait:?}/{model:?}");
             }
         }
     }
@@ -138,6 +134,62 @@ fn concurrent_mixed_sync_async_traffic() {
     for _ in 0..async_count {
         assert!(rx.recv_timeout(Duration::from_secs(10)).unwrap());
     }
+}
+
+#[test]
+fn fanout_survives_stuck_and_garbage_leaves() {
+    use bytes::Bytes;
+    use musuite::rpc::{FanoutGroup, Payload};
+    use std::net::TcpListener;
+
+    // Replies with fixed bytes unrelated to the request — a leaf that is
+    // alive at the transport level but talking nonsense.
+    struct Garbage;
+    impl Service for Garbage {
+        fn call(&self, ctx: RequestContext) {
+            ctx.respond_ok(vec![0xDE; 33]);
+        }
+    }
+
+    let healthy = echo_server(ServerConfig::default());
+    // A listener that accepts and then holds the connection open forever.
+    let stuck = TcpListener::bind("127.0.0.1:0").unwrap();
+    let stuck_addr = stuck.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut conns = Vec::new();
+        while let Ok((conn, _)) = stuck.accept() {
+            conns.push(conn);
+        }
+    });
+    let garbage = Server::spawn(ServerConfig::default(), Arc::new(Garbage)).unwrap();
+
+    let group =
+        FanoutGroup::connect(&[healthy.local_addr(), stuck_addr, garbage.local_addr()]).unwrap();
+
+    // One shared prefix buffer referenced by all three leaf payloads, plus
+    // a one-byte per-leaf suffix.
+    let shared = Bytes::from(vec![0x5A; 128]);
+    let requests: Vec<(usize, u32, Payload)> = (0..3)
+        .map(|leaf| (leaf, 1u32, Payload::with_suffix(shared.clone(), vec![leaf as u8])))
+        .collect();
+    let result = group.scatter_wait_deadline(requests, Duration::from_millis(300));
+
+    // Slot N holds leaf N's outcome regardless of completion order.
+    assert_eq!(result.replies.len(), 3);
+    let echoed = result.replies[0].as_ref().expect("healthy leaf replies");
+    assert_eq!(&echoed[..128], &shared[..], "echo returns the shared prefix");
+    assert_eq!(echoed[128], 0, "echo returns leaf 0's suffix");
+    assert!(
+        matches!(result.replies[1], Err(RpcError::TimedOut)),
+        "stuck leaf must surface as a timeout, got {:?}",
+        result.replies[1]
+    );
+    let nonsense = result.replies[2].as_ref().expect("garbage leaf still completes its RPC");
+    assert_eq!(&nonsense[..], &[0xDE; 33][..]);
+    // The shared buffer is aliased by every in-flight request; neither the
+    // failed slot nor the garbage reply may have scribbled on it.
+    assert!(shared.iter().all(|&b| b == 0x5A), "shared payload buffer corrupted");
+    assert!(!result.all_ok());
 }
 
 #[test]

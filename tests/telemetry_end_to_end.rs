@@ -45,11 +45,7 @@ fn breakdown_stages_cover_request_lifecycle() {
     let breakdown = service.cluster().midtier().stats().breakdown();
     for stage in [Stage::NetRx, Stage::Block, Stage::Net, Stage::LeafFanout] {
         let histogram = breakdown.histogram(stage);
-        assert!(
-            histogram.count() >= 99,
-            "stage {stage} recorded {} samples",
-            histogram.count()
-        );
+        assert!(histogram.count() >= 99, "stage {stage} recorded {} samples", histogram.count());
         assert!(histogram.max() > Duration::ZERO);
     }
     // Dispatch/wakeup latencies are microsecond-scale, not millisecond.

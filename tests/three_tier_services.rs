@@ -39,11 +39,8 @@ fn hdsearch_end_to_end_accuracy() {
 fn router_end_to_end_ycsb_a() {
     let service = RouterService::launch(8, 3).unwrap();
     let client = service.client().unwrap();
-    let mut workload = KvWorkload::new(KvWorkloadConfig {
-        keys: 500,
-        value_len: 64,
-        ..Default::default()
-    });
+    let mut workload =
+        KvWorkload::new(KvWorkloadConfig { keys: 500, value_len: 64, ..Default::default() });
     // Preload all keys, then run the 50/50 mix; every get must hit.
     for op in workload.preload_ops() {
         if let KvOp::Set { key, value } = op {

@@ -1,0 +1,641 @@
+//! Offline-compatible subset of the `bytes` crate.
+//!
+//! Provides [`Bytes`] (a cheaply cloneable, sliceable, reference-counted
+//! byte buffer), [`BytesMut`] (a growable buffer that freezes into
+//! `Bytes` without copying), and the [`BufMut`] write trait. The subset
+//! mirrors the upstream API closely enough that code written against it
+//! also compiles against the real crate; only the APIs musuite uses are
+//! included.
+//!
+//! Aliasing guarantees match upstream where it matters:
+//! - `Bytes::clone` and `Bytes::slice` share the same backing allocation
+//!   (no copy); `slice` of a slice composes offsets.
+//! - `BytesMut::freeze` transfers ownership of the heap buffer into the
+//!   resulting `Bytes` without moving the bytes themselves.
+//! - `BytesMut::split_to(at)` hands the *front* out zero-copy (the
+//!   original allocation travels with the returned buffer).
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------------
+
+/// A cheaply cloneable, immutable, reference-counted slice of bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Inner,
+    off: usize,
+    len: usize,
+}
+
+#[derive(Clone)]
+enum Inner {
+    Shared(Arc<Vec<u8>>),
+    Static(&'static [u8]),
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes` (no allocation).
+    pub const fn new() -> Bytes {
+        Bytes { data: Inner::Static(&[]), off: 0, len: 0 }
+    }
+
+    /// Creates `Bytes` from a static slice without allocating.
+    pub const fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes { data: Inner::Static(bytes), off: 0, len: bytes.len() }
+    }
+
+    /// Copies `data` into a freshly allocated `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn backing(&self) -> &[u8] {
+        match &self.data {
+            Inner::Shared(arc) => arc.as_slice(),
+            Inner::Static(s) => s,
+        }
+    }
+
+    /// Returns a subslice sharing the same backing allocation (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end, "slice start {start} > end {end}");
+        assert!(end <= self.len, "slice end {end} out of bounds of {}", self.len);
+        Bytes { data: self.data.clone(), off: self.off + start, len: end - start }
+    }
+
+    /// Splits the front `at` bytes off, leaving `self` with the rest.
+    /// Both halves share the original allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len, "split_to({at}) out of bounds of {}", self.len);
+        let front = self.slice(..at);
+        self.off += at;
+        self.len -= at;
+        front
+    }
+
+    /// Splits off the tail starting at `at`; `self` keeps the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len, "split_off({at}) out of bounds of {}", self.len);
+        let tail = self.slice(at..);
+        self.len = at;
+        tail
+    }
+
+    /// Shortens the view to `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len {
+            self.len = len;
+        }
+    }
+
+    /// Clears the view.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.backing()[self.off..self.off + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(vec: Vec<u8>) -> Bytes {
+        let len = vec.len();
+        Bytes { data: Inner::Shared(Arc::new(vec)), off: 0, len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(slice: &'static [u8]) -> Bytes {
+        Bytes::from_static(slice)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Bytes {
+        Bytes::from(b.into_vec())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(buf: BytesMut) -> Bytes {
+        buf.freeze()
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(bytes: Bytes) -> Vec<u8> {
+        match bytes.data {
+            Inner::Shared(arc) if bytes.off == 0 => match Arc::try_unwrap(arc) {
+                Ok(mut vec) => {
+                    vec.truncate(bytes.len);
+                    vec
+                }
+                Err(arc) => arc[bytes.off..bytes.off + bytes.len].to_vec(),
+            },
+            _ => bytes.to_vec(),
+        }
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self[..], f)
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+macro_rules! eq_impls {
+    ($ty:ty) => {
+        impl PartialEq<[u8]> for $ty {
+            fn eq(&self, other: &[u8]) -> bool {
+                self[..] == *other
+            }
+        }
+        impl PartialEq<$ty> for [u8] {
+            fn eq(&self, other: &$ty) -> bool {
+                *self == other[..]
+            }
+        }
+        impl PartialEq<&[u8]> for $ty {
+            fn eq(&self, other: &&[u8]) -> bool {
+                self[..] == **other
+            }
+        }
+        impl PartialEq<$ty> for &[u8] {
+            fn eq(&self, other: &$ty) -> bool {
+                **self == other[..]
+            }
+        }
+        impl PartialEq<Vec<u8>> for $ty {
+            fn eq(&self, other: &Vec<u8>) -> bool {
+                self[..] == other[..]
+            }
+        }
+        impl PartialEq<$ty> for Vec<u8> {
+            fn eq(&self, other: &$ty) -> bool {
+                self[..] == other[..]
+            }
+        }
+        impl<const N: usize> PartialEq<[u8; N]> for $ty {
+            fn eq(&self, other: &[u8; N]) -> bool {
+                self[..] == other[..]
+            }
+        }
+        impl<const N: usize> PartialEq<&[u8; N]> for $ty {
+            fn eq(&self, other: &&[u8; N]) -> bool {
+                self[..] == other[..]
+            }
+        }
+        impl PartialEq<str> for $ty {
+            fn eq(&self, other: &str) -> bool {
+                self[..] == *other.as_bytes()
+            }
+        }
+        impl PartialEq<&str> for $ty {
+            fn eq(&self, other: &&str) -> bool {
+                self[..] == *other.as_bytes()
+            }
+        }
+    };
+}
+
+eq_impls!(Bytes);
+eq_impls!(BytesMut);
+
+impl PartialEq<BytesMut> for Bytes {
+    fn eq(&self, other: &BytesMut) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<Bytes> for BytesMut {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BytesMut
+// ---------------------------------------------------------------------------
+
+/// A growable byte buffer that can be frozen into [`Bytes`] without
+/// copying the contents.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer (no allocation).
+    pub const fn new() -> BytesMut {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut { vec: Vec::with_capacity(capacity) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Current capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Clears the buffer, retaining capacity.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.vec.truncate(len);
+    }
+
+    /// Resizes to `new_len`, filling new space with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec.resize(new_len, value);
+    }
+
+    /// Appends `extend` to the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.vec.extend_from_slice(extend);
+    }
+
+    /// Splits the front `at` bytes off into a new `BytesMut`. The
+    /// returned front keeps the original allocation (zero-copy); `self`
+    /// retains the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to({at}) out of bounds of {}", self.len());
+        let tail = self.vec.split_off(at);
+        let front = std::mem::replace(&mut self.vec, tail);
+        BytesMut { vec: front }
+    }
+
+    /// Splits off the tail starting at `at`; `self` keeps the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_off({at}) out of bounds of {}", self.len());
+        BytesMut { vec: self.vec.split_off(at) }
+    }
+
+    /// Splits the entire buffer off, leaving `self` empty. Zero-copy.
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut { vec: std::mem::take(&mut self.vec) }
+    }
+
+    /// Converts into an immutable [`Bytes`]. The heap buffer is
+    /// transferred, not copied.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.vec.push(value);
+    }
+
+    /// Appends a slice.
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> BytesMut {
+        BytesMut { vec }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(slice: &[u8]) -> BytesMut {
+        BytesMut { vec: slice.to_vec() }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Vec<u8> {
+        buf.vec
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self[..], f)
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        self.vec.extend(iter);
+    }
+}
+
+impl<'a> Extend<&'a u8> for BytesMut {
+    fn extend<I: IntoIterator<Item = &'a u8>>(&mut self, iter: I) {
+        self.vec.extend(iter.into_iter().copied());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BufMut
+// ---------------------------------------------------------------------------
+
+/// A trait for buffers that bytes can be appended to.
+///
+/// Unlike upstream, the only required method is [`BufMut::put_slice`];
+/// the integer helpers are provided on top of it. This keeps the trait
+/// implementable without unsafe code while staying call-compatible for
+/// the subset musuite uses.
+pub trait BufMut {
+    /// Appends `src` to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a little-endian u16.
+    fn put_u16_le(&mut self, value: u16) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian u32.
+    fn put_u32_le(&mut self, value: u32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    fn put_u64_le(&mut self, value: u64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian f32.
+    fn put_f32_le(&mut self, value: f32) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian f64.
+    fn put_f64_le(&mut self, value: f64) {
+        self.put_slice(&value.to_le_bytes());
+    }
+
+    /// Appends `count` copies of `value`.
+    fn put_bytes(&mut self, value: u8, count: usize) {
+        for _ in 0..count {
+            self.put_u8(value);
+        }
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, value: u8) {
+        self.push(value);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, value: u8) {
+        self.vec.push(value);
+    }
+}
+
+impl<T: BufMut + ?Sized> BufMut for &mut T {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+
+    fn put_u8(&mut self, value: u8) {
+        (**self).put_u8(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_aliases_backing_allocation() {
+        let bytes = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let base = bytes.as_ptr();
+        let mid = bytes.slice(1..4);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        assert_eq!(mid.as_ptr(), unsafe_free_ptr_add(base, 1));
+        let nested = mid.slice(1..2);
+        assert_eq!(&nested[..], &[3]);
+        assert_eq!(nested.as_ptr(), unsafe_free_ptr_add(base, 2));
+    }
+
+    // Pointer arithmetic without unsafe: compare addresses numerically.
+    fn unsafe_free_ptr_add(base: *const u8, offset: usize) -> *const u8 {
+        (base as usize + offset) as *const u8
+    }
+
+    #[test]
+    fn freeze_preserves_allocation() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.extend_from_slice(b"hello world");
+        let ptr = buf.as_ptr();
+        let frozen = buf.freeze();
+        assert_eq!(frozen.as_ptr(), ptr);
+        assert_eq!(&frozen[..], b"hello world");
+    }
+
+    #[test]
+    fn split_to_front_is_zero_copy() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"abcdef");
+        let ptr = buf.as_ptr();
+        let front = buf.split_to(6);
+        assert_eq!(front.as_ptr(), ptr);
+        assert!(buf.is_empty());
+        assert_eq!(&front[..], b"abcdef");
+    }
+
+    #[test]
+    fn bytes_split_to_advances_view() {
+        let mut bytes = Bytes::from(vec![0u8, 1, 2, 3]);
+        let front = bytes.split_to(2);
+        assert_eq!(&front[..], &[0, 1]);
+        assert_eq!(&bytes[..], &[2, 3]);
+    }
+
+    #[test]
+    fn eq_across_types() {
+        let bytes = Bytes::from(vec![9u8, 8]);
+        assert_eq!(bytes, vec![9u8, 8]);
+        assert_eq!(bytes, [9u8, 8]);
+        assert_eq!(bytes[..], *[9u8, 8].as_slice());
+    }
+
+    #[test]
+    fn bufmut_helpers() {
+        let mut vec: Vec<u8> = Vec::new();
+        vec.put_u8(7);
+        vec.put_u32_le(1);
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32_le(1);
+        assert_eq!(vec.as_slice(), &buf[..]);
+    }
+}

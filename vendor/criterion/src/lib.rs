@@ -1,0 +1,283 @@
+//! Offline-compatible mini benchmark harness exposing the `criterion`
+//! API subset musuite's benches use: `Criterion::default()` with
+//! `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `BatchSize`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Results are median ns/iter printed to stdout — no plots, no
+//! statistics machinery — which is enough to compare before/after on
+//! the same machine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// The mini harness times each routine call individually, so the
+/// variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: thousands per batch upstream.
+    SmallInput,
+    /// Large inputs: tens per batch upstream.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+    /// Explicit batch size.
+    NumIterations(u64),
+}
+
+/// Benchmark configuration and registry.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 40,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, duration: Duration) -> Criterion {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(mut self, duration: Duration) -> Criterion {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Applies command-line overrides (no-op in the mini harness).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion, &id, f);
+        self
+    }
+
+    /// Overrides the sample count for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides measurement time for the rest of the group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.criterion.measurement_time = duration;
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        warm_up_time: criterion.warm_up_time,
+        measurement_time: criterion.measurement_time,
+        sample_size: criterion.sample_size,
+        samples_ns: Vec::new(),
+        iters: 0,
+    };
+    f(&mut bencher);
+    bencher.report(id);
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, amortized over autotuned batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes ≳ warm_up/5, so Instant overhead stays <1%.
+        let mut batch: u64 = 1;
+        let warm_up_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if Instant::now() >= warm_up_deadline {
+                break;
+            }
+            if elapsed < self.warm_up_time / 5 {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        let per_sample = batch.max(1);
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns.push(elapsed.as_nanos() as f64 / per_sample as f64);
+            self.iters += per_sample;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_up_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size.max(16) {
+            let input = setup();
+            let start = Instant::now();
+            let output = routine(input);
+            let elapsed = start.elapsed();
+            black_box(output);
+            self.samples_ns.push(elapsed.as_nanos() as f64);
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        self.samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let min = self.samples_ns[0];
+        let max = *self.samples_ns.last().expect("non-empty");
+        println!(
+            "{id:<50} median {:>12} [{} .. {}] ({} iters)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            self.iters
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, compatible with both criterion
+/// invocation styles.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut criterion = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        criterion.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = criterion.benchmark_group("grouped");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,164 @@
+//! The [`Arbitrary`] trait and [`any`] strategy: "any value of T".
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical "any value" generator.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                // Weight edge values: uniform bits rarely produce the
+                // extremes that break codecs.
+                match rng.below(16) {
+                    0 => 0,
+                    1 => <$ty>::MAX,
+                    2 => <$ty>::MIN,
+                    3 => 1 as $ty,
+                    _ => rng.next_u64() as $ty,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_float {
+    ($($ty:ident),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                match rng.below(12) {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => $ty::NAN,
+                    3 => $ty::INFINITY,
+                    4 => $ty::NEG_INFINITY,
+                    5 => $ty::MIN_POSITIVE,
+                    // Uniform bit patterns cover subnormals and huge
+                    // exponents; plain unit floats cover the common case.
+                    6..=8 => $ty::from_bits(rng.next_u64() as _),
+                    _ => (rng.unit_f64() * 2_000.0 - 1_000.0) as $ty,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_float!(f32, f64);
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        match rng.below(4) {
+            0..=2 => (b' ' + rng.below(95) as u8) as char,
+            _ => char::from_u32(rng.next_u32() % 0x11_0000).unwrap_or('\u{FFFD}'),
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        ".*".generate(rng)
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Option<T> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Vec<T> {
+        let len = rng.below(17) as usize;
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+macro_rules! arbitrary_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+arbitrary_tuple!(A);
+arbitrary_tuple!(A, B);
+arbitrary_tuple!(A, B, C);
+arbitrary_tuple!(A, B, C, D);
+arbitrary_tuple!(A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_hits_edge_values() {
+        let mut rng = TestRng::from_seed(5);
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..500 {
+            match u32::arbitrary(&mut rng) {
+                0 => saw_zero = true,
+                u32::MAX => saw_max = true,
+                _ => {}
+            }
+        }
+        assert!(saw_zero && saw_max);
+    }
+
+    #[test]
+    fn options_produce_both_variants() {
+        let mut rng = TestRng::from_seed(6);
+        let values: Vec<Option<u8>> = (0..100).map(|_| Arbitrary::arbitrary(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+    }
+}

@@ -1,0 +1,129 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A size specification: an exact length or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo + 1 {
+            return self.lo;
+        }
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> SizeRange {
+        SizeRange { lo: exact, hi: exact + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> SizeRange {
+        assert!(range.start < range.end, "empty size range {range:?}");
+        SizeRange { lo: range.start, hi: range.end }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length
+/// is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `BTreeSet`s from `element`; like upstream, the resulting
+/// set may be smaller than the drawn size when duplicates collide.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        // Bounded attempts: small element domains may not have `target`
+        // distinct values.
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target * 8 + 8 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_sizes_in_range() {
+        let mut rng = TestRng::from_seed(8);
+        let strategy = vec(any::<u8>(), 3..7);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_exact_size() {
+        let mut rng = TestRng::from_seed(9);
+        let strategy = vec(0.0f32..1.0, 3);
+        assert_eq!(strategy.generate(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn btree_sets_are_sorted_unique() {
+        let mut rng = TestRng::from_seed(10);
+        let strategy = btree_set(0u32..50, 0..40);
+        for _ in 0..50 {
+            let set = strategy.generate(&mut rng);
+            assert!(set.len() <= 40);
+            assert!(set.iter().all(|&v| v < 50));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline-compatible mini implementation of the `proptest` macro
+//! surface.
+//!
+//! Supports the subset musuite's property tests use:
+//! - `proptest! { #[test] fn name(x: Type, y in strategy) { .. } }`
+//! - `any::<T>()`, integer/float range strategies, `".*"` string
+//!   strategies, tuple strategies, `proptest::collection::{vec,
+//!   btree_set}`, `Strategy::prop_map`
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`,
+//!   `prop_assume!`
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with
+//! the assertion message and the deterministic per-test seed, which is
+//! sufficient to reproduce (cases are generated from a seed derived
+//! from the test name, overridable via `PROPTEST_SEED`). Case count
+//! defaults to 64 and follows `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the `proptest!` macro and typical tests need in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Upstream-compatible alias module (`prop::collection::vec` etc).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests.
+///
+/// Each `fn` inside the block becomes a `#[test]` that runs its body
+/// against `PROPTEST_CASES` (default 64) generated inputs. Parameters
+/// are declared either as `name: Type` (uses [`arbitrary::any`]) or
+/// `name in strategy`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ($($params:tt)*) $body:block)*) => {
+        $( $crate::__proptest_case!(@parse [$(#[$meta])*] $name [] [$($params)*] $body); )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters consumed: emit the test fn.
+    (@parse [$(#[$meta:meta])*] $name:ident [$(($pat:ident, $strat:expr))*] [] $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __pt_rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let __pt_cases = $crate::test_runner::cases();
+            let mut __pt_executed: u32 = 0;
+            let mut __pt_attempts: u32 = 0;
+            while __pt_executed < __pt_cases {
+                __pt_attempts += 1;
+                if __pt_attempts > __pt_cases.saturating_mul(16).max(1024) {
+                    panic!(
+                        "proptest '{}': too many rejected cases ({} attempts)",
+                        stringify!($name),
+                        __pt_attempts
+                    );
+                }
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);
+                )*
+                let __pt_result = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __pt_result {
+                    ::std::result::Result::Ok(()) => __pt_executed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case #{} (seed {}): {}",
+                            stringify!($name),
+                            __pt_executed,
+                            $crate::test_runner::TestRng::seed_for_test(stringify!($name)),
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    };
+    // `name: Type` parameter (last).
+    (@parse $meta:tt $name:ident [$($acc:tt)*] [$p:ident : $t:ty] $body:block) => {
+        $crate::__proptest_case!(@parse $meta $name
+            [$($acc)* ($p, $crate::arbitrary::any::<$t>())] [] $body);
+    };
+    // `name: Type` parameter (more follow).
+    (@parse $meta:tt $name:ident [$($acc:tt)*] [$p:ident : $t:ty, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_case!(@parse $meta $name
+            [$($acc)* ($p, $crate::arbitrary::any::<$t>())] [$($rest)*] $body);
+    };
+    // `name in strategy` parameter (last).
+    (@parse $meta:tt $name:ident [$($acc:tt)*] [$p:ident in $s:expr] $body:block) => {
+        $crate::__proptest_case!(@parse $meta $name [$($acc)* ($p, $s)] [] $body);
+    };
+    // `name in strategy` parameter (more follow).
+    (@parse $meta:tt $name:ident [$($acc:tt)*] [$p:ident in $s:expr, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_case!(@parse $meta $name [$($acc)* ($p, $s)] [$($rest)*] $body);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pt_l == *__pt_r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __pt_l, __pt_r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(*__pt_l == *__pt_r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__pt_l, __pt_r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__pt_l != *__pt_r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __pt_l
+        );
+    }};
+}
+
+/// Discards the current case (regenerated without counting) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

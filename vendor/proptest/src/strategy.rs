@@ -1,0 +1,226 @@
+//! The [`Strategy`] trait and the built-in strategies: ranges, string
+//! patterns, tuples, `Just`, and `prop_map`.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, map }
+    }
+
+    /// Pairs this strategy's output with a filter; rejected values are
+    /// regenerated (bounded retries, then the last value is used).
+    fn prop_filter<F>(self, reason: &'static str, filter: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { strategy: self, filter, reason }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    strategy: S,
+    filter: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..256 {
+            let value = self.strategy.generate(rng);
+            if (self.filter)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter '{}' rejected 256 consecutive values", self.reason);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty => $wide:ty),* $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let offset = rng.below(span);
+                ((self.start as $wide).wrapping_add(offset as $wide)) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+}
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                let unit = rng.unit_f64() as $ty;
+                let value = self.start + (self.end - self.start) * unit;
+                if value >= self.end { self.start } else { value }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// String pattern strategies
+// ---------------------------------------------------------------------------
+
+/// `&str` acts as a regex-style pattern strategy. This subset supports
+/// the patterns musuite uses: `".*"` (any string) and plain literal
+/// strings (generated verbatim).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match *self {
+            ".*" => {
+                let len = rng.below(33) as usize;
+                (0..len).map(|_| random_char(rng)).collect()
+            }
+            literal => {
+                assert!(
+                    !literal.bytes().any(|b| matches!(b, b'*' | b'+' | b'[' | b'(' | b'?')),
+                    "unsupported string pattern {literal:?}: this proptest subset only \
+                     supports \".*\" and literal patterns"
+                );
+                literal.to_string()
+            }
+        }
+    }
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    // Mostly ASCII, occasionally wider unicode (incl. multi-byte) to
+    // exercise UTF-8 boundaries in codecs.
+    match rng.below(10) {
+        0..=6 => (b' ' + rng.below(95) as u8) as char,
+        7 => char::from_u32(0x00A1 + rng.next_u32() % 0x500).unwrap_or('é'),
+        8 => char::from_u32(0x4E00 + rng.next_u32() % 0x2000).unwrap_or('中'),
+        _ => char::from_u32(0x1F300 + rng.next_u32() % 0x200).unwrap_or('🦀'),
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = TestRng::from_seed(1);
+        let strategy = (0u32..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn string_pattern_any() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..50 {
+            let s = ".*".generate(&mut rng);
+            assert!(s.chars().count() <= 32);
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let (a, b) = (0u8..4, 10i64..20).generate(&mut rng);
+        assert!(a < 4 && (10..20).contains(&b));
+    }
+}

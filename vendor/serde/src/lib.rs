@@ -1,0 +1,61 @@
+//! Offline-compatible serde stand-in.
+//!
+//! Declares the [`Serialize`] and [`Deserialize`] marker traits (no
+//! serializer machinery — nothing in this workspace drives one) and,
+//! with the `derive` feature, re-exports derive macros that emit empty
+//! impls. Code deriving or bounding on these traits compiles unchanged;
+//! swapping in real serde later requires no source edits.
+
+#![forbid(unsafe_code)]
+
+/// Marker for serializable types.
+pub trait Serialize {}
+
+/// Marker for deserializable types.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Serialize for $ty {}
+        impl<'de> Deserialize<'de> for $ty {}
+    )*};
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+);
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize> Serialize for &T {}
+impl Serialize for str {}
+impl Serialize for std::time::Duration {}
+impl<'de> Deserialize<'de> for std::time::Duration {}

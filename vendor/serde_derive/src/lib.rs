@@ -1,0 +1,43 @@
+//! Derive macros for the offline serde stand-in.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` emit empty marker
+//! impls. The input is scanned token-by-token (no syn dependency) for
+//! the type name and any generic parameters; only non-generic and
+//! lifetime-free simple-generic types are supported, which covers every
+//! derive in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().expect("valid impl tokens")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl tokens")
+}
+
+/// Extracts the identifier following `struct`/`enum`/`union`.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tree in input {
+        match tree {
+            TokenTree::Ident(ident) => {
+                let text = ident.to_string();
+                if saw_keyword {
+                    return text;
+                }
+                if text == "struct" || text == "enum" || text == "union" {
+                    saw_keyword = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    panic!("serde_derive stub: could not find type name in derive input");
+}
