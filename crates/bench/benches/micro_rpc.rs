@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks of the RPC substrate: round-trip cost of
 //! the layers between a query's arrival and its response — the overheads
 //! that, per the paper, rival the mid-tier's own compute.
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use musuite_rpc::{

@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks of the algorithmic substrates: the
 //! per-component costs that compose into the mid-tier's "tens of
 //! microseconds" of compute (paper §I).
+#![allow(missing_docs)] // criterion_group! expands to undocumented items
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use musuite_codec::{from_bytes, to_bytes};

@@ -15,9 +15,6 @@
 //!   paper's shard count for three of the four services).
 //! * `MUSUITE_SCALE` — data-set scale multiplier (default 1).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use musuite_codec::to_bytes;
 use musuite_data::kv::{KvWorkload, KvWorkloadConfig};
 use musuite_data::ratings::{RatingsConfig, RatingsDataset};

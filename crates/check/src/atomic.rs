@@ -1,0 +1,176 @@
+//! Atomic shims: `std::sync::atomic` passthroughs in normal builds,
+//! scheduling points under `--cfg musuite_check`.
+//!
+//! The model distinguishes *synchronization* atomics from *telemetry*
+//! atomics by their memory ordering: any operation with an ordering
+//! stronger than [`Ordering::Relaxed`] is a scheduling point (the checker
+//! may preempt right before it), while `Relaxed` operations run without
+//! scheduler involvement. This matches how the suite uses atomics —
+//! shutdown flags and completion counters use acquire/release and *must*
+//! be explored; statistics counters use relaxed and would only explode
+//! the schedule space. Values themselves are exact in both cases: with
+//! one thread running at a time every interleaving is sequentially
+//! consistent, so the checker explores thread orders, not weak-memory
+//! reorderings.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(musuite_check)]
+fn sched_point(order: Ordering) {
+    if order != Ordering::Relaxed {
+        let _ = crate::sched::with_current(|exec, me| exec.yield_point(me));
+    }
+}
+
+#[cfg(not(musuite_check))]
+#[inline(always)]
+fn sched_point(_order: Ordering) {}
+
+macro_rules! atomic_shim {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $value:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates a new atomic holding `value`.
+            pub const fn new(value: $value) -> $name {
+                $name { inner: std::sync::atomic::$std::new(value) }
+            }
+
+            /// Loads the current value.
+            #[cfg_attr(not(musuite_check), inline)]
+            pub fn load(&self, order: Ordering) -> $value {
+                sched_point(order);
+                self.inner.load(order)
+            }
+
+            /// Stores `value`.
+            #[cfg_attr(not(musuite_check), inline)]
+            pub fn store(&self, value: $value, order: Ordering) {
+                sched_point(order);
+                self.inner.store(value, order)
+            }
+
+            /// Swaps in `value`, returning the previous value.
+            #[cfg_attr(not(musuite_check), inline)]
+            pub fn swap(&self, value: $value, order: Ordering) -> $value {
+                sched_point(order);
+                self.inner.swap(value, order)
+            }
+
+            /// Compare-and-exchange; see [`std::sync::atomic`].
+            #[cfg_attr(not(musuite_check), inline)]
+            pub fn compare_exchange(
+                &self,
+                current: $value,
+                new: $value,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$value, $value> {
+                sched_point(success);
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Consumes the atomic, returning the contained value.
+            #[inline]
+            pub fn into_inner(self) -> $value {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+macro_rules! atomic_shim_arith {
+    ($name:ident, $value:ty) => {
+        impl $name {
+            /// Adds `value`, returning the previous value.
+            #[cfg_attr(not(musuite_check), inline)]
+            pub fn fetch_add(&self, value: $value, order: Ordering) -> $value {
+                sched_point(order);
+                self.inner.fetch_add(value, order)
+            }
+
+            /// Subtracts `value`, returning the previous value.
+            #[cfg_attr(not(musuite_check), inline)]
+            pub fn fetch_sub(&self, value: $value, order: Ordering) -> $value {
+                sched_point(order);
+                self.inner.fetch_sub(value, order)
+            }
+
+            /// Stores the maximum of the current and given value,
+            /// returning the previous value.
+            #[cfg_attr(not(musuite_check), inline)]
+            pub fn fetch_max(&self, value: $value, order: Ordering) -> $value {
+                sched_point(order);
+                self.inner.fetch_max(value, order)
+            }
+        }
+    };
+}
+
+atomic_shim!(
+    /// Shim over [`std::sync::atomic::AtomicBool`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use musuite_check::atomic::{AtomicBool, Ordering};
+    ///
+    /// let flag = AtomicBool::new(false);
+    /// flag.store(true, Ordering::Release);
+    /// assert!(flag.load(Ordering::Acquire));
+    /// ```
+    AtomicBool,
+    AtomicBool,
+    bool
+);
+atomic_shim!(
+    /// Shim over [`std::sync::atomic::AtomicU32`].
+    AtomicU32,
+    AtomicU32,
+    u32
+);
+atomic_shim!(
+    /// Shim over [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+atomic_shim!(
+    /// Shim over [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+
+atomic_shim_arith!(AtomicU32, u32);
+atomic_shim_arith!(AtomicU64, u64);
+atomic_shim_arith!(AtomicUsize, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_semantics() {
+        let a = AtomicU64::new(5);
+        assert_eq!(a.fetch_add(2, Ordering::Relaxed), 5);
+        assert_eq!(a.load(Ordering::Acquire), 7);
+        a.store(1, Ordering::Release);
+        assert_eq!(a.swap(9, Ordering::AcqRel), 1);
+        assert_eq!(a.compare_exchange(9, 10, Ordering::AcqRel, Ordering::Acquire), Ok(9));
+        assert_eq!(a.into_inner(), 10);
+
+        let b = AtomicBool::new(false);
+        assert!(!b.swap(true, Ordering::AcqRel));
+        assert!(b.load(Ordering::Relaxed));
+
+        let c = AtomicUsize::new(3);
+        assert_eq!(c.fetch_sub(1, Ordering::AcqRel), 3);
+        assert_eq!(c.fetch_max(10, Ordering::Relaxed), 2);
+        assert_eq!(c.load(Ordering::Relaxed), 10);
+    }
+}

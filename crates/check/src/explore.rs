@@ -1,0 +1,248 @@
+//! The exploration driver: DFS over schedule prefixes.
+//!
+//! Each execution is a deterministic function of its *schedule* — the
+//! sequence of choice indices taken at scheduling points. The driver runs
+//! the default schedule (always continue the current thread: zero
+//! preemptions), then backtracks: it finds the deepest decision with an
+//! untried alternative, extends the prefix with that alternative, and
+//! reruns. With a bounded preemption budget the space is finite, so the
+//! search either visits every schedule (a *complete* report) or stops at
+//! the iteration cap.
+//!
+//! A failing execution — assertion panic inside a model thread, deadlock,
+//! lost wakeup, depth overrun — yields a [`Failure`] carrying the exact
+//! schedule as a printable *seed* plus the event trace. Replaying the
+//! seed (or setting `MUSUITE_CHECK_SEED`) reruns that one interleaving.
+
+use crate::sched::{run_execution, RunOutcome};
+use std::sync::Arc;
+
+/// Configurable model-checking session.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_check::{Checker, sync::Mutex, thread};
+/// use std::sync::Arc;
+///
+/// let report = Checker::new()
+///     .check(|| {
+///         let m = Arc::new(Mutex::new(0u32));
+///         let m2 = m.clone();
+///         let h = thread::spawn(move || *m2.lock() += 1);
+///         *m.lock() += 1;
+///         h.join().unwrap();
+///         assert_eq!(*m.lock(), 2);
+///     })
+///     .expect("no interleaving violates the invariant");
+/// assert!(report.complete);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Checker {
+    preemption_bound: u32,
+    max_iterations: usize,
+    max_depth: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Checker {
+        Checker { preemption_bound: 2, max_iterations: 50_000, max_depth: 20_000 }
+    }
+}
+
+/// Summary of a completed (non-failing) exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of executions run.
+    pub iterations: usize,
+    /// `true` if every schedule within the preemption bound was explored;
+    /// `false` if the iteration cap stopped the search early.
+    pub complete: bool,
+    /// Event trace of the final execution (for determinism checks).
+    pub trace: String,
+}
+
+/// A schedule under which the model violated an invariant.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong: the panic message, deadlock description, or
+    /// depth overrun.
+    pub message: String,
+    /// Replayable schedule: feed to [`Checker::replay`] or set as
+    /// `MUSUITE_CHECK_SEED` to rerun exactly this interleaving.
+    pub seed: String,
+    /// Scheduler event trace of the failing execution.
+    pub trace: String,
+    /// Which execution (0-based) hit the failure.
+    pub iteration: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model check failed after {} execution(s): {}\n\
+             replay with MUSUITE_CHECK_SEED={}\ntrace:\n{}",
+            self.iteration + 1,
+            self.message,
+            self.seed,
+            self.trace
+        )
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// Encodes a decision record as a printable seed.
+fn encode_seed(record: &[(u32, u32)]) -> String {
+    let choices: Vec<String> = record.iter().map(|(chosen, _)| chosen.to_string()).collect();
+    choices.join(".")
+}
+
+/// Decodes a seed back into a schedule prefix.
+///
+/// # Errors
+///
+/// Returns a description of the malformed component, if any.
+pub fn decode_seed(seed: &str) -> Result<Vec<u32>, String> {
+    if seed.is_empty() {
+        return Ok(Vec::new());
+    }
+    seed.split('.')
+        .map(|part| part.parse::<u32>().map_err(|e| format!("bad seed component {part:?}: {e}")))
+        .collect()
+}
+
+/// Given the record of the execution just run, computes the next DFS
+/// prefix, or `None` when the space is exhausted.
+fn next_prefix(record: &[(u32, u32)]) -> Option<Vec<u32>> {
+    for i in (0..record.len()).rev() {
+        let (chosen, options) = record[i];
+        if chosen + 1 < options {
+            let mut prefix: Vec<u32> = record[..i].iter().map(|&(c, _)| c).collect();
+            prefix.push(chosen + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+impl Checker {
+    /// A checker with default bounds (2 preemptions, 50 000 executions).
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// Sets the preemption budget: the number of times per execution the
+    /// scheduler may switch away from a thread that could continue.
+    /// Most concurrency bugs fall to 2; 3 is thorough and much slower.
+    #[must_use]
+    pub fn preemption_bound(mut self, bound: u32) -> Checker {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Caps the number of executions explored.
+    #[must_use]
+    pub fn max_iterations(mut self, cap: usize) -> Checker {
+        self.max_iterations = cap;
+        self
+    }
+
+    /// Caps the schedule length of a single execution (catches unbounded
+    /// spin loops, which a cooperative scheduler would otherwise run
+    /// forever).
+    #[must_use]
+    pub fn max_depth(mut self, cap: usize) -> Checker {
+        self.max_depth = cap;
+        self
+    }
+
+    /// Explores interleavings of `body` until a failure, exhaustion, or
+    /// the iteration cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Failure`] found, with its replayable seed.
+    pub fn check<F>(&self, body: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+        let mut prefix = Vec::new();
+        let mut iterations = 0;
+        while iterations < self.max_iterations {
+            let outcome =
+                run_execution(prefix, self.preemption_bound, self.max_depth, body.clone());
+            if let Some(failure) = self.failure_of(&outcome, iterations) {
+                return Err(failure);
+            }
+            iterations += 1;
+            match next_prefix(&outcome.record) {
+                Some(next) => prefix = next,
+                None => {
+                    return Ok(Report { iterations, complete: true, trace: outcome.trace });
+                }
+            }
+        }
+        Ok(Report { iterations, complete: false, trace: String::new() })
+    }
+
+    /// Runs exactly one execution under `seed`'s schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Failure`] if the replayed schedule (still) violates an
+    /// invariant, or if the seed is malformed.
+    pub fn replay<F>(&self, seed: &str, body: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let prefix = decode_seed(seed).map_err(|message| Failure {
+            message,
+            seed: seed.to_string(),
+            trace: String::new(),
+            iteration: 0,
+        })?;
+        let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+        let outcome = run_execution(prefix, u32::MAX, self.max_depth, body);
+        if let Some(failure) = self.failure_of(&outcome, 0) {
+            return Err(failure);
+        }
+        Ok(Report { iterations: 1, complete: false, trace: outcome.trace })
+    }
+
+    fn failure_of(&self, outcome: &RunOutcome, iteration: usize) -> Option<Failure> {
+        outcome.failure.as_ref().map(|message| Failure {
+            message: message.clone(),
+            seed: encode_seed(&outcome.record),
+            trace: outcome.trace.clone(),
+            iteration,
+        })
+    }
+}
+
+/// Checks `body` with default bounds, panicking on the first failing
+/// interleaving with its replayable seed.
+///
+/// If `MUSUITE_CHECK_SEED` is set in the environment, only that one
+/// schedule is replayed — the debugging loop for a failure another run
+/// printed.
+///
+/// # Panics
+///
+/// Panics with the formatted [`Failure`] (message, seed, trace) if any
+/// explored interleaving violates an invariant.
+pub fn model<F>(body: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let checker = Checker::new();
+    let result = match std::env::var("MUSUITE_CHECK_SEED") {
+        Ok(seed) => checker.replay(&seed, body),
+        Err(_) => checker.check(body),
+    };
+    if let Err(failure) = result {
+        panic!("{failure}");
+    }
+}

@@ -1,0 +1,687 @@
+//! The cooperative scheduler behind `--cfg musuite_check` builds.
+//!
+//! Every shimmed operation (lock, unlock, condvar wait/notify, non-relaxed
+//! atomic access, spawn, join, yield) funnels into [`Execution::transition`]:
+//! the calling thread publishes its new blocking state, picks the next
+//! thread to run according to the schedule being explored, and parks until
+//! the token comes back. Exactly one model thread runs at any instant, so
+//! every execution is a deterministic function of the *schedule* — the
+//! sequence of choice indices taken at decision points — which is what
+//! makes failing interleavings replayable from a printed seed.
+//!
+//! Threads block on model objects (mutexes, rwlocks, condvars, joins);
+//! a thread whose wait can make progress (its mutex is free, its condvar
+//! was notified or its timed wait may fire, its join target finished) is
+//! *pickable*. When no live thread is pickable the execution has
+//! deadlocked — which is also how lost wakeups surface: a waiter nobody
+//! will ever notify is permanently unpickable.
+//!
+//! Memory model: because execution is serialized through one real mutex,
+//! every explored interleaving is sequentially consistent. The checker
+//! explores *thread interleavings*, not weak-memory reorderings.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure found or teardown); never surfaced to user code.
+pub(crate) struct ModelAbort;
+
+/// Stable identity for shim objects, assigned at construction. Slot
+/// numbers inside an execution are assigned in first-touch order, so
+/// traces are comparable across executions even though raw ids differ.
+static NEXT_OBJ_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn new_obj_id() -> u64 {
+    NEXT_OBJ_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's active execution handle, or returns `None`
+/// if the thread is not a model thread (shims then fall through to the
+/// real primitive).
+pub(crate) fn with_current<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> Option<R> {
+    CURRENT.with(|cur| cur.borrow().as_ref().map(|(exec, tid)| f(&exec.clone(), *tid)))
+}
+
+/// Returns `true` when the calling thread belongs to an active model
+/// execution.
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|cur| cur.borrow().is_some())
+}
+
+/// How a blocked thread was woken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    /// Normal grant: lock acquired, condvar notified, join target done.
+    Normal,
+    /// A timed condvar wait fired its timeout instead of being notified.
+    TimedOut,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar { cv: usize, mutex: usize, timed: bool, notified: bool },
+    BlockedRwWrite(usize),
+    BlockedRwRead(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadRec {
+    status: Status,
+}
+
+struct MutexRec {
+    owner: Option<usize>,
+}
+
+struct RwRec {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+}
+
+struct SchedState {
+    threads: Vec<ThreadRec>,
+    running: Option<usize>,
+    mutexes: Vec<MutexRec>,
+    rwlocks: Vec<RwRec>,
+    mutex_slots: HashMap<u64, usize>,
+    rw_slots: HashMap<u64, usize>,
+    cv_slots: HashMap<u64, usize>,
+    cv_count: usize,
+    /// Replayed choice indices; decisions beyond the prefix default to 0.
+    prefix: Vec<u32>,
+    cursor: usize,
+    /// Every decision taken this execution: `(chosen, options)`.
+    record: Vec<(u32, u32)>,
+    preemptions: u32,
+    budget: u32,
+    max_depth: usize,
+    trace: String,
+    failure: Option<String>,
+    live: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// One model execution: shared scheduler state plus the condvar model
+/// threads park on while another thread holds the run token.
+pub(crate) struct Execution {
+    state: StdMutex<SchedState>,
+    cond: StdCondvar,
+}
+
+/// Outcome of one execution, handed back to the DFS driver.
+pub(crate) struct RunOutcome {
+    pub(crate) record: Vec<(u32, u32)>,
+    pub(crate) trace: String,
+    pub(crate) failure: Option<String>,
+}
+
+impl Execution {
+    fn new(prefix: Vec<u32>, budget: u32, max_depth: usize) -> Execution {
+        Execution {
+            state: StdMutex::new(SchedState {
+                threads: Vec::new(),
+                running: None,
+                mutexes: Vec::new(),
+                rwlocks: Vec::new(),
+                mutex_slots: HashMap::new(),
+                rw_slots: HashMap::new(),
+                cv_slots: HashMap::new(),
+                cv_count: 0,
+                prefix,
+                cursor: 0,
+                record: Vec::new(),
+                preemptions: 0,
+                budget,
+                max_depth,
+                trace: String::new(),
+                failure: None,
+                live: 0,
+                handles: Vec::new(),
+            }),
+            cond: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        // The scheduler's own mutex is never poisoned in normal operation;
+        // a poisoned state means a model thread panicked while holding it,
+        // which is itself a checker bug worth crashing loudly on.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Resolves a shim mutex's stable id to this execution's slot.
+    pub(crate) fn mutex_slot(&self, obj: u64) -> usize {
+        let mut state = self.lock_state();
+        if let Some(&slot) = state.mutex_slots.get(&obj) {
+            return slot;
+        }
+        let slot = state.mutexes.len();
+        state.mutexes.push(MutexRec { owner: None });
+        state.mutex_slots.insert(obj, slot);
+        slot
+    }
+
+    pub(crate) fn rw_slot(&self, obj: u64) -> usize {
+        let mut state = self.lock_state();
+        if let Some(&slot) = state.rw_slots.get(&obj) {
+            return slot;
+        }
+        let slot = state.rwlocks.len();
+        state.rwlocks.push(RwRec { writer: None, readers: Vec::new() });
+        state.rw_slots.insert(obj, slot);
+        slot
+    }
+
+    pub(crate) fn cv_slot(&self, obj: u64) -> usize {
+        let mut state = self.lock_state();
+        if let Some(&slot) = state.cv_slots.get(&obj) {
+            return slot;
+        }
+        let slot = state.cv_count;
+        state.cv_count += 1;
+        state.cv_slots.insert(obj, slot);
+        slot
+    }
+
+    fn push_trace(state: &mut SchedState, tid: usize, event: &str) {
+        use std::fmt::Write as _;
+        let _ = writeln!(state.trace, "t{tid} {event}");
+    }
+
+    /// Records a trace event without a scheduling decision.
+    pub(crate) fn trace_event(&self, tid: usize, event: &str) {
+        let mut state = self.lock_state();
+        Self::push_trace(&mut state, tid, event);
+    }
+
+    fn is_pickable(state: &SchedState, tid: usize) -> bool {
+        match &state.threads[tid].status {
+            Status::Runnable => true,
+            Status::BlockedMutex(m) => state.mutexes[*m].owner.is_none(),
+            Status::BlockedCondvar { mutex, timed, notified, .. } => {
+                (*notified || *timed) && state.mutexes[*mutex].owner.is_none()
+            }
+            Status::BlockedRwWrite(r) => {
+                state.rwlocks[*r].writer.is_none() && state.rwlocks[*r].readers.is_empty()
+            }
+            Status::BlockedRwRead(r) => state.rwlocks[*r].writer.is_none(),
+            Status::BlockedJoin(target) => state.threads[*target].status == Status::Finished,
+            Status::Finished => false,
+        }
+    }
+
+    fn describe_blocked(state: &SchedState) -> String {
+        let mut out = String::new();
+        for (tid, rec) in state.threads.iter().enumerate() {
+            if rec.status == Status::Finished {
+                continue;
+            }
+            use std::fmt::Write as _;
+            let what = match &rec.status {
+                Status::Runnable => "runnable (never scheduled)".to_string(),
+                Status::BlockedMutex(m) => format!("blocked on mutex m{m}"),
+                Status::BlockedCondvar { cv, notified: false, timed: false, .. } => {
+                    format!("waiting on condvar cv{cv} with no pending notify (lost wakeup?)")
+                }
+                Status::BlockedCondvar { cv, .. } => format!("waiting on condvar cv{cv}"),
+                Status::BlockedRwWrite(r) => format!("blocked writing rwlock rw{r}"),
+                Status::BlockedRwRead(r) => format!("blocked reading rwlock rw{r}"),
+                Status::BlockedJoin(t) => format!("joining t{t}"),
+                Status::Finished => unreachable!(),
+            };
+            let _ = write!(out, "\n  t{tid}: {what}");
+        }
+        out
+    }
+
+    /// Marks the execution failed and wakes every parked thread so it can
+    /// unwind with [`ModelAbort`].
+    fn fail(&self, state: &mut SchedState, message: String) {
+        if state.failure.is_none() {
+            Self::push_trace(state, usize::MAX, &format!("FAILURE: {message}"));
+            state.failure = Some(message);
+        }
+        state.running = None;
+        self.cond.notify_all();
+    }
+
+    /// Picks the next thread to run and hands it the token. Returns
+    /// `false` if the execution failed (deadlock or depth overrun) during
+    /// the pick.
+    fn pick_next(&self, state: &mut SchedState, current: Option<usize>) -> bool {
+        if state.failure.is_some() {
+            self.cond.notify_all();
+            return false;
+        }
+        if state.live == 0 {
+            state.running = None;
+            self.cond.notify_all();
+            return true;
+        }
+        // Candidate order: the yielding thread first (continuation is
+        // choice 0, so the DFS default path takes no preemptions), then
+        // every other thread in tid order.
+        let mut options: Vec<usize> = Vec::new();
+        if let Some(cur) = current {
+            if Self::is_pickable(state, cur) {
+                options.push(cur);
+            }
+        }
+        for tid in 0..state.threads.len() {
+            if Some(tid) != current && Self::is_pickable(state, tid) {
+                options.push(tid);
+            }
+        }
+        if options.is_empty() {
+            let blocked = Self::describe_blocked(state);
+            self.fail(state, format!("deadlock: no thread can make progress{blocked}"));
+            return false;
+        }
+        // A preemption is choosing away from a still-pickable current
+        // thread; once the budget is spent the current thread must keep
+        // running until it blocks or finishes.
+        let current_pickable = current.is_some_and(|cur| options[0] == cur);
+        if current_pickable && state.preemptions >= state.budget {
+            options.truncate(1);
+        }
+        let chosen = match state.prefix.get(state.cursor) {
+            Some(&c) if (c as usize) < options.len() => c,
+            Some(_) => {
+                self.fail(
+                    &mut *state,
+                    "replay diverged: seed choice out of range (program is not \
+                     deterministic under this schedule)"
+                        .to_string(),
+                );
+                return false;
+            }
+            None => 0,
+        };
+        state.cursor += 1;
+        state.record.push((chosen, options.len() as u32));
+        if state.record.len() > state.max_depth {
+            let msg = format!(
+                "schedule exceeded max depth {} (unbounded spin loop or livelock?)",
+                state.max_depth
+            );
+            self.fail(&mut *state, msg);
+            return false;
+        }
+        let next = options[chosen as usize];
+        if current_pickable && Some(next) != current {
+            state.preemptions += 1;
+        }
+        state.running = Some(next);
+        self.cond.notify_all();
+        true
+    }
+
+    /// The heart of the checker: the running thread moves to `new_status`,
+    /// schedules a successor, and parks until rescheduled. Returns how the
+    /// thread was woken.
+    ///
+    /// Panics with [`ModelAbort`] if the execution fails while parked.
+    pub(crate) fn transition(self: &Arc<Execution>, me: usize, new_status: BlockReq) -> Wake {
+        let mut state = self.lock_state();
+        let status = match new_status {
+            BlockReq::Yield => Status::Runnable,
+            BlockReq::BlockedMutex(m) => Status::BlockedMutex(m),
+            BlockReq::BlockedCondvar { cv, mutex, timed } => {
+                Status::BlockedCondvar { cv, mutex, timed, notified: false }
+            }
+            BlockReq::BlockedRwWrite(r) => Status::BlockedRwWrite(r),
+            BlockReq::BlockedRwRead(r) => Status::BlockedRwRead(r),
+            BlockReq::BlockedJoin(t) => Status::BlockedJoin(t),
+        };
+        state.threads[me].status = status;
+        if !self.pick_next(&mut state, Some(me)) {
+            drop(state);
+            panic::panic_any(ModelAbort);
+        }
+        // Park until the token comes back (or the execution fails).
+        while state.failure.is_none() && state.running != Some(me) {
+            state = match self.cond.wait(state) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        if state.failure.is_some() {
+            drop(state);
+            panic::panic_any(ModelAbort);
+        }
+        // Granted: finalize the acquisition this thread was blocked on.
+        let wake = match state.threads[me].status.clone() {
+            Status::Runnable => Wake::Normal,
+            Status::BlockedMutex(m) => {
+                debug_assert!(state.mutexes[m].owner.is_none());
+                state.mutexes[m].owner = Some(me);
+                Wake::Normal
+            }
+            Status::BlockedCondvar { mutex, notified, .. } => {
+                debug_assert!(state.mutexes[mutex].owner.is_none());
+                state.mutexes[mutex].owner = Some(me);
+                if notified {
+                    Wake::Normal
+                } else {
+                    Self::push_trace(&mut state, me, "timeout fires");
+                    Wake::TimedOut
+                }
+            }
+            Status::BlockedRwWrite(r) => {
+                state.rwlocks[r].writer = Some(me);
+                Wake::Normal
+            }
+            Status::BlockedRwRead(r) => {
+                state.rwlocks[r].readers.push(me);
+                Wake::Normal
+            }
+            Status::BlockedJoin(_) => Wake::Normal,
+            Status::Finished => unreachable!("finished thread rescheduled"),
+        };
+        state.threads[me].status = Status::Runnable;
+        wake
+    }
+
+    /// A plain scheduling point: the calling thread stays runnable but
+    /// offers the scheduler a chance to interleave another thread here.
+    pub(crate) fn yield_point(self: &Arc<Execution>, me: usize) {
+        // Never reschedule while unwinding: guard drops during a panic
+        // must not park the dying thread.
+        if std::thread::panicking() {
+            return;
+        }
+        let _ = self.transition(me, BlockReq::Yield);
+    }
+
+    /// Attempts to acquire mutex `slot` for `me`. Returns `true` on
+    /// success; the caller yields and retries (or blocks) on `false`.
+    pub(crate) fn try_acquire_mutex(&self, me: usize, slot: usize) -> bool {
+        let mut state = self.lock_state();
+        if state.mutexes[slot].owner.is_none() {
+            state.mutexes[slot].owner = Some(me);
+            Self::push_trace(&mut state, me, &format!("lock m{slot}"));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases mutex `slot`.
+    pub(crate) fn release_mutex(&self, me: usize, slot: usize) {
+        let mut state = self.lock_state();
+        debug_assert_eq!(state.mutexes[slot].owner, Some(me), "release of unowned model mutex");
+        state.mutexes[slot].owner = None;
+        Self::push_trace(&mut state, me, &format!("unlock m{slot}"));
+    }
+
+    /// Releases the mutex on entry to a condvar wait (the atomic
+    /// release-and-block half of `wait`).
+    pub(crate) fn condvar_release_mutex(&self, me: usize, slot: usize) {
+        let mut state = self.lock_state();
+        debug_assert_eq!(state.mutexes[slot].owner, Some(me));
+        state.mutexes[slot].owner = None;
+    }
+
+    pub(crate) fn rw_try_read(&self, me: usize, slot: usize) -> bool {
+        let mut state = self.lock_state();
+        if state.rwlocks[slot].writer.is_none() {
+            state.rwlocks[slot].readers.push(me);
+            Self::push_trace(&mut state, me, &format!("read rw{slot}"));
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn rw_try_write(&self, me: usize, slot: usize) -> bool {
+        let mut state = self.lock_state();
+        if state.rwlocks[slot].writer.is_none() && state.rwlocks[slot].readers.is_empty() {
+            state.rwlocks[slot].writer = Some(me);
+            Self::push_trace(&mut state, me, &format!("write rw{slot}"));
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn rw_release_read(&self, me: usize, slot: usize) {
+        let mut state = self.lock_state();
+        let readers = &mut state.rwlocks[slot].readers;
+        if let Some(pos) = readers.iter().position(|&t| t == me) {
+            readers.remove(pos);
+        }
+        Self::push_trace(&mut state, me, &format!("unread rw{slot}"));
+    }
+
+    pub(crate) fn rw_release_write(&self, me: usize, slot: usize) {
+        let mut state = self.lock_state();
+        debug_assert_eq!(state.rwlocks[slot].writer, Some(me));
+        state.rwlocks[slot].writer = None;
+        Self::push_trace(&mut state, me, &format!("unwrite rw{slot}"));
+    }
+
+    /// Marks one waiter on condvar `slot` notified (FIFO by thread id, the
+    /// deterministic stand-in for pthread's unspecified wake order).
+    /// Returns `true` if a waiter was pending.
+    pub(crate) fn notify_one(&self, me: usize, slot: usize) -> bool {
+        let mut state = self.lock_state();
+        let woken = (0..state.threads.len()).find(|&tid| {
+            matches!(
+                state.threads[tid].status,
+                Status::BlockedCondvar { cv, notified: false, .. } if cv == slot
+            )
+        });
+        match woken {
+            Some(tid) => {
+                if let Status::BlockedCondvar { notified, .. } = &mut state.threads[tid].status {
+                    *notified = true;
+                }
+                Self::push_trace(&mut state, me, &format!("notify_one cv{slot} wakes t{tid}"));
+                true
+            }
+            None => {
+                Self::push_trace(&mut state, me, &format!("notify_one cv{slot} wakes nobody"));
+                false
+            }
+        }
+    }
+
+    /// Marks every waiter on condvar `slot` notified; returns the count.
+    pub(crate) fn notify_all(&self, me: usize, slot: usize) -> usize {
+        let mut state = self.lock_state();
+        let mut woken = 0;
+        for tid in 0..state.threads.len() {
+            if let Status::BlockedCondvar { cv, notified, .. } = &mut state.threads[tid].status {
+                if *cv == slot && !*notified {
+                    *notified = true;
+                    woken += 1;
+                }
+            }
+        }
+        Self::push_trace(&mut state, me, &format!("notify_all cv{slot} wakes {woken}"));
+        woken
+    }
+
+    /// Returns whether thread `target` has finished (for joins).
+    pub(crate) fn is_finished(&self, target: usize) -> bool {
+        self.lock_state().threads[target].status == Status::Finished
+    }
+
+    /// Registers a new model thread and returns its id.
+    fn register_thread(&self) -> usize {
+        let mut state = self.lock_state();
+        let tid = state.threads.len();
+        state.threads.push(ThreadRec { status: Status::Runnable });
+        state.live += 1;
+        tid
+    }
+
+    /// Marks `me` finished and schedules a successor.
+    fn finish_thread(self: &Arc<Execution>, me: usize, aborted: bool) {
+        let mut state = self.lock_state();
+        state.threads[me].status = Status::Finished;
+        state.live -= 1;
+        if !aborted {
+            Self::push_trace(&mut state, me, "exit");
+        }
+        let _ = self.pick_next(&mut state, None);
+        self.cond.notify_all();
+    }
+
+    /// Parks a freshly spawned thread until the scheduler grants it the
+    /// token for the first time. Returns `false` if the execution failed
+    /// before the thread ever ran.
+    fn await_first_grant(&self, me: usize) -> bool {
+        let mut state = self.lock_state();
+        while state.failure.is_none() && state.running != Some(me) {
+            state = match self.cond.wait(state) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        state.failure.is_none()
+    }
+}
+
+/// Public-facing transition requests (what the shim ops ask for).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BlockReq {
+    Yield,
+    BlockedMutex(usize),
+    BlockedCondvar { cv: usize, mutex: usize, timed: bool },
+    BlockedRwWrite(usize),
+    BlockedRwRead(usize),
+    BlockedJoin(usize),
+}
+
+/// Spawns a model thread running `f`; its return value is published
+/// through `slot` for the model [`crate::thread::JoinHandle`].
+pub(crate) fn model_spawn<T: Send + 'static>(
+    exec: &Arc<Execution>,
+    parent: usize,
+    f: impl FnOnce() -> T + Send + 'static,
+    slot: Arc<StdMutex<Option<T>>>,
+) -> usize {
+    let tid = exec.register_thread();
+    exec.trace_event(parent, &format!("spawn t{tid}"));
+    let exec2 = exec.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("musuite-check-t{tid}"))
+        .spawn(move || {
+            CURRENT.with(|cur| *cur.borrow_mut() = Some((exec2.clone(), tid)));
+            if !exec2.await_first_grant(tid) {
+                exec2.finish_thread(tid, true);
+                return;
+            }
+            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            match result {
+                Ok(value) => {
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+                    exec2.finish_thread(tid, false);
+                }
+                Err(payload) => {
+                    let aborted = payload.is::<ModelAbort>();
+                    if !aborted {
+                        let msg = panic_message(payload.as_ref());
+                        let mut state = exec2.lock_state();
+                        exec2.fail(&mut state, format!("thread t{tid} panicked: {msg}"));
+                    }
+                    exec2.finish_thread(tid, true);
+                }
+            }
+        })
+        .expect("spawn model thread");
+    exec.lock_state().handles.push(handle);
+    // The spawn itself is a visible event: give the scheduler the chance
+    // to run the child (or anyone else) right here.
+    exec.yield_point(parent);
+    tid
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs one complete execution of `body` under schedule `prefix` with the
+/// given preemption budget, returning the decision record, trace, and
+/// failure (if any). Called only from the DFS driver in `explore`.
+pub(crate) fn run_execution(
+    prefix: Vec<u32>,
+    budget: u32,
+    max_depth: usize,
+    body: Arc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    let exec = Arc::new(Execution::new(prefix, budget, max_depth));
+    let root = exec.register_thread();
+    debug_assert_eq!(root, 0);
+    {
+        let mut state = exec.lock_state();
+        state.running = Some(root);
+    }
+    let slot = Arc::new(StdMutex::new(None));
+    let exec2 = exec.clone();
+    let slot2 = slot.clone();
+    let handle = std::thread::Builder::new()
+        .name("musuite-check-t0".to_string())
+        .spawn(move || {
+            CURRENT.with(|cur| *cur.borrow_mut() = Some((exec2.clone(), root)));
+            let result = panic::catch_unwind(AssertUnwindSafe(move || body()));
+            match result {
+                Ok(()) => {
+                    *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(());
+                    exec2.finish_thread(root, false);
+                }
+                Err(payload) => {
+                    let aborted = payload.is::<ModelAbort>();
+                    if !aborted {
+                        let msg = panic_message(payload.as_ref());
+                        let mut state = exec2.lock_state();
+                        exec2.fail(&mut state, format!("thread t0 panicked: {msg}"));
+                    }
+                    exec2.finish_thread(root, true);
+                }
+            }
+        })
+        .expect("spawn model root thread");
+    exec.lock_state().handles.push(handle);
+
+    // Wait for every model thread to finish (failure also drives live to
+    // zero because parked threads wake and unwind with ModelAbort).
+    {
+        let mut state = exec.lock_state();
+        while state.live > 0 {
+            state = match exec.cond.wait(state) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+    // All model threads are Finished; join the real OS threads.
+    let handles: Vec<_> = std::mem::take(&mut exec.lock_state().handles);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let state = exec.lock_state();
+    RunOutcome {
+        record: state.record.clone(),
+        trace: state.trace.clone(),
+        failure: state.failure.clone(),
+    }
+}

@@ -1,0 +1,520 @@
+//! Lock shims: `parking_lot` passthroughs in normal builds, scheduler
+//! participants under `--cfg musuite_check`.
+//!
+//! The API is the intersection of what the μSuite core actually uses:
+//! [`Mutex`] (`lock`/`try_lock`/`into_inner`), [`Condvar`]
+//! (`wait`/`wait_for`/`notify_one`/`notify_all`), and [`RwLock`]
+//! (`read`/`write`). Guards deref like the real ones. In a release build
+//! every method is an `#[inline]` delegation to `parking_lot` — the shims
+//! cost nothing — while under the check cfg each acquire, release, wait,
+//! and notify becomes a scheduling point the model checker can preempt.
+//!
+//! Under the check cfg but *outside* an active model execution (for
+//! example, production code paths exercised by ordinary tests in a
+//! `--cfg musuite_check` build), every operation falls through to the
+//! real primitive, so the same binary runs both modes.
+
+use std::ops::{Deref, DerefMut};
+use std::time::Duration;
+
+#[cfg(musuite_check)]
+use crate::sched::{self, BlockReq, Wake};
+
+/// A mutual-exclusion lock (shim over [`parking_lot::Mutex`]).
+///
+/// # Examples
+///
+/// ```
+/// use musuite_check::sync::Mutex;
+///
+/// let m = Mutex::new(41);
+/// *m.lock() += 1;
+/// assert_eq!(*m.lock(), 42);
+/// ```
+#[derive(Debug)]
+pub struct Mutex<T> {
+    real: parking_lot::Mutex<T>,
+    #[cfg(musuite_check)]
+    obj: u64,
+}
+
+/// RAII guard for [`Mutex`]; unlocks on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    // Read only by the model-mode release path in `drop`.
+    #[cfg_attr(not(musuite_check), allow(dead_code))]
+    lock: &'a Mutex<T>,
+    inner: Option<parking_lot::MutexGuard<'a, T>>,
+    /// `true` when the acquisition went through the model scheduler and
+    /// the drop must release the model-side ownership too.
+    #[cfg(musuite_check)]
+    model: bool,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    // Through `new()`, not a field-wise derive: every instance needs its
+    // own model object id.
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            real: parking_lot::Mutex::new(value),
+            #[cfg(musuite_check)]
+            obj: sched::new_obj_id(),
+        }
+    }
+
+    /// Acquires the lock, blocking until it is available.
+    #[cfg_attr(not(musuite_check), inline)]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(musuite_check)]
+        {
+            let acquired = sched::with_current(|exec, me| {
+                let slot = exec.mutex_slot(self.obj);
+                exec.yield_point(me);
+                if !exec.try_acquire_mutex(me, slot) {
+                    exec.transition(me, BlockReq::BlockedMutex(slot));
+                }
+            });
+            if acquired.is_some() {
+                return MutexGuard { lock: self, inner: Some(self.real.lock()), model: true };
+            }
+        }
+        MutexGuard {
+            lock: self,
+            inner: Some(self.real.lock()),
+            #[cfg(musuite_check)]
+            model: false,
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    #[cfg_attr(not(musuite_check), inline)]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        #[cfg(musuite_check)]
+        {
+            if let Some(got) = sched::with_current(|exec, me| {
+                let slot = exec.mutex_slot(self.obj);
+                exec.yield_point(me);
+                exec.try_acquire_mutex(me, slot)
+            }) {
+                return if got {
+                    Some(MutexGuard { lock: self, inner: Some(self.real.lock()), model: true })
+                } else {
+                    None
+                };
+            }
+        }
+        self.real.try_lock().map(|inner| MutexGuard {
+            lock: self,
+            inner: Some(inner),
+            #[cfg(musuite_check)]
+            model: false,
+        })
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.real.into_inner()
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(musuite_check)]
+        // Skip the model-side release while unwinding: the thread may be
+        // tearing down via ModelAbort after a condvar wait already gave
+        // the mutex up, and the execution is failed (or about to be)
+        // anyway — asserting ownership here would double-panic.
+        if self.model && !std::thread::panicking() {
+            // Drop the real guard *before* telling the scheduler the
+            // mutex is free, so a granted successor can actually lock it.
+            self.inner = None;
+            let _ = sched::with_current(|exec, me| {
+                let slot = exec.mutex_slot(self.lock.obj);
+                exec.release_mutex(me, slot);
+                exec.yield_point(me);
+            });
+        }
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard accessed after condvar release")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard accessed after condvar release")
+    }
+}
+
+/// A condition variable (shim over [`parking_lot::Condvar`]).
+///
+/// Under the model cfg, `wait_for` never consults the wall clock: the
+/// scheduler may *choose* to fire the timeout at any point while the
+/// waiter is parked, which is exactly what exhaustively explores
+/// timeout-vs-completion races.
+#[derive(Debug)]
+pub struct Condvar {
+    real: parking_lot::Condvar,
+    #[cfg(musuite_check)]
+    obj: u64,
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Condvar {
+        Condvar {
+            real: parking_lot::Condvar::new(),
+            #[cfg(musuite_check)]
+            obj: sched::new_obj_id(),
+        }
+    }
+
+    #[cfg(musuite_check)]
+    fn model_wait<T>(&self, guard: &mut MutexGuard<'_, T>, timed: bool) -> Option<bool> {
+        if !guard.model {
+            return None;
+        }
+        sched::with_current(|exec, me| {
+            let cv = exec.cv_slot(self.obj);
+            let mutex = exec.mutex_slot(guard.lock.obj);
+            exec.trace_event(me, &format!("wait cv{cv} (m{mutex})"));
+            // Atomically release the mutex and park: real guard first,
+            // then the model-side ownership, all before yielding.
+            drop(guard.inner.take());
+            exec.condvar_release_mutex(me, mutex);
+            let wake = exec.transition(me, BlockReq::BlockedCondvar { cv, mutex, timed });
+            // Granted: the scheduler already re-assigned the mutex to us.
+            guard.inner = Some(guard.lock.real.lock());
+            wake == Wake::TimedOut
+        })
+    }
+
+    /// Blocks on the condition variable until notified.
+    #[cfg_attr(not(musuite_check), inline)]
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        #[cfg(musuite_check)]
+        if self.model_wait(guard, false).is_some() {
+            return;
+        }
+        self.real.wait(guard.inner.as_mut().expect("guard accessed after condvar release"));
+    }
+
+    /// Blocks with a timeout; returns `true` if the wait timed out.
+    #[cfg_attr(not(musuite_check), inline)]
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        #[cfg(musuite_check)]
+        if let Some(timed_out) = self.model_wait(guard, true) {
+            return timed_out;
+        }
+        self.real
+            .wait_for(guard.inner.as_mut().expect("guard accessed after condvar release"), timeout)
+            .timed_out()
+    }
+
+    /// Wakes one waiter; returns `true` if a thread was woken.
+    #[cfg_attr(not(musuite_check), inline)]
+    pub fn notify_one(&self) -> bool {
+        #[cfg(musuite_check)]
+        if let Some(woken) = sched::with_current(|exec, me| {
+            let cv = exec.cv_slot(self.obj);
+            exec.yield_point(me);
+            exec.notify_one(me, cv)
+        }) {
+            // Also wake any real waiter (threads outside the model that
+            // share this condvar, e.g. passthrough helpers).
+            self.real.notify_one();
+            return woken;
+        }
+        self.real.notify_one()
+    }
+
+    /// Wakes all waiters; returns the number of threads woken.
+    #[cfg_attr(not(musuite_check), inline)]
+    pub fn notify_all(&self) -> usize {
+        #[cfg(musuite_check)]
+        if let Some(woken) = sched::with_current(|exec, me| {
+            let cv = exec.cv_slot(self.obj);
+            exec.yield_point(me);
+            exec.notify_all(me, cv)
+        }) {
+            self.real.notify_all();
+            return woken;
+        }
+        self.real.notify_all()
+    }
+}
+
+/// A reader–writer lock (shim over [`parking_lot::RwLock`]).
+///
+/// # Examples
+///
+/// ```
+/// use musuite_check::sync::RwLock;
+///
+/// let l = RwLock::new(7);
+/// assert_eq!(*l.read(), 7);
+/// *l.write() = 8;
+/// assert_eq!(*l.read(), 8);
+/// ```
+#[derive(Debug)]
+pub struct RwLock<T> {
+    real: parking_lot::RwLock<T>,
+    #[cfg(musuite_check)]
+    obj: u64,
+}
+
+/// Shared-access RAII guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    // Read only by the model-mode release path in `drop`.
+    #[cfg_attr(not(musuite_check), allow(dead_code))]
+    lock: &'a RwLock<T>,
+    inner: Option<parking_lot::RwLockReadGuard<'a, T>>,
+    #[cfg(musuite_check)]
+    model: bool,
+}
+
+/// Exclusive-access RAII guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    // Read only by the model-mode release path in `drop`.
+    #[cfg_attr(not(musuite_check), allow(dead_code))]
+    lock: &'a RwLock<T>,
+    inner: Option<parking_lot::RwLockWriteGuard<'a, T>>,
+    #[cfg(musuite_check)]
+    model: bool,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T> RwLock<T> {
+    /// Creates a reader–writer lock protecting `value`.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            real: parking_lot::RwLock::new(value),
+            #[cfg(musuite_check)]
+            obj: sched::new_obj_id(),
+        }
+    }
+
+    /// Acquires shared read access, blocking until no writer holds the
+    /// lock.
+    #[cfg_attr(not(musuite_check), inline)]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(musuite_check)]
+        {
+            let acquired = sched::with_current(|exec, me| {
+                let slot = exec.rw_slot(self.obj);
+                exec.yield_point(me);
+                if !exec.rw_try_read(me, slot) {
+                    exec.transition(me, BlockReq::BlockedRwRead(slot));
+                }
+            });
+            if acquired.is_some() {
+                return RwLockReadGuard { lock: self, inner: Some(self.real.read()), model: true };
+            }
+        }
+        RwLockReadGuard {
+            lock: self,
+            inner: Some(self.real.read()),
+            #[cfg(musuite_check)]
+            model: false,
+        }
+    }
+
+    /// Acquires exclusive write access.
+    #[cfg_attr(not(musuite_check), inline)]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(musuite_check)]
+        {
+            let acquired = sched::with_current(|exec, me| {
+                let slot = exec.rw_slot(self.obj);
+                exec.yield_point(me);
+                if !exec.rw_try_write(me, slot) {
+                    exec.transition(me, BlockReq::BlockedRwWrite(slot));
+                }
+            });
+            if acquired.is_some() {
+                return RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(self.real.write()),
+                    model: true,
+                };
+            }
+        }
+        RwLockWriteGuard {
+            lock: self,
+            inner: Some(self.real.write()),
+            #[cfg(musuite_check)]
+            model: false,
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.real.into_inner()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(musuite_check)]
+        // Skip the model-side release while unwinding: the thread may be
+        // tearing down via ModelAbort after a condvar wait already gave
+        // the mutex up, and the execution is failed (or about to be)
+        // anyway — asserting ownership here would double-panic.
+        if self.model && !std::thread::panicking() {
+            self.inner = None;
+            let _ = sched::with_current(|exec, me| {
+                let slot = exec.rw_slot(self.lock.obj);
+                exec.rw_release_read(me, slot);
+                exec.yield_point(me);
+            });
+        }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(musuite_check)]
+        // Skip the model-side release while unwinding: the thread may be
+        // tearing down via ModelAbort after a condvar wait already gave
+        // the mutex up, and the execution is failed (or about to be)
+        // anyway — asserting ownership here would double-panic.
+        if self.model && !std::thread::panicking() {
+            self.inner = None;
+            let _ = sched::with_current(|exec, me| {
+                let slot = exec.rw_slot(self.lock.obj);
+                exec.rw_release_write(me, slot);
+                exec.yield_point(me);
+            });
+        }
+    }
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("read guard accessed after release")
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("write guard accessed after release")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("write guard accessed after release")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_passthrough_roundtrip() {
+        let m = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 2000);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Mutex::new(());
+        let _g = m.lock();
+        assert!(m.try_lock().is_none());
+    }
+
+    #[test]
+    fn condvar_passthrough_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            *lock.lock() = true;
+            cvar.notify_one();
+        });
+        let (lock, cvar) = &*pair;
+        let mut ready = lock.lock();
+        while !*ready {
+            cvar.wait(&mut ready);
+        }
+        drop(ready);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_passthrough_times_out() {
+        let lock = Mutex::new(());
+        let cvar = Condvar::new();
+        let mut guard = lock.lock();
+        assert!(cvar.wait_for(&mut guard, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn rwlock_passthrough() {
+        let l = RwLock::new(1u32);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 2);
+        }
+        *l.write() += 1;
+        assert_eq!(l.into_inner(), 2);
+    }
+}

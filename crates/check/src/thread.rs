@@ -1,0 +1,182 @@
+//! Thread shims: `std::thread` passthroughs in normal builds, model
+//! threads under `--cfg musuite_check` when spawned inside a model run.
+//!
+//! [`spawn`] and [`Builder::spawn`] called from a model thread register
+//! the child with the scheduler; called anywhere else (including in a
+//! `--cfg musuite_check` build outside an active model) they create a
+//! plain OS thread. [`yield_now`] is a scheduling point inside a model
+//! and a real `sched_yield` otherwise.
+
+use std::io;
+
+#[cfg(musuite_check)]
+use crate::sched::{self, BlockReq};
+#[cfg(musuite_check)]
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Handle to a spawned thread (shim over [`std::thread::JoinHandle`]).
+pub struct JoinHandle<T>(Inner<T>);
+
+enum Inner<T> {
+    Real(std::thread::JoinHandle<T>),
+    #[cfg(musuite_check)]
+    Model {
+        tid: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if the thread panicked (real threads
+    /// only; inside a model a panicking thread fails the whole execution
+    /// before any join completes).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Real(handle) => handle.join(),
+            #[cfg(musuite_check)]
+            Inner::Model { tid, slot } => {
+                let value = sched::with_current(|exec, me| {
+                    if !exec.is_finished(tid) {
+                        exec.transition(me, BlockReq::BlockedJoin(tid));
+                    }
+                    slot.lock().unwrap_or_else(|e| e.into_inner()).take()
+                });
+                match value.flatten() {
+                    Some(value) => Ok(value),
+                    // The target finished without publishing a value: it
+                    // was aborted by a failing execution, which has
+                    // already torn this thread down — unreachable in
+                    // practice, but don't panic twice.
+                    None => Err(Box::new("model thread aborted")),
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the thread has finished.
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            Inner::Real(handle) => handle.is_finished(),
+            #[cfg(musuite_check)]
+            Inner::Model { tid, .. } => {
+                sched::with_current(|exec, _| exec.is_finished(*tid)).unwrap_or(true)
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+/// Spawns a thread running `f`.
+///
+/// # Examples
+///
+/// ```
+/// let h = musuite_check::thread::spawn(|| 21 * 2);
+/// assert_eq!(h.join().unwrap(), 42);
+/// ```
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_impl(None, f).expect("failed to spawn thread")
+}
+
+fn spawn_impl<F, T>(name: Option<String>, f: F) -> io::Result<JoinHandle<T>>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    #[cfg(musuite_check)]
+    if sched::in_model() {
+        let slot = Arc::new(StdMutex::new(None));
+        let slot2 = slot.clone();
+        let tid = sched::with_current(move |exec, me| sched::model_spawn(exec, me, f, slot2))
+            .expect("in_model() implies an active execution");
+        return Ok(JoinHandle(Inner::Model { tid, slot }));
+    }
+    let mut builder = std::thread::Builder::new();
+    if let Some(name) = name {
+        builder = builder.name(name);
+    }
+    builder.spawn(f).map(|handle| JoinHandle(Inner::Real(handle)))
+}
+
+/// Yields the current thread: a scheduling point inside a model, a real
+/// [`std::thread::yield_now`] otherwise.
+#[cfg_attr(not(musuite_check), inline)]
+pub fn yield_now() {
+    #[cfg(musuite_check)]
+    if sched::with_current(|exec, me| exec.yield_point(me)).is_some() {
+        return;
+    }
+    std::thread::yield_now();
+}
+
+/// Thread factory supporting a name, mirroring [`std::thread::Builder`].
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Creates a builder with no name set.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Names the thread-to-be (shown in panics and `top`; recorded in the
+    /// model trace under the check cfg).
+    #[must_use]
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns a thread running `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the OS refuses to create the thread.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        spawn_impl(self.name, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_join_passthrough() {
+        let h = spawn(|| String::from("done"));
+        assert_eq!(h.join().unwrap(), "done");
+    }
+
+    #[test]
+    fn builder_names_thread() {
+        let h = Builder::new()
+            .name("musuite-check-test".to_string())
+            .spawn(|| std::thread::current().name().map(str::to_owned))
+            .unwrap();
+        assert_eq!(h.join().unwrap().as_deref(), Some("musuite-check-test"));
+    }
+
+    #[test]
+    fn yield_now_is_callable() {
+        yield_now();
+    }
+}

@@ -25,9 +25,6 @@
 //! # Ok::<(), musuite_codec::DecodeError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod decode;
 pub mod encode;
 pub mod error;

@@ -69,9 +69,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cluster;
 pub mod error;
 pub mod leaf;

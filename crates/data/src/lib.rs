@@ -20,9 +20,6 @@
 //! All generators are deterministic given a seed. Substitutions are
 //! documented in DESIGN.md §2.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod kv;
 pub mod ratings;
 pub mod text;

@@ -37,9 +37,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod distance;
 pub mod frontend;
 pub mod ground_truth;

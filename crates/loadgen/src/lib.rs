@@ -26,9 +26,6 @@
 //! assert!(gap < Duration::from_secs(1));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod arrival;
 pub mod closed_loop;
 pub mod open_loop;

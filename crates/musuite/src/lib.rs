@@ -46,9 +46,6 @@
 //! characterization demo, and the `musuite-bench` crate for the harnesses
 //! that regenerate every figure in the paper's evaluation.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use musuite_codec as codec;
 pub use musuite_core as core;
 pub use musuite_data as data;

@@ -32,9 +32,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod knn;
 pub mod leaf;
 pub mod midtier;

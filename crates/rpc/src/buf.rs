@@ -18,9 +18,110 @@
 //!   fresh `Vec` per frame.
 
 use bytes::{Bytes, BytesMut};
+use musuite_check::sync::Mutex;
 use musuite_codec::frame::{FrameHeader, FramePrefix, HEADER_LEN};
 use musuite_codec::{DecodeError, Frame};
 use std::io::{self, Read, Write};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A shared pool of reusable read buffers.
+///
+/// A server's pollers each need a payload buffer for the life of their
+/// connection; with connection churn, allocating a fresh [`BytesMut`] per
+/// connection leaks warmed-up capacity every time a client hangs up. The
+/// pool keeps up to `max_idle` returned buffers (capacity intact) and
+/// hands them to the next connection. `acquire` never blocks beyond the
+/// free-list lock and never fails — an empty pool just allocates.
+///
+/// Invariant (model-checked): a buffer is owned by at most one
+/// [`PooledBuf`] at a time; returning it on drop makes it available again.
+///
+/// # Examples
+///
+/// ```
+/// use musuite_rpc::BufferPool;
+///
+/// let pool = BufferPool::new(4);
+/// let mut buf = pool.acquire();
+/// buf.extend_from_slice(b"scratch");
+/// drop(buf); // returns (cleared) to the pool
+/// assert_eq!(pool.idle(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    free: Mutex<Vec<BytesMut>>,
+    max_idle: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool retaining at most `max_idle` idle buffers; beyond
+    /// that, returned buffers are simply freed.
+    pub fn new(max_idle: usize) -> BufferPool {
+        BufferPool { inner: Arc::new(PoolInner { free: Mutex::new(Vec::new()), max_idle }) }
+    }
+
+    /// Checks a buffer out of the pool, allocating if none is idle.
+    pub fn acquire(&self) -> PooledBuf {
+        let buf = self.inner.free.lock().pop().unwrap_or_default();
+        PooledBuf { buf, pool: Some(self.inner.clone()) }
+    }
+
+    /// Number of idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.inner.free.lock().len()
+    }
+}
+
+/// A buffer checked out of a [`BufferPool`] (or standalone via
+/// [`PooledBuf::unpooled`]). Dereferences to [`BytesMut`]; dropping it
+/// clears the contents and returns the allocation to its pool.
+#[derive(Debug)]
+pub struct PooledBuf {
+    buf: BytesMut,
+    pool: Option<Arc<PoolInner>>,
+}
+
+impl PooledBuf {
+    /// A buffer backed by no pool: dropping it frees the allocation. This
+    /// is what clients use — one connection, no churn to amortize.
+    pub fn unpooled() -> PooledBuf {
+        PooledBuf { buf: BytesMut::new(), pool: None }
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = BytesMut;
+    #[inline]
+    fn deref(&self) -> &BytesMut {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut BytesMut {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            let mut buf = std::mem::take(&mut self.buf);
+            buf.clear();
+            let mut free = pool.free.lock();
+            if free.len() < pool.max_idle {
+                free.push(buf);
+            }
+        }
+    }
+}
 
 /// An outgoing message body: a shared head plus a per-request tail.
 ///
@@ -116,13 +217,20 @@ impl From<&'static [u8]> for Payload {
 #[derive(Debug)]
 pub struct FrameReader<R> {
     reader: R,
-    buf: BytesMut,
+    buf: PooledBuf,
 }
 
 impl<R: Read> FrameReader<R> {
-    /// Wraps `reader` with an empty pooled buffer.
+    /// Wraps `reader` with an unpooled payload buffer.
     pub fn new(reader: R) -> FrameReader<R> {
-        FrameReader { reader, buf: BytesMut::new() }
+        FrameReader { reader, buf: PooledBuf::unpooled() }
+    }
+
+    /// Wraps `reader` with a payload buffer checked out of a
+    /// [`BufferPool`]; when this reader is dropped the buffer (and its
+    /// warmed-up capacity) goes back to the pool for the next connection.
+    pub fn with_buffer(reader: R, buf: PooledBuf) -> FrameReader<R> {
+        FrameReader { reader, buf }
     }
 
     /// A shared reference to the underlying reader.
@@ -304,5 +412,44 @@ mod tests {
     fn reader_eof_on_empty_stream() {
         let err = FrameReader::new(&b""[..]).read_frame().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}
+
+#[cfg(all(test, musuite_check))]
+mod model_tests {
+    use super::*;
+    use musuite_check::{thread, Checker};
+    use std::sync::Arc;
+
+    /// Two holders acquire from the pool concurrently while buffers churn
+    /// through release/reacquire: in every interleaving each holder gets an
+    /// exclusive, cleared buffer — one holder's writes are never visible
+    /// to the other.
+    #[test]
+    fn concurrent_acquire_never_aliases() {
+        let report = Checker::new()
+            .check(|| {
+                let pool = BufferPool::new(4);
+                let pool2 = pool.clone();
+                let other = thread::spawn(move || {
+                    let mut buf = pool2.acquire();
+                    assert!(buf.is_empty(), "pooled buffer must arrive cleared");
+                    buf.extend_from_slice(b"aaaa");
+                    assert_eq!(&buf[..], b"aaaa", "another holder's bytes leaked in");
+                    drop(buf); // returns to the pool
+                    let buf = pool2.acquire();
+                    assert!(buf.is_empty(), "reacquired buffer must arrive cleared");
+                });
+                let mut buf = pool.acquire();
+                assert!(buf.is_empty(), "pooled buffer must arrive cleared");
+                buf.extend_from_slice(b"bb");
+                assert_eq!(&buf[..], b"bb", "another holder's bytes leaked in");
+                drop(buf);
+                other.join().unwrap();
+                assert!(Arc::strong_count(&pool.inner) == 1);
+                assert!(pool.idle() <= 2, "at most two buffers ever existed");
+            })
+            .expect("no schedule may alias or dirty a pooled buffer");
+        assert!(report.iterations > 1, "acquire/release orders must be explored");
     }
 }

@@ -20,10 +20,10 @@ use crate::buf::Payload;
 use crate::client::RpcClient;
 use crate::error::RpcError;
 use bytes::Bytes;
+use musuite_check::atomic::{AtomicUsize, Ordering};
+use musuite_check::sync::Mutex;
 use musuite_telemetry::clock::Clock;
-use parking_lot::Mutex;
 use std::net::ToSocketAddrs;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -64,7 +64,8 @@ struct ScatterState {
 
 impl ScatterState {
     fn arrive(&self, slot: usize, result: Result<Bytes, RpcError>) {
-        self.replies.lock()[slot] = Some(result);
+        let prev = self.replies.lock()[slot].replace(result);
+        assert!(prev.is_none(), "fan-out slot {slot} completed twice");
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last response: merge here, on the response pick-up thread.
             let callback = self.on_complete.lock().take();
@@ -73,7 +74,7 @@ impl ScatterState {
                     .replies
                     .lock()
                     .iter_mut()
-                    .map(|slot| slot.take().expect("all slots filled at count-down zero"))
+                    .map(|slot| slot.take().expect("all slots filled at count-down zero")) // lint: allow(expect): model-checked invariant
                     .collect();
                 let elapsed_ns = self.clock.now_ns().saturating_sub(self.started_at_ns);
                 callback(FanoutResult { replies, elapsed_ns });
@@ -92,7 +93,7 @@ struct LeafConns {
 
 impl LeafConns {
     fn pick(&self) -> &Arc<RpcClient> {
-        let i = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
         &self.conns[i % self.conns.len()]
     }
 }
@@ -262,6 +263,7 @@ impl FanoutGroup {
         self.scatter(requests, move |result| {
             let _ = tx.send(result);
         });
+        // lint: allow(expect): completion closure runs on every path, even all-timeout
         rx.recv().expect("scatter completion always runs")
     }
 
@@ -275,6 +277,7 @@ impl FanoutGroup {
         self.scatter_deadline(requests, timeout, move |result| {
             let _ = tx.send(result);
         });
+        // lint: allow(expect): completion closure runs on every path, even all-timeout
         rx.recv().expect("scatter completion always runs")
     }
 }
@@ -476,5 +479,89 @@ mod tests {
         );
         drop(group);
         drop(hold);
+    }
+}
+
+#[cfg(all(test, musuite_check))]
+mod model_tests {
+    use super::*;
+    use musuite_check::{thread, Checker};
+
+    /// `scatter_deadline`'s gather race: a leaf response and the reaper's
+    /// `TimedOut` arrive concurrently on different slots. In every
+    /// interleaving the merge runs exactly once — on whichever arrival is
+    /// last — and observes both slots filled.
+    #[test]
+    fn concurrent_arrivals_merge_exactly_once() {
+        let report = Checker::new()
+            .check(|| {
+                let merged = Arc::new(AtomicUsize::new(0));
+                let state = Arc::new(ScatterState {
+                    remaining: AtomicUsize::new(2),
+                    replies: Mutex::new(vec![None, None]),
+                    on_complete: Mutex::new(Some(Box::new({
+                        let merged = merged.clone();
+                        move |result: FanoutResult| {
+                            assert_eq!(result.replies.len(), 2);
+                            assert!(result.replies[0].is_ok(), "leaf reply lost in merge");
+                            assert!(
+                                matches!(result.replies[1], Err(RpcError::TimedOut)),
+                                "reaped slot lost in merge"
+                            );
+                            merged.fetch_add(1, Ordering::AcqRel);
+                        }
+                    }))),
+                    started_at_ns: 0,
+                    clock: Clock::new(),
+                });
+                let state2 = state.clone();
+                let responder =
+                    thread::spawn(move || state2.arrive(0, Ok(Bytes::from_static(b"leaf"))));
+                state.arrive(1, Err(RpcError::TimedOut));
+                responder.join().unwrap();
+                assert_eq!(merged.load(Ordering::Acquire), 1, "merge must run exactly once");
+            })
+            .expect("gather must merge exactly once in every schedule");
+        assert!(report.iterations > 1, "both arrival orders must be explored");
+    }
+
+    /// Seeded buggy fixture: completing a slot behind a check-then-act
+    /// instead of the in-flight table's exactly-once claim. The default
+    /// (preemption-free) schedule passes; only a preempting schedule makes
+    /// both threads see the slot vacant and double-fill it. The checker
+    /// must find that schedule, trip the double-fill assertion, and hand
+    /// back a seed that replays the identical interleaving.
+    #[test]
+    fn double_arrival_is_caught_with_replayable_seed() {
+        fn buggy() -> impl Fn() + Send + Sync + 'static {
+            || {
+                let state = Arc::new(ScatterState {
+                    remaining: AtomicUsize::new(2),
+                    replies: Mutex::new(vec![None, None]),
+                    on_complete: Mutex::new(None),
+                    started_at_ns: 0,
+                    clock: Clock::new(),
+                });
+                let state2 = state.clone();
+                // BUG (both threads): vacancy check and arrival are two
+                // separate critical sections, so both can pass the check.
+                let responder = thread::spawn(move || {
+                    if state2.replies.lock()[0].is_none() {
+                        state2.arrive(0, Ok(Bytes::new()));
+                    }
+                });
+                if state.replies.lock()[0].is_none() {
+                    state.arrive(0, Err(RpcError::TimedOut));
+                }
+                responder.join().unwrap();
+            }
+        }
+        let failure =
+            Checker::new().check(buggy()).expect_err("the double-arrival schedule must be found");
+        assert!(failure.message.contains("completed twice"), "got: {}", failure.message);
+        assert!(!failure.seed.is_empty(), "failure must carry a replayable seed");
+        let replay =
+            Checker::new().replay(&failure.seed, buggy()).expect_err("seed must replay the bug");
+        assert_eq!(replay.trace, failure.trace, "replay must reproduce the interleaving");
     }
 }

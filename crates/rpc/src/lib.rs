@@ -59,9 +59,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod buf;
 pub mod client;
 pub mod config;
@@ -72,7 +69,7 @@ pub mod server;
 pub mod service;
 pub mod stats;
 
-pub use buf::{FrameReader, FrameWriter, Payload};
+pub use buf::{BufferPool, FrameReader, FrameWriter, Payload, PooledBuf};
 pub use client::RpcClient;
 pub use config::{ExecutionModel, ServerConfig, WaitMode};
 pub use error::RpcError;

@@ -164,7 +164,7 @@ impl<T> DispatchQueue<T> {
                 }
             }
             OsOpCounters::global().incr(OsOp::SchedYield);
-            std::thread::yield_now();
+            musuite_check::thread::yield_now();
         }
         // Budget exhausted: fall back to parking on the condvar.
         self.pop_blocking()
@@ -215,7 +215,7 @@ impl<T> DispatchQueue<T> {
                 }
             }
             OsOpCounters::global().incr(OsOp::SchedYield);
-            std::thread::yield_now();
+            musuite_check::thread::yield_now();
         }
     }
 
@@ -434,5 +434,61 @@ mod tests {
         q.close();
         let total: u32 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
         assert_eq!(total, 4000);
+    }
+}
+
+#[cfg(all(test, musuite_check))]
+mod model_tests {
+    use super::*;
+    use musuite_check::{thread, Checker};
+
+    /// Shutdown must wake every parked worker: `close` sets the flag under
+    /// the queue mutex and broadcasts, so no schedule may leave a consumer
+    /// parked forever (the checker reports a lost wakeup if one exists).
+    #[test]
+    fn close_wakes_all_blocked_workers() {
+        let report = Checker::new()
+            .check(|| {
+                let q = DispatchQueue::<u32>::new(4, WaitMode::Block);
+                let workers: Vec<_> = (0..2)
+                    .map(|_| {
+                        let q = q.clone();
+                        thread::spawn(move || q.pop())
+                    })
+                    .collect();
+                q.close();
+                for worker in workers {
+                    assert_eq!(worker.join().unwrap(), None);
+                }
+            })
+            .expect("no interleaving may strand a parked worker");
+        assert!(report.iterations > 1, "exploration must try preempting schedules");
+    }
+
+    /// One item, two contending workers: in every interleaving exactly one
+    /// worker receives it and the other drains to `None`.
+    #[test]
+    fn contended_pop_delivers_exactly_once() {
+        Checker::new()
+            .check(|| {
+                let q = DispatchQueue::<u32>::new(4, WaitMode::Block);
+                assert!(q.push(7));
+                q.close();
+                let workers: Vec<_> = (0..2)
+                    .map(|_| {
+                        let q = q.clone();
+                        thread::spawn(move || q.pop())
+                    })
+                    .collect();
+                let got: Vec<Option<u32>> =
+                    workers.into_iter().map(|w| w.join().unwrap()).collect();
+                assert_eq!(
+                    got.iter().flatten().count(),
+                    1,
+                    "item must be delivered exactly once, got {got:?}"
+                );
+                assert!(got.contains(&Some(7)));
+            })
+            .expect("delivery must be exactly-once in every schedule");
     }
 }

@@ -15,23 +15,23 @@
 //! stream and join handle are removed instead of accumulating for the
 //! lifetime of the server.
 
-use crate::buf::{FrameReader, FrameWriter};
+use crate::buf::{BufferPool, FrameReader, FrameWriter};
 use crate::config::{ExecutionModel, ServerConfig};
 use crate::error::RpcError;
 use crate::queue::DispatchQueue;
 use crate::service::{RequestContext, Service};
 use crate::stats::ServerStats;
+use musuite_check::atomic::{AtomicBool, Ordering};
+use musuite_check::sync::Mutex;
 use musuite_codec::frame::FrameKind;
 use musuite_codec::Status;
 use musuite_telemetry::breakdown::Stage;
 use musuite_telemetry::clock::Clock;
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
 use musuite_telemetry::sync::CountedMutex;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -136,7 +136,7 @@ impl Server {
                                 service.call(ctx);
                             }
                         })
-                        .expect("spawn worker thread"),
+                        .expect("spawn worker thread"), // lint: allow(expect): server cannot run short-handed
                 );
             }
         }
@@ -147,6 +147,9 @@ impl Server {
             let queue = queue.clone();
             let table = table.clone();
             let model = config.execution_model_value();
+            // Read buffers survive connection churn: an exiting poller's
+            // warmed-up buffer is handed to the next connection.
+            let read_buffers = BufferPool::new(MAX_IDLE_READ_BUFFERS);
             OsOpCounters::global().incr(OsOp::Clone);
             std::thread::Builder::new()
                 .name("musuite-accept".to_string())
@@ -168,6 +171,7 @@ impl Server {
                         table
                             .conns
                             .lock()
+                            // lint: allow(expect): dup of a just-accepted live fd
                             .insert(conn_id, stream.try_clone().expect("clone registered stream"));
                         let poller = spawn_poller(
                             conn_id,
@@ -179,11 +183,12 @@ impl Server {
                             model,
                             shutdown.clone(),
                             table.clone(),
+                            read_buffers.acquire(),
                         );
                         table.pollers.lock().insert(conn_id, poller);
                     }
                 })
-                .expect("spawn accept thread")
+                .expect("spawn accept thread") // lint: allow(expect): server is inert without acceptor
         };
 
         Ok(Server {
@@ -264,6 +269,10 @@ impl std::fmt::Debug for Server {
     }
 }
 
+/// Idle read buffers retained across connections; beyond this, buffers
+/// from exiting pollers are freed rather than pooled.
+const MAX_IDLE_READ_BUFFERS: usize = 64;
+
 #[allow(clippy::too_many_arguments)]
 fn spawn_poller(
     conn_id: u64,
@@ -275,6 +284,7 @@ fn spawn_poller(
     model: ExecutionModel,
     shutdown: Arc<AtomicBool>,
     table: Arc<ConnTable>,
+    read_buf: crate::buf::PooledBuf,
 ) -> JoinHandle<()> {
     OsOpCounters::global().incr(OsOp::Clone);
     let writer = Arc::new(CountedMutex::new(FrameWriter::new(write_half)));
@@ -284,8 +294,9 @@ fn spawn_poller(
             let clock = Clock::new();
             let counters = OsOpCounters::global();
             // Persistent pooled read buffer for this connection; request
-            // payloads are zero-copy slices of it.
-            let mut reader = FrameReader::new(read_half);
+            // payloads are zero-copy slices of it. The buffer returns to
+            // the server's pool when this poller exits.
+            let mut reader = FrameReader::with_buffer(read_half, read_buf);
             loop {
                 // Wait for readiness: the blocking first-byte read is the
                 // userspace edge of epoll_pwait + hardirq delivery.
@@ -334,7 +345,7 @@ fn spawn_poller(
             // retires this connection's bookkeeping.
             table.finished.lock().push(conn_id);
         })
-        .expect("spawn poller thread")
+        .expect("spawn poller thread") // lint: allow(expect): connection is dead without poller
 }
 
 #[cfg(test)]

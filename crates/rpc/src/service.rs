@@ -13,6 +13,7 @@
 use crate::buf::FrameWriter;
 use crate::stats::ServerStats;
 use bytes::Bytes;
+use musuite_check::atomic::{AtomicU64, Ordering};
 use musuite_codec::frame::FrameHeader;
 use musuite_codec::{Frame, FrameKind, Status};
 use musuite_telemetry::breakdown::Stage;
@@ -20,7 +21,6 @@ use musuite_telemetry::clock::Clock;
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
 use musuite_telemetry::sync::CountedMutex;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A request handler.

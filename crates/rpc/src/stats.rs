@@ -1,10 +1,10 @@
 //! Per-server telemetry aggregation.
 
+use musuite_check::atomic::{AtomicU64, Ordering};
 use musuite_telemetry::breakdown::BreakdownRecorder;
 use musuite_telemetry::histogram::LatencyHistogram;
 use parking_lot::Mutex;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -42,9 +42,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod compress;
 pub mod index;
 pub mod intersect;

@@ -9,8 +9,8 @@
 //! thread spawns issue `clone`, and so on. The RPC framework and the
 //! instrumented sync primitives tick these counters at those call sites.
 
+use musuite_check::atomic::{AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Classes of OS operations tallied by the suite, mirroring the syscalls
 /// the paper's `syscount` histograms report (Figs. 11–14).

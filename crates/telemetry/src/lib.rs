@@ -34,9 +34,6 @@
 //! assert_eq!(h.count(), 5);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod breakdown;
 pub mod clock;
 pub mod counters;

@@ -11,8 +11,8 @@
 //! the paper's HITM (hit-Modified cache line) counts.
 
 use crate::counters::{OsOp, OsOpCounters};
-use parking_lot::{Condvar, Mutex, MutexGuard};
-use std::sync::atomic::{AtomicU64, Ordering};
+use musuite_check::atomic::{AtomicU64, Ordering};
+use musuite_check::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Process-wide count of contended lock acquisitions — the userspace analog
@@ -107,7 +107,7 @@ impl CountedCondvar {
     /// Blocks with a timeout; returns `true` if the wait timed out.
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
         OsOpCounters::global().add(OsOp::Futex, 2);
-        self.inner.wait_for(guard, timeout).timed_out()
+        self.inner.wait_for(guard, timeout)
     }
 
     /// Wakes one waiter (`FUTEX_WAKE`); returns `true` if a thread was woken.

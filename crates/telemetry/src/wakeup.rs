@@ -14,8 +14,8 @@
 
 use crate::clock::Clock;
 use crate::histogram::LatencyHistogram;
+use musuite_check::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Workspace lint pass for concurrency and panic hygiene.
+#
+# Rule 1 — model-checker visibility: non-test code in the crates whose
+# locking musuite-check explores (rpc, telemetry, core) must take mutexes,
+# condvars, rwlocks and atomics through the musuite_check shims (or the
+# counted telemetry wrappers built on them). A raw std::sync primitive is
+# invisible to the checker, so every interleaving result would be a lie.
+#
+# Rule 2 — panic hygiene: no unwrap()/expect() in non-test musuite-rpc
+# library code unless the line (or the line above it) carries an explicit
+# `lint: allow(...)` marker stating why dying is the right move.
+#
+# Test code is exempt: everything from the first `#[cfg(test)]` or
+# `#[cfg(all(test, ...))]` marker to end-of-file is skipped (test modules
+# sit at the bottom of each file in this codebase).
+#
+# Run from anywhere; exits non-zero on any violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Print `line:text` for non-test lines matching $2 in file $1, honouring
+# same-line and previous-line `lint: allow` markers.
+scan() {
+  awk -v pat="$2" '
+    /^[[:space:]]*#\[cfg\(test\)\]/ || /^[[:space:]]*#\[cfg\(all\(test/ { exit }
+    $0 ~ pat && $0 !~ /lint: allow/ && prev !~ /lint: allow/ {
+      printf "    %d: %s\n", FNR, $0
+    }
+    { prev = $0 }
+  ' "$1"
+}
+
+checked_crates=(crates/rpc crates/telemetry crates/core)
+raw_sync='std::sync::(Mutex|Condvar|RwLock|atomic)|use std::sync::\{[^}]*(Mutex|Condvar|RwLock)'
+
+for crate in "${checked_crates[@]}"; do
+  for file in "$crate"/src/*.rs; do
+    hits=$(scan "$file" "$raw_sync")
+    if [ -n "$hits" ]; then
+      echo "error: $file: raw std::sync primitive in non-test code" \
+        "(route it through musuite_check::sync / musuite_check::atomic):"
+      echo "$hits"
+      fail=1
+    fi
+  done
+done
+
+for file in crates/rpc/src/*.rs; do
+  hits=$(scan "$file" '\.unwrap\(\)|\.expect\(')
+  if [ -n "$hits" ]; then
+    echo "error: $file: unwrap()/expect() in non-test rpc code" \
+      "(handle the error, or mark the line: // lint: allow(expect): <why>):"
+    echo "$hits"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"
