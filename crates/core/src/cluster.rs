@@ -11,7 +11,10 @@ use crate::error::ServiceError;
 use crate::leaf::{LeafHandler, LeafService};
 use crate::midtier::{MidTierHandler, MidTierService};
 use musuite_codec::{Decode, Encode};
-use musuite_rpc::{FanoutGroup, RpcClient, RpcError, Server, ServerConfig};
+use musuite_rpc::{
+    FanoutGroup, FaultPlan, ResilientConfig, ResilientFanout, RpcClient, RpcError, Server,
+    ServerConfig,
+};
 use std::marker::PhantomData;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -28,6 +31,8 @@ pub struct ClusterConfig {
     midtier: ServerConfig,
     leaf: ServerConfig,
     conns_per_leaf: usize,
+    resilience: ResilientConfig,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl ClusterConfig {
@@ -80,6 +85,27 @@ impl ClusterConfig {
     pub fn leaf_count(&self) -> usize {
         self.leaves.max(1)
     }
+
+    /// Sets the mid-tier's resilience policy (hedged requests, retry
+    /// failover, per-leaf circuit breakers). Default:
+    /// [`ResilientConfig::default`] — breaker only, no hedging/retries.
+    pub fn resilience(mut self, config: ResilientConfig) -> ClusterConfig {
+        self.resilience = config;
+        self
+    }
+
+    /// Configured resilience policy.
+    pub fn resilience_config(&self) -> ResilientConfig {
+        self.resilience
+    }
+
+    /// Attaches a deterministic fault-injection plan to the mid-tier→leaf
+    /// connections. The plan must have been built for at least
+    /// [`leaf_count`](ClusterConfig::leaf_count) leaves.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> ClusterConfig {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 /// A running three-tier service: leaf servers and the mid-tier in front of
@@ -87,6 +113,7 @@ impl ClusterConfig {
 pub struct Cluster {
     leaves: Vec<Server>,
     midtier: Server,
+    fanout: Arc<ResilientFanout>,
 }
 
 impl Cluster {
@@ -115,12 +142,20 @@ impl Cluster {
             .collect();
         let leaves = leaves?;
         let addrs: Vec<SocketAddr> = leaves.iter().map(Server::local_addr).collect();
-        let group = FanoutGroup::connect_pooled(&addrs, config.conns_per_leaf_count())?;
-        let midtier = Server::spawn(
-            config.midtier.clone(),
-            Arc::new(MidTierService::new(midtier, group, LEAF_METHOD)),
+        let group = FanoutGroup::connect_with_plan(
+            &addrs,
+            config.conns_per_leaf_count(),
+            config.fault_plan.as_ref(),
         )?;
-        Ok(Cluster { leaves, midtier })
+        let service = MidTierService::with_resilience(
+            midtier,
+            Arc::new(group),
+            LEAF_METHOD,
+            config.resilience,
+        );
+        let fanout = service.fanout().clone();
+        let midtier = Server::spawn(config.midtier.clone(), Arc::new(service))?;
+        Ok(Cluster { leaves, midtier, fanout })
     }
 
     /// The mid-tier's listening address (where front-ends connect).
@@ -156,9 +191,20 @@ impl Cluster {
         Ok(TypedClient::new(self.raw_client()?, QUERY_METHOD))
     }
 
-    /// Shuts down the mid-tier and every leaf. Idempotent.
+    /// The resilient fan-out carrying mid-tier→leaf traffic (hedge /
+    /// retry / breaker counters, fault-plan observability).
+    pub fn fanout(&self) -> &Arc<ResilientFanout> {
+        &self.fanout
+    }
+
+    /// Shuts down the cluster: mid-tier first, then its leaf
+    /// connections, then the leaves. Stopping the mid-tier and its
+    /// fan-out *before* the leaf servers makes any still-in-flight leaf
+    /// call fail fast as `Disconnected` instead of stalling against a
+    /// half-dead leaf until its deadline. Idempotent.
     pub fn shutdown(&self) {
         self.midtier.shutdown();
+        self.fanout.shutdown();
         for leaf in &self.leaves {
             leaf.shutdown();
         }
@@ -331,5 +377,23 @@ mod tests {
     #[should_panic(expected = "at least one leaf")]
     fn zero_leaves_rejected() {
         let _ = ClusterConfig::new().leaves(0);
+    }
+
+    #[test]
+    fn fault_plan_and_resilience_wire_through() {
+        let plan = FaultPlan::builder(7, 2).dead_leaf(1).build();
+        let config = ClusterConfig::new()
+            .leaves(2)
+            .resilience(ResilientConfig { retries: 1, ..Default::default() })
+            .fault_plan(plan.clone());
+        let cluster = Cluster::launch(config, MaxMid, |i| AddLeaf(i as u64 * 10)).unwrap();
+        plan.arm();
+        let client = cluster.client::<u64, u64>().unwrap();
+        // Leaf 1 is dead under the plan; MaxMid keeps the survivors.
+        assert_eq!(client.call_typed(&5).unwrap(), 5);
+        assert!(plan.injected() > 0, "the armed plan should have fired");
+        use musuite_telemetry::resilience::ResilienceEvent;
+        assert!(cluster.fanout().counters().get(ResilienceEvent::Retry) > 0);
+        cluster.shutdown();
     }
 }

@@ -70,6 +70,7 @@
 //! ```
 
 pub mod cluster;
+pub mod degrade;
 pub mod error;
 pub mod leaf;
 pub mod midtier;
@@ -77,6 +78,7 @@ pub mod replication;
 pub mod shard;
 
 pub use cluster::{Cluster, ClusterConfig, TypedClient};
+pub use degrade::Degraded;
 pub use error::ServiceError;
 pub use leaf::LeafHandler;
 pub use midtier::{MidTierHandler, Plan};

@@ -21,7 +21,10 @@
 use crate::error::ServiceError;
 use bytes::Bytes;
 use musuite_codec::{Decode, Encode};
-use musuite_rpc::{FanoutGroup, Payload, RequestContext, RpcError, Service};
+use musuite_rpc::{
+    FanoutGroup, LeafCall, Payload, RequestContext, ResilientConfig, ResilientFanout, RpcError,
+    Service,
+};
 use musuite_telemetry::breakdown::Stage;
 use musuite_telemetry::clock::Clock;
 use std::sync::Arc;
@@ -39,12 +42,15 @@ pub struct Plan<S, L> {
     pub shared: S,
     /// `(leaf index, per-leaf request suffix)` pairs.
     pub targets: Vec<(usize, L)>,
+    /// Per-target alternate leaf indices, parallel to `targets`; empty
+    /// when no target has a failover replica.
+    alternates: Vec<Vec<usize>>,
 }
 
 impl<S, L> Plan<S, L> {
     /// A plan from shared state and explicit targets.
     pub fn new(shared: S, targets: Vec<(usize, L)>) -> Plan<S, L> {
-        Plan { shared, targets }
+        Plan { shared, targets, alternates: Vec::new() }
     }
 
     /// A plan targeting every one of `leaves` with the same per-leaf
@@ -53,7 +59,30 @@ impl<S, L> Plan<S, L> {
     where
         L: Clone,
     {
-        Plan { shared, targets: (0..leaves).map(|leaf| (leaf, leaf_request.clone())).collect() }
+        Plan {
+            shared,
+            targets: (0..leaves).map(|leaf| (leaf, leaf_request.clone())).collect(),
+            alternates: Vec::new(),
+        }
+    }
+
+    /// Attaches alternate leaf indices per target, parallel to
+    /// [`targets`](Plan::targets). Retries and hedge probes for target
+    /// `i` may be redirected to `alternates[i]` (e.g. the other members
+    /// of a replica set) instead of hammering the same failing leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alternates.len()` differs from the target count.
+    pub fn with_alternates(mut self, alternates: Vec<Vec<usize>>) -> Plan<S, L> {
+        assert_eq!(alternates.len(), self.targets.len(), "alternates must be parallel to targets");
+        self.alternates = alternates;
+        self
+    }
+
+    /// The per-target alternate leaf indices (empty when none are set).
+    pub fn alternates(&self) -> &[Vec<usize>] {
+        &self.alternates
     }
 
     /// Number of targeted leaves.
@@ -106,21 +135,40 @@ pub trait MidTierHandler: Send + Sync + 'static {
 }
 
 /// Adapts a [`MidTierHandler`] plus a [`FanoutGroup`] of leaf connections
-/// to the untyped [`Service`] interface.
+/// to the untyped [`Service`] interface. All leaf traffic flows through a
+/// [`ResilientFanout`], so hedging, retry failover, and per-leaf circuit
+/// breaking apply uniformly to every service built on this adapter.
 pub struct MidTierService<H> {
     handler: Arc<H>,
-    leaves: Arc<FanoutGroup>,
+    fanout: Arc<ResilientFanout>,
     leaf_method: u32,
     clock: Clock,
 }
 
 impl<H: MidTierHandler> MidTierService<H> {
-    /// Wires `handler` to a group of leaf connections. `leaf_method` is the
-    /// method id used for every leaf RPC.
+    /// Wires `handler` to a group of leaf connections with the default
+    /// resilience policy (no hedging or retries, breaker enabled).
+    /// `leaf_method` is the method id used for every leaf RPC.
     pub fn new(handler: H, leaves: FanoutGroup, leaf_method: u32) -> MidTierService<H> {
+        MidTierService::with_resilience(
+            handler,
+            Arc::new(leaves),
+            leaf_method,
+            ResilientConfig::default(),
+        )
+    }
+
+    /// Wires `handler` to leaf connections with an explicit resilience
+    /// policy (hedged requests, retry failover, circuit breakers).
+    pub fn with_resilience(
+        handler: H,
+        leaves: Arc<FanoutGroup>,
+        leaf_method: u32,
+        config: ResilientConfig,
+    ) -> MidTierService<H> {
         MidTierService {
             handler: Arc::new(handler),
-            leaves: Arc::new(leaves),
+            fanout: ResilientFanout::new(leaves, config),
             leaf_method,
             clock: Clock::new(),
         }
@@ -131,9 +179,15 @@ impl<H: MidTierHandler> MidTierService<H> {
         &self.handler
     }
 
+    /// The resilient fan-out carrying all leaf traffic (counters,
+    /// explicit shutdown).
+    pub fn fanout(&self) -> &Arc<ResilientFanout> {
+        &self.fanout
+    }
+
     /// Number of connected leaves.
     pub fn leaf_count(&self) -> usize {
-        self.leaves.len()
+        self.fanout.len()
     }
 }
 
@@ -148,17 +202,27 @@ impl<H: MidTierHandler> Service for MidTierService<H> {
             }
         };
         let fanout_start = self.clock.now_ns();
-        let plan = self.handler.plan(&request, self.leaves.len());
+        let plan = self.handler.plan(&request, self.fanout.len());
         // Shared request state is serialized exactly once; each leaf
         // payload holds a reference-counted handle to this buffer plus its
         // own small suffix.
         let shared = Bytes::from(musuite_codec::to_bytes(&plan.shared));
-        let requests: Vec<(usize, u32, Payload)> = plan
+        let alternates = plan.alternates;
+        let calls: Vec<LeafCall> = plan
             .targets
             .into_iter()
-            .map(|(leaf, leaf_request)| {
+            .enumerate()
+            .map(|(slot, (leaf, leaf_request))| {
                 let suffix = musuite_codec::to_bytes(&leaf_request);
-                (leaf, self.leaf_method, Payload::with_suffix(shared.clone(), suffix))
+                let call = LeafCall::new(
+                    leaf,
+                    self.leaf_method,
+                    Payload::with_suffix(shared.clone(), suffix),
+                );
+                match alternates.get(slot) {
+                    Some(alts) if !alts.is_empty() => call.with_alternates(alts.clone()),
+                    _ => call,
+                }
             })
             .collect();
         let handler = self.handler.clone();
@@ -166,7 +230,7 @@ impl<H: MidTierHandler> Service for MidTierService<H> {
         let clock = self.clock;
         // The worker thread issues the fan-out and returns to the pool;
         // the last response thread runs this closure.
-        self.leaves.scatter(requests, move |result| {
+        self.fanout.scatter(calls, move |result| {
             // Fan-out stage = plan + issue + completion dispatch, excluding
             // the time spent waiting on the leaves themselves.
             let fanout_ns =
@@ -203,7 +267,7 @@ fn ctx_breakdown(ctx: &RequestContext) -> musuite_telemetry::breakdown::Breakdow
 impl<H> std::fmt::Debug for MidTierService<H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MidTierService")
-            .field("leaves", &self.leaves.len())
+            .field("leaves", &self.fanout.len())
             .field("leaf_method", &self.leaf_method)
             .finish()
     }

@@ -8,10 +8,12 @@
 use crate::lsh::{LshConfig, LshIndex};
 use crate::merge::merge_top_k;
 use crate::protocol::{LeafSearchResponse, Neighbor, SearchQuery};
+use musuite_core::degrade::Degraded;
 use musuite_core::error::ServiceError;
 use musuite_core::midtier::{MidTierHandler, Plan};
 use musuite_core::shard::RoundRobinMap;
 use musuite_rpc::RpcError;
+use musuite_telemetry::resilience::{ResilienceCounters, ResilienceEvent};
 
 /// The LSH-routing mid-tier microservice.
 #[derive(Debug)]
@@ -42,7 +44,7 @@ impl HdSearchMidTier {
 
 impl MidTierHandler for HdSearchMidTier {
     type Request = SearchQuery;
-    type Response = Vec<Neighbor>;
+    type Response = Degraded<Vec<Neighbor>>;
     // The query vector — often the largest part of a leaf request by far —
     // is shared state: it is serialized once per fan-out and every leaf
     // payload references that single buffer. The per-leaf suffix carries
@@ -77,22 +79,24 @@ impl MidTierHandler for HdSearchMidTier {
         &self,
         request: SearchQuery,
         replies: Vec<Result<LeafSearchResponse, RpcError>>,
-    ) -> Result<Vec<Neighbor>, ServiceError> {
-        let mut lists = Vec::with_capacity(replies.len());
-        let mut failures = 0usize;
+    ) -> Result<Degraded<Vec<Neighbor>>, ServiceError> {
         let total = replies.len();
-        for reply in replies {
-            match reply {
-                Ok(response) => lists.push(response.neighbors),
-                Err(_) => failures += 1,
-            }
+        let mut lists = Vec::with_capacity(total);
+        for reply in replies.into_iter().flatten() {
+            lists.push(reply.neighbors);
         }
+        let ok = lists.len();
         // Partial results are acceptable (k-NN quality degrades gracefully)
         // unless every contacted leaf failed.
-        if failures == total && total > 0 {
+        if ok == 0 && total > 0 {
             return Err(ServiceError::unavailable("all leaves failed"));
         }
-        Ok(merge_top_k(lists, request.k as usize))
+        let response =
+            Degraded::partial(merge_top_k(lists, request.k as usize), ok as u32, total as u32);
+        if response.degraded {
+            ResilienceCounters::global().incr(ResilienceEvent::DegradedResponse);
+        }
+        Ok(response)
     }
 }
 
@@ -155,7 +159,8 @@ mod tests {
         ];
         let query = SearchQuery { vector: ds.vectors()[0].clone(), k: 2 };
         let merged = mid.merge(query, replies).unwrap();
-        assert_eq!(merged.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert!(!merged.degraded, "all shards answered");
+        assert_eq!(merged.value.iter().map(|n| n.id).collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]
@@ -168,7 +173,9 @@ mod tests {
         ];
         let query = SearchQuery { vector: ds.vectors()[0].clone(), k: 3 };
         let merged = mid.merge(query, replies).unwrap();
-        assert_eq!(merged.len(), 1);
+        assert!(merged.degraded, "a lost shard must be reported");
+        assert_eq!((merged.shards_ok, merged.shards_total), (1, 2));
+        assert_eq!(merged.value.len(), 1);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::lsh::LshConfig;
 use crate::midtier::HdSearchMidTier;
 use crate::protocol::{Neighbor, SearchQuery};
 use musuite_core::cluster::{Cluster, ClusterConfig, TypedClient};
+use musuite_core::degrade::Degraded;
 use musuite_core::shard::RoundRobinMap;
 use musuite_data::vectors::VectorDataset;
 use musuite_rpc::RpcError;
@@ -118,21 +119,39 @@ impl std::fmt::Debug for HdSearchService {
 
 /// A typed front-end client for image-similarity queries.
 pub struct HdSearchClient {
-    inner: TypedClient<SearchQuery, Vec<Neighbor>>,
+    inner: TypedClient<SearchQuery, Degraded<Vec<Neighbor>>>,
 }
 
 impl HdSearchClient {
-    /// Finds the `k` nearest neighbours of `vector`.
+    /// Finds the `k` nearest neighbours of `vector`, dropping the
+    /// degradation envelope (use
+    /// [`search_with_status`](HdSearchClient::search_with_status) to see
+    /// whether shards were missing).
     ///
     /// # Errors
     ///
     /// Returns transport errors or a whole-fleet leaf failure.
     pub fn search(&self, vector: &[f32], k: u32) -> Result<Vec<Neighbor>, RpcError> {
+        Ok(self.search_with_status(vector, k)?.value)
+    }
+
+    /// Finds the `k` nearest neighbours along with the shard accounting:
+    /// a degraded response is a best-effort top-k assembled from the
+    /// shards that answered.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a whole-fleet leaf failure.
+    pub fn search_with_status(
+        &self,
+        vector: &[f32],
+        k: u32,
+    ) -> Result<Degraded<Vec<Neighbor>>, RpcError> {
         self.inner.call_typed(&SearchQuery { vector: vector.to_vec(), k })
     }
 
     /// The underlying typed client (for async use in load generators).
-    pub fn typed(&self) -> &TypedClient<SearchQuery, Vec<Neighbor>> {
+    pub fn typed(&self) -> &TypedClient<SearchQuery, Degraded<Vec<Neighbor>>> {
         &self.inner
     }
 }

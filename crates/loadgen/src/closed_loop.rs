@@ -89,9 +89,9 @@ where
                             recorder.record_success(sent.elapsed());
                         }
                     }
-                    Err(_) => {
+                    Err(e) => {
                         if measuring.load(Ordering::Acquire) {
-                            recorder.record_error();
+                            recorder.record_failure(e.failure_kind());
                         }
                         // A dead connection cannot recover; stop this worker.
                         if client.is_closed() {

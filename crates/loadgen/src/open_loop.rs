@@ -109,7 +109,7 @@ fn drive<S: RequestSource>(
         let client = &clients[(issued as usize) % clients.len()];
         client.call_async(method, payload, move |result| match result {
             Ok(_) => recorder_handle.record_success(scheduled.elapsed()),
-            Err(_) => recorder_handle.record_error(),
+            Err(e) => recorder_handle.record_failure(e.failure_kind()),
         });
         issued += 1;
         next_at += arrivals.next_interarrival();

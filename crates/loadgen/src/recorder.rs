@@ -1,5 +1,6 @@
 //! Thread-safe latency recording shared between senders and completions.
 
+use musuite_rpc::FailureKind;
 use musuite_telemetry::histogram::LatencyHistogram;
 use musuite_telemetry::summary::DistributionSummary;
 use parking_lot::Mutex;
@@ -7,26 +8,43 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Collects per-request latencies and success/error counts from many
-/// threads. Cloning is cheap; clones share storage.
+/// Indices into the per-kind failure counters, one per [`FailureKind`].
+const KIND_SLOTS: usize = 4;
+
+fn kind_slot(kind: FailureKind) -> usize {
+    match kind {
+        FailureKind::Timeout => 0,
+        FailureKind::Shed => 2,
+        FailureKind::Remote => 3,
+        // Transport, plus any kind added later: the catch-all bucket.
+        _ => 1,
+    }
+}
+
+/// Collects per-request latencies, success/error counts, and a per-kind
+/// failure breakdown from many threads. Cloning is cheap; clones share
+/// storage.
 ///
 /// # Examples
 ///
 /// ```
 /// use musuite_loadgen::recorder::LatencyRecorder;
+/// use musuite_rpc::FailureKind;
 /// use std::time::Duration;
 ///
 /// let recorder = LatencyRecorder::new();
 /// recorder.record_success(Duration::from_micros(250));
-/// recorder.record_error();
+/// recorder.record_failure(FailureKind::Timeout);
 /// assert_eq!(recorder.successes(), 1);
 /// assert_eq!(recorder.errors(), 1);
+/// assert_eq!(recorder.failures_of(FailureKind::Timeout), 1);
 /// ```
 #[derive(Clone, Default)]
 pub struct LatencyRecorder {
     histogram: Arc<Mutex<LatencyHistogram>>,
     successes: Arc<AtomicU64>,
-    errors: Arc<AtomicU64>,
+    degraded: Arc<AtomicU64>,
+    failures: Arc<[AtomicU64; KIND_SLOTS]>,
 }
 
 impl LatencyRecorder {
@@ -41,9 +59,26 @@ impl LatencyRecorder {
         self.successes.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records a failed request (not included in the latency histogram).
+    /// Records a successful request answered from a degraded
+    /// (partial-shard) merge. Counted as a success in the histogram AND
+    /// in the degraded tally, so availability and fidelity can be read
+    /// separately.
+    pub fn record_degraded_success(&self, latency: Duration) {
+        self.record_success(latency);
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a failed request under its failure kind (not included in
+    /// the latency histogram).
+    pub fn record_failure(&self, kind: FailureKind) {
+        self.failures[kind_slot(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a failed request of unclassified kind. Kept for callers
+    /// that do not have an [`RpcError`](musuite_rpc::RpcError) in hand;
+    /// counted as a transport failure.
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.record_failure(FailureKind::Transport);
     }
 
     /// Successful requests recorded.
@@ -51,9 +86,19 @@ impl LatencyRecorder {
         self.successes.load(Ordering::Relaxed)
     }
 
-    /// Failed requests recorded.
+    /// Successful requests that were answered degraded.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Failed requests recorded, across all kinds.
     pub fn errors(&self) -> u64 {
-        self.errors.load(Ordering::Relaxed)
+        self.failures.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Failed requests of one kind.
+    pub fn failures_of(&self, kind: FailureKind) -> u64 {
+        self.failures[kind_slot(kind)].load(Ordering::Relaxed)
     }
 
     /// Copy of the latency histogram.
@@ -61,16 +106,26 @@ impl LatencyRecorder {
         self.histogram.lock().clone()
     }
 
-    /// Summary statistics of the latency distribution.
+    /// Summary statistics of the latency distribution, including the
+    /// per-kind failure and degraded-success counts.
     pub fn summary(&self) -> DistributionSummary {
-        DistributionSummary::from_histogram(&self.histogram())
+        let mut summary = DistributionSummary::from_histogram(&self.histogram());
+        summary.timeouts = self.failures_of(FailureKind::Timeout);
+        summary.transport_errors = self.failures_of(FailureKind::Transport);
+        summary.sheds = self.failures_of(FailureKind::Shed);
+        summary.remote_errors = self.failures_of(FailureKind::Remote);
+        summary.degraded = self.degraded();
+        summary
     }
 
     /// Clears all recorded data.
     pub fn reset(&self) {
         self.histogram.lock().reset();
         self.successes.store(0, Ordering::Relaxed);
-        self.errors.store(0, Ordering::Relaxed);
+        self.degraded.store(0, Ordering::Relaxed);
+        for counter in self.failures.iter() {
+            counter.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -78,6 +133,7 @@ impl std::fmt::Debug for LatencyRecorder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LatencyRecorder")
             .field("successes", &self.successes())
+            .field("degraded", &self.degraded())
             .field("errors", &self.errors())
             .finish()
     }
@@ -127,12 +183,43 @@ mod tests {
     }
 
     #[test]
+    fn failure_kinds_are_tallied_separately() {
+        let recorder = LatencyRecorder::new();
+        recorder.record_failure(FailureKind::Timeout);
+        recorder.record_failure(FailureKind::Timeout);
+        recorder.record_failure(FailureKind::Shed);
+        recorder.record_failure(FailureKind::Remote);
+        assert_eq!(recorder.failures_of(FailureKind::Timeout), 2);
+        assert_eq!(recorder.failures_of(FailureKind::Transport), 0);
+        assert_eq!(recorder.failures_of(FailureKind::Shed), 1);
+        assert_eq!(recorder.failures_of(FailureKind::Remote), 1);
+        assert_eq!(recorder.errors(), 4);
+        let s = recorder.summary();
+        assert_eq!((s.timeouts, s.transport_errors, s.sheds, s.remote_errors), (2, 0, 1, 1));
+        assert_eq!(s.error_count(), 4);
+    }
+
+    #[test]
+    fn degraded_successes_count_as_successes() {
+        let recorder = LatencyRecorder::new();
+        recorder.record_success(Duration::from_micros(10));
+        recorder.record_degraded_success(Duration::from_micros(20));
+        assert_eq!(recorder.successes(), 2);
+        assert_eq!(recorder.degraded(), 1);
+        assert_eq!(recorder.histogram().count(), 2);
+        assert_eq!(recorder.summary().degraded, 1);
+    }
+
+    #[test]
     fn reset_clears() {
         let recorder = LatencyRecorder::new();
         recorder.record_success(Duration::from_micros(10));
+        recorder.record_degraded_success(Duration::from_micros(11));
         recorder.record_error();
+        recorder.record_failure(FailureKind::Timeout);
         recorder.reset();
         assert_eq!(recorder.successes(), 0);
+        assert_eq!(recorder.degraded(), 0);
         assert_eq!(recorder.errors(), 0);
         assert!(recorder.histogram().is_empty());
     }

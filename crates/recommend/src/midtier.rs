@@ -8,9 +8,11 @@
 //! the weighting reduces to it when shards are balanced.
 
 use crate::protocol::{LeafRating, RatingQuery};
+use musuite_core::degrade::Degraded;
 use musuite_core::error::ServiceError;
 use musuite_core::midtier::{MidTierHandler, Plan};
 use musuite_rpc::RpcError;
+use musuite_telemetry::resilience::{ResilienceCounters, ResilienceEvent};
 
 /// The forwarding-and-averaging mid-tier microservice.
 #[derive(Debug, Default)]
@@ -25,7 +27,7 @@ impl RecommendMidTier {
 
 impl MidTierHandler for RecommendMidTier {
     type Request = RatingQuery;
-    type Response = f32;
+    type Response = Degraded<f32>;
     // The user/item pair goes to every shard verbatim: encode it once and
     // share the buffer across the fan-out.
     type SharedRequest = RatingQuery;
@@ -40,14 +42,15 @@ impl MidTierHandler for RecommendMidTier {
         &self,
         request: RatingQuery,
         replies: Vec<Result<LeafRating, RpcError>>,
-    ) -> Result<f32, ServiceError> {
+    ) -> Result<Degraded<f32>, ServiceError> {
+        let total = replies.len();
         let mut weighted_sum = 0.0f32;
         let mut total_weight = 0.0f32;
         let mut fallback_sum = 0.0f32;
         let mut fallback_count = 0u32;
-        let mut any_ok = false;
+        let mut ok = 0usize;
         for reply in replies.into_iter().flatten() {
-            any_ok = true;
+            ok += 1;
             if reply.neighbors > 0 {
                 weighted_sum += reply.rating * reply.neighbors as f32;
                 total_weight += reply.neighbors as f32;
@@ -56,11 +59,18 @@ impl MidTierHandler for RecommendMidTier {
                 fallback_count += 1;
             }
         }
+        let envelope = |rating: f32| {
+            let response = Degraded::partial(rating, ok as u32, total as u32);
+            if response.degraded {
+                ResilienceCounters::global().incr(ResilienceEvent::DegradedResponse);
+            }
+            response
+        };
         if total_weight > 0.0 {
-            Ok(weighted_sum / total_weight)
+            Ok(envelope(weighted_sum / total_weight))
         } else if fallback_count > 0 {
-            Ok(fallback_sum / fallback_count as f32)
-        } else if any_ok {
+            Ok(envelope(fallback_sum / fallback_count as f32))
+        } else if ok > 0 {
             Err(ServiceError::new(format!(
                 "no shard produced a rating for user {} item {}",
                 request.user, request.item
@@ -101,7 +111,8 @@ mod tests {
                 ],
             )
             .unwrap();
-        assert!((merged - 4.0).abs() < 1e-6); // (5·3 + 1·1) / 4
+        assert!((merged.value - 4.0).abs() < 1e-6); // (5·3 + 1·1) / 4
+        assert!(!merged.degraded);
     }
 
     #[test]
@@ -116,7 +127,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        assert!((merged - 4.0).abs() < 1e-6, "voting shard outweighs fallback");
+        assert!((merged.value - 4.0).abs() < 1e-6, "voting shard outweighs fallback");
         let all_fallback = mid
             .merge(
                 query(),
@@ -126,7 +137,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        assert!((all_fallback - 3.0).abs() < 1e-6);
+        assert!((all_fallback.value - 3.0).abs() < 1e-6);
     }
 
     #[test]
@@ -138,7 +149,9 @@ mod tests {
                 vec![Err(RpcError::TimedOut), Ok(LeafRating { rating: 3.5, neighbors: 2 })],
             )
             .unwrap();
-        assert!((merged - 3.5).abs() < 1e-6);
+        assert!((merged.value - 3.5).abs() < 1e-6);
+        assert!(merged.degraded, "a lost shard must be reported");
+        assert_eq!((merged.shards_ok, merged.shards_total), (1, 2));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::nmf::{Nmf, NmfConfig};
 use crate::protocol::RatingQuery;
 use crate::sparse::CsrMatrix;
 use musuite_core::cluster::{Cluster, ClusterConfig, TypedClient};
+use musuite_core::degrade::Degraded;
 use musuite_data::ratings::RatingsDataset;
 use musuite_rpc::RpcError;
 use std::net::SocketAddr;
@@ -99,22 +100,36 @@ impl std::fmt::Debug for RecommendService {
 
 /// A typed rating-prediction client.
 pub struct RecommendClient {
-    inner: TypedClient<RatingQuery, f32>,
+    inner: TypedClient<RatingQuery, Degraded<f32>>,
 }
 
 impl RecommendClient {
-    /// Predicts `user`'s rating of `item`, in `[1, 5]`.
+    /// Predicts `user`'s rating of `item`, in `[1, 5]`, dropping the
+    /// degradation envelope (use
+    /// [`predict_with_status`](RecommendClient::predict_with_status) to
+    /// see whether shards were missing).
     ///
     /// # Errors
     ///
     /// Returns transport errors, unknown-id errors, or a whole-fleet
     /// failure.
     pub fn predict(&self, user: u32, item: u32) -> Result<f32, RpcError> {
+        Ok(self.predict_with_status(user, item)?.value)
+    }
+
+    /// Predicts a rating along with the shard accounting: a degraded
+    /// estimate averages only the shards that answered.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors, unknown-id errors, or a whole-fleet
+    /// failure.
+    pub fn predict_with_status(&self, user: u32, item: u32) -> Result<Degraded<f32>, RpcError> {
         self.inner.call_typed(&RatingQuery { user, item })
     }
 
     /// The underlying typed client (for async use in load generators).
-    pub fn typed(&self) -> &TypedClient<RatingQuery, f32> {
+    pub fn typed(&self) -> &TypedClient<RatingQuery, Degraded<f32>> {
         &self.inner
     }
 }

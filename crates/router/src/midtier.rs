@@ -57,16 +57,23 @@ impl MidTierHandler for RouterMidTier {
     fn plan(&self, request: &KvRequest, leaves: usize) -> Plan<KvRequest, ()> {
         let replica_set = self.replica_set(leaves);
         let hash = self.hasher.hash64(request.key().as_bytes());
-        let targets = match request {
+        match request {
             KvRequest::Get { .. } => {
                 let choice = self.read_choice.fetch_add(1, Ordering::Relaxed);
-                vec![(replica_set.read_replica(hash, choice), ())]
+                let primary = replica_set.read_replica(hash, choice);
+                // The same data lives on every member of the write set, so
+                // retries and hedge probes for a read may fail over to the
+                // other replicas instead of re-hitting a dead one.
+                let alternates: Vec<usize> =
+                    replica_set.write_set(hash).into_iter().filter(|&l| l != primary).collect();
+                Plan::new(request.clone(), vec![(primary, ())]).with_alternates(vec![alternates])
             }
             KvRequest::Set { .. } | KvRequest::Delete { .. } | KvRequest::SetEx { .. } => {
-                replica_set.write_set(hash).into_iter().map(|leaf| (leaf, ())).collect()
+                let targets =
+                    replica_set.write_set(hash).into_iter().map(|leaf| (leaf, ())).collect();
+                Plan::new(request.clone(), targets)
             }
-        };
-        Plan::new(request.clone(), targets)
+        }
     }
 
     fn merge(

@@ -327,6 +327,30 @@ impl<W: Write> FrameWriter<W> {
         header.encode_with_payload(parts, &mut self.scratch);
         self.writer.write_all(&self.scratch)
     }
+
+    /// Fault-injection only: serializes the frame exactly like
+    /// [`FrameWriter::write_parts`], then flips one bit of the serialized
+    /// bytes *after* the checksum was computed — the receiver's
+    /// [`FramePrefix::check_payload`] must reject the frame. Flips the
+    /// last byte, so a non-empty payload is corrupted (empty payloads
+    /// corrupt the checksum field itself, which is equally detected).
+    ///
+    /// [`FramePrefix::check_payload`]: musuite_codec::frame::FramePrefix::check_payload
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_parts_corrupted(
+        &mut self,
+        header: &FrameHeader,
+        parts: &[&[u8]],
+    ) -> io::Result<()> {
+        self.scratch.clear();
+        header.encode_with_payload(parts, &mut self.scratch);
+        let last = self.scratch.len() - 1;
+        self.scratch[last] ^= 0x40;
+        self.writer.write_all(&self.scratch)
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +416,26 @@ mod tests {
         let frame = reader.read_frame_after_first_byte(bytes[0]).unwrap();
         assert_eq!(frame.header.request_id, 5);
         assert_eq!(frame.payload, b"probe");
+    }
+
+    #[test]
+    fn corrupted_write_is_rejected_by_reader() {
+        let mut wire = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut wire);
+            let frame = Frame::request(3, 9, b"poisoned".to_vec());
+            writer.write_parts_corrupted(&frame.header, &[&frame.payload]).unwrap();
+        }
+        let err = FrameReader::new(&wire[..]).read_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "checksum must catch the flip");
+        // Empty payload: the flip lands in the checksum field itself.
+        let mut wire = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut wire);
+            let frame = Frame::request(4, 9, Vec::new());
+            writer.write_parts_corrupted(&frame.header, &[&frame.payload]).unwrap();
+        }
+        assert!(FrameReader::new(&wire[..]).read_frame().is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::buf::{FrameWriter, Payload};
 use crate::error::RpcError;
+use crate::fault::{ClientFaults, FaultKind};
 use bytes::Bytes;
 use musuite_check::atomic::{AtomicBool, AtomicU64, Ordering};
 use musuite_check::sync::{Condvar, Mutex};
@@ -91,8 +92,55 @@ impl SyncSlot {
 
 type InflightTable = Arc<CountedMutex<HashMap<u64, Pending>>>;
 
-/// Min-heap of `(deadline, request id)` shared with the reaper thread.
+/// Min-heap of `(fire time, request id)` shared with the reaper thread;
+/// entries are deadlines to enforce or fault-injected sends to release.
 type DeadlineQueue = Arc<(Mutex<BinaryHeap<Reverse<(Instant, u64)>>>, Condvar)>;
+
+/// A request held back by a [`FaultKind::Delay`] injection, released by
+/// the reaper thread at `send_at`.
+struct DelayedSend {
+    send_at: Instant,
+    method: u32,
+    payload: Payload,
+}
+
+type DelayedMap = Arc<Mutex<HashMap<u64, DelayedSend>>>;
+
+type SharedWriter = Arc<CountedMutex<FrameWriter<TcpStream>>>;
+
+fn complete(pending: Pending, result: Result<Bytes, RpcError>) {
+    match pending {
+        Pending::Sync(slot) => slot.complete(result),
+        Pending::Async(callback) => callback(result),
+    }
+}
+
+/// Serializes and writes one request frame; shared by the caller-side send
+/// path and the reaper's delayed-send release.
+fn write_frame(
+    writer: &SharedWriter,
+    closed: &AtomicBool,
+    request_id: u64,
+    method: u32,
+    kind: FrameKind,
+    payload: &Payload,
+    corrupt: bool,
+) -> Result<(), RpcError> {
+    if closed.load(Ordering::Acquire) {
+        return Err(RpcError::ConnectionClosed);
+    }
+    let header = FrameHeader { kind, request_id, method, status: Status::Ok };
+    let mut writer = writer.lock();
+    OsOpCounters::global().incr(OsOp::SendMsg);
+    // The payload's segments go on the wire without being joined; the
+    // frame serializes into this connection's reusable scratch buffer.
+    if corrupt {
+        writer.write_parts_corrupted(&header, &payload.parts())?;
+    } else {
+        writer.write_parts(&header, &payload.parts())?;
+    }
+    Ok(())
+}
 
 /// A connection to one RPC server.
 ///
@@ -101,13 +149,15 @@ type DeadlineQueue = Arc<(Mutex<BinaryHeap<Reverse<(Instant, u64)>>>, Condvar)>;
 /// See [`crate`]-level documentation for an end-to-end example.
 pub struct RpcClient {
     peer_addr: SocketAddr,
-    writer: CountedMutex<FrameWriter<TcpStream>>,
+    writer: SharedWriter,
     next_id: AtomicU64,
     inflight: InflightTable,
     closed: Arc<AtomicBool>,
     reader: Option<JoinHandle<()>>,
     read_half: TcpStream,
     deadlines: DeadlineQueue,
+    delayed: DelayedMap,
+    faults: Option<ClientFaults>,
     reaper: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -118,6 +168,29 @@ impl RpcClient {
     ///
     /// Returns an error if the connection cannot be established.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<RpcClient, RpcError> {
+        RpcClient::connect_with(addr, None)
+    }
+
+    /// As [`RpcClient::connect`], attaching a per-leaf fault-injection
+    /// view. An armed plan may refuse the connect outright or perturb
+    /// subsequent sends; with `None` this is exactly [`RpcClient::connect`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection cannot be established or the
+    /// fault plan refuses it.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        faults: Option<ClientFaults>,
+    ) -> Result<RpcClient, RpcError> {
+        if let Some(faults) = &faults {
+            if faults.refuse_connect() {
+                return Err(RpcError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "connection refused by fault plan",
+                )));
+            }
+        }
         let stream = TcpStream::connect(addr)?;
         OsOpCounters::global().incr(OsOp::OpenAt);
         stream.set_nodelay(true)?;
@@ -129,13 +202,15 @@ impl RpcClient {
             spawn_response_thread(read_half.try_clone()?, inflight.clone(), closed.clone());
         Ok(RpcClient {
             peer_addr,
-            writer: CountedMutex::new(FrameWriter::new(stream)),
+            writer: Arc::new(CountedMutex::new(FrameWriter::new(stream))),
             next_id: AtomicU64::new(1),
             inflight,
             closed,
             reader: Some(reader),
             read_half,
             deadlines: Arc::new((Mutex::new(BinaryHeap::new()), Condvar::new())),
+            delayed: Arc::new(Mutex::new(HashMap::new())),
+            faults,
             reaper: Mutex::new(None),
         })
     }
@@ -157,16 +232,56 @@ impl RpcClient {
         kind: FrameKind,
         payload: &Payload,
     ) -> Result<(), RpcError> {
-        if self.is_closed() {
-            return Err(RpcError::ConnectionClosed);
+        write_frame(&self.writer, &self.closed, request_id, method, kind, payload, false)
+    }
+
+    /// Sends a request through the fault shim. With no plan attached (the
+    /// production path) this is a plain send; otherwise the plan may delay
+    /// the frame (parked in `delayed`, released by the reaper), swallow it
+    /// (stall — only a deadline completes the call), tear the connection
+    /// down, or corrupt the frame on the wire so the receiver's checksum
+    /// rejects it.
+    fn dispatch(&self, request_id: u64, method: u32, payload: &Payload) -> Result<(), RpcError> {
+        let fault = self.faults.as_ref().and_then(ClientFaults::next_send_fault);
+        match fault {
+            None | Some(FaultKind::ConnectRefused) => {
+                self.send_request(request_id, method, FrameKind::Request, payload)
+            }
+            Some(FaultKind::Delay(delay)) => {
+                if self.is_closed() {
+                    return Err(RpcError::ConnectionClosed);
+                }
+                let send_at = Instant::now() + delay;
+                self.delayed
+                    .lock()
+                    .insert(request_id, DelayedSend { send_at, method, payload: payload.clone() });
+                self.schedule(send_at, request_id);
+                Ok(())
+            }
+            Some(FaultKind::Stall) => {
+                // The request is registered in flight but never leaves the
+                // host: a silently wedged leaf. Callers without a deadline
+                // will wait indefinitely — exactly the hazard deadlines
+                // and hedging exist to bound.
+                if self.is_closed() {
+                    return Err(RpcError::ConnectionClosed);
+                }
+                Ok(())
+            }
+            Some(FaultKind::Disconnect) => {
+                self.shutdown();
+                Err(RpcError::ConnectionClosed)
+            }
+            Some(FaultKind::Corrupt) => write_frame(
+                &self.writer,
+                &self.closed,
+                request_id,
+                method,
+                FrameKind::Request,
+                payload,
+                true,
+            ),
         }
-        let header = FrameHeader { kind, request_id, method, status: Status::Ok };
-        let mut writer = self.writer.lock();
-        OsOpCounters::global().incr(OsOp::SendMsg);
-        // The payload's segments go on the wire without being joined; the
-        // frame serializes into this connection's reusable scratch buffer.
-        writer.write_parts(&header, &payload.parts())?;
-        Ok(())
     }
 
     /// Issues a blocking call and waits for the response payload.
@@ -204,7 +319,7 @@ impl RpcClient {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let slot = SyncSlot::new();
         self.inflight.lock().insert(request_id, Pending::Sync(slot.clone()));
-        if let Err(e) = self.send_request(request_id, method, FrameKind::Request, &payload) {
+        if let Err(e) = self.dispatch(request_id, method, &payload) {
             self.inflight.lock().remove(&request_id);
             return Err(e);
         }
@@ -258,16 +373,19 @@ impl RpcClient {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.inflight.lock().insert(request_id, Pending::Async(callback));
         if let Some(timeout) = timeout {
-            self.register_deadline(Instant::now() + timeout, request_id);
+            self.schedule(Instant::now() + timeout, request_id);
         }
-        if let Err(e) = self.send_request(request_id, method, FrameKind::Request, &payload) {
+        if let Err(e) = self.dispatch(request_id, method, &payload) {
             if let Some(Pending::Async(cb)) = self.inflight.lock().remove(&request_id) {
                 cb(Err(e));
             }
         }
     }
 
-    fn register_deadline(&self, when: Instant, request_id: u64) {
+    /// Registers a timed event for `request_id` with the lazily-spawned
+    /// reaper thread: a call deadline to enforce, or a fault-delayed send
+    /// to release (the reaper distinguishes them through `delayed`).
+    fn schedule(&self, when: Instant, request_id: u64) {
         let (heap, cv) = &*self.deadlines;
         heap.lock().push(Reverse((when, request_id)));
         cv.notify_one();
@@ -277,6 +395,8 @@ impl RpcClient {
                 self.deadlines.clone(),
                 self.inflight.clone(),
                 self.closed.clone(),
+                self.delayed.clone(),
+                self.writer.clone(),
             ));
         }
     }
@@ -391,15 +511,21 @@ fn spawn_response_thread(
         .expect("spawn response thread") // lint: allow(expect): no connection without its pick-up thread
 }
 
-/// Reaps in-flight entries whose deadlines have passed. Parked on a
-/// condition variable until the earliest deadline (or a new registration);
-/// overdue entries are removed from the table and completed with
-/// [`RpcError::TimedOut`]. Entries already completed by the response
-/// thread are simply absent — the heap entry is then a no-op.
+/// Reaps in-flight entries whose deadlines have passed and releases
+/// fault-delayed sends. Parked on a condition variable until the earliest
+/// timed event (or a new registration). A popped id is a delayed send if
+/// `delayed` holds its entry and the hold-back has elapsed — the frame is
+/// written now, late but intact; otherwise the id is an overdue deadline:
+/// the in-flight entry is removed and completed with
+/// [`RpcError::TimedOut`] (and any still-pending delayed send for it is
+/// cancelled). Entries already completed by the response thread are simply
+/// absent — the heap entry is then a no-op.
 fn spawn_reaper_thread(
     deadlines: DeadlineQueue,
     inflight: InflightTable,
     closed: Arc<AtomicBool>,
+    delayed: DelayedMap,
+    writer: SharedWriter,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("musuite-reaper".to_string())
@@ -423,11 +549,38 @@ fn spawn_reaper_thread(
                 // Complete outside the heap lock: the callback may issue
                 // follow-up calls that register new deadlines.
                 drop(heap);
-                if let Some(pending) = inflight.lock().remove(&request_id) {
-                    match pending {
-                        Pending::Sync(slot) => slot.complete(Err(RpcError::TimedOut)),
-                        Pending::Async(callback) => callback(Err(RpcError::TimedOut)),
+                let release = {
+                    let mut map = delayed.lock();
+                    match map.get(&request_id) {
+                        // The hold-back elapsed: this pop releases the send.
+                        Some(hold) if hold.send_at <= now => map.remove(&request_id),
+                        // A deadline fired while the send is still held
+                        // back: cancel it and reap the call below.
+                        Some(_) => {
+                            map.remove(&request_id);
+                            None
+                        }
+                        None => None,
                     }
+                };
+                if let Some(hold) = release {
+                    if inflight.lock().contains_key(&request_id) {
+                        if let Err(e) = write_frame(
+                            &writer,
+                            &closed,
+                            request_id,
+                            hold.method,
+                            FrameKind::Request,
+                            &hold.payload,
+                            false,
+                        ) {
+                            if let Some(pending) = inflight.lock().remove(&request_id) {
+                                complete(pending, Err(e));
+                            }
+                        }
+                    }
+                } else if let Some(pending) = inflight.lock().remove(&request_id) {
+                    complete(pending, Err(RpcError::TimedOut));
                 }
                 heap = heap_lock.lock();
             }
@@ -610,6 +763,82 @@ mod tests {
         let server = echo_server();
         let client = RpcClient::connect(server.local_addr()).unwrap();
         assert!(format!("{client:?}").contains("RpcClient"));
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::FaultPlan;
+
+        #[test]
+        fn delay_fault_holds_the_frame_back_then_delivers() {
+            let server = echo_server();
+            let plan = FaultPlan::builder(11, 1).slow_leaf(0, Duration::from_millis(80)).build();
+            let client =
+                RpcClient::connect_with(server.local_addr(), Some(plan.client_faults(0))).unwrap();
+            plan.arm();
+            let start = Instant::now();
+            let reply = client.call_deadline(1, b"late".to_vec(), Duration::from_secs(5)).unwrap();
+            assert_eq!(reply, b"late");
+            assert!(
+                start.elapsed() >= Duration::from_millis(80),
+                "delayed send must not arrive early: {:?}",
+                start.elapsed()
+            );
+        }
+
+        #[test]
+        fn stall_fault_is_bounded_only_by_the_deadline() {
+            let server = echo_server();
+            let plan = FaultPlan::builder(12, 1)
+                .rule(0, crate::fault::FaultRule::always(FaultKind::Stall))
+                .build();
+            let client =
+                RpcClient::connect_with(server.local_addr(), Some(plan.client_faults(0))).unwrap();
+            plan.arm();
+            let err = client.call_deadline(1, b"stuck".to_vec(), Duration::from_millis(100));
+            assert!(matches!(err, Err(RpcError::TimedOut)), "got {err:?}");
+            assert_eq!(client.inflight_len(), 0);
+        }
+
+        #[test]
+        fn disconnect_fault_tears_the_connection_down() {
+            let server = echo_server();
+            let plan = FaultPlan::builder(13, 1).dead_leaf(0).build();
+            let client =
+                RpcClient::connect_with(server.local_addr(), Some(plan.client_faults(0))).unwrap();
+            plan.arm();
+            let err = client.call(1, b"dead".to_vec());
+            assert!(matches!(err, Err(RpcError::ConnectionClosed)), "got {err:?}");
+            assert!(client.is_closed());
+            // Reconnects to a dead leaf are refused.
+            let refused = RpcClient::connect_with(server.local_addr(), Some(plan.client_faults(0)));
+            assert!(refused.is_err());
+        }
+
+        #[test]
+        fn corrupt_fault_is_detected_never_returned_as_data() {
+            let server = echo_server();
+            let plan = FaultPlan::builder(14, 1).corrupting_leaf(0, 1).build();
+            let client =
+                RpcClient::connect_with(server.local_addr(), Some(plan.client_faults(0))).unwrap();
+            plan.arm();
+            // The server's checksum rejects the frame and drops the
+            // connection: the call must error, never echo corrupt bytes.
+            let err = client.call_deadline(1, b"garble".to_vec(), Duration::from_secs(5));
+            assert!(err.is_err(), "corrupted request must not produce a reply");
+            assert_eq!(plan.injected_of(FaultKind::Corrupt), 1);
+        }
+
+        #[test]
+        fn disarmed_plan_is_transparent() {
+            let server = echo_server();
+            let plan = FaultPlan::builder(15, 1).dead_leaf(0).build();
+            let client =
+                RpcClient::connect_with(server.local_addr(), Some(plan.client_faults(0))).unwrap();
+            let reply = client.call(1, b"fine".to_vec()).unwrap();
+            assert_eq!(reply, b"fine");
+            assert_eq!(plan.injected(), 0);
+        }
     }
 }
 

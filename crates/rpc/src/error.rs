@@ -26,12 +26,66 @@ pub enum RpcError {
     TimedOut,
     /// The server or client is shutting down.
     ShuttingDown,
+    /// The per-leaf circuit breaker rejected the call without sending it.
+    CircuitOpen,
+}
+
+/// Coarse classification of an [`RpcError`] for failure accounting: chaos
+/// runs and load generators need to report *how* calls failed (a stuck
+/// leaf times out, a dead one breaks the transport, an overloaded one
+/// sheds), not just how often.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FailureKind {
+    /// The call exceeded its deadline ([`RpcError::TimedOut`]).
+    Timeout,
+    /// The transport failed: socket error, closed connection, or an
+    /// undecodable frame (a corrupted payload lands here via the codec
+    /// checksum tearing the connection down).
+    Transport,
+    /// The request was shed before doing work: the server reported
+    /// [`Status::Unavailable`] or the local circuit breaker was open.
+    Shed,
+    /// The remote handler ran and reported an application-level error.
+    Remote,
+}
+
+impl FailureKind {
+    /// Short stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailureKind::Timeout => "timeout",
+            FailureKind::Transport => "transport",
+            FailureKind::Shed => "shed",
+            FailureKind::Remote => "remote",
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 impl RpcError {
     /// Builds a [`RpcError::Remote`] from a response status.
     pub fn remote(status: Status) -> RpcError {
         RpcError::Remote { status, detail: String::new() }
+    }
+
+    /// Classifies this error for failure accounting.
+    pub fn failure_kind(&self) -> FailureKind {
+        match self {
+            RpcError::TimedOut => FailureKind::Timeout,
+            RpcError::Io(_)
+            | RpcError::Decode(_)
+            | RpcError::ConnectionClosed
+            | RpcError::ShuttingDown => FailureKind::Transport,
+            RpcError::CircuitOpen => FailureKind::Shed,
+            RpcError::Remote { status: Status::Unavailable, .. } => FailureKind::Shed,
+            RpcError::Remote { .. } => FailureKind::Remote,
+        }
     }
 }
 
@@ -49,6 +103,7 @@ impl fmt::Display for RpcError {
             RpcError::ConnectionClosed => write!(f, "connection closed with call in flight"),
             RpcError::TimedOut => write!(f, "call timed out"),
             RpcError::ShuttingDown => write!(f, "endpoint is shutting down"),
+            RpcError::CircuitOpen => write!(f, "circuit breaker open for this leaf"),
         }
     }
 }
@@ -102,5 +157,18 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<RpcError>();
+    }
+
+    #[test]
+    fn failure_kinds_distinguish_modes() {
+        assert_eq!(RpcError::TimedOut.failure_kind(), FailureKind::Timeout);
+        assert_eq!(RpcError::ConnectionClosed.failure_kind(), FailureKind::Transport);
+        assert_eq!(RpcError::from(io::Error::other("x")).failure_kind(), FailureKind::Transport);
+        assert_eq!(RpcError::from(DecodeError::BadMagic).failure_kind(), FailureKind::Transport);
+        assert_eq!(RpcError::ShuttingDown.failure_kind(), FailureKind::Transport);
+        assert_eq!(RpcError::CircuitOpen.failure_kind(), FailureKind::Shed);
+        assert_eq!(RpcError::remote(Status::Unavailable).failure_kind(), FailureKind::Shed);
+        assert_eq!(RpcError::remote(Status::AppError).failure_kind(), FailureKind::Remote);
+        assert_eq!(FailureKind::Timeout.to_string(), "timeout");
     }
 }

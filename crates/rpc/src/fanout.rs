@@ -18,12 +18,13 @@
 
 use crate::buf::Payload;
 use crate::client::RpcClient;
-use crate::error::RpcError;
+use crate::error::{FailureKind, RpcError};
+use crate::fault::{ClientFaults, FaultPlan};
 use bytes::Bytes;
 use musuite_check::atomic::{AtomicUsize, Ordering};
-use musuite_check::sync::Mutex;
+use musuite_check::sync::{Mutex, RwLock};
 use musuite_telemetry::clock::Clock;
-use std::net::ToSocketAddrs;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -50,20 +51,65 @@ impl FanoutResult {
     pub fn all_ok(&self) -> bool {
         self.replies.iter().all(Result::is_ok)
     }
+
+    /// Number of slots that replied successfully.
+    pub fn ok_count(&self) -> usize {
+        self.replies.iter().filter(|reply| reply.is_ok()).count()
+    }
+
+    /// Number of slots that failed.
+    pub fn err_count(&self) -> usize {
+        self.replies.len() - self.ok_count()
+    }
+
+    /// Iterates over the failed slots as `(slot index, error)` pairs, in
+    /// request order — the per-leaf detail `successes` drops, needed by
+    /// degradation policy ("which shard is missing?") and chaos assertions
+    /// ("did that leaf time out or disconnect?").
+    pub fn failures(&self) -> impl Iterator<Item = (usize, &RpcError)> {
+        self.replies
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, reply)| reply.as_ref().err().map(|e| (slot, e)))
+    }
+
+    /// Failure classification for `slot` (`None` if it succeeded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of bounds.
+    pub fn kind_of(&self, slot: usize) -> Option<FailureKind> {
+        self.replies[slot].as_ref().err().map(RpcError::failure_kind)
+    }
 }
 
-type CompletionFn = Box<dyn FnOnce(FanoutResult) + Send>;
+pub(crate) type CompletionFn = Box<dyn FnOnce(FanoutResult) + Send>;
 
-struct ScatterState {
-    remaining: AtomicUsize,
-    replies: Mutex<Vec<Option<Result<Bytes, RpcError>>>>,
-    on_complete: Mutex<Option<CompletionFn>>,
-    started_at_ns: u64,
-    clock: Clock,
+/// Count-down gather shared by [`FanoutGroup`] and the resilient wrapper:
+/// each slot's arrival stashes its result; the last arrival runs the merge.
+pub(crate) struct ScatterState {
+    pub(crate) remaining: AtomicUsize,
+    pub(crate) replies: Mutex<Vec<Option<Result<Bytes, RpcError>>>>,
+    pub(crate) on_complete: Mutex<Option<CompletionFn>>,
+    pub(crate) started_at_ns: u64,
+    pub(crate) clock: Clock,
 }
 
 impl ScatterState {
-    fn arrive(&self, slot: usize, result: Result<Bytes, RpcError>) {
+    pub(crate) fn new<F>(slots: usize, clock: Clock, on_complete: F) -> Arc<ScatterState>
+    where
+        F: FnOnce(FanoutResult) + Send + 'static,
+    {
+        Arc::new(ScatterState {
+            remaining: AtomicUsize::new(slots),
+            replies: Mutex::new((0..slots).map(|_| None).collect()),
+            on_complete: Mutex::new(Some(Box::new(on_complete))),
+            started_at_ns: clock.now_ns(),
+            clock,
+        })
+    }
+
+    pub(crate) fn arrive(&self, slot: usize, result: Result<Bytes, RpcError>) {
         let prev = self.replies.lock()[slot].replace(result);
         assert!(prev.is_none(), "fan-out slot {slot} completed twice");
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -85,16 +131,32 @@ impl ScatterState {
 
 /// The connections to one leaf: a small pool used round-robin, mirroring
 /// the paper's "one TCP connection to a given destination per thread"
-/// (one connection per response pick-up thread here).
+/// (one connection per response pick-up thread here). The pool is behind
+/// a read–write lock so broken connections can be swapped for fresh ones
+/// ([`FanoutGroup::reconnect`]) while pickers proceed under read locks.
 struct LeafConns {
-    conns: Vec<Arc<RpcClient>>,
+    addr: SocketAddr,
+    conns: RwLock<Vec<Arc<RpcClient>>>,
     next: AtomicUsize,
+    faults: Option<ClientFaults>,
 }
 
 impl LeafConns {
-    fn pick(&self) -> &Arc<RpcClient> {
-        let i = self.next.fetch_add(1, Ordering::Relaxed);
-        &self.conns[i % self.conns.len()]
+    /// Round-robin pick that prefers a live connection: starting from the
+    /// rotation point, the first non-closed connection wins; if the whole
+    /// pool is broken the rotation pick is returned anyway so the call
+    /// fails fast with [`RpcError::ConnectionClosed`].
+    fn pick(&self) -> Arc<RpcClient> {
+        let conns = self.conns.read();
+        let len = conns.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        for offset in 0..len {
+            let conn = &conns[(start + offset) % len];
+            if !conn.is_closed() {
+                return conn.clone();
+            }
+        }
+        conns[start % len].clone()
     }
 }
 
@@ -130,14 +192,42 @@ impl FanoutGroup {
         addrs: &[A],
         conns_per_leaf: usize,
     ) -> Result<FanoutGroup, RpcError> {
+        Self::connect_with_plan(addrs, conns_per_leaf, None)
+    }
+
+    /// As [`FanoutGroup::connect_pooled`], attaching a fault-injection
+    /// plan: every connection to leaf `i` (including later reconnects)
+    /// carries the plan's per-leaf view. With `None` this is exactly
+    /// [`FanoutGroup::connect_pooled`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first connection error encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conns_per_leaf` is zero or the plan covers fewer leaves
+    /// than `addrs`.
+    pub fn connect_with_plan<A: ToSocketAddrs>(
+        addrs: &[A],
+        conns_per_leaf: usize,
+        plan: Option<&Arc<FaultPlan>>,
+    ) -> Result<FanoutGroup, RpcError> {
         assert!(conns_per_leaf > 0, "need at least one connection per leaf");
         let mut leaves = Vec::with_capacity(addrs.len());
-        for addr in addrs {
+        for (leaf, addr) in addrs.iter().enumerate() {
+            let faults = plan.map(|plan| plan.client_faults(leaf));
             let mut conns = Vec::with_capacity(conns_per_leaf);
             for _ in 0..conns_per_leaf {
-                conns.push(Arc::new(RpcClient::connect(addr)?));
+                conns.push(Arc::new(RpcClient::connect_with(addr, faults.clone())?));
             }
-            leaves.push(LeafConns { conns, next: AtomicUsize::new(0) });
+            let addr = conns[0].peer_addr();
+            leaves.push(LeafConns {
+                addr,
+                conns: RwLock::new(conns),
+                next: AtomicUsize::new(0),
+                faults,
+            });
         }
         Ok(FanoutGroup { leaves, clock: Clock::new() })
     }
@@ -147,7 +237,12 @@ impl FanoutGroup {
         FanoutGroup {
             leaves: clients
                 .into_iter()
-                .map(|client| LeafConns { conns: vec![client], next: AtomicUsize::new(0) })
+                .map(|client| LeafConns {
+                    addr: client.peer_addr(),
+                    conns: RwLock::new(vec![client]),
+                    next: AtomicUsize::new(0),
+                    faults: None,
+                })
                 .collect(),
             clock: Clock::new(),
         }
@@ -163,13 +258,68 @@ impl FanoutGroup {
         self.leaves.is_empty()
     }
 
-    /// A client for leaf `index` (round-robin over its pool).
+    /// A client for leaf `index` (round-robin over its pool, preferring a
+    /// live connection).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of bounds.
-    pub fn client(&self, index: usize) -> &Arc<RpcClient> {
+    pub fn client(&self, index: usize) -> Arc<RpcClient> {
         self.leaves[index].pick()
+    }
+
+    /// The address leaf `index` was connected to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn leaf_addr(&self, index: usize) -> SocketAddr {
+        self.leaves[index].addr
+    }
+
+    /// Number of non-closed connections in leaf `index`'s pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn live_count(&self, index: usize) -> usize {
+        self.leaves[index].conns.read().iter().filter(|conn| !conn.is_closed()).count()
+    }
+
+    /// Replaces every closed connection in leaf `index`'s pool with a
+    /// fresh one (carrying the same fault-plan view, so a refused
+    /// reconnect to a dead leaf surfaces as an error). Returns how many
+    /// connections were replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first reconnection error; connections already replaced
+    /// stay replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn reconnect(&self, index: usize) -> Result<usize, RpcError> {
+        let leaf = &self.leaves[index];
+        let mut conns = leaf.conns.write();
+        let mut replaced = 0;
+        for slot in conns.iter_mut() {
+            if slot.is_closed() {
+                *slot = Arc::new(RpcClient::connect_with(leaf.addr, leaf.faults.clone())?);
+                replaced += 1;
+            }
+        }
+        Ok(replaced)
+    }
+
+    /// Shuts down every connection to every leaf; in-flight calls fail
+    /// fast with [`RpcError::ConnectionClosed`]. Idempotent.
+    pub fn shutdown_all(&self) {
+        for leaf in &self.leaves {
+            for conn in leaf.conns.read().iter() {
+                conn.shutdown();
+            }
+        }
     }
 
     /// Scatters `requests` — `(leaf index, method, payload)` triples — and
@@ -225,13 +375,7 @@ impl FanoutGroup {
         for (leaf, _, _) in &requests {
             assert!(*leaf < self.leaves.len(), "leaf index {leaf} out of bounds");
         }
-        let state = Arc::new(ScatterState {
-            remaining: AtomicUsize::new(requests.len()),
-            replies: Mutex::new((0..requests.len()).map(|_| None).collect()),
-            on_complete: Mutex::new(Some(Box::new(on_complete))),
-            started_at_ns: self.clock.now_ns(),
-            clock: self.clock,
-        });
+        let state = ScatterState::new(requests.len(), self.clock, on_complete);
         for (slot, (leaf, method, payload)) in requests.into_iter().enumerate() {
             let state = state.clone();
             let client = self.leaves[leaf].pick();
@@ -420,10 +564,10 @@ mod tests {
         let group = FanoutGroup::connect_pooled(&addrs, 3).unwrap();
         assert_eq!(group.len(), 2);
         // Repeated picks must rotate through distinct connections.
-        let a = Arc::as_ptr(group.client(0));
-        let b = Arc::as_ptr(group.client(0));
-        let c = Arc::as_ptr(group.client(0));
-        let d = Arc::as_ptr(group.client(0));
+        let a = Arc::as_ptr(&group.client(0));
+        let b = Arc::as_ptr(&group.client(0));
+        let c = Arc::as_ptr(&group.client(0));
+        let d = Arc::as_ptr(&group.client(0));
         assert_ne!(a, b);
         assert_ne!(b, c);
         assert_eq!(a, d, "pool of 3 wraps after 3 picks");
@@ -452,6 +596,67 @@ mod tests {
         }
         for h in handles {
             h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn per_leaf_failure_accessors_distinguish_modes() {
+        let result = FanoutResult {
+            replies: vec![
+                Ok(Bytes::from_static(b"fine")),
+                Err(RpcError::TimedOut),
+                Err(RpcError::ConnectionClosed),
+                Err(RpcError::remote(musuite_codec::Status::AppError)),
+            ],
+            elapsed_ns: 1,
+        };
+        assert_eq!(result.ok_count(), 1);
+        assert_eq!(result.err_count(), 3);
+        assert!(!result.all_ok());
+        assert_eq!(result.kind_of(0), None);
+        assert_eq!(result.kind_of(1), Some(FailureKind::Timeout));
+        assert_eq!(result.kind_of(2), Some(FailureKind::Transport));
+        assert_eq!(result.kind_of(3), Some(FailureKind::Remote));
+        let failed: Vec<usize> = result.failures().map(|(slot, _)| slot).collect();
+        assert_eq!(failed, vec![1, 2, 3]);
+        assert!(
+            result.failures().all(|(slot, e)| matches!(
+                (slot, e),
+                (1, RpcError::TimedOut)
+                    | (2, RpcError::ConnectionClosed)
+                    | (3, RpcError::Remote { .. })
+            )),
+            "each failure keeps which leaf and why"
+        );
+    }
+
+    #[test]
+    fn broken_connection_is_skipped_then_reconnected() {
+        let server = Server::spawn(ServerConfig::default(), Arc::new(TaggedEcho(7))).unwrap();
+        let group = FanoutGroup::connect_pooled(&[server.local_addr()], 2).unwrap();
+        assert_eq!(group.live_count(0), 2);
+        // Break one connection; picks must route around it.
+        group.client(0).shutdown();
+        assert_eq!(group.live_count(0), 1);
+        for round in 0..4u8 {
+            let result = group.scatter_wait(vec![(0usize, 1u32, vec![round])]);
+            assert!(result.all_ok(), "live connection must be preferred");
+        }
+        assert_eq!(group.reconnect(0).unwrap(), 1, "one closed connection replaced");
+        assert_eq!(group.live_count(0), 2);
+        assert_eq!(group.reconnect(0).unwrap(), 0, "reconnect is idempotent");
+        assert_eq!(group.leaf_addr(0), server.local_addr());
+    }
+
+    #[test]
+    fn shutdown_all_fails_fast() {
+        let (_servers, group) = leaf_cluster(2);
+        group.shutdown_all();
+        group.shutdown_all();
+        let result = group.scatter_wait(vec![(0usize, 1u32, vec![1]), (1, 1, vec![2])]);
+        assert_eq!(result.err_count(), 2);
+        for (_, error) in result.failures() {
+            assert_eq!(error.failure_kind(), FailureKind::Transport);
         }
     }
 

@@ -64,7 +64,9 @@ pub mod client;
 pub mod config;
 pub mod error;
 pub mod fanout;
+pub mod fault;
 pub mod queue;
+pub mod resilient;
 pub mod server;
 pub mod service;
 pub mod stats;
@@ -72,10 +74,14 @@ pub mod stats;
 pub use buf::{BufferPool, FrameReader, FrameWriter, Payload, PooledBuf};
 pub use client::RpcClient;
 pub use config::{ExecutionModel, ServerConfig, WaitMode};
-pub use error::RpcError;
+pub use error::{FailureKind, RpcError};
 pub use fanout::FanoutGroup;
+pub use fault::{ClientFaults, FaultEvent, FaultKind, FaultPlan, FaultRule};
 pub use musuite_codec::{Frame, Status};
 pub use queue::DispatchQueue;
+pub use resilient::{
+    BreakerConfig, CircuitBreaker, HedgePolicy, LeafCall, ResilientConfig, ResilientFanout,
+};
 pub use server::Server;
 pub use service::{RequestContext, Service};
 pub use stats::ServerStats;

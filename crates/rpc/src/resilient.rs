@@ -1,0 +1,1160 @@
+//! Fault-tolerant scatter–gather: hedging, retries, circuit breakers.
+//!
+//! [`FanoutGroup`] propagates a single slow or dead leaf straight into
+//! every request — the exact failure mode that dominates end-to-end tails
+//! once a service is a fan-out of microservices. [`ResilientFanout`]
+//! wraps a group with the standard tail-tolerance toolkit:
+//!
+//! * **Hedged requests** — after a configurable delay (fixed, or a
+//!   quantile of the observed attempt-latency distribution) a duplicate
+//!   probe is issued to the slot's next target; the first response wins
+//!   and the loser's late completion is discarded. The win is decided by
+//!   one atomic claim per slot, model-checked under `musuite_check`.
+//! * **Bounded retry with backoff** — a failed attempt re-routes to the
+//!   slot's alternate targets (e.g. `ReplicaSet::read_replica` siblings)
+//!   after a fixed backoff, at most `retries` times.
+//! * **Per-leaf circuit breakers** — consecutive failures open the
+//!   breaker; while open, attempts shed instantly with
+//!   [`RpcError::CircuitOpen`] instead of burning a timeout; after a
+//!   cooldown exactly one half-open probe decides whether to close it.
+//!   Opening a breaker also schedules a background reconnect that swaps
+//!   broken [`RpcClient`]s for fresh connections.
+//! * **Partial-result gather** — per-slot failures stay per-slot (the
+//!   [`FanoutResult`] keeps which leaf failed and why), so mid-tiers can
+//!   degrade to best-effort answers instead of failing the request.
+//!
+//! With the default [`ResilientConfig`] every knob is off or inert and a
+//! scatter behaves exactly like [`FanoutGroup::scatter`] plus breaker
+//! accounting; the production fast path stays unchanged.
+//!
+//! [`RpcClient`]: crate::client::RpcClient
+
+use crate::buf::Payload;
+use crate::error::RpcError;
+use crate::fanout::{FanoutGroup, FanoutResult, ScatterState};
+use bytes::Bytes;
+use musuite_check::atomic::{AtomicBool, AtomicUsize, Ordering};
+use musuite_check::sync::{Condvar, Mutex};
+use musuite_telemetry::clock::Clock;
+use musuite_telemetry::histogram::LatencyHistogram;
+use musuite_telemetry::resilience::{ResilienceCounters, ResilienceEvent};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-leaf circuit-breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub threshold: u32,
+    /// How long an open breaker sheds before admitting a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig { threshold: 8, cooldown: Duration::from_millis(100) }
+    }
+}
+
+/// When a hedge (duplicate) probe is fired for a still-pending attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HedgePolicy {
+    /// Never hedge.
+    Off,
+    /// Hedge any attempt still pending after this fixed delay.
+    After(Duration),
+    /// Hedge after this quantile of the observed attempt-latency
+    /// distribution (e.g. `0.99`); inert until enough attempts (64) have
+    /// been recorded to estimate it.
+    AtQuantile(f64),
+}
+
+/// Tuning for [`ResilientFanout`]. The default is deliberately inert:
+/// no attempt deadline, no hedging, no retries — only the breaker is
+/// armed, with a threshold high enough that ordinary tests never trip it.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilientConfig {
+    /// Deadline applied to each individual attempt (primary, hedge, or
+    /// retry). `None` leaves attempts unbounded, as in a plain scatter.
+    pub attempt_timeout: Option<Duration>,
+    /// Hedging policy.
+    pub hedge: HedgePolicy,
+    /// Retries per slot after the primary attempt fails.
+    pub retries: u32,
+    /// Delay before each retry.
+    pub backoff: Duration,
+    /// Circuit-breaker tuning; `None` disables breakers entirely.
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> ResilientConfig {
+        ResilientConfig {
+            attempt_timeout: None,
+            hedge: HedgePolicy::Off,
+            retries: 0,
+            backoff: Duration::from_millis(1),
+            breaker: Some(BreakerConfig::default()),
+        }
+    }
+}
+
+/// The breaker's admission decision for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: proceed normally.
+    Allow,
+    /// Breaker was open, cooldown elapsed: this attempt is the single
+    /// half-open probe.
+    Probe,
+    /// Breaker open (or a probe is already in flight): shed the attempt.
+    Reject,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { until_ns: u64 },
+    HalfOpen,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    consecutive: u32,
+}
+
+/// Per-leaf circuit breaker: closed → open after `threshold` consecutive
+/// failures → exactly one half-open probe after `cooldown` → closed on
+/// probe success, reopened on probe failure.
+///
+/// Time is passed in explicitly (nanoseconds) so state transitions are
+/// pure and model-checkable.
+pub struct CircuitBreaker {
+    inner: Mutex<BreakerInner>,
+    threshold: u32,
+    cooldown_ns: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            inner: Mutex::new(BreakerInner { state: BreakerState::Closed, consecutive: 0 }),
+            threshold: config.threshold.max(1),
+            cooldown_ns: config.cooldown.as_nanos() as u64,
+        }
+    }
+
+    /// Admission decision for an attempt starting at `now_ns`. At most one
+    /// caller per open period observes [`Admission::Probe`].
+    pub fn admit(&self, now_ns: u64) -> Admission {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open { until_ns } if now_ns >= until_ns => {
+                inner.state = BreakerState::HalfOpen;
+                Admission::Probe
+            }
+            BreakerState::Open { .. } => Admission::Reject,
+            BreakerState::HalfOpen => Admission::Reject,
+        }
+    }
+
+    /// Records a successful attempt. Returns `true` if this success closed
+    /// a non-closed breaker (the half-open probe succeeded, or a late
+    /// response from before the breaker opened proved the leaf healthy).
+    pub fn on_success(&self) -> bool {
+        let mut inner = self.inner.lock();
+        inner.consecutive = 0;
+        let closed_now = inner.state != BreakerState::Closed;
+        inner.state = BreakerState::Closed;
+        closed_now
+    }
+
+    /// Records a failed attempt at `now_ns`. Returns `true` if this
+    /// failure opened the breaker (threshold reached, or the half-open
+    /// probe failed); failures against an already-open breaker do not
+    /// extend the cooldown.
+    pub fn on_failure(&self, now_ns: u64) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open { until_ns: now_ns + self.cooldown_ns };
+                true
+            }
+            BreakerState::Open { .. } => false,
+            BreakerState::Closed => {
+                inner.consecutive += 1;
+                if inner.consecutive >= self.threshold {
+                    inner.consecutive = 0;
+                    inner.state = BreakerState::Open { until_ns: now_ns + self.cooldown_ns };
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Whether the breaker is currently shedding (open, cooldown pending).
+    pub fn is_open(&self) -> bool {
+        matches!(self.inner.lock().state, BreakerState::Open { .. } | BreakerState::HalfOpen)
+    }
+}
+
+impl std::fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("CircuitBreaker")
+            .field("state", &inner.state)
+            .field("consecutive", &inner.consecutive)
+            .finish()
+    }
+}
+
+/// One slot of a resilient scatter: the primary leaf plus the alternates
+/// that hedges and retries may be routed to (typically the other members
+/// of the primary's replica set).
+#[derive(Debug, Clone)]
+pub struct LeafCall {
+    /// Primary target leaf.
+    pub leaf: usize,
+    /// Method id sent to whichever target serves the slot.
+    pub method: u32,
+    /// Request payload (reference-counted; clones share the allocation).
+    pub payload: Payload,
+    /// Fail-over targets, tried in order by hedges and retries.
+    pub alternates: Vec<usize>,
+}
+
+impl LeafCall {
+    /// A call to `leaf` with no alternates: hedges and retries stay on
+    /// the same leaf (a different pooled connection may serve them).
+    pub fn new(leaf: usize, method: u32, payload: impl Into<Payload>) -> LeafCall {
+        LeafCall { leaf, method, payload: payload.into(), alternates: Vec::new() }
+    }
+
+    /// Adds fail-over targets for hedges and retries.
+    pub fn with_alternates(mut self, alternates: Vec<usize>) -> LeafCall {
+        self.alternates = alternates;
+        self
+    }
+}
+
+/// Per-slot control block shared by the primary attempt, its hedge, its
+/// retries, and the timer thread.
+///
+/// Invariants (model-checked below):
+/// * `done` is claimed by `swap` — exactly one attempt delivers to the
+///   gather, so the count-down merge sees each slot exactly once.
+/// * `pending` counts live obligations (in-flight attempts + scheduled
+///   hedge/retry tasks). Whoever drops it to zero without a prior claim
+///   delivers the slot's last error, so the gather always completes.
+struct SlotCtl {
+    index: usize,
+    method: u32,
+    payload: Payload,
+    targets: Vec<usize>,
+    rotation: AtomicUsize,
+    done: AtomicBool,
+    pending: AtomicUsize,
+    retries_left: AtomicUsize,
+    last_error: Mutex<Option<RpcError>>,
+    gather: Arc<ScatterState>,
+}
+
+impl SlotCtl {
+    /// Claims the right to deliver this slot's result; `true` exactly once.
+    fn try_claim(&self) -> bool {
+        !self.done.swap(true, Ordering::AcqRel)
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Next target in the slot's rotation (primary, alternates, wrap).
+    fn next_target(&self) -> usize {
+        self.targets[self.rotation.fetch_add(1, Ordering::Relaxed) % self.targets.len()]
+    }
+
+    /// Consumes one retry credit if any remain.
+    fn take_retry(&self) -> bool {
+        let mut current = self.retries_left.load(Ordering::Acquire);
+        while current > 0 {
+            match self.retries_left.compare_exchange(
+                current,
+                current - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+        false
+    }
+
+    /// Drops one obligation; the last one out delivers the stored error
+    /// (unless a success already claimed the slot).
+    fn release_pending(self: &Arc<Self>) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 && self.try_claim() {
+            let error = self.last_error.lock().take().unwrap_or(RpcError::ShuttingDown);
+            self.gather.arrive(self.index, Err(error));
+        }
+    }
+}
+
+enum TimerTask {
+    Hedge { slot: Arc<SlotCtl> },
+    Retry { slot: Arc<SlotCtl>, target: usize },
+    Reconnect { leaf: usize },
+}
+
+struct Timed {
+    at: Instant,
+    seq: u64,
+    task: TimerTask,
+}
+
+impl PartialEq for Timed {
+    fn eq(&self, other: &Timed) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Timed {}
+impl PartialOrd for Timed {
+    fn partial_cmp(&self, other: &Timed) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timed {
+    fn cmp(&self, other: &Timed) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct TimerState {
+    heap: BinaryHeap<Reverse<Timed>>,
+    seq: u64,
+    shutdown: bool,
+    thread: Option<JoinHandle<()>>,
+}
+
+type TimerQueue = Arc<(Mutex<TimerState>, Condvar)>;
+
+/// A [`FanoutGroup`] wrapped with hedging, retry, circuit-breaker, and
+/// background-reconnect machinery (see module docs).
+///
+/// # Examples
+///
+/// See the crate's integration tests and `musuite-core`'s mid-tier, which
+/// routes every scatter through this wrapper.
+pub struct ResilientFanout {
+    group: Arc<FanoutGroup>,
+    config: ResilientConfig,
+    breakers: Vec<CircuitBreaker>,
+    counters: ResilienceCounters,
+    attempt_hist: Mutex<LatencyHistogram>,
+    timers: TimerQueue,
+    clock: Clock,
+}
+
+impl ResilientFanout {
+    /// Wraps `group` with the given resilience tuning.
+    pub fn new(group: Arc<FanoutGroup>, config: ResilientConfig) -> Arc<ResilientFanout> {
+        let breakers = match config.breaker {
+            Some(breaker) => (0..group.len()).map(|_| CircuitBreaker::new(breaker)).collect(),
+            None => Vec::new(),
+        };
+        Arc::new(ResilientFanout {
+            group,
+            config,
+            breakers,
+            counters: ResilienceCounters::new(),
+            attempt_hist: Mutex::new(LatencyHistogram::new()),
+            timers: Arc::new((
+                Mutex::new(TimerState {
+                    heap: BinaryHeap::new(),
+                    seq: 0,
+                    shutdown: false,
+                    thread: None,
+                }),
+                Condvar::new(),
+            )),
+            clock: Clock::new(),
+        })
+    }
+
+    /// The wrapped group.
+    pub fn group(&self) -> &Arc<FanoutGroup> {
+        &self.group
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> &ResilientConfig {
+        &self.config
+    }
+
+    /// This wrapper's event counters (the process-wide
+    /// [`ResilienceCounters::global`] set is ticked as well).
+    pub fn counters(&self) -> &ResilienceCounters {
+        &self.counters
+    }
+
+    /// Number of leaves in the wrapped group.
+    pub fn len(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Returns `true` if the wrapped group has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.group.is_empty()
+    }
+
+    /// The current hedge delay: the configured fixed delay, or the
+    /// configured quantile of observed attempt latencies (`None` until 64
+    /// attempts have been recorded, and floored at 50µs so a noisy early
+    /// estimate cannot hedge every call).
+    pub fn hedge_delay(&self) -> Option<Duration> {
+        match self.config.hedge {
+            HedgePolicy::Off => None,
+            HedgePolicy::After(delay) => Some(delay),
+            HedgePolicy::AtQuantile(q) => {
+                let hist = self.attempt_hist.lock();
+                if hist.count() < 64 {
+                    None
+                } else {
+                    Some(hist.quantile(q).max(Duration::from_micros(50)))
+                }
+            }
+        }
+    }
+
+    fn tick(&self, event: ResilienceEvent) {
+        self.counters.incr(event);
+        ResilienceCounters::global().incr(event);
+    }
+
+    fn admit(&self, leaf: usize) -> Admission {
+        match self.breakers.get(leaf) {
+            None => Admission::Allow,
+            Some(breaker) => breaker.admit(self.clock.now_ns()),
+        }
+    }
+
+    /// Scatters `calls` with the full resilience pipeline and runs
+    /// `on_complete` when every slot has delivered (a winning response or
+    /// its final error). Slot order in the result matches `calls` order.
+    ///
+    /// An empty call list completes immediately on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any target index is out of bounds.
+    pub fn scatter<F>(self: &Arc<Self>, calls: Vec<LeafCall>, on_complete: F)
+    where
+        F: FnOnce(FanoutResult) + Send + 'static,
+    {
+        if calls.is_empty() {
+            on_complete(FanoutResult { replies: Vec::new(), elapsed_ns: 0 });
+            return;
+        }
+        for call in &calls {
+            assert!(call.leaf < self.group.len(), "leaf index {} out of bounds", call.leaf);
+            for &alt in &call.alternates {
+                assert!(alt < self.group.len(), "alternate index {alt} out of bounds");
+            }
+        }
+        let gather = ScatterState::new(calls.len(), self.clock, on_complete);
+        let hedge_delay = self.hedge_delay();
+        for (index, call) in calls.into_iter().enumerate() {
+            let mut targets = vec![call.leaf];
+            for alt in call.alternates {
+                if !targets.contains(&alt) {
+                    targets.push(alt);
+                }
+            }
+            let slot = Arc::new(SlotCtl {
+                index,
+                method: call.method,
+                payload: call.payload,
+                targets,
+                rotation: AtomicUsize::new(1),
+                done: AtomicBool::new(false),
+                pending: AtomicUsize::new(1 + usize::from(hedge_delay.is_some())),
+                retries_left: AtomicUsize::new(self.config.retries as usize),
+                last_error: Mutex::new(None),
+                gather: gather.clone(),
+            });
+            if let Some(delay) = hedge_delay {
+                self.schedule(Instant::now() + delay, TimerTask::Hedge { slot: slot.clone() });
+            }
+            let primary = slot.targets[0];
+            self.launch_attempt(&slot, primary, false);
+        }
+    }
+
+    /// Blocking variant of [`ResilientFanout::scatter`].
+    pub fn scatter_wait(self: &Arc<Self>, calls: Vec<LeafCall>) -> FanoutResult {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.scatter(calls, move |result| {
+            let _ = tx.send(result);
+        });
+        // lint: allow(expect): every slot delivers exactly once, so the completion always runs
+        rx.recv().expect("resilient scatter completion always runs")
+    }
+
+    /// Issues one attempt for `slot` against `target` (or the next
+    /// breaker-admitted target in its rotation). Consumes one pending
+    /// obligation on every path: transferred into the attempt's callback,
+    /// or released through `finish_attempt` if nothing could be issued.
+    fn launch_attempt(self: &Arc<Self>, slot: &Arc<SlotCtl>, target: usize, is_hedge: bool) {
+        let mut target = target;
+        let mut admitted = None;
+        for _ in 0..slot.targets.len() {
+            match self.admit(target) {
+                Admission::Allow => {
+                    admitted = Some(target);
+                    break;
+                }
+                Admission::Probe => {
+                    self.tick(ResilienceEvent::BreakerProbe);
+                    admitted = Some(target);
+                    break;
+                }
+                Admission::Reject => target = slot.next_target(),
+            }
+        }
+        let Some(target) = admitted else {
+            // Every candidate shed: fail the attempt without charging any
+            // breaker (they are already open).
+            self.finish_attempt(slot, None, RpcError::CircuitOpen);
+            return;
+        };
+        let mut client = self.group.client(target);
+        if client.is_closed() {
+            match self.group.reconnect(target) {
+                Ok(replaced) => {
+                    if replaced > 0 {
+                        self.tick(ResilienceEvent::Reconnect);
+                    }
+                    client = self.group.client(target);
+                }
+                Err(error) => {
+                    self.finish_attempt(slot, Some(target), error);
+                    return;
+                }
+            }
+        }
+        let started = Instant::now();
+        let this = self.clone();
+        let slot_cb = slot.clone();
+        let callback = move |result: Result<Bytes, RpcError>| {
+            this.on_attempt_done(&slot_cb, target, is_hedge, started, result);
+        };
+        match self.config.attempt_timeout {
+            Some(timeout) => {
+                client.call_async_deadline(slot.method, slot.payload.clone(), timeout, callback)
+            }
+            None => client.call_async(slot.method, slot.payload.clone(), callback),
+        }
+    }
+
+    /// Runs on the response pick-up (or reaper) thread when one attempt
+    /// completes.
+    fn on_attempt_done(
+        self: &Arc<Self>,
+        slot: &Arc<SlotCtl>,
+        target: usize,
+        is_hedge: bool,
+        started: Instant,
+        result: Result<Bytes, RpcError>,
+    ) {
+        match result {
+            Ok(bytes) => {
+                if let Some(breaker) = self.breakers.get(target) {
+                    if breaker.on_success() {
+                        self.tick(ResilienceEvent::BreakerClosed);
+                    }
+                }
+                self.attempt_hist.lock().record(started.elapsed());
+                if slot.try_claim() {
+                    if is_hedge {
+                        self.tick(ResilienceEvent::HedgeWon);
+                    }
+                    slot.gather.arrive(slot.index, Ok(bytes));
+                }
+                slot.release_pending();
+            }
+            Err(error) => self.finish_attempt(slot, Some(target), error),
+        }
+    }
+
+    /// Accounts a failed attempt: charges the target's breaker, then either
+    /// schedules a retry (transferring the obligation to the timer) or
+    /// releases it — the last release delivers the error to the gather.
+    fn finish_attempt(
+        self: &Arc<Self>,
+        slot: &Arc<SlotCtl>,
+        target: Option<usize>,
+        error: RpcError,
+    ) {
+        if let Some(target) = target {
+            if let Some(breaker) = self.breakers.get(target) {
+                if breaker.on_failure(self.clock.now_ns()) {
+                    self.tick(ResilienceEvent::BreakerOpened);
+                    // Try to heal the leaf in the background so the
+                    // half-open probe has a fresh connection to use.
+                    if let Some(breaker_cfg) = &self.config.breaker {
+                        self.schedule(
+                            Instant::now() + breaker_cfg.cooldown,
+                            TimerTask::Reconnect { leaf: target },
+                        );
+                    }
+                }
+            }
+        }
+        if slot.is_done() {
+            slot.release_pending();
+            return;
+        }
+        *slot.last_error.lock() = Some(error);
+        if slot.take_retry() {
+            self.tick(ResilienceEvent::Retry);
+            let next = slot.next_target();
+            self.schedule(
+                Instant::now() + self.config.backoff,
+                TimerTask::Retry { slot: slot.clone(), target: next },
+            );
+        } else {
+            slot.release_pending();
+        }
+    }
+
+    /// Enqueues a timed task, lazily spawning the timer thread. After
+    /// shutdown, slot-bound tasks settle immediately instead of enqueuing
+    /// so no gather is left waiting on a dead timer.
+    fn schedule(self: &Arc<Self>, at: Instant, task: TimerTask) {
+        let (state_lock, cv) = &*self.timers;
+        let mut state = state_lock.lock();
+        if state.shutdown {
+            drop(state);
+            settle_cancelled(task);
+            return;
+        }
+        let seq = state.seq;
+        state.seq += 1;
+        state.heap.push(Reverse(Timed { at, seq, task }));
+        if state.thread.is_none() {
+            let timers = self.timers.clone();
+            let owner = Arc::downgrade(self);
+            state.thread = Some(
+                std::thread::Builder::new()
+                    .name("musuite-resilient-timer".to_string())
+                    .spawn(move || run_timer_thread(timers, owner))
+                    .expect("spawn resilient timer thread"), // lint: allow(expect): hedges and retries are unschedulable without it
+            );
+        }
+        cv.notify_one();
+    }
+
+    /// Stops the timer thread (settling any queued hedge/retry tasks so
+    /// in-flight gathers complete) and closes every leaf connection, so
+    /// in-flight leaf calls fail fast as transport errors. Idempotent.
+    pub fn shutdown(&self) {
+        let thread = {
+            let (state_lock, cv) = &*self.timers;
+            let mut state = state_lock.lock();
+            state.shutdown = true;
+            let drained: Vec<Timed> = state.heap.drain().map(|Reverse(timed)| timed).collect();
+            let thread = state.thread.take();
+            cv.notify_all();
+            drop(state);
+            for timed in drained {
+                settle_cancelled(timed.task);
+            }
+            thread
+        };
+        if let Some(handle) = thread {
+            let _ = handle.join();
+        }
+        self.group.shutdown_all();
+    }
+}
+
+impl Drop for ResilientFanout {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ResilientFanout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientFanout")
+            .field("leaves", &self.group.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// A cancelled slot-bound task still owes its pending release — without
+/// it, a gather whose hedge/retry was queued at shutdown never completes.
+fn settle_cancelled(task: TimerTask) {
+    match task {
+        TimerTask::Hedge { slot } | TimerTask::Retry { slot, .. } => slot.release_pending(),
+        TimerTask::Reconnect { .. } => {}
+    }
+}
+
+fn run_timer_thread(timers: TimerQueue, owner: Weak<ResilientFanout>) {
+    let (state_lock, cv) = &*timers;
+    let mut state = state_lock.lock();
+    loop {
+        if state.shutdown {
+            break;
+        }
+        let Some(Reverse(head)) = state.heap.peek() else {
+            cv.wait(&mut state);
+            continue;
+        };
+        let now = Instant::now();
+        if head.at > now {
+            let sleep = head.at - now;
+            cv.wait_for(&mut state, sleep);
+            continue;
+        }
+        let Some(Reverse(timed)) = state.heap.pop() else {
+            continue;
+        };
+        // Execute outside the lock: tasks may schedule follow-up work.
+        drop(state);
+        match (timed.task, owner.upgrade()) {
+            (TimerTask::Hedge { slot }, Some(rf)) => {
+                if slot.is_done() {
+                    slot.release_pending();
+                } else {
+                    rf.tick(ResilienceEvent::HedgeFired);
+                    let target = slot.next_target();
+                    rf.launch_attempt(&slot, target, true);
+                }
+            }
+            (TimerTask::Retry { slot, target }, Some(rf)) => {
+                if slot.is_done() {
+                    slot.release_pending();
+                } else {
+                    rf.launch_attempt(&slot, target, false);
+                }
+            }
+            (TimerTask::Reconnect { leaf }, Some(rf)) => {
+                if let Ok(replaced) = rf.group.reconnect(leaf) {
+                    if replaced > 0 {
+                        rf.tick(ResilienceEvent::Reconnect);
+                    }
+                }
+            }
+            // The owner is gone: settle slot obligations, skip the rest.
+            (task, None) => settle_cancelled(task),
+        }
+        state = state_lock.lock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use crate::error::FailureKind;
+    use crate::fault::{FaultPlan, FaultRule};
+    use crate::server::Server;
+    use crate::service::{RequestContext, Service};
+
+    struct TaggedEcho(u8);
+    impl Service for TaggedEcho {
+        fn call(&self, ctx: RequestContext) {
+            let mut reply = vec![self.0];
+            reply.extend_from_slice(ctx.payload());
+            ctx.respond_ok(reply);
+        }
+    }
+
+    fn leaf_cluster(n: u8) -> (Vec<Server>, Arc<FanoutGroup>) {
+        let servers: Vec<Server> = (0..n)
+            .map(|i| Server::spawn(ServerConfig::default(), Arc::new(TaggedEcho(i))).unwrap())
+            .collect();
+        let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+        let group = Arc::new(FanoutGroup::connect(&addrs).unwrap());
+        (servers, group)
+    }
+
+    #[test]
+    fn default_config_matches_plain_scatter() {
+        let (_servers, group) = leaf_cluster(3);
+        let rf = ResilientFanout::new(group, ResilientConfig::default());
+        let calls: Vec<_> = (0..3).map(|leaf| LeafCall::new(leaf, 1, vec![9u8])).collect();
+        let result = rf.scatter_wait(calls);
+        assert!(result.all_ok());
+        for (leaf, reply) in result.successes().iter().enumerate() {
+            assert_eq!(reply, &[leaf as u8, 9]);
+        }
+        assert_eq!(rf.counters().snapshot().total(), 0, "inert config ticks nothing");
+    }
+
+    #[test]
+    fn empty_scatter_completes_immediately() {
+        let (_servers, group) = leaf_cluster(1);
+        let rf = ResilientFanout::new(group, ResilientConfig::default());
+        let result = rf.scatter_wait(Vec::new());
+        assert!(result.replies.is_empty());
+    }
+
+    #[test]
+    fn retry_fails_over_to_alternate_replica() {
+        let (servers, group) = leaf_cluster(2);
+        servers[0].shutdown();
+        std::thread::sleep(Duration::from_millis(50));
+        let config = ResilientConfig {
+            retries: 2,
+            backoff: Duration::from_millis(5),
+            breaker: None,
+            ..ResilientConfig::default()
+        };
+        let rf = ResilientFanout::new(group, config);
+        let call = LeafCall::new(0, 1, vec![7u8]).with_alternates(vec![1]);
+        let result = rf.scatter_wait(vec![call]);
+        assert!(result.all_ok(), "retry must fail over to the healthy replica: {result:?}");
+        assert_eq!(result.successes()[0], [1u8, 7], "served by the alternate leaf");
+        assert!(rf.counters().get(ResilienceEvent::Retry) >= 1);
+    }
+
+    #[test]
+    fn exhausted_retries_deliver_the_last_error() {
+        let (servers, group) = leaf_cluster(1);
+        servers[0].shutdown();
+        std::thread::sleep(Duration::from_millis(50));
+        let config = ResilientConfig {
+            retries: 1,
+            backoff: Duration::from_millis(2),
+            breaker: None,
+            ..ResilientConfig::default()
+        };
+        let rf = ResilientFanout::new(group, config);
+        let result = rf.scatter_wait(vec![LeafCall::new(0, 1, vec![1u8])]);
+        assert_eq!(result.err_count(), 1);
+        assert_eq!(result.kind_of(0), Some(FailureKind::Transport));
+        assert_eq!(rf.counters().get(ResilienceEvent::Retry), 1);
+    }
+
+    #[test]
+    fn breaker_opens_then_sheds_with_circuit_open() {
+        let (servers, group) = leaf_cluster(1);
+        servers[0].shutdown();
+        std::thread::sleep(Duration::from_millis(50));
+        let config = ResilientConfig {
+            breaker: Some(BreakerConfig { threshold: 2, cooldown: Duration::from_secs(30) }),
+            ..ResilientConfig::default()
+        };
+        let rf = ResilientFanout::new(group, config);
+        // First calls fail as transport errors and charge the breaker.
+        for _ in 0..2 {
+            let result = rf.scatter_wait(vec![LeafCall::new(0, 1, vec![1u8])]);
+            assert_eq!(result.err_count(), 1);
+        }
+        assert_eq!(rf.counters().get(ResilienceEvent::BreakerOpened), 1);
+        // Now the breaker sheds instantly without touching the socket.
+        let result = rf.scatter_wait(vec![LeafCall::new(0, 1, vec![1u8])]);
+        assert_eq!(result.kind_of(0), Some(FailureKind::Shed));
+        assert!(matches!(result.replies[0], Err(RpcError::CircuitOpen)));
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_probe() {
+        let (servers, _) = leaf_cluster(1);
+        let addrs = [servers[0].local_addr()];
+        // While armed, leaf 0 is dead: every send disconnects, reconnects
+        // are refused. Disarming simulates the leaf coming back.
+        let plan = FaultPlan::builder(23, 1).dead_leaf(0).build();
+        let group = Arc::new(FanoutGroup::connect_with_plan(&addrs, 1, Some(&plan)).unwrap());
+        let config = ResilientConfig {
+            breaker: Some(BreakerConfig { threshold: 1, cooldown: Duration::from_millis(30) }),
+            ..ResilientConfig::default()
+        };
+        let rf = ResilientFanout::new(group, config);
+        plan.arm();
+        let result = rf.scatter_wait(vec![LeafCall::new(0, 1, vec![1u8])]);
+        assert_eq!(result.err_count(), 1);
+        assert_eq!(rf.counters().get(ResilienceEvent::BreakerOpened), 1);
+        // Shed while the cooldown is pending.
+        let result = rf.scatter_wait(vec![LeafCall::new(0, 1, vec![1u8])]);
+        assert!(matches!(result.replies[0], Err(RpcError::CircuitOpen)), "{result:?}");
+        // The leaf recovers; the half-open probe reconnects and closes.
+        plan.disarm();
+        std::thread::sleep(Duration::from_millis(60));
+        let result = rf.scatter_wait(vec![LeafCall::new(0, 1, vec![2u8])]);
+        assert!(result.all_ok(), "half-open probe must recover: {result:?}");
+        assert!(rf.counters().get(ResilienceEvent::BreakerProbe) >= 1);
+        assert!(rf.counters().get(ResilienceEvent::BreakerClosed) >= 1);
+        assert!(rf.counters().get(ResilienceEvent::Reconnect) >= 1);
+    }
+
+    #[test]
+    fn hedge_wins_against_a_delayed_primary() {
+        let (servers, _) = leaf_cluster(2);
+        let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+        // Leaf 0's sends are held back 300ms; leaf 1 is healthy.
+        let plan = FaultPlan::builder(21, 2).slow_leaf(0, Duration::from_millis(300)).build();
+        let group = Arc::new(FanoutGroup::connect_with_plan(&addrs, 1, Some(&plan)).unwrap());
+        let config = ResilientConfig {
+            hedge: HedgePolicy::After(Duration::from_millis(20)),
+            breaker: None,
+            ..ResilientConfig::default()
+        };
+        let rf = ResilientFanout::new(group, config);
+        plan.arm();
+        let started = Instant::now();
+        let call = LeafCall::new(0, 1, vec![3u8]).with_alternates(vec![1]);
+        let result = rf.scatter_wait(vec![call]);
+        let elapsed = started.elapsed();
+        assert!(result.all_ok(), "hedge must win: {result:?}");
+        assert_eq!(result.successes()[0], [1u8, 3], "the hedge's replica answered");
+        assert!(
+            elapsed < Duration::from_millis(250),
+            "hedged call must not wait out the delayed primary: {elapsed:?}"
+        );
+        assert_eq!(rf.counters().get(ResilienceEvent::HedgeFired), 1);
+        assert_eq!(rf.counters().get(ResilienceEvent::HedgeWon), 1);
+        // The delayed primary eventually completes; its late response is
+        // discarded by the claim, never delivered twice.
+        std::thread::sleep(Duration::from_millis(350));
+    }
+
+    #[test]
+    fn quantile_hedge_is_inert_until_warm() {
+        let (_servers, group) = leaf_cluster(1);
+        let config = ResilientConfig {
+            hedge: HedgePolicy::AtQuantile(0.99),
+            breaker: None,
+            ..ResilientConfig::default()
+        };
+        let rf = ResilientFanout::new(group, config);
+        assert_eq!(rf.hedge_delay(), None, "no estimate before 64 attempts");
+        for round in 0..70u8 {
+            let result = rf.scatter_wait(vec![LeafCall::new(0, 1, vec![round])]);
+            assert!(result.all_ok());
+        }
+        let delay = rf.hedge_delay().expect("estimate after warm-up");
+        assert!(delay >= Duration::from_micros(50), "floored estimate: {delay:?}");
+        assert_eq!(rf.counters().get(ResilienceEvent::HedgeWon), 0, "fast path never hedged");
+    }
+
+    #[test]
+    fn corruption_is_retried_never_returned_as_data() {
+        let (servers, _) = leaf_cluster(1);
+        let addrs = [servers[0].local_addr()];
+        // Every first-of-3 request frame is corrupted on the wire.
+        let plan = FaultPlan::builder(22, 1)
+            .rule(
+                0,
+                FaultRule {
+                    kind: crate::fault::FaultKind::Corrupt,
+                    from: 0,
+                    until: 0,
+                    every: 1,
+                    probability: 1.0,
+                },
+            )
+            .build();
+        let group = Arc::new(FanoutGroup::connect_with_plan(&addrs, 1, Some(&plan)).unwrap());
+        let config = ResilientConfig {
+            retries: 2,
+            backoff: Duration::from_millis(10),
+            attempt_timeout: Some(Duration::from_millis(250)),
+            breaker: None,
+            ..ResilientConfig::default()
+        };
+        let rf = ResilientFanout::new(group, config);
+        plan.arm();
+        let result = rf.scatter_wait(vec![LeafCall::new(0, 1, vec![0xAB])]);
+        assert!(result.all_ok(), "retry after checksum rejection must succeed: {result:?}");
+        assert_eq!(result.successes()[0], [0u8, 0xAB], "data intact after retry");
+        assert!(rf.counters().get(ResilienceEvent::Retry) >= 1);
+        assert!(rf.counters().get(ResilienceEvent::Reconnect) >= 1, "broken conn was replaced");
+    }
+
+    #[test]
+    fn shutdown_settles_pending_hedges() {
+        let (_servers, group) = leaf_cluster(1);
+        let config = ResilientConfig {
+            hedge: HedgePolicy::After(Duration::from_secs(60)),
+            breaker: None,
+            ..ResilientConfig::default()
+        };
+        let rf = ResilientFanout::new(group, config);
+        let result = rf.scatter_wait(vec![LeafCall::new(0, 1, vec![5u8])]);
+        assert!(result.all_ok());
+        rf.shutdown();
+        rf.shutdown();
+        // With the leaf gone too, post-shutdown scatters fail fast (the
+        // queued hedge settles instantly) instead of hanging on a timer.
+        _servers[0].shutdown();
+        let started = Instant::now();
+        let result = rf.scatter_wait(vec![LeafCall::new(0, 1, vec![6u8])]);
+        assert_eq!(result.err_count(), 1);
+        assert!(started.elapsed() < Duration::from_secs(5), "must not wait for the 60s hedge");
+    }
+
+    #[test]
+    fn breaker_state_machine_unit() {
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            threshold: 2,
+            cooldown: Duration::from_nanos(100),
+        });
+        assert_eq!(breaker.admit(0), Admission::Allow);
+        assert!(!breaker.on_failure(0), "below threshold stays closed");
+        assert!(breaker.on_failure(0), "threshold opens");
+        assert!(breaker.is_open());
+        assert_eq!(breaker.admit(50), Admission::Reject, "cooldown pending");
+        assert!(!breaker.on_failure(60), "failures while open do not extend cooldown");
+        assert_eq!(breaker.admit(100), Admission::Probe, "cooldown elapsed");
+        assert_eq!(breaker.admit(100), Admission::Reject, "only one probe");
+        assert!(breaker.on_success(), "probe success closes");
+        assert!(!breaker.is_open());
+        assert!(!breaker.on_success(), "already closed");
+        // Re-open, then check that a failed probe reopens immediately.
+        assert!(!breaker.on_failure(200), "consecutive count restarted after close");
+        assert!(breaker.on_failure(300));
+        assert_eq!(breaker.admit(400), Admission::Probe);
+        assert!(breaker.on_failure(400), "failed probe reopens");
+        assert_eq!(breaker.admit(450), Admission::Reject);
+    }
+
+    #[test]
+    fn debug_impls_are_nonempty() {
+        let (_servers, group) = leaf_cluster(1);
+        let rf = ResilientFanout::new(group, ResilientConfig::default());
+        assert!(format!("{rf:?}").contains("ResilientFanout"));
+        let breaker = CircuitBreaker::new(BreakerConfig::default());
+        assert!(format!("{breaker:?}").contains("Closed"));
+        let call = LeafCall::new(0, 1, vec![1u8]).with_alternates(vec![2]);
+        assert!(format!("{call:?}").contains("alternates"));
+    }
+}
+
+#[cfg(all(test, musuite_check))]
+mod model_tests {
+    use super::*;
+    use musuite_check::{thread, Checker};
+
+    /// Two threads race `on_failure` against a threshold-2 breaker:
+    /// exactly one observes the closed → open transition in every
+    /// interleaving, so `BreakerOpened` is ticked exactly once.
+    #[test]
+    fn concurrent_failures_open_exactly_once() {
+        let report = Checker::new()
+            .check(|| {
+                let breaker = Arc::new(CircuitBreaker::new(BreakerConfig {
+                    threshold: 2,
+                    cooldown: Duration::from_secs(1),
+                }));
+                let b2 = breaker.clone();
+                let racer = thread::spawn(move || b2.on_failure(0));
+                let here = breaker.on_failure(0);
+                let there = racer.join().unwrap();
+                assert_eq!(
+                    usize::from(here) + usize::from(there),
+                    1,
+                    "exactly one failure observes the open transition"
+                );
+                assert!(breaker.is_open());
+            })
+            .expect("breaker opening must be exactly-once in every schedule");
+        assert!(report.iterations > 1);
+    }
+
+    /// Two threads race `admit` against an expired open breaker: exactly
+    /// one wins the half-open probe, the other is rejected.
+    #[test]
+    fn expired_cooldown_admits_exactly_one_probe() {
+        Checker::new()
+            .check(|| {
+                let breaker = Arc::new(CircuitBreaker::new(BreakerConfig {
+                    threshold: 1,
+                    cooldown: Duration::from_nanos(10),
+                }));
+                assert!(breaker.on_failure(0), "arm: breaker open");
+                let b2 = breaker.clone();
+                let racer = thread::spawn(move || b2.admit(100));
+                let here = breaker.admit(100);
+                let there = racer.join().unwrap();
+                let probes = [here, there]
+                    .iter()
+                    .filter(|admission| **admission == Admission::Probe)
+                    .count();
+                assert_eq!(probes, 1, "exactly one half-open probe per open period");
+                assert!(
+                    [here, there].contains(&Admission::Reject),
+                    "the loser is rejected while the probe is in flight"
+                );
+            })
+            .expect("probe admission must be exactly-once in every schedule");
+    }
+
+    /// The hedge-vs-primary race over the real `SlotCtl` + `ScatterState`
+    /// machinery: a winning response and a failing attempt resolve
+    /// concurrently. In every interleaving the gather merges exactly once,
+    /// a success is never displaced by the loser's error, and the loser's
+    /// completion path never delivers twice.
+    #[test]
+    fn hedge_and_primary_claim_exactly_once() {
+        let report = Checker::new()
+            .check(|| {
+                let merged = Arc::new(AtomicUsize::new(0));
+                let gather = ScatterState::new(1, Clock::new(), {
+                    let merged = merged.clone();
+                    move |result: FanoutResult| {
+                        assert_eq!(result.replies.len(), 1);
+                        assert!(
+                            result.replies[0].is_ok(),
+                            "a delivered success must never be displaced by the loser"
+                        );
+                        merged.fetch_add(1, Ordering::AcqRel);
+                    }
+                });
+                let slot = Arc::new(SlotCtl {
+                    index: 0,
+                    method: 1,
+                    payload: Payload::new(),
+                    targets: vec![0, 1],
+                    rotation: AtomicUsize::new(1),
+                    done: AtomicBool::new(false),
+                    // Two obligations in flight: primary and hedge.
+                    pending: AtomicUsize::new(2),
+                    retries_left: AtomicUsize::new(0),
+                    last_error: Mutex::new(None),
+                    gather,
+                });
+                // Winner: a successful attempt (primary or hedge — the
+                // claim logic is identical).
+                let winner = {
+                    let slot = slot.clone();
+                    thread::spawn(move || {
+                        if slot.try_claim() {
+                            slot.gather.arrive(slot.index, Ok(Bytes::from_static(b"win")));
+                        }
+                        slot.release_pending();
+                    })
+                };
+                // Loser: a failing attempt with no retries left.
+                *slot.last_error.lock() = Some(RpcError::TimedOut);
+                slot.release_pending();
+                winner.join().unwrap();
+                assert_eq!(merged.load(Ordering::Acquire), 1, "gather merged exactly once");
+                assert!(slot.is_done());
+            })
+            .expect("slot claim must be exactly-once in every schedule");
+        assert!(report.iterations > 1, "both resolution orders must be explored");
+    }
+}

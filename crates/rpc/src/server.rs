@@ -311,7 +311,16 @@ fn spawn_poller(
                 counters.incr(OsOp::RecvMsg);
                 let frame = match reader.read_frame_after_first_byte(first[0]) {
                     Ok(frame) => frame,
-                    Err(_) => break,
+                    Err(_) => {
+                        // A malformed or checksum-rejected frame poisons
+                        // the stream. Close both halves explicitly (the
+                        // conn table holds another handle, so dropping
+                        // ours is not enough) so the peer observes the
+                        // failure immediately instead of timing out on a
+                        // silent connection.
+                        let _ = reader.get_ref().shutdown(std::net::Shutdown::Both);
+                        break;
+                    }
                 };
                 let received = clock.now_ns();
                 stats.breakdown().record(Stage::NetRx, clock.delta(rx_start, received));

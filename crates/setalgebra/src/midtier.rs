@@ -8,9 +8,11 @@
 
 use crate::protocol::{PostingList, TermQuery};
 use crate::union_merge::union_sorted;
+use musuite_core::degrade::Degraded;
 use musuite_core::error::ServiceError;
 use musuite_core::midtier::{MidTierHandler, Plan};
 use musuite_rpc::RpcError;
+use musuite_telemetry::resilience::{ResilienceCounters, ResilienceEvent};
 
 /// The broadcast-and-union mid-tier microservice.
 #[derive(Debug, Default)]
@@ -25,7 +27,7 @@ impl SetAlgebraMidTier {
 
 impl MidTierHandler for SetAlgebraMidTier {
     type Request = TermQuery;
-    type Response = PostingList;
+    type Response = Degraded<PostingList>;
     // Every shard receives the identical term list, so the query is shared
     // state: serialized once, fanned out by reference count.
     type SharedRequest = TermQuery;
@@ -40,14 +42,28 @@ impl MidTierHandler for SetAlgebraMidTier {
         &self,
         _request: TermQuery,
         replies: Vec<Result<PostingList, RpcError>>,
-    ) -> Result<PostingList, ServiceError> {
-        // Document retrieval must not silently drop a shard: a missing
-        // shard means missing documents, so any leaf failure is an error.
-        let mut lists = Vec::with_capacity(replies.len());
-        for reply in replies {
-            lists.push(reply.map_err(|e| ServiceError::unavailable(e.to_string()))?.docs);
+    ) -> Result<Degraded<PostingList>, ServiceError> {
+        // Document retrieval must not *silently* drop a shard: a missing
+        // shard means missing documents. A quorum of surviving shards may
+        // still answer, but only inside an explicitly degraded envelope;
+        // below a majority the result is too incomplete to be useful.
+        let total = replies.len();
+        let mut lists = Vec::with_capacity(total);
+        for reply in replies.into_iter().flatten() {
+            lists.push(reply.docs);
         }
-        Ok(PostingList { docs: union_sorted(lists) })
+        let ok = lists.len();
+        if ok * 2 <= total {
+            return Err(ServiceError::unavailable(format!(
+                "only {ok}/{total} shards answered: no quorum"
+            )));
+        }
+        let response =
+            Degraded::partial(PostingList { docs: union_sorted(lists) }, ok as u32, total as u32);
+        if response.degraded {
+            ResilienceCounters::global().incr(ResilienceEvent::DegradedResponse);
+        }
+        Ok(response)
     }
 }
 
@@ -78,16 +94,35 @@ mod tests {
                 ],
             )
             .unwrap();
-        assert_eq!(merged.docs, vec![0, 1, 2, 4, 5]);
+        assert!(!merged.degraded);
+        assert_eq!(merged.value.docs, vec![0, 1, 2, 4, 5]);
     }
 
     #[test]
-    fn merge_fails_on_any_shard_failure() {
+    fn merge_with_quorum_degrades_explicitly() {
+        let mid = SetAlgebraMidTier::new();
+        let merged = mid
+            .merge(
+                TermQuery::default(),
+                vec![
+                    Ok(PostingList { docs: vec![1] }),
+                    Ok(PostingList { docs: vec![2] }),
+                    Err(RpcError::TimedOut),
+                ],
+            )
+            .unwrap();
+        assert!(merged.degraded, "a lost shard must be reported");
+        assert_eq!((merged.shards_ok, merged.shards_total), (2, 3));
+        assert_eq!(merged.value.docs, vec![1, 2]);
+    }
+
+    #[test]
+    fn merge_fails_below_quorum() {
         let mid = SetAlgebraMidTier::new();
         let result = mid.merge(
             TermQuery::default(),
             vec![Ok(PostingList { docs: vec![1] }), Err(RpcError::TimedOut)],
         );
-        assert!(result.is_err(), "a lost shard means lost documents");
+        assert!(result.is_err(), "half the shards is not a quorum");
     }
 }

@@ -4,6 +4,7 @@ use crate::leaf::SetAlgebraLeaf;
 use crate::midtier::SetAlgebraMidTier;
 use crate::protocol::{PostingList, TermQuery};
 use musuite_core::cluster::{Cluster, ClusterConfig, TypedClient};
+use musuite_core::degrade::Degraded;
 use musuite_data::text::{DocId, TermId, TextCorpus};
 use musuite_rpc::RpcError;
 use std::net::SocketAddr;
@@ -95,21 +96,35 @@ impl std::fmt::Debug for SetAlgebraService {
 
 /// A typed document-search client.
 pub struct SetAlgebraClient {
-    inner: TypedClient<TermQuery, PostingList>,
+    inner: TypedClient<TermQuery, Degraded<PostingList>>,
 }
 
 impl SetAlgebraClient {
-    /// Returns the ids of documents containing **all** of `terms`.
+    /// Returns the ids of documents containing **all** of `terms`,
+    /// dropping the degradation envelope (use
+    /// [`search_with_status`](SetAlgebraClient::search_with_status) to
+    /// see whether shards were missing).
     ///
     /// # Errors
     ///
-    /// Returns transport errors or a shard failure.
+    /// Returns transport errors or a below-quorum shard failure.
     pub fn search(&self, terms: &[TermId]) -> Result<Vec<DocId>, RpcError> {
-        Ok(self.inner.call_typed(&TermQuery { terms: terms.to_vec() })?.docs)
+        Ok(self.search_with_status(terms)?.value.docs)
+    }
+
+    /// Returns matching documents along with the shard accounting: a
+    /// degraded response unions only a surviving quorum of shards and may
+    /// miss documents from the shards that failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or a below-quorum shard failure.
+    pub fn search_with_status(&self, terms: &[TermId]) -> Result<Degraded<PostingList>, RpcError> {
+        self.inner.call_typed(&TermQuery { terms: terms.to_vec() })
     }
 
     /// The underlying typed client (for async use in load generators).
-    pub fn typed(&self) -> &TypedClient<TermQuery, PostingList> {
+    pub fn typed(&self) -> &TypedClient<TermQuery, Degraded<PostingList>> {
         &self.inner
     }
 }

@@ -40,6 +40,7 @@ pub mod counters;
 pub mod histogram;
 pub mod procstat;
 pub mod report;
+pub mod resilience;
 pub mod summary;
 pub mod sync;
 pub mod wakeup;
@@ -49,6 +50,7 @@ pub use clock::Clock;
 pub use counters::{OsOp, OsOpCounters};
 pub use histogram::LatencyHistogram;
 pub use procstat::{ContextSwitches, SchedStat, TcpStats};
+pub use resilience::{ResilienceCounters, ResilienceEvent};
 pub use summary::DistributionSummary;
 pub use sync::{CountedCondvar, CountedMutex};
 pub use wakeup::WakeupProbe;

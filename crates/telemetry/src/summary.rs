@@ -56,6 +56,19 @@ pub struct DistributionSummary {
     pub p999: Duration,
     /// Largest sample.
     pub max: Duration,
+    /// Requests that exceeded their deadline (not in the histogram).
+    pub timeouts: u64,
+    /// Requests lost to transport failures: I/O, torn connections,
+    /// corrupt frames (not in the histogram).
+    pub transport_errors: u64,
+    /// Requests shed by overload protection or an open circuit breaker
+    /// (not in the histogram).
+    pub sheds: u64,
+    /// Requests the remote handler rejected (not in the histogram).
+    pub remote_errors: u64,
+    /// Successes answered from a degraded (partial-shard) merge; these
+    /// ARE counted in the histogram and in `count`.
+    pub degraded: u64,
 }
 
 impl DistributionSummary {
@@ -74,7 +87,25 @@ impl DistributionSummary {
             p99: h.quantile(0.99),
             p999: h.quantile(0.999),
             max: h.max(),
+            timeouts: 0,
+            transport_errors: 0,
+            sheds: 0,
+            remote_errors: 0,
+            degraded: 0,
         }
+    }
+
+    /// Total failed requests across all failure kinds.
+    pub fn error_count(&self) -> u64 {
+        self.timeouts + self.transport_errors + self.sheds + self.remote_errors
+    }
+
+    /// Renders the failure accounting as a compact single line.
+    pub fn failures_row(&self) -> String {
+        format!(
+            "timeouts={} transport={} shed={} remote={} degraded_ok={}",
+            self.timeouts, self.transport_errors, self.sheds, self.remote_errors, self.degraded,
+        )
     }
 
     /// Renders the row used by the bench harness tables, in microseconds.

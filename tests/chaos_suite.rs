@@ -1,0 +1,346 @@
+//! Chaos integration suite: seeded fault plans against live clusters.
+//!
+//! Every scenario here drives a real three-tier cluster (real sockets,
+//! real threads) through a deterministic [`FaultPlan`] and asserts the
+//! resilience layer's contract: availability under a dead leaf, tail
+//! latency under a slow leaf, data integrity under corruption, and
+//! byte-for-byte replayability from the printed seed. If a test fails,
+//! rebuild the plan from the seed it printed to reproduce the exact
+//! fault sequence.
+
+use musuite::core::cluster::{Cluster, ClusterConfig};
+use musuite::core::degrade::Degraded;
+use musuite::core::error::ServiceError;
+use musuite::core::leaf::LeafHandler;
+use musuite::core::midtier::{MidTierHandler, Plan};
+use musuite::rpc::{FaultKind, FaultPlan, HedgePolicy, ResilientConfig, RpcError};
+use musuite::telemetry::resilience::ResilienceEvent;
+use std::time::{Duration, Instant};
+
+/// A leaf that squares its input after a small fixed service time, so
+/// latency distributions are dominated by the (deterministic) handler
+/// rather than scheduler noise.
+struct SlowSquareLeaf(Duration);
+
+impl LeafHandler for SlowSquareLeaf {
+    type Request = u64;
+    type Response = u64;
+    fn handle(&self, request: u64) -> Result<u64, ServiceError> {
+        std::thread::sleep(self.0);
+        Ok(request * request)
+    }
+}
+
+/// Broadcast mid-tier: sums leaf squares, reporting shard accounting.
+struct SumSquares;
+
+impl MidTierHandler for SumSquares {
+    type Request = u64;
+    type Response = Degraded<u64>;
+    type SharedRequest = u64;
+    type LeafRequest = ();
+    type LeafResponse = u64;
+    fn plan(&self, request: &u64, leaves: usize) -> Plan<u64, ()> {
+        Plan::broadcast(*request, (), leaves)
+    }
+    fn merge(
+        &self,
+        _request: u64,
+        replies: Vec<Result<u64, RpcError>>,
+    ) -> Result<Degraded<u64>, ServiceError> {
+        let total = replies.len();
+        let oks: Vec<u64> = replies.into_iter().flatten().collect();
+        if oks.is_empty() {
+            return Err(ServiceError::unavailable("all leaves failed"));
+        }
+        Ok(Degraded::partial(oks.iter().sum(), oks.len() as u32, total as u32))
+    }
+}
+
+/// Read-replica mid-tier: every leaf holds the same logic, so a read
+/// targets one primary and may fail over (retry/hedge) to the others —
+/// the Router read pattern, reduced to its essentials.
+struct PrimaryWithFailover;
+
+impl MidTierHandler for PrimaryWithFailover {
+    type Request = u64;
+    type Response = u64;
+    type SharedRequest = u64;
+    type LeafRequest = ();
+    type LeafResponse = u64;
+    fn plan(&self, request: &u64, leaves: usize) -> Plan<u64, ()> {
+        Plan::new(*request, vec![(0, ())]).with_alternates(vec![(1..leaves).collect()])
+    }
+    fn merge(
+        &self,
+        _request: u64,
+        replies: Vec<Result<u64, RpcError>>,
+    ) -> Result<u64, ServiceError> {
+        replies
+            .into_iter()
+            .next()
+            .ok_or_else(|| ServiceError::new("no replica targeted"))?
+            .map_err(|e| ServiceError::unavailable(e.to_string()))
+    }
+}
+
+fn p99(mut samples: Vec<Duration>) -> Duration {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    samples[(samples.len() * 99) / 100 - 1]
+}
+
+#[test]
+fn dead_leaf_degrades_hdsearch_and_recommend_without_losing_availability() {
+    use musuite::data::ratings::{RatingsConfig, RatingsDataset};
+    use musuite::data::vectors::{VectorDataset, VectorDatasetConfig};
+    use musuite::hdsearch::lsh::LshConfig;
+    use musuite::hdsearch::service::HdSearchService;
+    use musuite::recommend::service::RecommendService;
+
+    let seed = 0xC4A05_u64;
+    println!("chaos seed: {seed}");
+
+    // --- HDSearch: 4 shards, shard 2 dead. ---
+    let plan = FaultPlan::builder(seed, 4).dead_leaf(2).build();
+    let ds = VectorDataset::generate(&VectorDatasetConfig {
+        points: 1_200,
+        dim: 24,
+        clusters: 12,
+        spread: 0.05,
+        seed: 21,
+    });
+    let queries = ds.sample_queries(25, 0.005);
+    // Coarse buckets: candidate sets large enough that every plan spans
+    // all four shards, making the degradation contract exact.
+    let lsh = LshConfig { tables: 8, hashes_per_table: 4, bucket_width: 16.0, probes: 9, seed: 42 };
+    let service = HdSearchService::launch_with(
+        ClusterConfig::new().leaves(4).fault_plan(plan.clone()),
+        ds,
+        lsh,
+    )
+    .unwrap();
+    let client = service.client().unwrap();
+    plan.arm();
+    let mut wide_plans = 0usize;
+    for q in &queries {
+        // 100 % of requests must be answered, every one explicitly
+        // accounting for the dead shard.
+        let got = client.search_with_status(q, 5).unwrap();
+        assert!(got.shards_ok + 1 >= got.shards_total, "only one shard may be missing");
+        if got.shards_total == 4 {
+            wide_plans += 1;
+            assert!(got.degraded, "the dead shard must be reported");
+            assert_eq!(got.shards_ok, 3, "a 4-shard plan must keep 3 shards");
+            assert!(!got.value.is_empty(), "best-effort top-k still answers");
+        }
+    }
+    assert!(wide_plans * 10 >= queries.len() * 6, "most LSH plans span all 4 shards");
+    assert!(plan.injected() > 0, "the dead leaf must actually have been hit");
+    service.shutdown();
+
+    // --- Recommend: broadcast fan-out makes the contract exact. ---
+    let plan = FaultPlan::builder(seed, 4).dead_leaf(1).build();
+    let data = RatingsDataset::generate(&RatingsConfig {
+        users: 80,
+        items: 60,
+        rank: 4,
+        observations: 2_000,
+        noise: 0.05,
+        seed: 31,
+    });
+    let service = RecommendService::launch_with(
+        ClusterConfig::new().leaves(4).fault_plan(plan.clone()),
+        &data,
+        Default::default(),
+        10,
+    )
+    .unwrap();
+    let client = service.client().unwrap();
+    plan.arm();
+    for &(user, item) in data.sample_queries(40).iter() {
+        let got = client.predict_with_status(user, item).unwrap();
+        assert!(got.degraded, "every broadcast touches the dead shard");
+        assert_eq!((got.shards_ok, got.shards_total), (3, 4));
+        assert!(got.value.is_finite() && got.value > 0.0, "rating stays sane: {}", got.value);
+    }
+    assert!(plan.injected() > 0);
+    service.shutdown();
+}
+
+#[test]
+fn slow_leaf_hedging_bounds_the_tail() {
+    let seed = 0x51_0e_u64;
+    println!("chaos seed: {seed}");
+    let service_time = Duration::from_millis(5);
+    // The primary replica stalls every request at 10x the fault-free p50.
+    // The hedge delay is fixed rather than quantile-derived: with EVERY
+    // request routed at the one slow leaf, the delayed attempts would
+    // dominate the observed-latency histogram and drag a quantile-based
+    // delay up to the fault itself (quantile hedging assumes faults are
+    // a minority of attempts; this scenario violates that on purpose).
+    let plan = FaultPlan::builder(seed, 4).slow_leaf(0, Duration::from_millis(50)).build();
+    let config =
+        ClusterConfig::new().leaves(4).fault_plan(plan.clone()).resilience(ResilientConfig {
+            attempt_timeout: Some(Duration::from_millis(500)),
+            hedge: HedgePolicy::After(Duration::from_millis(8)),
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            ..Default::default()
+        });
+    let cluster =
+        Cluster::launch(config, PrimaryWithFailover, |_| SlowSquareLeaf(service_time)).unwrap();
+    let client = cluster.client::<u64, u64>().unwrap();
+
+    let measure = |n: usize| -> Vec<Duration> {
+        (0..n)
+            .map(|i| {
+                let start = Instant::now();
+                assert_eq!(client.call_typed(&(i as u64)).unwrap(), (i * i) as u64);
+                start.elapsed()
+            })
+            .collect()
+    };
+
+    // Fault-free phase first: the baseline comes from the same run, same
+    // binary, same host — never a stored number.
+    let fault_free_p99 = p99(measure(120));
+    plan.arm();
+    let faulted_p99 = p99(measure(120));
+    plan.disarm();
+
+    let counters = cluster.fanout().counters();
+    assert!(counters.get(ResilienceEvent::HedgeFired) > 0, "hedges must fire");
+    assert!(counters.get(ResilienceEvent::HedgeWon) > 0, "hedges must win vs the slow leaf");
+    assert!(plan.injected_of(FaultKind::Delay(Duration::ZERO)) > 0);
+    assert!(
+        faulted_p99 <= fault_free_p99 * 3,
+        "hedged p99 {faulted_p99:?} must stay within 3x fault-free p99 {fault_free_p99:?} \
+         (replay with seed {seed})",
+        seed = plan.seed(),
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn corruption_is_detected_and_retried_never_served() {
+    let seed = 0xBADF00D_u64;
+    println!("chaos seed: {seed}");
+    // Leaf 1 corrupts every 3rd frame on the wire; the server's checksum
+    // must reject each one and the retry path must re-send it intact.
+    let plan = FaultPlan::builder(seed, 2).corrupting_leaf(1, 3).build();
+    let config =
+        ClusterConfig::new().leaves(2).fault_plan(plan.clone()).resilience(ResilientConfig {
+            attempt_timeout: Some(Duration::from_millis(500)),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            ..Default::default()
+        });
+    let cluster = Cluster::launch(config, SumSquares, |_| SlowSquareLeaf(Duration::ZERO)).unwrap();
+    let client = cluster.client::<u64, Degraded<u64>>().unwrap();
+    plan.arm();
+    for q in 0..60u64 {
+        // Every answer must be the exact arithmetic truth: a corrupt
+        // frame may cost a retry, never an answer built from bad bytes.
+        let got = client.call_typed(&q).unwrap();
+        assert_eq!(got.value, 2 * q * q, "corruption must never alter data (seed {seed})");
+        assert!(!got.degraded, "retries must restore full fidelity");
+    }
+    plan.disarm();
+    assert!(plan.injected_of(FaultKind::Corrupt) > 0, "the corruptor must have fired");
+    let counters = cluster.fanout().counters();
+    assert!(counters.get(ResilienceEvent::Retry) >= plan.injected_of(FaultKind::Corrupt));
+    cluster.shutdown();
+}
+
+#[test]
+fn flapping_leaf_is_ridden_out_by_retries() {
+    let seed = 0xF1AB_u64;
+    println!("chaos seed: {seed}");
+    let plan = FaultPlan::builder(seed, 4).flapping_leaf(3, 4).build();
+    let config =
+        ClusterConfig::new().leaves(4).fault_plan(plan.clone()).resilience(ResilientConfig {
+            attempt_timeout: Some(Duration::from_millis(500)),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            ..Default::default()
+        });
+    let cluster = Cluster::launch(config, SumSquares, |_| SlowSquareLeaf(Duration::ZERO)).unwrap();
+    let client = cluster.client::<u64, Degraded<u64>>().unwrap();
+    plan.arm();
+    for q in 0..80u64 {
+        let got = client.call_typed(&q).unwrap();
+        assert_eq!(got.value, 4 * q * q, "all four shards must contribute (seed {seed})");
+        assert!(!got.degraded, "a flap must be repaired by retry, not degraded away");
+    }
+    plan.disarm();
+    assert!(plan.injected_of(FaultKind::Disconnect) > 0, "the leaf must actually have flapped");
+    let counters = cluster.fanout().counters();
+    assert!(counters.get(ResilienceEvent::Retry) > 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn fault_plans_replay_byte_for_byte_from_their_seed() {
+    let seed = 0x5EED_u64;
+    println!("chaos seed: {seed}");
+    let run = |seed: u64| -> String {
+        let plan = FaultPlan::builder(seed, 3).dead_leaf(2).build();
+        // Retries and breakers off: the fault log is then a pure function
+        // of (seed, per-leaf call sequence), which serial queries fix.
+        let config = ClusterConfig::new()
+            .leaves(3)
+            .fault_plan(plan.clone())
+            .resilience(ResilientConfig { breaker: None, ..Default::default() });
+        let cluster =
+            Cluster::launch(config, SumSquares, |_| SlowSquareLeaf(Duration::ZERO)).unwrap();
+        let client = cluster.client::<u64, Degraded<u64>>().unwrap();
+        plan.arm();
+        for q in 0..20u64 {
+            let got = client.call_typed(&q).unwrap();
+            assert_eq!(got.value, 2 * q * q);
+            assert!(got.degraded);
+        }
+        plan.disarm();
+        cluster.shutdown();
+        format!("{:?}", plan.events())
+    };
+    let first = run(seed);
+    let second = run(seed);
+    assert_eq!(first, second, "same seed + same workload must replay identically");
+    let other = run(seed + 1);
+    assert_eq!(first.len(), other.len(), "sibling seeds see the same workload shape");
+}
+
+#[test]
+fn teardown_mid_scatter_fails_fast() {
+    // Shutdown ordering contract: the mid-tier and its fan-out stop
+    // before the leaves, so a query stuck behind slow leaves collapses
+    // promptly instead of waiting out the full leaf service time chain.
+    let cluster = Cluster::launch(ClusterConfig::new().leaves(3), SumSquares, |_| {
+        SlowSquareLeaf(Duration::from_millis(250))
+    })
+    .unwrap();
+    let client = cluster.client::<u64, Degraded<u64>>().unwrap();
+    let (tx, rx) = std::sync::mpsc::channel();
+    for q in 0..4u64 {
+        let tx = tx.clone();
+        client.call_typed_async(&q, move |result| {
+            let _ = tx.send(result.is_err());
+        });
+    }
+    drop(tx);
+    std::thread::sleep(Duration::from_millis(20));
+    let start = Instant::now();
+    cluster.shutdown();
+    let mut outcomes = Vec::new();
+    while let Ok(errored) = rx.recv_timeout(Duration::from_secs(5)) {
+        outcomes.push(errored);
+    }
+    assert_eq!(outcomes.len(), 4, "every in-flight query must resolve");
+    assert!(
+        start.elapsed() < Duration::from_secs(3),
+        "teardown must fail fast, took {:?}",
+        start.elapsed()
+    );
+}

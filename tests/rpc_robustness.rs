@@ -205,14 +205,19 @@ fn midtier_survives_leaf_flap() {
     let service = SetAlgebraService::launch(&corpus, 3, 0).unwrap();
     let client = service.client().unwrap();
     let query = corpus.sample_queries(1).remove(0);
-    client.search(&query).unwrap();
-    // Kill one shard: Set Algebra treats a lost shard as an error (missing
-    // documents); the mid-tier must return that error, not hang or crash.
+    let healthy = client.search_with_status(&query).unwrap();
+    assert!(!healthy.degraded, "all shards alive: full-fidelity result");
+    // Kill one shard: a surviving 2/3 quorum still answers, but the lost
+    // shard must never be dropped *silently* — the response says so.
     service.cluster().leaf_servers()[1].shutdown();
     std::thread::sleep(Duration::from_millis(50));
-    let result = client.search(&query);
-    assert!(result.is_err(), "lost shard must surface as an error");
-    // And the mid-tier must still serve its socket (error again, promptly).
-    let again = client.search(&query);
-    assert!(again.is_err());
+    let result = client.search_with_status(&query).unwrap();
+    assert!(result.degraded, "lost shard must be reported, not hidden");
+    assert_eq!((result.shards_ok, result.shards_total), (2, 3));
+    // Kill a second shard: 1/3 is below quorum — now it is an error, and
+    // the mid-tier must keep serving its socket (error again, promptly).
+    service.cluster().leaf_servers()[2].shutdown();
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(client.search(&query).is_err(), "below quorum must error");
+    assert!(client.search(&query).is_err());
 }

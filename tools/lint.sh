@@ -7,9 +7,10 @@
 # counted telemetry wrappers built on them). A raw std::sync primitive is
 # invisible to the checker, so every interleaving result would be a lie.
 #
-# Rule 2 — panic hygiene: no unwrap()/expect() in non-test musuite-rpc
-# library code unless the line (or the line above it) carries an explicit
-# `lint: allow(...)` marker stating why dying is the right move.
+# Rule 2 — panic hygiene: no unwrap()/expect() in non-test musuite-rpc or
+# musuite-core library code unless the line (or the line above it) carries
+# an explicit `lint: allow(...)` marker stating why dying is the right
+# move.
 #
 # Test code is exempt: everything from the first `#[cfg(test)]` or
 # `#[cfg(all(test, ...))]` marker to end-of-file is skipped (test modules
@@ -48,10 +49,10 @@ for crate in "${checked_crates[@]}"; do
   done
 done
 
-for file in crates/rpc/src/*.rs; do
+for file in crates/rpc/src/*.rs crates/core/src/*.rs; do
   hits=$(scan "$file" '\.unwrap\(\)|\.expect\(')
   if [ -n "$hits" ]; then
-    echo "error: $file: unwrap()/expect() in non-test rpc code" \
+    echo "error: $file: unwrap()/expect() in non-test library code" \
       "(handle the error, or mark the line: // lint: allow(expect): <why>):"
     echo "$hits"
     fail=1
