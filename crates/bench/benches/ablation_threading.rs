@@ -7,11 +7,13 @@
 //!   workers but costs a thread hop; in-line avoids the hop but couples
 //!   handler time to the poller.
 //! * **thread-pool sizing**: too few workers queue, too many contend.
+//! * **network edge**: thread-per-connection vs a fixed shared-poller
+//!   pool, crossed with poller-pool size and the network-edge wait mode.
 //!
-//! The harness sweeps all three on HDSearch at a fixed open-loop load and
-//! reports median/tail latency, so the cross-over behaviour §VII predicts
-//! (in-line wins at low load and short requests; dispatch wins under
-//! load) is directly visible.
+//! The harness sweeps all of these on HDSearch at a fixed open-loop load
+//! and reports median/tail latency, so the cross-over behaviour §VII
+//! predicts (in-line wins at low load and short requests; dispatch wins
+//! under load) is directly visible.
 //!
 //! Run: `cargo bench -p musuite-bench --bench ablation_threading`
 
@@ -23,7 +25,7 @@ use musuite_hdsearch::protocol::SearchQuery;
 use musuite_hdsearch::service::HdSearchService;
 use musuite_loadgen::open_loop::{self, OpenLoopConfig};
 use musuite_loadgen::source::CyclingSource;
-use musuite_rpc::{ExecutionModel, RpcClient, ServerConfig, WaitMode};
+use musuite_rpc::{ExecutionModel, NetworkModel, RpcClient, ServerConfig, WaitMode};
 use musuite_telemetry::report::Table;
 use std::sync::Arc;
 
@@ -85,4 +87,54 @@ fn main() {
         }
     }
     println!("{}", table.render());
+
+    // Network-edge ablation: who owns the sockets. A thread per connection
+    // (the baseline) against a fixed shared-poller pool of 1, 2 and 4
+    // sweepers, crossed with the wait mode the network edge uses between
+    // empty sweeps. Execution model is held at Dispatch so the only moving
+    // part is the network layer.
+    println!("\nNetwork edge: thread-per-connection vs shared poller pool\n");
+    let networks = [
+        NetworkModel::BlockingPerConn,
+        NetworkModel::SharedPollers { pollers: 1 },
+        NetworkModel::SharedPollers { pollers: 2 },
+        NetworkModel::SharedPollers { pollers: 4 },
+    ];
+    let mut net_table =
+        Table::new(&["network", "pollers", "wait mode", "p50_us", "p99_us", "errors"]);
+    for network in networks {
+        for wait in [WaitMode::Block, WaitMode::Poll, WaitMode::Adaptive] {
+            let mut midtier_config = ServerConfig::default();
+            midtier_config
+                .network_model(network)
+                .wait_mode(wait)
+                .execution_model(ExecutionModel::Dispatch)
+                .workers(4);
+            let config = ClusterConfig::new().leaves(env.leaves).midtier_config(midtier_config);
+            let service = HdSearchService::launch_with(config, dataset.clone(), Default::default())
+                .expect("launch HDSearch");
+            let client = Arc::new(RpcClient::connect(service.addr()).expect("connect load client"));
+            let mut source = CyclingSource::new(QUERY_METHOD, queries.clone());
+            let report = open_loop::run(
+                OpenLoopConfig::poisson(load, env.duration(), 42),
+                client,
+                &mut source,
+            );
+            let us = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1e6);
+            let (name, pollers) = match network {
+                NetworkModel::BlockingPerConn => ("per-conn", "-".to_string()),
+                NetworkModel::SharedPollers { pollers } => ("shared", pollers.to_string()),
+            };
+            net_table.row_owned(vec![
+                name.to_string(),
+                pollers,
+                format!("{wait:?}"),
+                us(report.latency.p50),
+                us(report.latency.p99),
+                report.errors.to_string(),
+            ]);
+            service.shutdown();
+        }
+    }
+    println!("{}", net_table.render());
 }

@@ -12,8 +12,8 @@ use crate::leaf::{LeafHandler, LeafService};
 use crate::midtier::{MidTierHandler, MidTierService};
 use musuite_codec::{Decode, Encode};
 use musuite_rpc::{
-    FanoutGroup, FaultPlan, ResilientConfig, ResilientFanout, RpcClient, RpcError, Server,
-    ServerConfig,
+    FanoutGroup, FaultPlan, NetworkModel, Reactor, ReactorConfig, ResilientConfig, ResilientFanout,
+    RpcClient, RpcError, Server, ServerConfig,
 };
 use std::marker::PhantomData;
 use std::net::SocketAddr;
@@ -142,10 +142,25 @@ impl Cluster {
             .collect();
         let leaves = leaves?;
         let addrs: Vec<SocketAddr> = leaves.iter().map(Server::local_addr).collect();
-        let group = FanoutGroup::connect_with_plan(
+        // The mid-tier's network model governs both of its network edges:
+        // under SharedPollers its leaf-client connections also share one
+        // fixed reactor pool instead of spawning a pick-up thread each.
+        let leaf_reactor = match config.midtier.network_model_value() {
+            NetworkModel::BlockingPerConn => None,
+            NetworkModel::SharedPollers { pollers } => {
+                Some(Arc::new(Reactor::start(ReactorConfig {
+                    pollers,
+                    wait_mode: config.midtier.wait_mode_value(),
+                    sweep_budget: config.midtier.sweep_budget_value(),
+                    idle_timeout: config.midtier.idle_timeout_value(),
+                })))
+            }
+        };
+        let group = FanoutGroup::connect_with_plan_via(
             &addrs,
             config.conns_per_leaf_count(),
             config.fault_plan.as_ref(),
+            leaf_reactor.as_ref(),
         )?;
         let service = MidTierService::with_resilience(
             midtier,
@@ -351,6 +366,20 @@ mod tests {
         for q in 0..20u64 {
             assert_eq!(client.call_typed(&q).unwrap(), q + 10);
         }
+    }
+
+    #[test]
+    fn shared_poller_midtier_works_end_to_end() {
+        let mut midtier = ServerConfig::default();
+        midtier.network_model(NetworkModel::SharedPollers { pollers: 2 }).workers(2);
+        let config = ClusterConfig::new().leaves(3).midtier_config(midtier);
+        let cluster = Cluster::launch(config, MaxMid, |i| AddLeaf(i as u64 * 10)).unwrap();
+        assert_eq!(cluster.midtier().network_threads(), 2);
+        let client = cluster.client::<u64, u64>().unwrap();
+        for q in 0..20u64 {
+            assert_eq!(client.call_typed(&q).unwrap(), q + 20);
+        }
+        cluster.shutdown();
     }
 
     #[test]

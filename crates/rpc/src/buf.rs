@@ -16,12 +16,25 @@
 //!   reusable scratch buffer, so response/request serialization reuses
 //!   one allocation for the life of the connection instead of building a
 //!   fresh `Vec` per frame.
+//! * [`FrameAccumulator`] — the non-blocking counterpart of
+//!   [`FrameReader`] for reactor-owned sockets: an incremental state
+//!   machine that absorbs whatever bytes are available and yields complete
+//!   frames, preserving the same pooled-buffer zero-copy path.
+//! * [`ConnWriter`] — a thread-safe coalescing writer: frames queued while
+//!   another thread is flushing the same connection ride out in that
+//!   thread's single buffered write, shrinking the `sendmsg` column of the
+//!   syscall-profile analog.
 
 use bytes::{Bytes, BytesMut};
 use musuite_check::sync::Mutex;
 use musuite_codec::frame::{FrameHeader, FramePrefix, HEADER_LEN};
 use musuite_codec::{DecodeError, Frame};
+use musuite_telemetry::clock::Clock;
+use musuite_telemetry::counters::{OsOp, OsOpCounters};
+use musuite_telemetry::netpoll::CoalesceStats;
+use musuite_telemetry::sync::CountedMutex;
 use std::io::{self, Read, Write};
+use std::net::TcpStream;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
@@ -353,6 +366,286 @@ impl<W: Write> FrameWriter<W> {
     }
 }
 
+/// Incremental frame decoder for reactor-owned non-blocking sockets.
+///
+/// A reactor sweep calls [`FrameAccumulator::poll_frame`] on each
+/// registered connection; the accumulator reads whatever bytes the kernel
+/// has buffered and returns `Ok(None)` when the socket would block with a
+/// frame still incomplete — the partial header/payload stays buffered and
+/// the next sweep resumes exactly where this one stopped. Complete frames
+/// take the same zero-copy path as [`FrameReader`]: the payload is read
+/// into pooled memory and frozen into a [`Bytes`] without a copy.
+///
+/// Each data-returning `read` ticks the global `recvmsg` counter; probe
+/// reads that return `WouldBlock` are *not* counted — they are the
+/// reactor's stand-in for an epoll readiness check, accounted under the
+/// sweep's `epoll_pwait`-class park instead.
+#[derive(Debug)]
+pub struct FrameAccumulator {
+    header: [u8; HEADER_LEN],
+    header_filled: usize,
+    prefix: Option<FramePrefix>,
+    payload_filled: usize,
+    buf: PooledBuf,
+    rx_start_ns: u64,
+    clock: Clock,
+}
+
+impl FrameAccumulator {
+    /// Creates an accumulator whose payloads fill `buf` (typically checked
+    /// out of the reactor's [`BufferPool`]).
+    pub fn new(buf: PooledBuf) -> FrameAccumulator {
+        FrameAccumulator {
+            header: [0u8; HEADER_LEN],
+            header_filled: 0,
+            prefix: None,
+            payload_filled: 0,
+            buf,
+            rx_start_ns: 0,
+            clock: Clock::new(),
+        }
+    }
+
+    /// Returns `true` if a partially received frame is buffered — used by
+    /// idle reaping to avoid dropping a connection mid-frame.
+    pub fn mid_frame(&self) -> bool {
+        self.header_filled > 0 || self.prefix.is_some()
+    }
+
+    /// Absorbs available bytes from `reader` and returns the next complete
+    /// frame with the monotonic timestamp at which its first byte arrived,
+    /// or `Ok(None)` if the socket has no complete frame buffered yet.
+    ///
+    /// # Errors
+    ///
+    /// `io::ErrorKind::UnexpectedEof` on a closed connection,
+    /// `io::ErrorKind::InvalidData` on malformed frames; other I/O errors
+    /// propagate. After any error the connection must be dropped — the
+    /// accumulator's partial state is unrecoverable.
+    pub fn poll_frame<R: Read>(&mut self, reader: &mut R) -> io::Result<Option<(Frame, u64)>> {
+        let prefix = match self.prefix {
+            Some(p) => p,
+            None => {
+                while self.header_filled < HEADER_LEN {
+                    let first_byte = self.header_filled == 0;
+                    match self.absorb(reader, first_byte, HEADER_LEN)? {
+                        Some(n) => self.header_filled += n,
+                        None => return Ok(None),
+                    }
+                }
+                let p = FramePrefix::parse(&self.header).map_err(invalid_data)?;
+                self.buf.resize(p.payload_len, 0);
+                self.payload_filled = 0;
+                self.prefix = Some(p);
+                p
+            }
+        };
+        while self.payload_filled < prefix.payload_len {
+            match self.absorb(reader, false, prefix.payload_len)? {
+                Some(n) => self.payload_filled += n,
+                None => return Ok(None),
+            }
+        }
+        self.prefix = None;
+        self.header_filled = 0;
+        let payload = if prefix.payload_len == 0 {
+            Bytes::new()
+        } else {
+            self.buf.split_to(prefix.payload_len).freeze()
+        };
+        let frame = prefix.check_payload(payload).map_err(invalid_data)?;
+        Ok(Some((frame, self.rx_start_ns)))
+    }
+
+    /// One `read` into whichever region (header or payload) is filling.
+    /// Returns `Ok(None)` on `WouldBlock`, `Ok(Some(n))` on progress.
+    fn absorb<R: Read>(
+        &mut self,
+        reader: &mut R,
+        first_byte: bool,
+        limit: usize,
+    ) -> io::Result<Option<usize>> {
+        loop {
+            let dst = if self.prefix.is_some() {
+                &mut self.buf[self.payload_filled..limit]
+            } else {
+                &mut self.header[self.header_filled..limit]
+            };
+            match reader.read(dst) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => {
+                    if first_byte {
+                        self.rx_start_ns = self.clock.now_ns();
+                    }
+                    OsOpCounters::global().incr(OsOp::RecvMsg);
+                    return Ok(Some(n));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WriteState {
+    /// Frames serialized and awaiting the wire.
+    pending: BytesMut,
+    /// Recycled batch buffer, swapped with `pending` each flush so the
+    /// steady state allocates nothing.
+    spare: BytesMut,
+    /// A thread is currently writing this connection's batch; new frames
+    /// appended to `pending` will ride its next iteration.
+    flushing: bool,
+    /// A write failed; the peer is gone and further frames are refused.
+    broken: bool,
+}
+
+/// Thread-safe, coalescing write half of a connection.
+///
+/// Any number of threads (workers completing responses, fan-out merge
+/// callbacks, reactor sweeps shedding load) serialize frames into a shared
+/// pending buffer under a short lock. The first writer becomes the
+/// *flusher*: it repeatedly takes the whole pending batch and writes it
+/// outside the lock, so frames queued meanwhile leave in a single
+/// `write_all` — one syscall for many responses. [`CoalesceStats`] counts
+/// frames vs. actual writes; the difference is syscalls saved.
+///
+/// Works on both blocking sockets (per-connection mode) and non-blocking
+/// reactor-owned sockets: `WouldBlock` during a flush is retried with a
+/// CPU yield until the kernel accepts the bytes.
+///
+/// A failed write marks the connection broken; frames already accepted for
+/// a batch that fails are lost, which matches the seed semantics — a send
+/// failure means the client went away and nobody is left to tell.
+#[derive(Debug)]
+pub struct ConnWriter {
+    stream: TcpStream,
+    state: CountedMutex<WriteState>,
+    stats: CoalesceStats,
+}
+
+impl ConnWriter {
+    /// Wraps `stream` with private coalescing counters.
+    pub fn new(stream: TcpStream) -> ConnWriter {
+        ConnWriter::with_stats(stream, CoalesceStats::new())
+    }
+
+    /// Wraps `stream`, reporting into a shared [`CoalesceStats`] (a server
+    /// aggregates all its connections into one bundle).
+    pub fn with_stats(stream: TcpStream, stats: CoalesceStats) -> ConnWriter {
+        ConnWriter {
+            stream,
+            state: CountedMutex::new(WriteState {
+                pending: BytesMut::new(),
+                spare: BytesMut::new(),
+                flushing: false,
+                broken: false,
+            }),
+            stats,
+        }
+    }
+
+    /// The underlying socket.
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// The coalescing counters this writer reports into.
+    pub fn stats(&self) -> &CoalesceStats {
+        &self.stats
+    }
+
+    /// Serializes `header` with a payload assembled from `parts` and
+    /// queues it for transmission, flushing unless another thread already
+    /// is. Returns once the frame is on the wire *or* safely queued behind
+    /// an in-progress flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors observed by this thread's own flush; a frame
+    /// accepted into another thread's batch reports `Ok` even if that
+    /// batch later fails (the connection is then marked broken and
+    /// subsequent writes refuse with `BrokenPipe`).
+    pub fn write_parts(&self, header: &FrameHeader, parts: &[&[u8]]) -> io::Result<()> {
+        self.enqueue(header, parts, false)
+    }
+
+    /// Fault-injection only: like [`ConnWriter::write_parts`] but flips
+    /// one bit of the serialized frame after checksumming, so the receiver
+    /// must reject it.
+    pub fn write_parts_corrupted(&self, header: &FrameHeader, parts: &[&[u8]]) -> io::Result<()> {
+        self.enqueue(header, parts, true)
+    }
+
+    fn enqueue(&self, header: &FrameHeader, parts: &[&[u8]], corrupt: bool) -> io::Result<()> {
+        let mut st = self.state.lock();
+        if st.broken {
+            return Err(io::ErrorKind::BrokenPipe.into());
+        }
+        header.encode_with_payload(parts, &mut st.pending);
+        if corrupt {
+            let last = st.pending.len() - 1;
+            st.pending[last] ^= 0x40;
+        }
+        self.stats.record_frame();
+        if st.flushing {
+            // Another thread owns the socket; our frame departs in its
+            // next batch — a sendmsg saved. Two threads fighting for one
+            // connection is the contention (HITM-analog) event the old
+            // write lock, held across the syscall, used to tally — keep
+            // tallying it so Fig. 19's load trend survives coalescing.
+            musuite_telemetry::sync::record_contention_event();
+            return Ok(());
+        }
+        st.flushing = true;
+        loop {
+            let mut batch = std::mem::take(&mut st.pending);
+            st.pending = std::mem::take(&mut st.spare);
+            drop(st);
+            let result = self.flush_batch(&batch);
+            batch.clear();
+            st = self.state.lock();
+            st.spare = batch;
+            if let Err(e) = result {
+                st.broken = true;
+                st.flushing = false;
+                st.pending.clear();
+                return Err(e);
+            }
+            if st.pending.is_empty() {
+                st.flushing = false;
+                return Ok(());
+            }
+        }
+    }
+
+    /// Writes one batch outside the lock. Each kernel-accepted `write` is
+    /// one flush (syscall); `WouldBlock` on a reactor-owned non-blocking
+    /// socket is retried with a yield until the send buffer drains.
+    fn flush_batch(&self, bytes: &[u8]) -> io::Result<()> {
+        let mut stream = &self.stream;
+        let mut written = 0;
+        while written < bytes.len() {
+            match stream.write(&bytes[written..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.stats.record_flush();
+                    written += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    OsOpCounters::global().incr(OsOp::SchedYield);
+                    musuite_check::thread::yield_now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +749,190 @@ mod tests {
     fn reader_eof_on_empty_stream() {
         let err = FrameReader::new(&b""[..]).read_frame().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}
+
+#[cfg(test)]
+mod accumulator_tests {
+    use super::*;
+    use musuite_codec::Status;
+
+    /// Yields one byte per call, interleaving `WouldBlock` between bytes —
+    /// the worst case a reactor sweep can see from a slow peer.
+    struct Drip {
+        data: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for Drip {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            if !self.ready {
+                self.ready = true;
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            self.ready = false;
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn drip_fed_frame_assembles_across_polls() {
+        let frame = Frame::request(42, 7, b"dripped payload".to_vec());
+        let mut drip = Drip { data: frame.to_bytes(), pos: 0, ready: false };
+        let mut acc = FrameAccumulator::new(PooledBuf::unpooled());
+        assert!(!acc.mid_frame());
+        let mut polls = 0usize;
+        let got = loop {
+            polls += 1;
+            if let Some((frame, rx_start)) = acc.poll_frame(&mut drip).unwrap() {
+                assert!(rx_start > 0, "first byte must be timestamped");
+                break frame;
+            }
+        };
+        assert!(polls > 2, "a dripping peer must take many sweeps");
+        assert_eq!(got.header.request_id, 42);
+        assert_eq!(got.payload, b"dripped payload");
+        assert!(!acc.mid_frame(), "state must reset after a complete frame");
+    }
+
+    #[test]
+    fn mid_frame_reports_partial_state() {
+        let bytes = Frame::request(1, 1, b"xyz".to_vec()).to_bytes();
+        // Header plus one payload byte available, then the peer stalls.
+        let mut drip = Drip { data: bytes[..HEADER_LEN + 1].to_vec(), pos: 0, ready: true };
+        let mut acc = FrameAccumulator::new(PooledBuf::unpooled());
+        for _ in 0..10_000 {
+            assert!(acc.poll_frame(&mut drip).unwrap().is_none());
+            if drip.pos >= drip.data.len() {
+                break;
+            }
+        }
+        assert!(acc.mid_frame(), "payload is incomplete");
+    }
+
+    #[test]
+    fn back_to_back_frames_drain_in_order() {
+        let mut wire = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut wire);
+            w.write_frame(&Frame::request(1, 5, b"first".to_vec())).unwrap();
+            w.write_frame(&Frame::response(2, 5, Status::Ok, Vec::new())).unwrap();
+        }
+        let mut drip = Drip { data: wire, pos: 0, ready: true };
+        let mut acc = FrameAccumulator::new(PooledBuf::unpooled());
+        let mut got = Vec::new();
+        for _ in 0..10_000 {
+            match acc.poll_frame(&mut drip).unwrap() {
+                Some((frame, _)) => got.push(frame),
+                None => {
+                    if drip.pos >= drip.data.len() {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, b"first");
+        assert_eq!(got[1].header.request_id, 2);
+    }
+
+    #[test]
+    fn eof_and_corruption_surface_as_errors() {
+        let mut acc = FrameAccumulator::new(PooledBuf::unpooled());
+        let err = acc.poll_frame(&mut &b""[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        let mut bytes = Frame::request(5, 2, b"x".to_vec()).to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut acc = FrameAccumulator::new(PooledBuf::unpooled());
+        let err = acc.poll_frame(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}
+
+#[cfg(test)]
+mod conn_writer_tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    fn loopback_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn concurrent_writers_coalesce_without_corruption() {
+        let (tx_side, rx_side) = loopback_pair();
+        let writer = Arc::new(ConnWriter::new(tx_side));
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 25;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let w = writer.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let frame =
+                            Frame::request(t * PER_THREAD + i, 9, vec![t as u8; 64]);
+                        w.write_parts(&frame.header, &[&frame.payload]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut reader = FrameReader::new(rx_side);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..THREADS * PER_THREAD {
+            let frame = reader.read_frame().unwrap();
+            assert_eq!(frame.payload.len(), 64, "frames must not interleave");
+            assert!(seen.insert(frame.header.request_id), "duplicate frame");
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = writer.stats();
+        assert_eq!(stats.frames(), THREADS * PER_THREAD);
+        assert!(stats.flushes() >= 1);
+        assert_eq!(stats.saved(), stats.frames() - stats.flushes());
+    }
+
+    #[test]
+    fn corrupted_variant_is_rejected_downstream() {
+        let (tx_side, rx_side) = loopback_pair();
+        let writer = ConnWriter::new(tx_side);
+        let frame = Frame::request(3, 9, b"poisoned".to_vec());
+        writer.write_parts_corrupted(&frame.header, &[&frame.payload]).unwrap();
+        let err = FrameReader::new(rx_side).read_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn broken_connection_refuses_further_frames() {
+        let (tx_side, rx_side) = loopback_pair();
+        let writer = ConnWriter::new(tx_side);
+        drop(rx_side);
+        let frame = Frame::request(1, 1, vec![0u8; 4096]);
+        let mut saw_error = false;
+        for _ in 0..1_000 {
+            if writer.write_parts(&frame.header, &[&frame.payload]).is_err() {
+                saw_error = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if saw_error {
+            let err = writer.write_parts(&frame.header, &[&frame.payload]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::BrokenPipe, "broken flag must latch");
+        }
     }
 }
 

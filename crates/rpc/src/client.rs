@@ -1,13 +1,16 @@
 //! The RPC client: synchronous calls and asynchronous, callback-completed
 //! calls with explicit in-flight state.
 //!
-//! Each client owns one TCP connection and one **response pick-up thread**
-//! (the paper's "resp. pick-up thread: `<block>`" in Fig. 8) that blocks on
-//! the socket, matches arriving responses to in-flight requests through a
-//! shared table keyed by request id, and either wakes the synchronous
-//! caller or runs the asynchronous completion callback in place. Many
-//! threads may issue calls on one client concurrently; requests are
-//! multiplexed on the connection.
+//! Each client owns one TCP connection whose responses are picked up by
+//! either a dedicated **response pick-up thread** (the paper's "resp.
+//! pick-up thread: `<block>`" in Fig. 8, via [`RpcClient::connect`]) or a
+//! **shared reactor** ([`RpcClient::connect_via`]) that sweeps many
+//! client connections from a fixed poller pool — so a wide fan-out does
+//! not cost one thread per leaf. Either way, arriving responses are
+//! matched to in-flight requests through a shared table keyed by request
+//! id, and either wake the synchronous caller or run the asynchronous
+//! completion callback in place. Many threads may issue calls on one
+//! client concurrently; requests are multiplexed on the connection.
 //!
 //! Response payloads are [`Bytes`] slices of the pick-up thread's pooled
 //! read buffer — they travel from the socket to the caller without being
@@ -21,21 +24,22 @@
 //! in-flight table — without it, a leaf that never responds would leak
 //! its table entry and callback forever.
 
-use crate::buf::{FrameWriter, Payload};
+use crate::buf::{ConnWriter, Payload};
 use crate::error::RpcError;
 use crate::fault::{ClientFaults, FaultKind};
+use crate::reactor::{CloseReason, ConnDriver, Drive, Reactor};
 use bytes::Bytes;
 use musuite_check::atomic::{AtomicBool, AtomicU64, Ordering};
 use musuite_check::sync::{Condvar, Mutex};
+use musuite_check::thread::{Builder, JoinHandle};
 use musuite_codec::frame::FrameHeader;
-use musuite_codec::{FrameKind, Status};
+use musuite_codec::{Frame, FrameKind, Status};
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
 use musuite_telemetry::sync::{CountedCondvar, CountedMutex};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Completion callback for [`RpcClient::call_async`]; runs on the response
@@ -106,7 +110,7 @@ struct DelayedSend {
 
 type DelayedMap = Arc<Mutex<HashMap<u64, DelayedSend>>>;
 
-type SharedWriter = Arc<CountedMutex<FrameWriter<TcpStream>>>;
+type SharedWriter = Arc<ConnWriter>;
 
 fn complete(pending: Pending, result: Result<Bytes, RpcError>) {
     match pending {
@@ -130,10 +134,10 @@ fn write_frame(
         return Err(RpcError::ConnectionClosed);
     }
     let header = FrameHeader { kind, request_id, method, status: Status::Ok };
-    let mut writer = writer.lock();
-    OsOpCounters::global().incr(OsOp::SendMsg);
     // The payload's segments go on the wire without being joined; the
-    // frame serializes into this connection's reusable scratch buffer.
+    // frame serializes into this connection's shared pending buffer and
+    // may coalesce with competing requests into one socket write (the
+    // writer accounts the actual `sendmsg` calls).
     if corrupt {
         writer.write_parts_corrupted(&header, &payload.parts())?;
     } else {
@@ -183,6 +187,46 @@ impl RpcClient {
         addr: A,
         faults: Option<ClientFaults>,
     ) -> Result<RpcClient, RpcError> {
+        RpcClient::connect_inner(addr, faults, None)
+    }
+
+    /// Connects to `addr` with responses picked up by a shared
+    /// [`Reactor`] instead of a dedicated thread. A fan-out registers all
+    /// of its leaf connections (and their hedge/alternate replacements)
+    /// with one reactor, so the client-side network thread count is the
+    /// reactor's fixed poller count regardless of fan-out width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection cannot be established or the
+    /// reactor is shutting down.
+    pub fn connect_via<A: ToSocketAddrs>(
+        addr: A,
+        reactor: &Arc<Reactor>,
+    ) -> Result<RpcClient, RpcError> {
+        RpcClient::connect_inner(addr, None, Some(reactor))
+    }
+
+    /// As [`RpcClient::connect_via`], attaching a per-leaf fault-injection
+    /// view (the reactor-mode analogue of [`RpcClient::connect_with`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`RpcClient::connect_via`], or if the fault plan refuses the
+    /// connect.
+    pub fn connect_with_via<A: ToSocketAddrs>(
+        addr: A,
+        faults: Option<ClientFaults>,
+        reactor: &Arc<Reactor>,
+    ) -> Result<RpcClient, RpcError> {
+        RpcClient::connect_inner(addr, faults, Some(reactor))
+    }
+
+    fn connect_inner<A: ToSocketAddrs>(
+        addr: A,
+        faults: Option<ClientFaults>,
+        reactor: Option<&Arc<Reactor>>,
+    ) -> Result<RpcClient, RpcError> {
         if let Some(faults) = &faults {
             if faults.refuse_connect() {
                 return Err(RpcError::Io(std::io::Error::new(
@@ -198,15 +242,29 @@ impl RpcClient {
         let read_half = stream.try_clone()?;
         let inflight: InflightTable = Arc::new(CountedMutex::new(HashMap::new()));
         let closed = Arc::new(AtomicBool::new(false));
-        let reader =
-            spawn_response_thread(read_half.try_clone()?, inflight.clone(), closed.clone());
+        let reader = match reactor {
+            Some(reactor) => {
+                // The reactor owns the read half; response matching runs
+                // inside its sweep. No per-connection thread exists, so
+                // there is nothing to join on drop.
+                let driver =
+                    ClientConnDriver { inflight: inflight.clone(), closed: closed.clone() };
+                reactor.register(read_half.try_clone()?, Box::new(driver))?;
+                None
+            }
+            None => Some(spawn_response_thread(
+                read_half.try_clone()?,
+                inflight.clone(),
+                closed.clone(),
+            )),
+        };
         Ok(RpcClient {
             peer_addr,
-            writer: Arc::new(CountedMutex::new(FrameWriter::new(stream))),
+            writer: Arc::new(ConnWriter::new(stream)),
             next_id: AtomicU64::new(1),
             inflight,
             closed,
-            reader: Some(reader),
+            reader,
             read_half,
             deadlines: Arc::new((Mutex::new(BinaryHeap::new()), Condvar::new())),
             delayed: Arc::new(Mutex::new(HashMap::new())),
@@ -456,13 +514,66 @@ impl std::fmt::Debug for RpcClient {
     }
 }
 
+/// Routes one arriving response frame to its in-flight entry: shared by
+/// the dedicated pick-up thread and the reactor driver.
+fn deliver_response(inflight: &InflightTable, frame: Frame) {
+    if frame.header.kind != FrameKind::Response {
+        return;
+    }
+    let pending = inflight.lock().remove(&frame.header.request_id);
+    let result = if frame.header.status.is_ok() {
+        Ok(frame.payload)
+    } else {
+        Err(RpcError::Remote {
+            status: frame.header.status,
+            detail: String::from_utf8_lossy(&frame.payload).into_owned(),
+        })
+    };
+    match pending {
+        Some(pending) => complete(pending, result),
+        None => {} // raced with a timeout removal
+    }
+}
+
+/// Fails everything still in flight; called once when the connection dies.
+fn fail_all_inflight(inflight: &InflightTable) {
+    let drained: Vec<Pending> = {
+        let mut table = inflight.lock();
+        table.drain().map(|(_, pending)| pending).collect()
+    };
+    for pending in drained {
+        complete(pending, Err(RpcError::ConnectionClosed));
+    }
+}
+
+/// Per-connection protocol logic when responses are picked up by a shared
+/// [`Reactor`]: the body of the response thread, minus the thread.
+struct ClientConnDriver {
+    inflight: InflightTable,
+    closed: Arc<AtomicBool>,
+}
+
+impl ConnDriver for ClientConnDriver {
+    fn on_frame(&mut self, frame: Frame, _rx_start_ns: u64) -> Drive {
+        deliver_response(&self.inflight, frame);
+        Drive::Continue
+    }
+
+    fn on_close(&mut self, _reason: CloseReason) {
+        // Exactly-once by the reactor's registration ledger; callbacks for
+        // every in-flight call fire here with `ConnectionClosed`.
+        self.closed.store(true, Ordering::Release);
+        fail_all_inflight(&self.inflight);
+    }
+}
+
 fn spawn_response_thread(
     stream: TcpStream,
     inflight: InflightTable,
     closed: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
     OsOpCounters::global().incr(OsOp::Clone);
-    std::thread::Builder::new()
+    Builder::new()
         .name("musuite-response".to_string())
         .spawn(move || {
             let counters = OsOpCounters::global();
@@ -476,37 +587,11 @@ fn spawn_response_thread(
                     Err(_) => break,
                 };
                 counters.incr(OsOp::RecvMsg);
-                if frame.header.kind != FrameKind::Response {
-                    continue;
-                }
-                let pending = inflight.lock().remove(&frame.header.request_id);
-                let result = if frame.header.status.is_ok() {
-                    Ok(frame.payload)
-                } else {
-                    Err(RpcError::Remote {
-                        status: frame.header.status,
-                        detail: String::from_utf8_lossy(&frame.payload).into_owned(),
-                    })
-                };
-                match pending {
-                    Some(Pending::Sync(slot)) => slot.complete(result),
-                    Some(Pending::Async(callback)) => callback(result),
-                    None => {} // raced with a timeout removal
-                }
+                deliver_response(&inflight, frame);
             }
             closed.store(true, Ordering::Release);
             counters.incr(OsOp::Close);
-            // Fail everything still in flight.
-            let drained: Vec<Pending> = {
-                let mut table = inflight.lock();
-                table.drain().map(|(_, pending)| pending).collect()
-            };
-            for pending in drained {
-                match pending {
-                    Pending::Sync(slot) => slot.complete(Err(RpcError::ConnectionClosed)),
-                    Pending::Async(callback) => callback(Err(RpcError::ConnectionClosed)),
-                }
-            }
+            fail_all_inflight(&inflight);
         })
         .expect("spawn response thread") // lint: allow(expect): no connection without its pick-up thread
 }
@@ -527,7 +612,8 @@ fn spawn_reaper_thread(
     delayed: DelayedMap,
     writer: SharedWriter,
 ) -> JoinHandle<()> {
-    std::thread::Builder::new()
+    OsOpCounters::global().incr(OsOp::Clone);
+    Builder::new()
         .name("musuite-reaper".to_string())
         .spawn(move || {
             let (heap_lock, cv) = &*deadlines;
@@ -763,6 +849,67 @@ mod tests {
         let server = echo_server();
         let client = RpcClient::connect(server.local_addr()).unwrap();
         assert!(format!("{client:?}").contains("RpcClient"));
+    }
+
+    mod via_reactor {
+        use super::*;
+        use crate::reactor::ReactorConfig;
+
+        #[test]
+        fn reactor_client_round_trips_sync_and_async() {
+            let server = echo_server();
+            let reactor = Arc::new(Reactor::start(ReactorConfig::default()));
+            let client = RpcClient::connect_via(server.local_addr(), &reactor).unwrap();
+            assert_eq!(client.call(1, b"via".to_vec()).unwrap(), b"via");
+            let (tx, rx) = mpsc::channel();
+            client.call_async(1, b"async-via".to_vec(), move |r| tx.send(r).unwrap());
+            let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+            assert_eq!(reply, b"async-via");
+            assert_eq!(client.inflight_len(), 0);
+        }
+
+        #[test]
+        fn many_reactor_clients_share_a_fixed_poller_pool() {
+            let server = echo_server();
+            let reactor =
+                Arc::new(Reactor::start(ReactorConfig { pollers: 2, ..ReactorConfig::default() }));
+            let clients: Vec<_> = (0..8)
+                .map(|_| RpcClient::connect_via(server.local_addr(), &reactor).unwrap())
+                .collect();
+            for (i, client) in clients.iter().enumerate() {
+                assert_eq!(client.call(1, vec![i as u8]).unwrap(), vec![i as u8]);
+            }
+            assert_eq!(reactor.poller_count(), 2);
+            assert_eq!(reactor.live_connections(), 8);
+        }
+
+        #[test]
+        fn reactor_close_fails_inflight_calls() {
+            // A server that accepts but never responds; tearing the client
+            // down must complete the pending async call via the reactor's
+            // on_close path, not leak it.
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let _keeper = std::thread::spawn(move || {
+                let (_stream, _) = listener.accept().unwrap();
+                std::thread::sleep(Duration::from_secs(2));
+            });
+            let reactor = Arc::new(Reactor::start(ReactorConfig::default()));
+            let client = RpcClient::connect_via(addr, &reactor).unwrap();
+            let (tx, rx) = mpsc::channel();
+            client.call_async(1, b"never".to_vec(), move |r| tx.send(r).unwrap());
+            client.shutdown();
+            let result = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert!(matches!(result, Err(RpcError::ConnectionClosed)), "got {result:?}");
+        }
+
+        #[test]
+        fn register_on_shut_down_reactor_is_an_error() {
+            let server = echo_server();
+            let reactor = Arc::new(Reactor::start(ReactorConfig::default()));
+            reactor.shutdown();
+            assert!(RpcClient::connect_via(server.local_addr(), &reactor).is_err());
+        }
     }
 
     mod faults {

@@ -7,6 +7,7 @@
 //! sweep them.
 
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// How idle threads wait for new work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -38,6 +39,25 @@ pub enum ExecutionModel {
     Inline,
 }
 
+/// How the network edge waits for bytes — the paper's Fig. 8 poller-pool
+/// design vs. the thread-per-connection baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum NetworkModel {
+    /// One blocking reader thread per connection. Simple and latency-
+    /// optimal at tiny connection counts, but thread count grows linearly
+    /// with connections. Kept as the baseline arm of the ablation.
+    #[default]
+    BlockingPerConn,
+    /// A fixed pool of `pollers` reactor threads multiplexes every
+    /// registered non-blocking socket — the paper's mid-tier architecture,
+    /// where a small poller set feeds the dispatch queue regardless of how
+    /// many clients are connected.
+    SharedPollers {
+        /// Number of reactor sweep threads sharing the connection set.
+        pollers: usize,
+    },
+}
+
 /// Configuration for a [`crate::Server`].
 ///
 /// Constructed with a non-consuming builder:
@@ -59,6 +79,12 @@ pub struct ServerConfig {
     wait_mode: WaitMode,
     execution_model: ExecutionModel,
     queue_capacity: usize,
+    #[serde(default)]
+    network: NetworkModel,
+    #[serde(default = "default_sweep_budget")]
+    sweep_budget: usize,
+    #[serde(default)]
+    idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -69,8 +95,15 @@ impl Default for ServerConfig {
             wait_mode: WaitMode::default(),
             execution_model: ExecutionModel::default(),
             queue_capacity: 4096,
+            network: NetworkModel::default(),
+            sweep_budget: default_sweep_budget(),
+            idle_timeout: None,
         }
     }
+}
+
+fn default_sweep_budget() -> usize {
+    32
 }
 
 fn default_workers() -> usize {
@@ -125,6 +158,41 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the network wait model (default [`NetworkModel::BlockingPerConn`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `SharedPollers` is configured with zero pollers.
+    pub fn network_model(&mut self, model: NetworkModel) -> &mut ServerConfig {
+        if let NetworkModel::SharedPollers { pollers } = model {
+            assert!(pollers > 0, "shared poller pool must have at least one thread");
+        }
+        self.network = model;
+        self
+    }
+
+    /// Sets the per-connection frame budget for one reactor sweep — the
+    /// fairness bound: a chatty connection yields to its shard's peers
+    /// after draining this many complete frames (default 32). Only
+    /// meaningful under [`NetworkModel::SharedPollers`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn sweep_budget(&mut self, budget: usize) -> &mut ServerConfig {
+        assert!(budget > 0, "sweep budget must be positive");
+        self.sweep_budget = budget;
+        self
+    }
+
+    /// Enables idle-connection reaping: connections with no traffic for
+    /// `timeout` are dropped and counted in `ServerStats::idle_reaped`.
+    /// Off by default.
+    pub fn idle_timeout(&mut self, timeout: Duration) -> &mut ServerConfig {
+        self.idle_timeout = Some(timeout);
+        self
+    }
+
     /// Configured bind address.
     pub fn addr(&self) -> &str {
         &self.addr
@@ -148,6 +216,21 @@ impl ServerConfig {
     /// Configured queue capacity.
     pub fn queue_capacity_value(&self) -> usize {
         self.queue_capacity
+    }
+
+    /// Configured network wait model.
+    pub fn network_model_value(&self) -> NetworkModel {
+        self.network
+    }
+
+    /// Configured per-sweep frame budget.
+    pub fn sweep_budget_value(&self) -> usize {
+        self.sweep_budget
+    }
+
+    /// Configured idle-connection timeout (`None` = reaping disabled).
+    pub fn idle_timeout_value(&self) -> Option<Duration> {
+        self.idle_timeout
     }
 }
 
@@ -181,9 +264,28 @@ mod tests {
     }
 
     #[test]
+    fn network_model_round_trips() {
+        let mut c = ServerConfig::new();
+        assert_eq!(c.network_model_value(), NetworkModel::BlockingPerConn);
+        assert_eq!(c.idle_timeout_value(), None);
+        c.network_model(NetworkModel::SharedPollers { pollers: 3 })
+            .sweep_budget(8)
+            .idle_timeout(Duration::from_secs(5));
+        assert_eq!(c.network_model_value(), NetworkModel::SharedPollers { pollers: 3 });
+        assert_eq!(c.sweep_budget_value(), 8);
+        assert_eq!(c.idle_timeout_value(), Some(Duration::from_secs(5)));
+    }
+
+    #[test]
     #[should_panic(expected = "at least one thread")]
     fn zero_workers_rejected() {
         ServerConfig::new().workers(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_pollers_rejected() {
+        ServerConfig::new().network_model(NetworkModel::SharedPollers { pollers: 0 });
     }
 
     #[test]

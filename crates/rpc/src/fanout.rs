@@ -20,6 +20,7 @@ use crate::buf::Payload;
 use crate::client::RpcClient;
 use crate::error::{FailureKind, RpcError};
 use crate::fault::{ClientFaults, FaultPlan};
+use crate::reactor::Reactor;
 use bytes::Bytes;
 use musuite_check::atomic::{AtomicUsize, Ordering};
 use musuite_check::sync::{Mutex, RwLock};
@@ -162,9 +163,28 @@ impl LeafConns {
 
 /// A set of asynchronous clients, one connection pool per leaf
 /// microserver.
+///
+/// With a shared [`Reactor`] attached
+/// ([`FanoutGroup::connect_with_plan_via`]), every leaf connection —
+/// including later reconnects — registers with the reactor instead of
+/// spawning a response pick-up thread, so the client-side network thread
+/// count is the reactor's fixed poller count regardless of fan-out width.
 pub struct FanoutGroup {
     leaves: Vec<LeafConns>,
     clock: Clock,
+    reactor: Option<Arc<Reactor>>,
+}
+
+/// Connects one leaf client, through the shared reactor when present.
+fn connect_leaf(
+    addr: impl ToSocketAddrs,
+    faults: Option<ClientFaults>,
+    reactor: Option<&Arc<Reactor>>,
+) -> Result<RpcClient, RpcError> {
+    match reactor {
+        Some(reactor) => RpcClient::connect_with_via(addr, faults, reactor),
+        None => RpcClient::connect_with(addr, faults),
+    }
 }
 
 impl FanoutGroup {
@@ -213,13 +233,34 @@ impl FanoutGroup {
         conns_per_leaf: usize,
         plan: Option<&Arc<FaultPlan>>,
     ) -> Result<FanoutGroup, RpcError> {
+        Self::connect_with_plan_via(addrs, conns_per_leaf, plan, None)
+    }
+
+    /// As [`FanoutGroup::connect_with_plan`], optionally routing every
+    /// leaf connection's responses through a shared [`Reactor`] instead of
+    /// per-connection pick-up threads. Reconnects inherit the reactor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first connection error encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conns_per_leaf` is zero or the plan covers fewer leaves
+    /// than `addrs`.
+    pub fn connect_with_plan_via<A: ToSocketAddrs>(
+        addrs: &[A],
+        conns_per_leaf: usize,
+        plan: Option<&Arc<FaultPlan>>,
+        reactor: Option<&Arc<Reactor>>,
+    ) -> Result<FanoutGroup, RpcError> {
         assert!(conns_per_leaf > 0, "need at least one connection per leaf");
         let mut leaves = Vec::with_capacity(addrs.len());
         for (leaf, addr) in addrs.iter().enumerate() {
             let faults = plan.map(|plan| plan.client_faults(leaf));
             let mut conns = Vec::with_capacity(conns_per_leaf);
             for _ in 0..conns_per_leaf {
-                conns.push(Arc::new(RpcClient::connect_with(addr, faults.clone())?));
+                conns.push(Arc::new(connect_leaf(addr, faults.clone(), reactor)?));
             }
             let addr = conns[0].peer_addr();
             leaves.push(LeafConns {
@@ -229,7 +270,7 @@ impl FanoutGroup {
                 faults,
             });
         }
-        Ok(FanoutGroup { leaves, clock: Clock::new() })
+        Ok(FanoutGroup { leaves, clock: Clock::new(), reactor: reactor.cloned() })
     }
 
     /// Builds a group from pre-connected clients, one per leaf.
@@ -245,7 +286,13 @@ impl FanoutGroup {
                 })
                 .collect(),
             clock: Clock::new(),
+            reactor: None,
         }
+    }
+
+    /// The shared reactor leaf connections register with, if any.
+    pub fn reactor(&self) -> Option<&Arc<Reactor>> {
+        self.reactor.as_ref()
     }
 
     /// Number of leaves in the group.
@@ -305,7 +352,11 @@ impl FanoutGroup {
         let mut replaced = 0;
         for slot in conns.iter_mut() {
             if slot.is_closed() {
-                *slot = Arc::new(RpcClient::connect_with(leaf.addr, leaf.faults.clone())?);
+                *slot = Arc::new(connect_leaf(
+                    leaf.addr,
+                    leaf.faults.clone(),
+                    self.reactor.as_ref(),
+                )?);
                 replaced += 1;
             }
         }
@@ -646,6 +697,45 @@ mod tests {
         assert_eq!(group.live_count(0), 2);
         assert_eq!(group.reconnect(0).unwrap(), 0, "reconnect is idempotent");
         assert_eq!(group.leaf_addr(0), server.local_addr());
+    }
+
+    #[test]
+    fn reactor_backed_group_scatters_and_reconnects() {
+        use crate::reactor::{Reactor, ReactorConfig};
+        let servers: Vec<Server> = (0..3)
+            .map(|i| Server::spawn(ServerConfig::default(), Arc::new(TaggedEcho(i))).unwrap())
+            .collect();
+        let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+        let reactor =
+            Arc::new(Reactor::start(ReactorConfig { pollers: 2, ..ReactorConfig::default() }));
+        let group = FanoutGroup::connect_with_plan_via(&addrs, 2, None, Some(&reactor)).unwrap();
+        assert!(group.reactor().is_some());
+        // Registrations are adopted on the sweepers' next pass; poll
+        // rather than racing the adoption.
+        let adopted = |want: u64| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+            while reactor.stats().registered() < want {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "only {} of {want} leaf conns adopted",
+                    reactor.stats().registered()
+                );
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        };
+        adopted(6);
+        for round in 0..5u8 {
+            let requests: Vec<_> = (0..3).map(|leaf| (leaf, 1u32, vec![round])).collect();
+            let result = group.scatter_wait(requests);
+            assert!(result.all_ok());
+        }
+        // Break one connection; the replacement must register with the
+        // same reactor and keep the fan-out healthy.
+        group.client(0).shutdown();
+        assert_eq!(group.reconnect(0).unwrap(), 1);
+        adopted(7); // the replacement registers with the same reactor
+        let result = group.scatter_wait(vec![(0usize, 1u32, vec![9u8])]);
+        assert!(result.all_ok());
     }
 
     #[test]

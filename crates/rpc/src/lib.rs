@@ -19,21 +19,24 @@
 //!
 //! | Paper concept | Type here |
 //! |---------------|-----------|
-//! | network poller threads | [`server::Server`] per-connection pollers |
+//! | fixed network poller pool (Fig. 8) | [`reactor::Reactor`] sweep threads |
+//! | thread-per-connection baseline | [`config::NetworkModel::BlockingPerConn`] |
 //! | producer–consumer task queue | [`queue::DispatchQueue`] |
 //! | worker thread pool | [`server::Server`] workers |
 //! | async leaf clients | [`client::RpcClient::call_async`] |
-//! | response threads | [`client::RpcClient`] reader threads |
+//! | response threads | [`client::RpcClient`] readers / client reactor |
 //! | fan-out + count-down merge | [`fanout::FanoutGroup`] |
 //! | block- vs poll-based designs (§VII) | [`config::WaitMode`] |
 //! | inline vs dispatch designs (§VII) | [`config::ExecutionModel`] |
+//! | network wait model (§IV/§VII) | [`config::NetworkModel`] |
 //!
-//! The wire path is zero-copy end to end: each connection's poller and
-//! response pick-up thread reads into a pooled buffer
-//! ([`buf::FrameReader`]) and hands out `bytes::Bytes` slices of it;
-//! outgoing frames serialize into a reusable scratch
-//! ([`buf::FrameWriter`]); and a fan-out encodes shared request state
-//! once, sharing the allocation across leaves via [`buf::Payload`].
+//! The wire path is zero-copy end to end: each connection's reader —
+//! a per-connection poller thread ([`buf::FrameReader`]) or a shared
+//! reactor sweep ([`buf::FrameAccumulator`]) — fills a pooled buffer and
+//! hands out `bytes::Bytes` slices of it; outgoing frames serialize into
+//! a reusable scratch ([`buf::FrameWriter`] / the coalescing
+//! [`buf::ConnWriter`]); and a fan-out encodes shared request state once,
+//! sharing the allocation across leaves via [`buf::Payload`].
 //!
 //! # Examples
 //!
@@ -66,19 +69,21 @@ pub mod error;
 pub mod fanout;
 pub mod fault;
 pub mod queue;
+pub mod reactor;
 pub mod resilient;
 pub mod server;
 pub mod service;
 pub mod stats;
 
-pub use buf::{BufferPool, FrameReader, FrameWriter, Payload, PooledBuf};
+pub use buf::{BufferPool, ConnWriter, FrameAccumulator, FrameReader, FrameWriter, Payload, PooledBuf};
 pub use client::RpcClient;
-pub use config::{ExecutionModel, ServerConfig, WaitMode};
+pub use config::{ExecutionModel, NetworkModel, ServerConfig, WaitMode};
 pub use error::{FailureKind, RpcError};
 pub use fanout::FanoutGroup;
 pub use fault::{ClientFaults, FaultEvent, FaultKind, FaultPlan, FaultRule};
 pub use musuite_codec::{Frame, Status};
 pub use queue::DispatchQueue;
+pub use reactor::{CloseReason, ConnDriver, Drive, Reactor, ReactorConfig};
 pub use resilient::{
     BreakerConfig, CircuitBreaker, HedgePolicy, LeafCall, ResilientConfig, ResilientFanout,
 };

@@ -36,12 +36,13 @@ use bytes::Bytes;
 use musuite_check::atomic::{AtomicBool, AtomicUsize, Ordering};
 use musuite_check::sync::{Condvar, Mutex};
 use musuite_telemetry::clock::Clock;
+use musuite_telemetry::counters::{OsOp, OsOpCounters};
 use musuite_telemetry::histogram::LatencyHistogram;
 use musuite_telemetry::resilience::{ResilienceCounters, ResilienceEvent};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use musuite_check::thread::{Builder, JoinHandle};
 use std::sync::{Arc, Weak};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Per-leaf circuit-breaker tuning.
@@ -652,8 +653,9 @@ impl ResilientFanout {
         if state.thread.is_none() {
             let timers = self.timers.clone();
             let owner = Arc::downgrade(self);
+            OsOpCounters::global().incr(OsOp::Clone);
             state.thread = Some(
-                std::thread::Builder::new()
+                Builder::new()
                     .name("musuite-resilient-timer".to_string())
                     .spawn(move || run_timer_thread(timers, owner))
                     .expect("spawn resilient timer thread"), // lint: allow(expect): hedges and retries are unschedulable without it

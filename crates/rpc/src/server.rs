@@ -1,42 +1,56 @@
-//! The threaded RPC server: network pollers, dispatch queue, worker pool.
+//! The threaded RPC server: network edge, dispatch queue, worker pool.
 //!
-//! One poller thread per connection blocks on the socket awaiting frames
-//! (the paper's "blocking on the front-end network socket"); complete
-//! requests are either enqueued for the worker pool
-//! ([`ExecutionModel::Dispatch`]) or handled directly on the poller
-//! ([`ExecutionModel::Inline`]). Workers park on the queue's condition
-//! variable when idle, exactly the structure whose futex and wakeup
-//! overheads the paper characterizes.
+//! The network edge is selected by [`NetworkModel`]:
 //!
-//! Each poller owns a pooled [`FrameReader`]: request payloads are
-//! zero-copy slices of its read buffer, handed through the dispatch queue
-//! into the service without a memcpy. Connection bookkeeping is id-keyed
-//! and reaped — when a poller exits (client hung up, bad frame), its
-//! stream and join handle are removed instead of accumulating for the
-//! lifetime of the server.
+//! * [`NetworkModel::BlockingPerConn`] — one poller thread per connection
+//!   blocks on the socket awaiting frames (the paper's "blocking on the
+//!   front-end network socket", and the suite's baseline ablation arm).
+//! * [`NetworkModel::SharedPollers`] — a fixed [`Reactor`] pool sweeps
+//!   every connection (the paper's Fig. 8 mid-tier, where network thread
+//!   count is an architectural constant independent of client count).
+//!
+//! Either way, complete requests are enqueued for the worker pool
+//! ([`ExecutionModel::Dispatch`]) or handled directly on the network
+//! thread ([`ExecutionModel::Inline`]). Workers park on the queue's
+//! condition variable when idle, exactly the structure whose futex and
+//! wakeup overheads the paper characterizes.
+//!
+//! Request payloads are zero-copy slices of pooled read buffers in both
+//! modes ([`FrameReader`] per-connection, [`FrameAccumulator`] inside the
+//! reactor), handed through the dispatch queue into the service without a
+//! memcpy. Responses leave through a per-connection coalescing
+//! [`crate::ConnWriter`]: concurrent completions for one connection batch
+//! into a single socket write.
+//!
+//! Connection bookkeeping is reaped in both modes, and an optional idle
+//! timeout drops connections with no traffic (counted in
+//! [`ServerStats::idle_reaped`]).
+//!
+//! [`FrameAccumulator`]: crate::FrameAccumulator
 
-use crate::buf::{BufferPool, FrameReader, FrameWriter};
-use crate::config::{ExecutionModel, ServerConfig};
+use crate::buf::{BufferPool, ConnWriter, FrameReader};
+use crate::config::{ExecutionModel, NetworkModel, ServerConfig};
 use crate::error::RpcError;
 use crate::queue::DispatchQueue;
-use crate::service::{RequestContext, Service};
+use crate::reactor::{CloseReason, ConnDriver, Drive, Reactor, ReactorConfig};
+use crate::service::{RequestContext, Service, SharedWriter};
 use crate::stats::ServerStats;
 use musuite_check::atomic::{AtomicBool, Ordering};
 use musuite_check::sync::Mutex;
+use musuite_check::thread::{Builder, JoinHandle};
 use musuite_codec::frame::FrameKind;
-use musuite_codec::Status;
+use musuite_codec::{Frame, Status};
 use musuite_telemetry::breakdown::Stage;
 use musuite_telemetry::clock::Clock;
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
-use musuite_telemetry::sync::CountedMutex;
 use std::collections::HashMap;
-use std::io::Read;
+use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Id-keyed connection bookkeeping plus the list of pollers that have
-/// exited and are ready to be reaped.
+/// exited and are ready to be reaped. Used only in `BlockingPerConn`
+/// mode; the reactor tracks its own connections.
 #[derive(Default)]
 struct ConnTable {
     conns: Mutex<HashMap<u64, TcpStream>>,
@@ -104,11 +118,13 @@ pub struct Server {
     worker_handles: Vec<JoinHandle<()>>,
     table: Arc<ConnTable>,
     queue: DispatchQueue<RequestContext>,
+    reactor: Option<Arc<Reactor>>,
 }
 
 impl Server {
-    /// Binds the configured address and spawns the accept loop and worker
-    /// pool.
+    /// Binds the configured address and spawns the accept loop, the
+    /// network edge (per-connection pollers or a shared reactor), and the
+    /// worker pool.
     ///
     /// # Errors
     ///
@@ -121,6 +137,15 @@ impl Server {
         let queue = DispatchQueue::new(config.queue_capacity_value(), config.wait_mode_value())
             .with_breakdown(stats.breakdown().clone());
         let table = Arc::new(ConnTable::default());
+        let reactor = match config.network_model_value() {
+            NetworkModel::BlockingPerConn => None,
+            NetworkModel::SharedPollers { pollers } => Some(Arc::new(Reactor::start(ReactorConfig {
+                pollers,
+                wait_mode: config.wait_mode_value(),
+                sweep_budget: config.sweep_budget_value(),
+                idle_timeout: config.idle_timeout_value(),
+            }))),
+        };
 
         let mut worker_handles = Vec::new();
         if config.execution_model_value() == ExecutionModel::Dispatch {
@@ -129,7 +154,7 @@ impl Server {
                 let service = service.clone();
                 OsOpCounters::global().incr(OsOp::Clone);
                 worker_handles.push(
-                    std::thread::Builder::new()
+                    Builder::new()
                         .name(format!("musuite-worker-{i}"))
                         .spawn(move || {
                             while let Some(ctx) = queue.pop() {
@@ -146,12 +171,14 @@ impl Server {
             let stats = stats.clone();
             let queue = queue.clone();
             let table = table.clone();
+            let reactor = reactor.clone();
             let model = config.execution_model_value();
+            let idle_timeout = config.idle_timeout_value();
             // Read buffers survive connection churn: an exiting poller's
             // warmed-up buffer is handed to the next connection.
             let read_buffers = BufferPool::new(MAX_IDLE_READ_BUFFERS);
             OsOpCounters::global().incr(OsOp::Clone);
-            std::thread::Builder::new()
+            Builder::new()
                 .name("musuite-accept".to_string())
                 .spawn(move || {
                     let mut next_conn_id = 0u64;
@@ -166,17 +193,36 @@ impl Server {
                         OsOpCounters::global().incr(OsOp::OpenAt);
                         stream.set_nodelay(true).ok();
                         let Ok(read_half) = stream.try_clone() else { continue };
+                        let writer: SharedWriter =
+                            Arc::new(ConnWriter::with_stats(stream, stats.coalesce().clone()));
+                        if let Some(reactor) = &reactor {
+                            // Shared-poller mode: the reactor owns the read
+                            // half; no thread is spawned for this conn.
+                            let driver = ServerConnDriver {
+                                writer,
+                                stats: stats.clone(),
+                                queue: queue.clone(),
+                                service: service.clone(),
+                                model,
+                                clock: Clock::new(),
+                            };
+                            let _ = reactor.register(read_half, Box::new(driver));
+                            continue;
+                        }
+                        if let Some(timeout) = idle_timeout {
+                            // Baseline idle reaping: the poller's blocking
+                            // first-byte read times out and exits.
+                            read_half.set_read_timeout(Some(timeout)).ok();
+                        }
                         let conn_id = next_conn_id;
                         next_conn_id += 1;
-                        table
-                            .conns
-                            .lock()
-                            // lint: allow(expect): dup of a just-accepted live fd
-                            .insert(conn_id, stream.try_clone().expect("clone registered stream"));
+                        // lint: allow(expect): dup of a just-accepted live fd
+                        let conn_handle = writer.get_ref().try_clone().expect("clone registered stream");
+                        table.conns.lock().insert(conn_id, conn_handle);
                         let poller = spawn_poller(
                             conn_id,
                             read_half,
-                            stream,
+                            writer,
                             stats.clone(),
                             queue.clone(),
                             service.clone(),
@@ -184,6 +230,7 @@ impl Server {
                             shutdown.clone(),
                             table.clone(),
                             read_buffers.acquire(),
+                            idle_timeout.is_some(),
                         );
                         table.pollers.lock().insert(conn_id, poller);
                     }
@@ -199,6 +246,7 @@ impl Server {
             worker_handles,
             table,
             queue,
+            reactor,
         })
     }
 
@@ -212,11 +260,31 @@ impl Server {
         &self.stats
     }
 
-    /// Number of connections with a live poller. Exited pollers are
-    /// reaped before counting, so this reflects current, not historical,
-    /// connections.
+    /// Number of live connections. Per-connection mode reaps exited
+    /// pollers before counting; shared-poller mode asks the reactor.
     pub fn connection_count(&self) -> usize {
-        self.table.live_connections()
+        match &self.reactor {
+            Some(reactor) => reactor.live_connections(),
+            None => self.table.live_connections(),
+        }
+    }
+
+    /// Number of threads serving the network edge right now: the fixed
+    /// poller count under [`NetworkModel::SharedPollers`], one per live
+    /// connection under [`NetworkModel::BlockingPerConn`]. This is the
+    /// quantity the paper's Fig. 8 holds constant and the scaling test
+    /// asserts on.
+    pub fn network_threads(&self) -> usize {
+        match &self.reactor {
+            Some(reactor) => reactor.poller_count(),
+            None => self.connection_count(),
+        }
+    }
+
+    /// The shared reactor, when running under
+    /// [`NetworkModel::SharedPollers`] (for sweep statistics).
+    pub fn reactor(&self) -> Option<&Reactor> {
+        self.reactor.as_deref()
     }
 
     /// Stops accepting, closes every connection, drains the worker pool,
@@ -230,6 +298,9 @@ impl Server {
         // Unblock pollers parked in read().
         for conn in self.table.conns.lock().values() {
             let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(reactor) = &self.reactor {
+            reactor.shutdown();
         }
         self.queue.close();
     }
@@ -273,11 +344,59 @@ impl std::fmt::Debug for Server {
 /// from exiting pollers are freed rather than pooled.
 const MAX_IDLE_READ_BUFFERS: usize = 64;
 
+/// Per-connection protocol logic when the connection is reactor-owned:
+/// the same request pipeline as the blocking poller, minus the thread.
+struct ServerConnDriver {
+    writer: SharedWriter,
+    stats: ServerStats,
+    queue: DispatchQueue<RequestContext>,
+    service: Arc<dyn Service>,
+    model: ExecutionModel,
+    clock: Clock,
+}
+
+impl ConnDriver for ServerConnDriver {
+    fn on_frame(&mut self, frame: Frame, rx_start_ns: u64) -> Drive {
+        let received = self.clock.now_ns();
+        self.stats.breakdown().record(Stage::NetRx, self.clock.delta(rx_start_ns, received));
+        if frame.header.kind == FrameKind::OneWay {
+            self.service.notify(frame.header.method, frame.payload);
+            return Drive::Continue;
+        }
+        if frame.header.kind != FrameKind::Request {
+            return Drive::Continue;
+        }
+        self.stats.record_request();
+        let ctx = RequestContext::new(frame, received, self.writer.clone(), self.stats.clone());
+        match self.model {
+            // Inline runs the handler on the sweep thread itself — the
+            // paper's in-line design, now with a *shared* network thread.
+            ExecutionModel::Inline => self.service.call(ctx),
+            ExecutionModel::Dispatch => {
+                // The queue holds the context by value; a failed push
+                // sheds load so saturation does not grow an unbounded
+                // backlog.
+                if let Err(ctx) = self.queue.try_push(ctx) {
+                    self.stats.record_rejected();
+                    ctx.respond_err(Status::Unavailable, "dispatch queue full");
+                }
+            }
+        }
+        Drive::Continue
+    }
+
+    fn on_close(&mut self, reason: CloseReason) {
+        if reason == CloseReason::Idle {
+            self.stats.record_idle_reaped();
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn spawn_poller(
     conn_id: u64,
     read_half: TcpStream,
-    write_half: TcpStream,
+    writer: SharedWriter,
     stats: ServerStats,
     queue: DispatchQueue<RequestContext>,
     service: Arc<dyn Service>,
@@ -285,10 +404,10 @@ fn spawn_poller(
     shutdown: Arc<AtomicBool>,
     table: Arc<ConnTable>,
     read_buf: crate::buf::PooledBuf,
+    reap_on_timeout: bool,
 ) -> JoinHandle<()> {
     OsOpCounters::global().incr(OsOp::Clone);
-    let writer = Arc::new(CountedMutex::new(FrameWriter::new(write_half)));
-    std::thread::Builder::new()
+    Builder::new()
         .name("musuite-poller".to_string())
         .spawn(move || {
             let clock = Clock::new();
@@ -302,7 +421,18 @@ fn spawn_poller(
                 // userspace edge of epoll_pwait + hardirq delivery.
                 counters.incr(OsOp::EpollPwait);
                 let mut first = [0u8; 1];
-                if reader.get_ref().read_exact(&mut first).is_err() {
+                if let Err(e) = reader.get_ref().read_exact(&mut first) {
+                    if reap_on_timeout
+                        && matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        )
+                    {
+                        // Idle past the configured timeout with no frame
+                        // in flight: reap the connection.
+                        stats.record_idle_reaped();
+                        let _ = reader.get_ref().shutdown(Shutdown::Both);
+                    }
                     break;
                 }
                 // Data has arrived; everything from here to a parsed frame
@@ -318,7 +448,7 @@ fn spawn_poller(
                         // ours is not enough) so the peer observes the
                         // failure immediately instead of timing out on a
                         // silent connection.
-                        let _ = reader.get_ref().shutdown(std::net::Shutdown::Both);
+                        let _ = reader.get_ref().shutdown(Shutdown::Both);
                         break;
                     }
                 };
@@ -410,6 +540,61 @@ mod tests {
     }
 
     #[test]
+    fn shared_pollers_echo_across_execution_and_wait_modes() {
+        for (execution, wait) in [
+            (ExecutionModel::Dispatch, WaitMode::Block),
+            (ExecutionModel::Dispatch, WaitMode::Adaptive),
+            (ExecutionModel::Inline, WaitMode::Poll),
+        ] {
+            let mut config = ServerConfig::default();
+            config
+                .network_model(NetworkModel::SharedPollers { pollers: 2 })
+                .execution_model(execution)
+                .wait_mode(wait)
+                .workers(2);
+            let server = Server::spawn(config, Arc::new(Echo)).unwrap();
+            assert_eq!(server.network_threads(), 2);
+            let client = RpcClient::connect(server.local_addr()).unwrap();
+            for i in 0..50u32 {
+                let payload = i.to_le_bytes().to_vec();
+                assert_eq!(
+                    client.call(1, payload.clone()).unwrap(),
+                    payload,
+                    "under {execution:?}/{wait:?}"
+                );
+            }
+            assert_eq!(server.stats().responses(), 50);
+            // Sweep counters are recorded at end-of-sweep, which can lag
+            // the response by one sweep — poll briefly instead of racing.
+            let reactor = server.reactor().unwrap();
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            while reactor.stats().frames() < 50 {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "reactor saw {} frames under {execution:?}/{wait:?}",
+                    reactor.stats().frames()
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            assert_eq!(reactor.stats().registered(), 1);
+        }
+    }
+
+    #[test]
+    fn shared_pollers_network_threads_stay_fixed_across_conns() {
+        let mut config = ServerConfig::default();
+        config.network_model(NetworkModel::SharedPollers { pollers: 2 }).workers(2);
+        let server = Server::spawn(config, Arc::new(Echo)).unwrap();
+        let clients: Vec<_> =
+            (0..8).map(|_| RpcClient::connect(server.local_addr()).unwrap()).collect();
+        for (i, client) in clients.iter().enumerate() {
+            client.call(1, vec![i as u8]).unwrap();
+        }
+        assert_eq!(server.connection_count(), 8);
+        assert_eq!(server.network_threads(), 2, "poller pool must not grow with conns");
+    }
+
+    #[test]
     fn many_sequential_calls_on_one_connection() {
         let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
         let client = RpcClient::connect(server.local_addr()).unwrap();
@@ -418,6 +603,9 @@ mod tests {
             assert_eq!(client.call(2, payload.clone()).unwrap(), payload);
         }
         assert_eq!(server.stats().responses(), 200);
+        // Every response was queued through the coalescing writer.
+        assert_eq!(server.stats().coalesce().frames(), 200);
+        assert!(server.stats().coalesce().flushes() <= 200);
     }
 
     #[test]
@@ -469,6 +657,63 @@ mod tests {
     }
 
     #[test]
+    fn shared_pollers_reap_closed_connections() {
+        let mut config = ServerConfig::default();
+        config.network_model(NetworkModel::SharedPollers { pollers: 1 });
+        let server = Server::spawn(config, Arc::new(Echo)).unwrap();
+        for _ in 0..5 {
+            let client = RpcClient::connect(server.local_addr()).unwrap();
+            client.call(1, b"hi".to_vec()).unwrap();
+            drop(client);
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.connection_count() != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "reactor never released dead conns: {} live",
+                server.connection_count()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        client.call(1, b"again".to_vec()).unwrap();
+        assert_eq!(server.connection_count(), 1);
+    }
+
+    fn idle_reap_case(network: NetworkModel) {
+        let mut config = ServerConfig::default();
+        config.network_model(network).idle_timeout(Duration::from_millis(75));
+        let server = Server::spawn(config, Arc::new(Echo)).unwrap();
+        let idle = RpcClient::connect(server.local_addr()).unwrap();
+        idle.call(1, b"warm".to_vec()).unwrap();
+        // No traffic for several timeouts: the server must drop the conn.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.stats().idle_reaped() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "idle connection never reaped under {network:?}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.stats().idle_reaped(), 1);
+        // The reaped client's next call fails...
+        assert!(idle.call(1, b"dead".to_vec()).is_err());
+        // ...but fresh connections are unaffected.
+        let fresh = RpcClient::connect(server.local_addr()).unwrap();
+        assert_eq!(fresh.call(1, b"alive".to_vec()).unwrap(), b"alive");
+    }
+
+    #[test]
+    fn idle_connections_reaped_blocking_per_conn() {
+        idle_reap_case(NetworkModel::BlockingPerConn);
+    }
+
+    #[test]
+    fn idle_connections_reaped_shared_pollers() {
+        idle_reap_case(NetworkModel::SharedPollers { pollers: 2 });
+    }
+
+    #[test]
     fn breakdown_stages_populated_after_traffic() {
         let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
         let client = RpcClient::connect(server.local_addr()).unwrap();
@@ -481,6 +726,21 @@ mod tests {
         assert_eq!(breakdown.histogram(Stage::Net).count(), 20);
         // The final NetTx sample is recorded just after the reply bytes
         // reach the kernel, so it may trail the client's receive by a hair.
+        assert!(breakdown.histogram(Stage::NetTx).count() >= 19);
+    }
+
+    #[test]
+    fn breakdown_stages_populated_under_shared_pollers() {
+        let mut config = ServerConfig::default();
+        config.network_model(NetworkModel::SharedPollers { pollers: 2 });
+        let server = Server::spawn(config, Arc::new(Echo)).unwrap();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        for _ in 0..20 {
+            client.call(1, vec![0u8; 128]).unwrap();
+        }
+        let breakdown = server.stats().breakdown();
+        assert_eq!(breakdown.histogram(Stage::NetRx).count(), 20);
+        assert_eq!(breakdown.histogram(Stage::Block).count(), 20);
         assert!(breakdown.histogram(Stage::NetTx).count() >= 19);
     }
 

@@ -10,7 +10,7 @@
 //! the worker moves on to the next request immediately after issuing the
 //! fan-out.
 
-use crate::buf::FrameWriter;
+use crate::buf::ConnWriter;
 use crate::stats::ServerStats;
 use bytes::Bytes;
 use musuite_check::atomic::{AtomicU64, Ordering};
@@ -18,9 +18,6 @@ use musuite_codec::frame::FrameHeader;
 use musuite_codec::{Frame, FrameKind, Status};
 use musuite_telemetry::breakdown::Stage;
 use musuite_telemetry::clock::Clock;
-use musuite_telemetry::counters::{OsOp, OsOpCounters};
-use musuite_telemetry::sync::CountedMutex;
-use std::net::TcpStream;
 use std::sync::Arc;
 
 /// A request handler.
@@ -68,9 +65,10 @@ mod notify_tests {
     }
 }
 
-/// Shared, mutex-guarded write half of a connection, with its reusable
-/// serialization scratch buffer.
-pub(crate) type SharedWriter = Arc<CountedMutex<FrameWriter<TcpStream>>>;
+/// Shared, coalescing write half of a connection: responses from any
+/// thread serialize into a common pending buffer and leave in batched
+/// writes (see [`ConnWriter`]).
+pub(crate) type SharedWriter = Arc<ConnWriter>;
 
 /// Everything a handler needs to process and complete one RPC.
 ///
@@ -187,18 +185,15 @@ impl RequestContext {
         let breakdown = self.stats.breakdown();
         breakdown.record_ns(Stage::Net, total.saturating_sub(leaf));
         self.stats.record_response(self.clock.delta(self.received_at_ns, tx_start));
-        {
-            let mut writer = self.writer.lock();
-            OsOpCounters::global().incr(OsOp::SendMsg);
-            // A send failure means the client went away; there is nobody
-            // left to report the error to, so it is intentionally dropped.
-            // The frame serializes into the connection's reusable scratch
-            // buffer — no per-response allocation.
-            let _ = writer.write_parts(&header, &[payload]);
-            // NetTx is recorded inside the lock so the sample pairs with
-            // this frame's write rather than a competing response's.
-            breakdown.record(Stage::NetTx, self.clock.delta(tx_start, self.clock.now_ns()));
-        }
+        // A send failure means the client went away; there is nobody
+        // left to report the error to, so it is intentionally dropped.
+        // The frame serializes into the connection's shared pending
+        // buffer — no per-response allocation — and may coalesce with
+        // competing responses into a single socket write.
+        let _ = self.writer.write_parts(&header, &[payload]);
+        // NetTx covers queueing plus (when this thread flushed) the wire
+        // hand-off; a coalesced frame's NetTx is just its queueing time.
+        breakdown.record(Stage::NetTx, self.clock.delta(tx_start, self.clock.now_ns()));
     }
 }
 
@@ -218,7 +213,7 @@ mod tests {
     use super::*;
     use musuite_codec::FrameKind;
     use std::io::Read;
-    use std::net::TcpListener;
+    use std::net::{TcpListener, TcpStream};
 
     fn loopback_pair() -> (TcpStream, TcpStream) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -233,7 +228,7 @@ mod tests {
         RequestContext::new(
             frame,
             Clock::new().now_ns(),
-            Arc::new(CountedMutex::new(FrameWriter::new(stream))),
+            Arc::new(ConnWriter::new(stream)),
             stats.clone(),
         )
     }

@@ -3,6 +3,7 @@
 use musuite_check::atomic::{AtomicU64, Ordering};
 use musuite_telemetry::breakdown::BreakdownRecorder;
 use musuite_telemetry::histogram::LatencyHistogram;
+use musuite_telemetry::netpoll::CoalesceStats;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
@@ -13,7 +14,9 @@ struct Inner {
     requests: AtomicU64,
     responses: AtomicU64,
     rejected: AtomicU64,
+    idle_reaped: AtomicU64,
     service_time: Mutex<LatencyHistogram>,
+    coalesce: CoalesceStats,
 }
 
 /// Shared counters and latency recorders for one server.
@@ -58,6 +61,11 @@ impl ServerStats {
         self.inner.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts a connection dropped by the idle-timeout reaper.
+    pub fn record_idle_reaped(&self) {
+        self.inner.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Requests accepted so far.
     pub fn requests(&self) -> u64 {
         self.inner.requests.load(Ordering::Relaxed)
@@ -71,6 +79,18 @@ impl ServerStats {
     /// Requests shed so far.
     pub fn rejected(&self) -> u64 {
         self.inner.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Connections reaped for idleness so far.
+    pub fn idle_reaped(&self) -> u64 {
+        self.inner.idle_reaped.load(Ordering::Relaxed)
+    }
+
+    /// Write-coalescing counters shared by all of this server's
+    /// connections: frames queued vs. socket writes issued; the
+    /// difference is `sendmsg` syscalls saved.
+    pub fn coalesce(&self) -> &CoalesceStats {
+        &self.inner.coalesce
     }
 
     /// Copy of the server-side service-time histogram.
@@ -88,7 +108,9 @@ impl ServerStats {
         self.inner.requests.store(0, Ordering::Relaxed);
         self.inner.responses.store(0, Ordering::Relaxed);
         self.inner.rejected.store(0, Ordering::Relaxed);
+        self.inner.idle_reaped.store(0, Ordering::Relaxed);
         self.inner.service_time.lock().reset();
+        self.inner.coalesce.reset();
         self.breakdown.reset();
     }
 }
@@ -114,9 +136,11 @@ mod tests {
         s.record_request();
         s.record_response(Duration::from_micros(5));
         s.record_rejected();
+        s.record_idle_reaped();
         assert_eq!(s.requests(), 2);
         assert_eq!(s.responses(), 1);
         assert_eq!(s.rejected(), 1);
+        assert_eq!(s.idle_reaped(), 1);
         assert_eq!(s.service_time().count(), 1);
     }
 

@@ -16,6 +16,9 @@
 //! * [`breakdown`] — a per-request lifecycle recorder that attributes time
 //!   to the stages of Figs. 15–18 (NetRx, Block, Sched, ActiveExe, NetTx,
 //!   Net).
+//! * [`netpoll`] — shared-reactor sweep statistics (frames per sweep,
+//!   parks vs. yields between empty sweeps) and write-coalescing counters,
+//!   folded into the [`counters`] OS-op table.
 //! * [`procstat`] — `/proc` sampling for context switches (Fig. 19) and
 //!   kernel-reported run-queue delay (`schedstat`).
 //! * [`report`] — plain-text table rendering used by the bench harness.
@@ -38,6 +41,7 @@ pub mod breakdown;
 pub mod clock;
 pub mod counters;
 pub mod histogram;
+pub mod netpoll;
 pub mod procstat;
 pub mod report;
 pub mod resilience;
@@ -49,6 +53,7 @@ pub use breakdown::{BreakdownRecorder, Stage};
 pub use clock::Clock;
 pub use counters::{OsOp, OsOpCounters};
 pub use histogram::LatencyHistogram;
+pub use netpoll::{CoalesceStats, ReactorStats};
 pub use procstat::{ContextSwitches, SchedStat, TcpStats};
 pub use resilience::{ResilienceCounters, ResilienceEvent};
 pub use summary::DistributionSummary;

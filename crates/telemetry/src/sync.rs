@@ -24,6 +24,14 @@ pub fn contention_events() -> u64 {
     CONTENTION_EVENTS.load(Ordering::Relaxed)
 }
 
+/// Records a contention event observed outside a [`CountedMutex`] slow
+/// path — e.g. a frame queued behind another thread's in-progress
+/// connection flush, which is the same two-threads-one-cache-line fight a
+/// lock held across the write syscall used to tally.
+pub fn record_contention_event() {
+    CONTENTION_EVENTS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Resets the process-wide contention event count (between bench runs).
 pub fn reset_contention_events() {
     CONTENTION_EVENTS.store(0, Ordering::Relaxed);

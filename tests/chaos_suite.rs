@@ -223,6 +223,53 @@ fn slow_leaf_hedging_bounds_the_tail() {
 }
 
 #[test]
+fn shared_poller_midtier_keeps_dead_leaf_and_hedging_guarantees() {
+    use musuite::rpc::{NetworkModel, ServerConfig};
+    let seed = 0x9011E7_u64;
+    println!("chaos seed: {seed}");
+    // Same dead-primary + failover contract as the per-connection suite,
+    // but the mid-tier runs both of its network edges (front-end server
+    // and leaf clients) on fixed two-poller reactors.
+    let mut midtier = ServerConfig::default();
+    midtier.network_model(NetworkModel::SharedPollers { pollers: 2 }).workers(2);
+    let plan = FaultPlan::builder(seed, 4).dead_leaf(0).build();
+    let config = ClusterConfig::new()
+        .leaves(4)
+        .midtier_config(midtier)
+        .fault_plan(plan.clone())
+        .resilience(ResilientConfig {
+            attempt_timeout: Some(Duration::from_millis(500)),
+            hedge: HedgePolicy::After(Duration::from_millis(8)),
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            ..Default::default()
+        });
+    let cluster = Cluster::launch(config, PrimaryWithFailover, |_| {
+        SlowSquareLeaf(Duration::from_millis(2))
+    })
+    .unwrap();
+    assert_eq!(cluster.midtier().network_threads(), 2);
+    let client = cluster.client::<u64, u64>().unwrap();
+    plan.arm();
+    // The primary replica is dead; with retry-failover every read must
+    // still answer from an alternate, under the shared pollers.
+    for i in 0..60u64 {
+        assert_eq!(
+            client.call_typed(&i).unwrap(),
+            i * i,
+            "read {i} lost under SharedPollers (replay with seed {seed})"
+        );
+    }
+    let counters = cluster.fanout().counters();
+    assert!(
+        counters.get(ResilienceEvent::Retry) + counters.get(ResilienceEvent::HedgeFired) > 0,
+        "failover machinery must have engaged"
+    );
+    assert!(plan.injected() > 0, "the dead leaf must actually have been hit");
+    cluster.shutdown();
+}
+
+#[test]
 fn corruption_is_detected_and_retried_never_served() {
     let seed = 0xBADF00D_u64;
     println!("chaos seed: {seed}");

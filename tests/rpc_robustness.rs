@@ -1,8 +1,8 @@
 //! Fault-injection and robustness tests for the RPC substrate.
 
 use musuite::rpc::{
-    ExecutionModel, RequestContext, RpcClient, RpcError, Server, ServerConfig, Service, Status,
-    WaitMode,
+    ExecutionModel, NetworkModel, Reactor, ReactorConfig, RequestContext, RpcClient, RpcError,
+    Server, ServerConfig, Service, Status, WaitMode,
 };
 use std::io::Write;
 use std::net::TcpStream;
@@ -85,6 +85,59 @@ fn queue_overflow_sheds_with_unavailable() {
     assert!(served >= 1, "at least one request must be served: {served}");
     assert!(shed > 0, "a 1-deep queue under 20 instant requests must shed");
     assert!(server.stats().rejected() > 0);
+}
+
+#[test]
+fn shared_pollers_hold_network_threads_fixed_under_256_connections() {
+    fn process_threads() -> usize {
+        std::fs::read_dir("/proc/self/task").map(|dir| dir.count()).unwrap_or(0)
+    }
+
+    let mut config = ServerConfig::default();
+    config.network_model(NetworkModel::SharedPollers { pollers: 2 }).workers(2);
+    let server = echo_server(config);
+    let before = process_threads();
+
+    // All 256 client connections share one two-poller reactor too, so the
+    // client side of this test is also O(1) threads.
+    let reactor = Arc::new(Reactor::start(ReactorConfig { pollers: 2, ..Default::default() }));
+    let clients: Vec<Arc<RpcClient>> = (0..256)
+        .map(|_| Arc::new(RpcClient::connect_via(server.local_addr(), &reactor).unwrap()))
+        .collect();
+
+    // Every connection issues a request concurrently; every one completes
+    // with its own payload.
+    let (tx, rx) = std::sync::mpsc::channel();
+    for (i, client) in clients.iter().enumerate() {
+        let tx = tx.clone();
+        client.call_async(1, (i as u32).to_le_bytes().to_vec(), move |result| {
+            tx.send((i, result)).unwrap();
+        });
+    }
+    drop(tx);
+    let mut seen = vec![false; clients.len()];
+    for _ in 0..clients.len() {
+        let (i, result) = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(result.unwrap(), (i as u32).to_le_bytes().to_vec());
+        assert!(!seen[i], "connection {i} completed twice");
+        seen[i] = true;
+    }
+    assert!(seen.iter().all(|&done| done), "every request must complete");
+
+    // The architectural claim: the server's network edge is its 2 pollers,
+    // not 256 per-connection threads.
+    assert_eq!(server.connection_count(), 256);
+    assert_eq!(server.network_threads(), 2, "poller pool must not scale with connections");
+    // Whole-process growth: 2 client-side sweepers plus whatever the other
+    // concurrently-running tests in this binary spawned. The bound is
+    // loose for that noise, yet far below the 256 threads that
+    // thread-per-connection would have added on each side.
+    let after = process_threads();
+    assert!(
+        after <= before + 64,
+        "512 reactor-managed connections grew the process by {} threads",
+        after.saturating_sub(before)
+    );
 }
 
 #[test]

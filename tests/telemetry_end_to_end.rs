@@ -92,24 +92,32 @@ fn contention_events_accumulate_under_parallel_load() {
     let queries = dataset.sample_queries(64, 0.02);
     let service = HdSearchService::launch(dataset, 2, Default::default()).unwrap();
     let before = sync::contention_events();
-    let mut handles = Vec::new();
-    for _ in 0..8 {
-        let addr = service.addr();
-        let queries = queries.clone();
-        handles.push(std::thread::spawn(move || {
-            let client = musuite::rpc::RpcClient::connect(addr).unwrap();
-            for q in &queries {
-                let payload = musuite::codec::to_bytes(&SearchQuery { vector: q.clone(), k: 5 });
-                client.call(1, payload).unwrap();
-            }
-        }));
+    // Contention is probabilistic: the write path holds its locks only
+    // long enough to append to a batch (the kernel write happens outside
+    // the lock), so one short burst may slip through uncontended. Drive
+    // repeated bursts until the counters move; only a genuinely
+    // contention-free stack fails the round budget.
+    let mut rounds = 0;
+    while sync::contention_events() == before {
+        rounds += 1;
+        assert!(rounds <= 10, "8 parallel clients hammering shared queues must contend");
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let addr = service.addr();
+            let queries = queries.clone();
+            handles.push(std::thread::spawn(move || {
+                let client = musuite::rpc::RpcClient::connect(addr).unwrap();
+                for q in &queries {
+                    let payload =
+                        musuite::codec::to_bytes(&SearchQuery { vector: q.clone(), k: 5 });
+                    client.call(1, payload).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
     }
-    for h in handles {
-        h.join().unwrap();
-    }
-    assert!(
-        sync::contention_events() > before,
-        "8 parallel clients hammering shared queues must contend"
-    );
+    assert!(sync::contention_events() > before);
     service.shutdown();
 }

@@ -12,6 +12,13 @@
 # an explicit `lint: allow(...)` marker stating why dying is the right
 # move.
 #
+# Rule 3 — thread accounting: non-test musuite-rpc code must spawn threads
+# through musuite_check::thread (Builder/spawn), never std::thread. Raw
+# spawns are invisible to the model checker AND dodge the OsOp::Clone
+# telemetry that the threading ablations audit; a stray one would silently
+# re-grow the thread-per-connection behavior the shared-reactor network
+# layer exists to bound.
+#
 # Test code is exempt: everything from the first `#[cfg(test)]` or
 # `#[cfg(all(test, ...))]` marker to end-of-file is skipped (test modules
 # sit at the bottom of each file in this codebase).
@@ -54,6 +61,17 @@ for file in crates/rpc/src/*.rs crates/core/src/*.rs; do
   if [ -n "$hits" ]; then
     echo "error: $file: unwrap()/expect() in non-test library code" \
       "(handle the error, or mark the line: // lint: allow(expect): <why>):"
+    echo "$hits"
+    fail=1
+  fi
+done
+
+raw_thread='std::thread::(spawn|Builder)'
+for file in crates/rpc/src/*.rs; do
+  hits=$(scan "$file" "$raw_thread")
+  if [ -n "$hits" ]; then
+    echo "error: $file: raw std::thread spawn in non-test code" \
+      "(route it through musuite_check::thread so spawns stay model-checkable and counted):"
     echo "$hits"
     fail=1
   fi
