@@ -1,0 +1,330 @@
+//! Call-expression extraction from token ranges.
+//!
+//! Works directly on the token stream of a function body: a call is an
+//! identifier (possibly path- or turbofish-qualified) immediately
+//! followed by an argument list. Macro bodies are scanned like any
+//! other tokens, so `format!("{}", x.unwrap())` still surfaces the
+//! `unwrap` call.
+
+use crate::lex::{TokKind, Token};
+use crate::parse::SourceFile;
+
+/// One extracted call expression.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Path segments for path calls (`["std", "thread", "spawn"]`);
+    /// for method calls, the single method name.
+    pub path: Vec<String>,
+    /// `true` for `recv.name(...)` method-call form.
+    pub is_method: bool,
+    /// Best-effort receiver text for method calls (`self.state`,
+    /// `ledger`); `None` when the receiver is a complex expression.
+    pub recv: Option<String>,
+    /// Number of top-level arguments.
+    pub arg_count: usize,
+    /// Argument tokens joined with spaces (identifier matching only).
+    pub args_text: String,
+    /// Identifier tokens appearing in the arguments.
+    pub arg_idents: Vec<String>,
+    /// Line of the callee name.
+    pub line: u32,
+    /// Token index of the callee name.
+    pub at: usize,
+}
+
+impl Call {
+    /// Last path segment — the function/method name.
+    pub fn name(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("")
+    }
+
+    /// `true` if the (path) call's segments end with `suffix`.
+    pub fn path_ends_with(&self, suffix: &[&str]) -> bool {
+        if self.path.len() < suffix.len() {
+            return false;
+        }
+        self.path[self.path.len() - suffix.len()..].iter().zip(suffix).all(|(a, b)| a == b)
+    }
+}
+
+/// Extracts every call expression in token range `[start, end)`.
+pub fn calls_in(file: &SourceFile, start: usize, end: usize) -> Vec<Call> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        let t = match toks.get(i) {
+            Some(t) => t,
+            None => break,
+        };
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            i += 1;
+            continue;
+        }
+        // Callee name must be followed by `(` or `::<...>(`.
+        let mut after = i + 1;
+        if is_punct(toks, after, ':')
+            && is_punct(toks, after + 1, ':')
+            && is_punct(toks, after + 2, '<')
+        {
+            after = skip_angles(toks, after + 2, end);
+        }
+        if !is_punct(toks, after, '(') {
+            i += 1;
+            continue;
+        }
+        // Not a call: `fn name(`, `macro name!(` is excluded already
+        // (the `!` breaks the `(` adjacency).
+        if i > 0 && toks.get(i - 1).map(|p| p.is_ident("fn")).unwrap_or(false) {
+            i = after + 1;
+            continue;
+        }
+        // Walk back over `path::segments`.
+        let mut path = vec![t.text.clone()];
+        let mut head = i;
+        while head >= 2
+            && is_punct(toks, head - 1, ':')
+            && is_punct(toks, head - 2, ':')
+            && head >= 3
+            && toks.get(head - 3).map(|p| p.kind == TokKind::Ident).unwrap_or(false)
+        {
+            path.insert(0, toks[head - 3].text.clone());
+            head -= 3;
+        }
+        // Leading `::std::...` — absorb the global-path prefix.
+        if head >= 2 && is_punct(toks, head - 1, ':') && is_punct(toks, head - 2, ':') {
+            head -= 2;
+        }
+        // Method call if the path head is preceded by `.`.
+        let is_method = head >= 1 && is_punct(toks, head - 1, '.');
+        let mut recv = None;
+        if is_method {
+            recv = receiver_text(toks, head - 1);
+        }
+        // Argument list.
+        let close = skip_parens(toks, after, end);
+        let (arg_count, args_text, arg_idents) = scan_args(toks, after, close);
+        out.push(Call {
+            path: if is_method { vec![t.text.clone()] } else { path },
+            is_method,
+            recv,
+            arg_count,
+            args_text,
+            arg_idents,
+            line: t.line,
+            at: i,
+        });
+        // Continue scanning *inside* the argument list too.
+        i += 1;
+    }
+    out
+}
+
+/// Words that can immediately precede `(` without being calls.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "let"
+            | "in"
+            | "loop"
+            | "move"
+            | "as"
+            | "mut"
+            | "ref"
+            | "pub"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "fn"
+            | "use"
+            | "mod"
+            | "else"
+    )
+}
+
+fn is_punct(toks: &[Token], i: usize, c: char) -> bool {
+    toks.get(i).map(|t| t.is_punct(c)).unwrap_or(false)
+}
+
+/// Returns the index one past a balanced `(...)` starting at `open`.
+fn skip_parens(toks: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        if is_punct(toks, i, '(') {
+            depth += 1;
+        } else if is_punct(toks, i, ')') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Returns the index one past a balanced `<...>` starting at `open`.
+fn skip_angles(toks: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        if is_punct(toks, i, '<') {
+            depth += 1;
+        } else if is_punct(toks, i, '-') && is_punct(toks, i + 1, '>') {
+            i += 1; // arrow
+        } else if is_punct(toks, i, '>') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Best-effort receiver text: walks back from the `.` at `dot` over a
+/// `self`/ident chain (`self.state`, `shard.ledger`). Returns `None`
+/// when the receiver ends in `)`/`]` (a temporary) — callers treat
+/// those as opaque.
+pub(crate) fn receiver_text(toks: &[Token], dot: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = dot; // points at `.`
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = &toks[i - 1];
+        if prev.kind == TokKind::Ident {
+            parts.push(prev.text.clone());
+            if i >= 3
+                && is_punct(toks, i - 2, '.')
+                && toks.get(i - 3).map(|t| t.kind == TokKind::Ident).unwrap_or(false)
+            {
+                i -= 2;
+                continue;
+            }
+            if i >= 3 && is_punct(toks, i - 2, ':') && is_punct(toks, i - 3, ':') {
+                // Path receiver like `Module::STATIC.lock()`.
+                let mut j = i - 3;
+                while j >= 1 && toks.get(j - 1).map(|t| t.kind == TokKind::Ident).unwrap_or(false) {
+                    parts.push(toks[j - 1].text.clone());
+                    if j >= 3 && is_punct(toks, j - 2, ':') && is_punct(toks, j - 3, ':') {
+                        j -= 3;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            break;
+        }
+        return None;
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    Some(parts.join("."))
+}
+
+/// Counts top-level args and collects their textual form.
+fn scan_args(toks: &[Token], open: usize, close: usize) -> (usize, String, Vec<String>) {
+    // `open` is `(`, `close` is one past `)`.
+    let inner_start = open + 1;
+    let inner_end = close.saturating_sub(1);
+    if inner_start >= inner_end {
+        return (0, String::new(), Vec::new());
+    }
+    let mut count = 1usize;
+    let mut depth = 0usize;
+    let mut text = String::new();
+    let mut idents = Vec::new();
+    let mut i = inner_start;
+    while i < inner_end {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+            "," if depth == 0 => count += 1,
+            _ => {}
+        }
+        if t.kind == TokKind::Ident {
+            idents.push(t.text.clone());
+        }
+        if !text.is_empty() {
+            text.push(' ');
+        }
+        text.push_str(&t.text);
+        i += 1;
+    }
+    (count, text, idents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::SourceFile;
+
+    fn body_calls(src: &str) -> Vec<Call> {
+        let f = SourceFile::parse("t.rs", "t", src);
+        let (s, e) = f.fns[0].body.expect("body");
+        calls_in(&f, s, e)
+    }
+
+    #[test]
+    fn path_and_method_calls() {
+        let calls = body_calls("fn f() { std::thread::spawn(work); ledger.park(t); }");
+        assert_eq!(calls[0].path, vec!["std", "thread", "spawn"]);
+        assert!(!calls[0].is_method);
+        assert_eq!(calls[1].name(), "park");
+        assert!(calls[1].is_method);
+        assert_eq!(calls[1].recv.as_deref(), Some("ledger"));
+        assert_eq!(calls[1].arg_count, 1);
+    }
+
+    #[test]
+    fn dotted_receivers_and_zero_args() {
+        let calls = body_calls("fn f() { self.state.lock(); shard.ledger.drain(); }");
+        assert_eq!(calls[0].recv.as_deref(), Some("self.state"));
+        assert_eq!(calls[0].arg_count, 0);
+        assert_eq!(calls[1].recv.as_deref(), Some("shard.ledger"));
+    }
+
+    #[test]
+    fn chained_temporaries_have_no_receiver_path() {
+        let calls = body_calls("fn f() { x.lock().push(v); }");
+        let push = calls.iter().find(|c| c.name() == "push").unwrap();
+        assert!(push.recv.is_none(), "receiver of push is a temporary");
+    }
+
+    #[test]
+    fn calls_inside_macros_and_args_are_found() {
+        let calls = body_calls("fn f() { assert!(x.unwrap() > 0); g(h(1), 2); }");
+        let names: Vec<&str> = calls.iter().map(|c| c.name()).collect();
+        assert!(names.contains(&"unwrap"));
+        assert!(names.contains(&"g"));
+        assert!(names.contains(&"h"));
+        let g = calls.iter().find(|c| c.name() == "g").unwrap();
+        assert_eq!(g.arg_count, 2);
+    }
+
+    #[test]
+    fn turbofish_calls_are_calls() {
+        let calls = body_calls("fn f() { parse::<u32>(s); }");
+        assert_eq!(calls[0].name(), "parse");
+    }
+
+    #[test]
+    fn fn_defs_are_not_calls() {
+        let f = SourceFile::parse("t.rs", "t", "fn outer() { let c = |x: u8| x; c(1); }");
+        let (s, e) = f.fns[0].body.unwrap();
+        let calls = calls_in(&f, s, e);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].name(), "c");
+    }
+}

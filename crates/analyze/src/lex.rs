@@ -1,0 +1,349 @@
+//! A minimal Rust lexer: the token stream the analyzer's passes walk.
+//!
+//! `syn` cannot be vendored into this offline workspace, so the
+//! analyzer carries its own tokenizer. It understands exactly as much
+//! Rust as the passes need: comments (line, nested block), string-ish
+//! literals (plain, raw, byte, char), lifetimes vs char literals,
+//! raw identifiers, and numbers. Everything else is a one-character
+//! punctuation token; multi-character operators (`::`, `->`, `..`) are
+//! composed by the parser from adjacent punctuation on the same line.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `self`, `Mutex`, …).
+    Ident,
+    /// One punctuation character (`:`, `.`, `(`, `{`, …).
+    Punct,
+    /// String/char/byte/numeric literal, payload not interpreted.
+    Literal,
+    /// Lifetime such as `'a` (without the quote in `text`).
+    Lifetime,
+}
+
+/// One lexeme with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Source text (for literals, a possibly-abbreviated form).
+    pub text: String,
+    /// 1-based line number of the lexeme's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// `true` if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// `true` if this token is exactly the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`, silently recovering from anything malformed (the
+/// analyzer must never die on a source file rustc itself accepts — and
+/// degrade gracefully on one it would not).
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::with_capacity(src.len() / 4);
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    macro_rules! bump_lines {
+        ($text:expr) => {
+            line += $text.iter().filter(|&&c| c == '\n').count() as u32
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if bytes[i + 1] == '/' {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        // Raw strings and raw identifiers: r"..", r#".."#, r#ident, plus
+        // byte-string forms br".." / b"..".
+        if (c == 'r' || c == 'b' || c == 'c') && i + 1 < n {
+            let mut j = i;
+            if (c == 'b' || c == 'c') && j + 1 < n && bytes[j + 1] == 'r' {
+                j += 1;
+            }
+            if bytes[j] == 'r' && j + 1 < n && (bytes[j + 1] == '"' || bytes[j + 1] == '#') {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < n && bytes[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && bytes[k] == '"' {
+                    // Raw string body: scan for `"` + `hashes` hashes.
+                    let start_line = line;
+                    k += 1;
+                    let body_start = k;
+                    'raw: while k < n {
+                        if bytes[k] == '"' {
+                            let mut h = 0;
+                            while k + 1 + h < n && h < hashes && bytes[k + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                let text: String = bytes[body_start..k].iter().collect();
+                                bump_lines!(bytes[body_start..k]);
+                                out.push(Token { kind: TokKind::Literal, text, line: start_line });
+                                i = k + 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        k += 1;
+                    }
+                    if k >= n {
+                        i = n; // unterminated; stop
+                    }
+                    continue;
+                } else if hashes == 1 && c == 'r' && k < n && is_ident_start(bytes[k]) {
+                    // Raw identifier r#type.
+                    let start = k;
+                    let mut k2 = k;
+                    while k2 < n && is_ident_cont(bytes[k2]) {
+                        k2 += 1;
+                    }
+                    out.push(Token {
+                        kind: TokKind::Ident,
+                        text: bytes[start..k2].iter().collect(),
+                        line,
+                    });
+                    i = k2;
+                    continue;
+                }
+            }
+            if (c == 'b' || c == 'c') && j == i && bytes[j + 1] == '"' {
+                // b"..." / c"..." byte or C string.
+                let (ni, nl) = scan_string(&bytes, j + 1, line);
+                out.push(Token { kind: TokKind::Literal, text: String::from("b\"..\""), line });
+                i = ni;
+                line = nl;
+                continue;
+            }
+        }
+        // Plain strings.
+        if c == '"' {
+            let start_line = line;
+            let (ni, nl) = scan_string(&bytes, i, line);
+            out.push(Token {
+                kind: TokKind::Literal,
+                text: String::from("\"..\""),
+                line: start_line,
+            });
+            i = ni;
+            line = nl;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            if i + 1 < n && bytes[i + 1] == '\\' {
+                // Escaped char literal: skip to closing quote.
+                let mut k = i + 2;
+                if k < n {
+                    k += 1; // escaped char
+                }
+                // \u{...} form
+                while k < n && bytes[k] != '\'' {
+                    k += 1;
+                }
+                out.push(Token { kind: TokKind::Literal, text: String::from("'\\?'"), line });
+                i = (k + 1).min(n);
+                continue;
+            }
+            if i + 1 < n && is_ident_start(bytes[i + 1]) {
+                let start = i + 1;
+                let mut k = start;
+                while k < n && is_ident_cont(bytes[k]) {
+                    k += 1;
+                }
+                if k < n && bytes[k] == '\'' && k == start + 1 {
+                    // 'a' — single-char literal.
+                    out.push(Token { kind: TokKind::Literal, text: String::from("'?'"), line });
+                    i = k + 1;
+                } else {
+                    out.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: bytes[start..k].iter().collect(),
+                        line,
+                    });
+                    i = k;
+                }
+                continue;
+            }
+            if i + 1 < n && bytes[i + 1] == '_' {
+                out.push(Token { kind: TokKind::Lifetime, text: String::from("_"), line });
+                i += 2;
+                continue;
+            }
+            // Something like '(' char literal.
+            let mut k = i + 1;
+            while k < n && bytes[k] != '\'' && bytes[k] != '\n' {
+                k += 1;
+            }
+            out.push(Token { kind: TokKind::Literal, text: String::from("'?'"), line });
+            i = (k + 1).min(n);
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(bytes[i]) {
+                i += 1;
+            }
+            out.push(Token { kind: TokKind::Ident, text: bytes[start..i].iter().collect(), line });
+            continue;
+        }
+        // Numbers (loose: enough to not split 1_000, 0xff, 1.5e3, 1u64).
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n
+                && (is_ident_cont(bytes[i])
+                    || (bytes[i] == '.'
+                        && i + 1 < n
+                        && bytes[i + 1].is_ascii_digit()
+                        && !bytes[start..i].contains(&'.')))
+            {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokKind::Literal,
+                text: bytes[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Punctuation: one char per token.
+        out.push(Token { kind: TokKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    out
+}
+
+/// Scans a `"`-delimited string starting at `i` (which must point at the
+/// opening quote); returns (index past closing quote, updated line).
+fn scan_string(bytes: &[char], i: usize, mut line: u32) -> (usize, u32) {
+    let n = bytes.len();
+    let mut k = i + 1;
+    while k < n {
+        match bytes[k] {
+            '\\' => k += 2,
+            '\n' => {
+                line += 1;
+                k += 1;
+            }
+            '"' => return (k + 1, line),
+            _ => k += 1,
+        }
+    }
+    (n, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        assert_eq!(
+            texts("use std::sync::Mutex as M;"),
+            vec!["use", "std", ":", ":", "sync", ":", ":", "Mutex", "as", "M", ";"]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_with_line_tracking() {
+        let toks = lex("// one\n/* two\nthree */ four");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].text, "four");
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("'a 'x' '\\n' &'static str");
+        assert_eq!(toks[0].kind, TokKind::Lifetime);
+        assert_eq!(toks[0].text, "a");
+        assert_eq!(toks[1].kind, TokKind::Literal);
+        assert_eq!(toks[2].kind, TokKind::Literal);
+        assert_eq!(toks[4].kind, TokKind::Lifetime);
+        assert_eq!(toks[4].text, "static");
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = lex(r##"r#"no "escape" here"# r#type b"bytes""##);
+        assert_eq!(toks[0].kind, TokKind::Literal);
+        assert_eq!(toks[1].kind, TokKind::Ident);
+        assert_eq!(toks[1].text, "type");
+        assert_eq!(toks[2].kind, TokKind::Literal);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls_or_ranges() {
+        assert_eq!(texts("1.min(2)"), vec!["1", ".", "min", "(", "2", ")"]);
+        assert_eq!(texts("0..10"), vec!["0", ".", ".", "10"]);
+        assert_eq!(texts("1.5e3_f64"), vec!["1.5e3_f64"]);
+        assert_eq!(texts("0xff_u8"), vec!["0xff_u8"]);
+    }
+
+    #[test]
+    fn strings_track_embedded_newlines() {
+        let toks = lex("\"a\nb\" x");
+        assert_eq!(toks[1].text, "x");
+        assert_eq!(toks[1].line, 2);
+    }
+}

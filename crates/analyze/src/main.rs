@@ -1,0 +1,52 @@
+//! `musuite-analyze` — workspace invariant analyzer CLI.
+//!
+//! Usage: `musuite-analyze [--root <dir>]`. Scans every workspace
+//! crate under `<root>/crates`, runs all passes with the workspace
+//! scoping rules, prints findings as `file:line: [rule] message`, and
+//! exits non-zero if any finding remains. CI runs this in place of the
+//! old grep rules in `tools/lint.sh` (which is now a thin wrapper).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(v);
+            }
+            "--help" | "-h" => {
+                println!("usage: musuite-analyze [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let files = match musuite_analyze::load_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("musuite-analyze: failed to load workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let findings = musuite_analyze::analyze_workspace(&files);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("musuite-analyze: {} files, 0 findings", files.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("musuite-analyze: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

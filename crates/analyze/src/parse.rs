@@ -1,0 +1,755 @@
+//! Lightweight structural parser: turns a token stream into the item
+//! model the passes consume.
+//!
+//! This is deliberately not a full Rust grammar. It recovers exactly
+//! the structure the invariant passes need — `use` trees (flattened,
+//! alias-aware), function items with attributes/parameters/body
+//! extents, `impl`/`trait`/`mod` nesting, and which token ranges sit
+//! under `#[cfg(test)]` — and skips everything else by matched-bracket
+//! scanning. Unknown constructs degrade to "skip one token", never to
+//! a parse abort: the analyzer must stay usable on any file rustc
+//! accepts.
+
+use crate::lex::{lex, TokKind, Token};
+use std::path::Path;
+
+/// One flattened leaf of a `use` tree.
+#[derive(Debug, Clone)]
+pub struct UseItem {
+    /// Full path segments, e.g. `["std", "sync", "Mutex"]`.
+    pub path: Vec<String>,
+    /// Local binding name (the alias after `as`, or the last segment;
+    /// `*` for glob imports).
+    pub alias: String,
+    /// Line of the `use` keyword.
+    pub line: u32,
+    /// `true` if the import sits inside test-gated code.
+    pub in_test: bool,
+}
+
+/// One attribute, e.g. `#[musuite_marker::nonblocking]` or
+/// `#[cfg(all(test, musuite_check))]`.
+#[derive(Debug, Clone)]
+pub struct Attr {
+    /// Dot-free path text, e.g. `musuite_marker::nonblocking` or `cfg`.
+    pub path: String,
+    /// Identifier tokens inside the attribute's argument parens.
+    pub arg_idents: Vec<String>,
+    /// Line of the `#`.
+    pub line: u32,
+}
+
+impl Attr {
+    /// Last segment of the attribute path.
+    pub fn last_segment(&self) -> &str {
+        self.path.rsplit("::").next().unwrap_or(&self.path)
+    }
+
+    /// `true` for `#[cfg(test)]` / `#[cfg(all(test, ...))]`-style gates
+    /// (a `test` token present, and no `not`).
+    pub fn is_test_gate(&self) -> bool {
+        if self.path == "test" {
+            return true;
+        }
+        self.path == "cfg"
+            && self.arg_idents.iter().any(|s| s == "test")
+            && !self.arg_idents.iter().any(|s| s == "not")
+    }
+}
+
+/// One function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (last identifier before the `:`).
+    pub name: String,
+    /// Type text, tokens joined with spaces.
+    pub ty: String,
+}
+
+/// One `fn` item (free function, method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// `true` if declared with any `pub` visibility.
+    pub is_pub: bool,
+    /// Enclosing `impl`/`trait` type name, if a method.
+    pub self_ty: Option<String>,
+    /// Attributes on the item.
+    pub attrs: Vec<Attr>,
+    /// Parameters (excluding any `self` receiver).
+    pub params: Vec<Param>,
+    /// `true` if the signature had a `self` receiver.
+    pub has_self: bool,
+    /// Line of the `fn` keyword.
+    pub sig_line: u32,
+    /// Token range `[start, end)` of the body including braces, if any.
+    pub body: Option<(usize, usize)>,
+    /// `true` if the item sits inside test-gated code.
+    pub in_test: bool,
+}
+
+/// A parsed source file plus everything passes need to report on it.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as shown in findings (workspace-relative where possible).
+    pub rel: String,
+    /// Package name of the owning crate.
+    pub crate_name: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Raw source lines (1-based access via `line(n)`).
+    pub lines: Vec<String>,
+    /// Flattened `use` items.
+    pub uses: Vec<UseItem>,
+    /// All function items, including test ones (flagged).
+    pub fns: Vec<FnItem>,
+    /// Token ranges `[start, end)` gated behind `#[cfg(test)]`.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Token ranges `[start, end)` of `use` statements (so raw token
+    /// scans do not double-report the import line).
+    pub use_ranges: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Parses `src` into the item model.
+    pub fn parse(rel: &str, crate_name: &str, src: &str) -> SourceFile {
+        let tokens = lex(src);
+        let mut file = SourceFile {
+            rel: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            tokens,
+            lines: src.lines().map(|l| l.to_string()).collect(),
+            uses: Vec::new(),
+            fns: Vec::new(),
+            test_ranges: Vec::new(),
+            use_ranges: Vec::new(),
+        };
+        let end = file.tokens.len();
+        let mut p = Parser { file: &mut file, pos: 0, end };
+        p.items(&Ctx { in_test: false, self_ty: None });
+        file
+    }
+
+    /// Reads and parses the file at `path`.
+    pub fn parse_file(path: &Path, rel: &str, crate_name: &str) -> std::io::Result<SourceFile> {
+        let src = std::fs::read_to_string(path)?;
+        Ok(SourceFile::parse(rel, crate_name, &src))
+    }
+
+    /// `true` if token index `idx` falls inside test-gated code.
+    pub fn in_test_range(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// `true` if token index `idx` falls inside a `use` statement.
+    pub fn in_use_range(&self, idx: usize) -> bool {
+        self.use_ranges.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// Raw text of 1-based `line`, or `""` out of range.
+    pub fn line(&self, line: u32) -> &str {
+        self.lines.get(line as usize - 1).map(|s| s.as_str()).unwrap_or("")
+    }
+}
+
+/// Item-parsing context carried down into nested scopes.
+struct Ctx {
+    in_test: bool,
+    self_ty: Option<String>,
+}
+
+struct Parser<'a> {
+    file: &'a mut SourceFile,
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self, i: usize) -> Option<&Token> {
+        if i < self.end {
+            self.file.tokens.get(i)
+        } else {
+            None
+        }
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.tok(i).map(|t| t.is_punct(c)).unwrap_or(false)
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.tok(i).map(|t| t.is_ident(s)).unwrap_or(false)
+    }
+
+    fn line_of(&self, i: usize) -> u32 {
+        self.tok(i).map(|t| t.line).unwrap_or(0)
+    }
+
+    /// Skips a balanced bracket group starting at `pos` (which must be
+    /// an opening bracket); returns the index one past the closer.
+    fn skip_group(&self, open: usize) -> usize {
+        let (o, c) = match self.tok(open).map(|t| t.text.as_str()) {
+            Some("(") => ('(', ')'),
+            Some("[") => ('[', ']'),
+            Some("{") => ('{', '}'),
+            _ => return open + 1,
+        };
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.end {
+            if self.is_punct(i, o) {
+                depth += 1;
+            } else if self.is_punct(i, c) {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        self.end
+    }
+
+    /// Skips a generics group `<...>` starting at `pos` (an opening
+    /// `<`), arrow-aware (`->` inside `Fn(..) -> T` bounds does not
+    /// close the group); returns the index one past the closing `>`.
+    fn skip_generics(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.end {
+            if self.is_punct(i, '<') {
+                depth += 1;
+                i += 1;
+            } else if self.is_punct(i, '-') && self.is_punct(i + 1, '>') {
+                i += 2; // arrow, not a closer
+            } else if self.is_punct(i, '>') {
+                depth = depth.saturating_sub(1);
+                i += 1;
+                if depth == 0 {
+                    return i;
+                }
+            } else if matches!(self.tok(i).map(|t| t.text.as_str()), Some("(" | "[" | "{")) {
+                i = self.skip_group(i);
+            } else {
+                i += 1;
+            }
+        }
+        self.end
+    }
+
+    /// Parses the items in `self.pos..self.end`.
+    fn items(&mut self, ctx: &Ctx) {
+        while self.pos < self.end {
+            self.item(ctx);
+        }
+    }
+
+    /// Parses one item (or recovers by advancing one token).
+    fn item(&mut self, ctx: &Ctx) {
+        let item_start = self.pos;
+        // Inner attributes `#![...]` — skip.
+        while self.is_punct(self.pos, '#') && self.is_punct(self.pos + 1, '!') {
+            self.pos = self.skip_group(self.pos + 2);
+        }
+        // Outer attributes.
+        let mut attrs: Vec<Attr> = Vec::new();
+        while self.is_punct(self.pos, '#') && self.is_punct(self.pos + 1, '[') {
+            let line = self.line_of(self.pos);
+            let close = self.skip_group(self.pos + 1);
+            let mut j = self.pos + 2;
+            let mut path = String::new();
+            while j < close - 1 {
+                match self.tok(j) {
+                    Some(t) if t.kind == TokKind::Ident => {
+                        path.push_str(&t.text);
+                        if self.is_punct(j + 1, ':') && self.is_punct(j + 2, ':') {
+                            path.push_str("::");
+                            j += 3;
+                            continue;
+                        }
+                        j += 1;
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            let mut arg_idents = Vec::new();
+            for k in j..close.saturating_sub(1) {
+                if let Some(t) = self.tok(k) {
+                    if t.kind == TokKind::Ident {
+                        arg_idents.push(t.text.clone());
+                    }
+                }
+            }
+            attrs.push(Attr { path, arg_idents, line });
+            self.pos = close;
+        }
+        let is_test = ctx.in_test || attrs.iter().any(Attr::is_test_gate);
+        // Visibility.
+        let mut is_pub = false;
+        if self.is_ident(self.pos, "pub") {
+            is_pub = true;
+            self.pos += 1;
+            if self.is_punct(self.pos, '(') {
+                self.pos = self.skip_group(self.pos);
+            }
+        }
+        // Leading item modifiers before `fn`.
+        let mut probe = self.pos;
+        while matches!(
+            self.tok(probe).map(|t| t.text.as_str()),
+            Some("const" | "unsafe" | "async" | "extern")
+        ) {
+            if self.is_ident(probe, "extern")
+                && self.tok(probe + 1).map(|t| t.kind) == Some(TokKind::Literal)
+            {
+                probe += 2;
+            } else {
+                probe += 1;
+            }
+        }
+        let kw = match self.tok(probe) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => {
+                self.pos += 1;
+                return;
+            }
+        };
+        match kw.as_str() {
+            "use" => {
+                self.pos = probe;
+                self.parse_use(is_test);
+                self.mark_test(is_test, item_start);
+            }
+            "fn" => {
+                self.pos = probe;
+                self.parse_fn(ctx, attrs, is_pub, is_test);
+                self.mark_test(is_test, item_start);
+            }
+            "mod" => {
+                self.pos = probe + 1; // past `mod`
+                self.pos += 1; // name
+                if self.is_punct(self.pos, '{') {
+                    let close = self.skip_group(self.pos);
+                    let inner = Ctx { in_test: is_test, self_ty: None };
+                    let mut p = Parser { file: self.file, pos: self.pos + 1, end: close - 1 };
+                    p.items(&inner);
+                    self.pos = close;
+                } else {
+                    self.pos += 1; // `;`
+                }
+                self.mark_test(is_test, item_start);
+            }
+            "impl" | "trait" => {
+                self.pos = probe + 1;
+                if self.is_punct(self.pos, '<') {
+                    self.pos = self.skip_generics(self.pos);
+                }
+                // Type/trait name text up to `{` (or `;`), minus any
+                // `for` clause: for `impl Tr for Ty`, keep `Ty`.
+                let mut name_parts: Vec<String> = Vec::new();
+                while self.pos < self.end
+                    && !self.is_punct(self.pos, '{')
+                    && !self.is_punct(self.pos, ';')
+                {
+                    if self.is_ident(self.pos, "for") {
+                        name_parts.clear();
+                        self.pos += 1;
+                        continue;
+                    }
+                    if self.is_ident(self.pos, "where") {
+                        // Skip the where clause token-by-token to `{`.
+                        while self.pos < self.end && !self.is_punct(self.pos, '{') {
+                            self.pos += 1;
+                        }
+                        break;
+                    }
+                    if self.is_punct(self.pos, '<') {
+                        self.pos = self.skip_generics(self.pos);
+                        continue;
+                    }
+                    if let Some(t) = self.tok(self.pos) {
+                        if t.kind == TokKind::Ident {
+                            name_parts.push(t.text.clone());
+                        }
+                    }
+                    self.pos += 1;
+                }
+                // `impl Tr for Ty` keeps `Ty` (the `for` cleared earlier
+                // parts); `trait Name: Super` keeps `Name`.
+                let self_ty = if kw == "trait" {
+                    name_parts.first().cloned()
+                } else {
+                    name_parts.last().cloned()
+                };
+                if self.is_punct(self.pos, '{') {
+                    let close = self.skip_group(self.pos);
+                    let inner = Ctx { in_test: is_test, self_ty };
+                    let mut p = Parser { file: self.file, pos: self.pos + 1, end: close - 1 };
+                    p.items(&inner);
+                    self.pos = close;
+                } else {
+                    self.pos += 1;
+                }
+                self.mark_test(is_test, item_start);
+            }
+            "struct" | "enum" | "union" | "static" | "type" => {
+                self.skip_to_item_end(probe + 1);
+                self.mark_test(is_test, item_start);
+            }
+            "const" => {
+                // `const` not followed by `fn` (handled above): item.
+                self.skip_to_item_end(probe + 1);
+                self.mark_test(is_test, item_start);
+            }
+            "macro_rules" => {
+                // macro_rules ! name { ... }
+                let mut i = probe + 1;
+                while i < self.end
+                    && !matches!(self.tok(i).map(|t| t.text.as_str()), Some("{" | "(" | "["))
+                {
+                    i += 1;
+                }
+                self.pos = self.skip_group(i);
+                if self.is_punct(self.pos, ';') {
+                    self.pos += 1;
+                }
+                self.mark_test(is_test, item_start);
+            }
+            _ => {
+                // Unknown leading token: recover.
+                self.pos = probe + 1;
+            }
+        }
+    }
+
+    /// Records `[item_start, self.pos)` as test-gated if `is_test`.
+    fn mark_test(&mut self, is_test: bool, item_start: usize) {
+        if is_test {
+            self.file.test_ranges.push((item_start, self.pos));
+        }
+    }
+
+    /// Skips to the end of a `struct`/`enum`/`const`-style item: the
+    /// first `;` at depth 0, or past a `{...}` group.
+    fn skip_to_item_end(&mut self, from: usize) {
+        let mut i = from;
+        while i < self.end {
+            match self.tok(i).map(|t| t.text.as_str()) {
+                Some(";") => {
+                    self.pos = i + 1;
+                    return;
+                }
+                Some("{") => {
+                    self.pos = self.skip_group(i);
+                    // Tuple structs: `struct S(u8);` ends with `;` after
+                    // the group — handled by the `(` arm instead.
+                    return;
+                }
+                Some("(") | Some("[") => {
+                    i = self.skip_group(i);
+                }
+                Some("<") => {
+                    i = self.skip_generics(i);
+                }
+                _ => i += 1,
+            }
+        }
+        self.pos = self.end;
+    }
+
+    /// Parses a `use` tree starting at `use` and flattens it.
+    fn parse_use(&mut self, in_test: bool) {
+        let start = self.pos;
+        let line = self.line_of(self.pos);
+        self.pos += 1; // `use`
+        let mut prefix: Vec<String> = Vec::new();
+        self.use_tree(&mut prefix, line, in_test);
+        if self.is_punct(self.pos, ';') {
+            self.pos += 1;
+        }
+        self.file.use_ranges.push((start, self.pos));
+    }
+
+    /// Parses one use-tree node; `prefix` is the path so far.
+    fn use_tree(&mut self, prefix: &mut Vec<String>, line: u32, in_test: bool) {
+        let depth_at_entry = prefix.len();
+        loop {
+            // Leading `::`.
+            if self.is_punct(self.pos, ':') && self.is_punct(self.pos + 1, ':') {
+                self.pos += 2;
+                continue;
+            }
+            if self.is_punct(self.pos, '{') {
+                let close = self.skip_group(self.pos);
+                self.pos += 1;
+                while self.pos < close - 1 {
+                    let mut sub = prefix.clone();
+                    self.use_tree(&mut sub, line, in_test);
+                    if self.is_punct(self.pos, ',') {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.pos = close;
+                prefix.truncate(depth_at_entry);
+                return;
+            }
+            if self.is_punct(self.pos, '*') {
+                self.file.uses.push(UseItem {
+                    path: prefix.clone(),
+                    alias: "*".to_string(),
+                    line,
+                    in_test,
+                });
+                self.pos += 1;
+                prefix.truncate(depth_at_entry);
+                return;
+            }
+            match self.tok(self.pos) {
+                Some(t) if t.kind == TokKind::Ident && t.text != "as" => {
+                    prefix.push(t.text.clone());
+                    self.pos += 1;
+                    if self.is_punct(self.pos, ':') && self.is_punct(self.pos + 1, ':') {
+                        self.pos += 2;
+                        continue;
+                    }
+                    // Leaf; check for alias.
+                    let mut alias = prefix.last().cloned().unwrap_or_default();
+                    if self.is_ident(self.pos, "as") {
+                        self.pos += 1;
+                        if let Some(a) = self.tok(self.pos) {
+                            alias = a.text.clone();
+                            self.pos += 1;
+                        }
+                    }
+                    self.file.uses.push(UseItem { path: prefix.clone(), alias, line, in_test });
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+                _ => {
+                    prefix.truncate(depth_at_entry);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parses a `fn` item starting at the `fn` keyword.
+    fn parse_fn(&mut self, ctx: &Ctx, attrs: Vec<Attr>, is_pub: bool, in_test: bool) {
+        let sig_line = self.line_of(self.pos);
+        self.pos += 1; // `fn`
+        let name = match self.tok(self.pos) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => return,
+        };
+        self.pos += 1;
+        if self.is_punct(self.pos, '<') {
+            self.pos = self.skip_generics(self.pos);
+        }
+        // Parameter list.
+        let mut params: Vec<Param> = Vec::new();
+        let mut has_self = false;
+        if self.is_punct(self.pos, '(') {
+            let close = self.skip_group(self.pos);
+            let mut i = self.pos + 1;
+            let mut start = i;
+            let mut depth = 0usize;
+            while i < close {
+                let at_end = i == close - 1;
+                let comma = depth == 0 && self.is_punct(i, ',');
+                if comma || at_end {
+                    let stop = if comma { i } else { close - 1 };
+                    if stop > start {
+                        if let Some(p) = self.parse_param(start, stop) {
+                            params.push(p);
+                        } else if (start..stop).any(|k| self.is_ident(k, "self")) {
+                            has_self = true;
+                        }
+                    }
+                    start = i + 1;
+                }
+                match self.tok(i).map(|t| t.text.as_str()) {
+                    Some("(" | "[" | "{") => depth += 1,
+                    Some(")" | "]" | "}") => depth = depth.saturating_sub(1),
+                    Some("<") => {
+                        // Angle groups may hide commas: skip whole group.
+                        let g = self.skip_generics(i);
+                        i = g;
+                        continue;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            self.pos = close;
+        }
+        // Skip to body `{` or `;` at depth 0.
+        let mut body = None;
+        let mut i = self.pos;
+        while i < self.end {
+            match self.tok(i).map(|t| t.text.as_str()) {
+                Some(";") => {
+                    self.pos = i + 1;
+                    break;
+                }
+                Some("{") => {
+                    let close = self.skip_group(i);
+                    body = Some((i, close));
+                    self.pos = close;
+                    break;
+                }
+                Some("(") | Some("[") => i = self.skip_group(i),
+                Some("<") => i = self.skip_generics(i),
+                _ => i += 1,
+            }
+        }
+        if i >= self.end {
+            self.pos = self.end;
+        }
+        self.file.fns.push(FnItem {
+            name,
+            is_pub,
+            self_ty: ctx.self_ty.clone(),
+            attrs,
+            params,
+            has_self,
+            sig_line,
+            body,
+            in_test,
+        });
+    }
+
+    /// Parses one parameter from tokens `[start, stop)`; returns `None`
+    /// for `self` receivers or patterns without a `name:` form.
+    fn parse_param(&self, start: usize, stop: usize) -> Option<Param> {
+        // Find the top-level `:` (not `::`).
+        let mut depth = 0usize;
+        let mut colon = None;
+        let mut i = start;
+        while i < stop {
+            match self.tok(i).map(|t| t.text.as_str()) {
+                Some("(" | "[" | "{") => depth += 1,
+                Some(")" | "]" | "}") => depth = depth.saturating_sub(1),
+                Some("<") => {
+                    i = self.skip_generics(i);
+                    continue;
+                }
+                Some(":") if depth == 0 => {
+                    if self.is_punct(i + 1, ':') || (i > start && self.is_punct(i - 1, ':')) {
+                        // `::` path separator.
+                    } else {
+                        colon = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let colon = colon?;
+        let mut name = None;
+        for k in (start..colon).rev() {
+            if let Some(t) = self.tok(k) {
+                if t.kind == TokKind::Ident && t.text != "mut" && t.text != "ref" {
+                    name = Some(t.text.clone());
+                    break;
+                }
+            }
+        }
+        let name = name?;
+        if name == "self" {
+            return None;
+        }
+        let ty = (colon + 1..stop)
+            .filter_map(|k| self.tok(k).map(|t| t.text.clone()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        Some(Param { name, ty })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs", "test-crate", src)
+    }
+
+    #[test]
+    fn use_trees_flatten_with_aliases() {
+        let f = parse("use std::sync::{Arc, Mutex as M, atomic::{AtomicU64, Ordering}};");
+        let paths: Vec<(String, String)> =
+            f.uses.iter().map(|u| (u.path.join("::"), u.alias.clone())).collect();
+        assert!(paths.contains(&("std::sync::Arc".into(), "Arc".into())));
+        assert!(paths.contains(&("std::sync::Mutex".into(), "M".into())));
+        assert!(paths.contains(&("std::sync::atomic::AtomicU64".into(), "AtomicU64".into())));
+        assert!(paths.contains(&("std::sync::atomic::Ordering".into(), "Ordering".into())));
+    }
+
+    #[test]
+    fn fns_record_params_attrs_and_bodies() {
+        let f = parse(
+            "#[musuite_marker::nonblocking]\n\
+             pub fn run(count: usize, deadline: Duration) -> bool { count > 0 }\n\
+             fn sig_only(x: u8);",
+        );
+        assert_eq!(f.fns.len(), 2);
+        let run = &f.fns[0];
+        assert!(run.is_pub);
+        assert_eq!(run.attrs[0].path, "musuite_marker::nonblocking");
+        assert_eq!(run.params.len(), 2);
+        assert_eq!(run.params[1].name, "deadline");
+        assert!(run.body.is_some());
+        assert!(f.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn impl_methods_get_self_ty_and_self_flag() {
+        let f = parse(
+            "impl Drop for Reactor { fn drop(&mut self) {} }\n\
+             impl<T: Clone> Ledger<T> { pub(crate) fn submit(&self, item: T) -> bool { true } }",
+        );
+        assert_eq!(f.fns[0].self_ty.as_deref(), Some("Reactor"));
+        assert!(f.fns[0].has_self);
+        assert_eq!(f.fns[1].self_ty.as_deref(), Some("Ledger"));
+        assert_eq!(f.fns[1].params.len(), 1);
+        assert!(f.fns[1].is_pub);
+    }
+
+    #[test]
+    fn test_gating_is_scoped_to_the_module_not_to_eof() {
+        let f = parse(
+            "fn before() {}\n\
+             #[cfg(test)]\n\
+             mod tests { fn inside() {} }\n\
+             fn after() {}",
+        );
+        let inside = f.fns.iter().find(|x| x.name == "inside").unwrap();
+        let after = f.fns.iter().find(|x| x.name == "after").unwrap();
+        assert!(inside.in_test, "items inside #[cfg(test)] mod are test code");
+        assert!(!after.in_test, "items below the test module are NOT test code");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_gate() {
+        let f = parse("#[cfg(not(test))] fn live() {}\n#[cfg(all(test, musuite_check))] fn t() {}");
+        assert!(!f.fns[0].in_test);
+        assert!(f.fns[1].in_test);
+    }
+
+    #[test]
+    fn fn_generics_with_arrow_bounds_parse() {
+        let f = parse(
+            "pub fn new<F: Fn(usize) -> bool>(slots: usize, on_complete: F) -> usize \
+             where F: Send { slots }",
+        );
+        assert_eq!(f.fns[0].name, "new");
+        assert_eq!(f.fns[0].params.len(), 2);
+        assert_eq!(f.fns[0].params[0].name, "slots");
+        assert!(f.fns[0].body.is_some());
+    }
+}

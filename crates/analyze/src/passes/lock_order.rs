@@ -1,0 +1,262 @@
+//! Rule `lock-order`: AB-BA cycles in the static lock acquisition graph.
+//!
+//! Builds a per-function model of guard lifetimes from
+//! `musuite_check::sync::{Mutex, RwLock}` usage: a 0-argument
+//! `.lock()` / `.read()` / `.write()` is an acquisition; a guard bound
+//! with `let g = x.lock();` lives until its enclosing block closes (or
+//! an explicit `drop(g)`); chained temporaries live to the end of the
+//! statement. Every acquisition performed while another guard is live
+//! adds a directed edge `held → acquired`, keyed by
+//! `(crate, receiver path)`. A cycle of two or more distinct locks in
+//! the union of all edges is a potential deadlock and fails the build.
+//!
+//! Self-edges (`x.lock()` twice on the same key) are *not* reported:
+//! the key conflates same-named fields across types, and same-key
+//! re-entry is exactly what the runtime scheduler in musuite-check
+//! already catches dynamically.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::calls::receiver_text;
+use crate::findings::{suppressed, Finding, Rule};
+use crate::lex::TokKind;
+use crate::parse::SourceFile;
+
+/// One live guard inside the walk of a function body.
+struct Guard {
+    /// Binding name (`None` for opaque patterns).
+    name: Option<String>,
+    /// Lock identity.
+    id: String,
+    /// Block depth at which the guard was bound.
+    depth: i32,
+}
+
+/// A directed acquisition edge with its first witness site.
+struct Edge {
+    from: String,
+    to: String,
+    file: usize,
+    line: u32,
+}
+
+fn is_acquire(name: &str) -> bool {
+    matches!(name, "lock" | "read" | "write")
+}
+
+/// Runs the pass over `files` (edges are unioned across all of them).
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut edges: Vec<Edge> = Vec::new();
+    for (fidx, file) in files.iter().enumerate() {
+        for f in &file.fns {
+            if f.in_test {
+                continue;
+            }
+            let Some((start, end)) = f.body else { continue };
+            walk_body(file, fidx, start, end, &mut edges);
+        }
+    }
+    findings_from_cycles(files, &edges)
+}
+
+/// Walks one function body, appending acquisition edges.
+fn walk_body(file: &SourceFile, fidx: usize, start: usize, end: usize, edges: &mut Vec<Edge>) {
+    let toks = &file.tokens;
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    // Acquisitions in the current statement not (yet) bound to a name.
+    let mut stmt_acqs: Vec<String> = Vec::new();
+    let mut pending_let: Option<String> = None;
+    let mut last_acq: Option<(String, usize)> = None;
+
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" if t.kind == TokKind::Punct => depth += 1,
+            "}" if t.kind == TokKind::Punct => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            ";" if t.kind == TokKind::Punct => {
+                // `let g = <recv>.lock();` — promote the statement's last
+                // acquisition to a scoped guard iff the RHS *ends* with it
+                // (so `let n = m.lock().len();` stays a temporary).
+                if let (Some(name), Some((id, at))) = (pending_let.take(), last_acq.take()) {
+                    let ends_with_acq = i >= 3
+                        && toks[i - 1].is_punct(')')
+                        && toks[i - 2].is_punct('(')
+                        && at == i - 3;
+                    if ends_with_acq {
+                        stmt_acqs.retain(|a| *a != id);
+                        guards.push(Guard { name: Some(name), id, depth });
+                    }
+                }
+                stmt_acqs.clear();
+                pending_let = None;
+                last_acq = None;
+            }
+            "let" if t.kind == TokKind::Ident => {
+                // Capture a simple binding name; opaque patterns stay None.
+                let mut j = i + 1;
+                while toks.get(j).map(|x| x.is_ident("mut")).unwrap_or(false) {
+                    j += 1;
+                }
+                pending_let = toks.get(j).and_then(|x| {
+                    if x.kind != TokKind::Ident {
+                        return None;
+                    }
+                    // `Some(..)` / `State { .. }` / `Enum::V(..)` patterns
+                    // are opaque; a plain ident (optionally `: Type`-
+                    // ascribed) is a binding we can track.
+                    let opens_pattern = toks
+                        .get(j + 1)
+                        .map(|n| {
+                            n.is_punct('(')
+                                || n.is_punct('{')
+                                || (n.is_punct(':')
+                                    && toks.get(j + 2).map(|m| m.is_punct(':')).unwrap_or(false))
+                        })
+                        .unwrap_or(false);
+                    if opens_pattern {
+                        None
+                    } else {
+                        Some(x.text.clone())
+                    }
+                });
+            }
+            "drop"
+                if t.kind == TokKind::Ident
+                    && toks.get(i + 1).map(|x| x.is_punct('(')).unwrap_or(false)
+                    && toks.get(i + 3).map(|x| x.is_punct(')')).unwrap_or(false) =>
+            {
+                // `drop(g)` releases the named guard early.
+                if let Some(arg) = toks.get(i + 2).filter(|x| x.kind == TokKind::Ident) {
+                    guards.retain(|g| g.name.as_deref() != Some(arg.text.as_str()));
+                }
+            }
+            name if t.kind == TokKind::Ident && is_acquire(name) => {
+                let zero_arg = toks.get(i + 1).map(|x| x.is_punct('(')).unwrap_or(false)
+                    && toks.get(i + 2).map(|x| x.is_punct(')')).unwrap_or(false);
+                let dotted = i > start && toks[i - 1].is_punct('.');
+                if zero_arg && dotted {
+                    if let Some(recv) = receiver_text(toks, i - 1) {
+                        let id = lock_id(&file.crate_name, &recv);
+                        for g in &guards {
+                            if g.id != id {
+                                edges.push(Edge {
+                                    from: g.id.clone(),
+                                    to: id.clone(),
+                                    file: fidx,
+                                    line: t.line,
+                                });
+                            }
+                        }
+                        for a in &stmt_acqs {
+                            if *a != id {
+                                edges.push(Edge {
+                                    from: a.clone(),
+                                    to: id.clone(),
+                                    file: fidx,
+                                    line: t.line,
+                                });
+                            }
+                        }
+                        stmt_acqs.push(id.clone());
+                        last_acq = Some((id, i));
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Lock identity: crate plus the receiver path with any `self.` prefix
+/// stripped, so `self.state.lock()` in two methods of one type agree.
+fn lock_id(crate_name: &str, recv: &str) -> String {
+    let recv = recv.strip_prefix("self.").unwrap_or(recv);
+    format!("{crate_name}::{recv}")
+}
+
+/// Finds ≥2-node cycles and renders them as findings.
+fn findings_from_cycles(files: &[SourceFile], edges: &[Edge]) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        if e.from != e.to {
+            adj.entry(&e.from).or_default().insert(&e.to);
+        }
+    }
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    // Iterative DFS with a gray/black coloring; a back edge to a gray
+    // node closes a cycle through the current path.
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut color: BTreeMap<&str, u8> = BTreeMap::new();
+    for &root in &nodes {
+        if color.get(root).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        let mut path: Vec<&str> = Vec::new();
+        // (node, child iterator position)
+        let mut stack: Vec<(&str, Vec<&str>)> =
+            vec![(root, adj.get(root).map(|s| s.iter().copied().collect()).unwrap_or_default())];
+        color.insert(root, 1);
+        path.push(root);
+        while let Some((_, children)) = stack.last_mut() {
+            if let Some(next) = children.pop() {
+                match color.get(next).copied().unwrap_or(0) {
+                    0 => {
+                        color.insert(next, 1);
+                        path.push(next);
+                        stack.push((
+                            next,
+                            adj.get(next).map(|s| s.iter().copied().collect()).unwrap_or_default(),
+                        ));
+                    }
+                    1 => {
+                        // Back edge: the cycle is path[pos..].
+                        if let Some(pos) = path.iter().position(|n| *n == next) {
+                            let mut cyc: Vec<String> =
+                                path[pos..].iter().map(|s| s.to_string()).collect();
+                            cyc.sort();
+                            cycles.insert(cyc);
+                        }
+                    }
+                    _ => {}
+                }
+            } else {
+                let (done, _) = stack.pop().unwrap_or((root, Vec::new()));
+                color.insert(done, 2);
+                path.pop();
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for cyc in cycles {
+        let in_cycle = |n: &str| cyc.iter().any(|c| c == n);
+        // Witness edges inside the cycle, for the report and suppression.
+        let witness: Vec<&Edge> =
+            edges.iter().filter(|e| in_cycle(&e.from) && in_cycle(&e.to)).collect();
+        let ack = witness.iter().any(|e| suppressed(&files[e.file], e.line, Rule::LockOrder));
+        if ack {
+            continue;
+        }
+        let Some(first) = witness.first() else { continue };
+        let sites: Vec<String> = witness
+            .iter()
+            .map(|e| format!("{} -> {} at {}:{}", e.from, e.to, files[e.file].rel, e.line))
+            .collect();
+        out.push(Finding {
+            rule: Rule::LockOrder,
+            file: files[first.file].rel.clone(),
+            line: first.line,
+            message: format!(
+                "lock acquisition cycle {{{}}} — potential AB-BA deadlock ({})",
+                cyc.join(", "),
+                sites.join("; ")
+            ),
+        });
+    }
+    out
+}

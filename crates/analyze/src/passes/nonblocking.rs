@@ -1,0 +1,218 @@
+//! Rule `nonblocking`: blocking APIs reachable from `#[nonblocking]`
+//! roots.
+//!
+//! Reactor sweep threads and connection drivers must never block: a
+//! stuck sweeper stops *every* connection's timers. Functions on those
+//! paths are annotated `#[musuite_marker::nonblocking]`; this pass
+//! walks the static call graph from each annotated root and fails on
+//! any reachable call to a blocking API — untimed `Condvar`-style
+//! `.wait(..)`, `thread::sleep`/`park`, untimed `.recv()`, `.join()`,
+//! `.accept()`, blocking `TcpStream` reads/connects — or to a function
+//! explicitly marked `#[musuite_marker::blocking]`.
+//!
+//! Call resolution is conservative and name-based: methods resolve
+//! only when the workspace has exactly one plausible target (same
+//! crate + receiver type when the receiver is `self`); free functions
+//! prefer same-crate targets, then a workspace-unique name. Dynamic
+//! dispatch (e.g. `service.call(..)` through `dyn Service`) is not
+//! traced — the driver impls that sit behind it carry their own
+//! `#[nonblocking]` annotations instead. Timed waits (`wait_for`,
+//! `wait_timeout`, `recv_timeout`, `park_timeout`) are allowed.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::calls::{calls_in, Call};
+use crate::findings::{suppressed, Finding, Rule};
+use crate::parse::SourceFile;
+
+/// Index of one function: (file index, fn index).
+type FnRef = (usize, usize);
+
+/// Runs the pass. `no_descend` lists crates whose internals are
+/// intentionally blocking (the model checker's scheduler) — calls into
+/// them are neither traced nor flagged.
+pub fn run(files: &[SourceFile], no_descend: &[&str]) -> Vec<Finding> {
+    let mut methods: HashMap<&str, Vec<FnRef>> = HashMap::new();
+    let mut free: HashMap<&str, Vec<FnRef>> = HashMap::new();
+    let mut roots: Vec<FnRef> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        if no_descend.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for (gi, f) in file.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            if f.self_ty.is_some() {
+                methods.entry(&f.name).or_default().push((fi, gi));
+            } else {
+                free.entry(&f.name).or_default().push((fi, gi));
+            }
+            if f.attrs.iter().any(|a| a.last_segment() == "nonblocking") {
+                roots.push((fi, gi));
+            }
+        }
+    }
+
+    let display = |r: FnRef| -> String {
+        let f = &files[r.0].fns[r.1];
+        match &f.self_ty {
+            Some(t) => format!("{t}::{}", f.name),
+            None => f.name.clone(),
+        }
+    };
+    let is_blocking_marked = |r: FnRef| -> bool {
+        files[r.0].fns[r.1].attrs.iter().any(|a| a.last_segment() == "blocking")
+    };
+
+    let mut out = Vec::new();
+    let mut reported: HashSet<(FnRef, usize, u32)> = HashSet::new();
+    for &root in &roots {
+        let mut visited: HashSet<FnRef> = HashSet::new();
+        let mut stack: Vec<(FnRef, Vec<String>)> = vec![(root, vec![display(root)])];
+        visited.insert(root);
+        while let Some((cur, chain)) = stack.pop() {
+            let (fi, gi) = cur;
+            let file = &files[fi];
+            let f = &file.fns[gi];
+            let Some((s, e)) = f.body else { continue };
+            for call in calls_in(file, s, e) {
+                let resolved = resolve(&call, cur, files, &methods, &free);
+                let blocked = blocking_reason(&call).or_else(|| {
+                    resolved.filter(|&r| is_blocking_marked(r)).map(|r| {
+                        format!("call to `{}`, marked #[musuite_marker::blocking]", display(r))
+                    })
+                });
+                if let Some(why) = blocked {
+                    if suppressed(file, call.line, Rule::Nonblocking) {
+                        continue;
+                    }
+                    if reported.insert((root, fi, call.line)) {
+                        out.push(Finding {
+                            rule: Rule::Nonblocking,
+                            file: file.rel.clone(),
+                            line: call.line,
+                            message: format!(
+                                "{why} reachable from #[nonblocking] `{}` (path: {})",
+                                display(root),
+                                chain.join(" -> ")
+                            ),
+                        });
+                    }
+                    continue;
+                }
+                if let Some(next) = resolved {
+                    if chain.len() < 64 && visited.insert(next) {
+                        let mut c = chain.clone();
+                        c.push(display(next));
+                        stack.push((next, c));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Why `call` is inherently blocking, or `None`.
+fn blocking_reason(call: &Call) -> Option<String> {
+    let n = call.name();
+    if call.is_method {
+        let why = match n {
+            // Condvar-style untimed wait (0 or 1 arg); `wait_for` /
+            // `wait_timeout` are the sanctioned timed forms.
+            "wait" if call.arg_count <= 1 => "untimed `.wait()`",
+            "recv" if call.arg_count == 0 => "untimed `.recv()`",
+            "join" if call.arg_count == 0 => "thread `.join()`",
+            "accept" if call.arg_count == 0 => "blocking `.accept()`",
+            "read_exact" | "read_to_end" | "read_to_string" => "blocking socket read",
+            _ => return None,
+        };
+        return Some(why.to_string());
+    }
+    if call.path_ends_with(&["thread", "sleep"]) {
+        return Some("`thread::sleep`".to_string());
+    }
+    if call.path_ends_with(&["thread", "park"]) {
+        return Some("`thread::park`".to_string());
+    }
+    if call.path_ends_with(&["TcpStream", "connect"]) {
+        return Some("blocking `TcpStream::connect`".to_string());
+    }
+    None
+}
+
+/// Method names that std containers/primitives also expose. A
+/// workspace type happening to define the only `pop` in the tree must
+/// not capture every `Vec::pop` in sight, so these resolve *only*
+/// through a typed receiver (`self` with a matching impl), never via
+/// the unique-global fallback.
+const COMMON_STD_METHODS: &[&str] = &[
+    "pop", "push", "get", "insert", "remove", "len", "is_empty", "clear", "iter", "next", "take",
+    "drain", "contains", "extend", "send", "clone", "drop", "lock", "read", "write", "load",
+    "store", "swap", "split", "append", "retain", "entry", "last", "first", "flush", "get_mut",
+];
+
+/// Conservative name-based resolution; `None` when ambiguous.
+fn resolve(
+    call: &Call,
+    from: FnRef,
+    files: &[SourceFile],
+    methods: &HashMap<&str, Vec<FnRef>>,
+    free: &HashMap<&str, Vec<FnRef>>,
+) -> Option<FnRef> {
+    let cur_crate = &files[from.0].crate_name;
+    let name = call.name();
+    if call.is_method {
+        let cands = methods.get(name)?;
+        // `self.helper(..)` — prefer the same type in the same crate.
+        if call.recv.as_deref().map(|r| r == "self" || r.starts_with("self.")).unwrap_or(false) {
+            if let Some(self_ty) = &files[from.0].fns[from.1].self_ty {
+                let same: Vec<&FnRef> = cands
+                    .iter()
+                    .filter(|&&(fi, gi)| {
+                        files[fi].crate_name == *cur_crate
+                            && files[fi].fns[gi].self_ty.as_deref() == Some(self_ty)
+                            && files[fi].fns[gi].has_self
+                    })
+                    .collect();
+                if same.len() == 1 {
+                    return Some(*same[0]);
+                }
+            }
+        }
+        if cands.len() == 1 && !COMMON_STD_METHODS.contains(&name) {
+            return Some(cands[0]);
+        }
+        return None;
+    }
+    // `Type::assoc(..)` path call.
+    if call.path.len() >= 2 {
+        let qual = &call.path[call.path.len() - 2];
+        if qual.chars().next().map(char::is_uppercase).unwrap_or(false) {
+            let cands: Vec<FnRef> = methods
+                .get(name)
+                .map(|v| {
+                    v.iter()
+                        .copied()
+                        .filter(|&(fi, gi)| files[fi].fns[gi].self_ty.as_deref() == Some(qual))
+                        .collect()
+                })
+                .unwrap_or_default();
+            if cands.len() == 1 {
+                return Some(cands[0]);
+            }
+            return None;
+        }
+    }
+    let cands = free.get(name)?;
+    let same: Vec<&FnRef> =
+        cands.iter().filter(|&&(fi, _)| files[fi].crate_name == *cur_crate).collect();
+    if same.len() == 1 {
+        return Some(*same[0]);
+    }
+    if same.is_empty() && cands.len() == 1 {
+        return Some(cands[0]);
+    }
+    None
+}

@@ -1,0 +1,39 @@
+//! Rule `unwrap`: unmarked `unwrap()`/`expect()` in non-test code.
+//!
+//! Replacement for lint.sh rule 2. Works on real call expressions, so
+//! `x.unwrap_or(0)` is not a finding, a multi-line
+//! `.expect(\n  "msg"\n)` is, and `// lint: allow(expect): why` markers
+//! (same line or the line above) suppress exactly one site.
+
+use crate::calls::calls_in;
+use crate::findings::{suppressed, Finding, Rule};
+use crate::parse::SourceFile;
+
+/// Runs the pass over `files`.
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        for call in calls_in(file, 0, file.tokens.len()) {
+            if !call.is_method {
+                continue;
+            }
+            let name = call.name();
+            if name != "unwrap" && name != "expect" {
+                continue;
+            }
+            if file.in_test_range(call.at) || suppressed(file, call.line, Rule::Unwrap) {
+                continue;
+            }
+            out.push(Finding {
+                rule: Rule::Unwrap,
+                file: file.rel.clone(),
+                line: call.line,
+                message: format!(
+                    "`{name}()` in library code — return an error, or mark the site with \
+                     `// lint: allow(expect): <why dying is correct>`"
+                ),
+            });
+        }
+    }
+    out
+}

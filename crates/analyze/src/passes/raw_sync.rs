@@ -1,0 +1,139 @@
+//! Rule `raw-sync`: raw `std::sync` primitives in non-test code.
+//!
+//! AST-accurate replacement for lint.sh rule 1, now catching the forms
+//! the grep rule missed: aliased imports (`use std::sync::Mutex as M`
+//! *and* every later use of `M`), grouped imports, glob imports, and
+//! fully-qualified paths in expression or type position
+//! (`std::sync::Mutex::new(..)`), across the whole workspace instead
+//! of three crates. A raw primitive is invisible to musuite-check's
+//! scheduler, so every interleaving result would be a lie; the fix is
+//! `musuite_check::sync` / `musuite_check::atomic` (or the counted
+//! telemetry wrappers built on them).
+
+use crate::findings::{suppressed, Finding, Rule};
+use crate::lex::TokKind;
+use crate::parse::SourceFile;
+
+/// Lock-family items under `std::sync` that must go through the shims.
+const DENIED_SYNC: &[&str] =
+    &["Mutex", "MutexGuard", "Condvar", "RwLock", "RwLockReadGuard", "RwLockWriteGuard"];
+
+fn is_denied_sync(name: &str) -> bool {
+    DENIED_SYNC.contains(&name)
+}
+
+/// Runs the pass over `files`.
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        // (alias, original path text) for flagged aliased imports.
+        let mut aliases: Vec<(String, String)> = Vec::new();
+        for u in &file.uses {
+            if u.in_test {
+                continue;
+            }
+            let root_is_std = matches!(u.path.first().map(String::as_str), Some("std" | "core"));
+            if !root_is_std || u.path.get(1).map(String::as_str) != Some("sync") {
+                continue;
+            }
+            let flagged = match u.path.get(2).map(String::as_str) {
+                None => u.alias == "*", // `use std::sync::*`
+                Some("atomic") => match u.path.get(3).map(String::as_str) {
+                    // `use std::sync::atomic;` (module) or `::atomic::*`
+                    None => true,
+                    Some("Ordering") => false,
+                    Some(_) => true,
+                },
+                Some(leaf) => is_denied_sync(leaf),
+            };
+            if !flagged {
+                continue;
+            }
+            let path_text = u.path.join("::");
+            if !suppressed(file, u.line, Rule::RawSync) {
+                out.push(Finding {
+                    rule: Rule::RawSync,
+                    file: file.rel.clone(),
+                    line: u.line,
+                    message: format!(
+                        "import of raw `{path_text}` (route it through musuite_check::sync / \
+                         musuite_check::atomic)"
+                    ),
+                });
+            }
+            // Track true aliases so later *uses* are flagged too — the
+            // form the grep rule could never see.
+            let default_name = u.path.last().cloned().unwrap_or_default();
+            if u.alias != default_name && u.alias != "*" {
+                aliases.push((u.alias.clone(), path_text));
+            }
+        }
+        // Fully-qualified paths in the token stream.
+        let toks = &file.tokens;
+        let mut i = 0;
+        while i + 4 < toks.len() {
+            let t = &toks[i];
+            if t.kind == TokKind::Ident
+                && (t.text == "std" || t.text == "core")
+                && !file.in_test_range(i)
+                && !file.in_use_range(i)
+                && toks[i + 1].is_punct(':')
+                && toks[i + 2].is_punct(':')
+                && toks[i + 3].is_ident("sync")
+                && toks[i + 4].is_punct(':')
+            {
+                // std :: sync :: X [:: Y]
+                let x = toks.get(i + 6);
+                let y = toks.get(i + 9).filter(|_| {
+                    toks.get(i + 7).map(|t| t.is_punct(':')).unwrap_or(false)
+                        && toks.get(i + 8).map(|t| t.is_punct(':')).unwrap_or(false)
+                });
+                let bad = match x.map(|t| t.text.as_str()) {
+                    Some(leaf) if is_denied_sync(leaf) => Some(leaf.to_string()),
+                    Some("atomic") => match y.map(|t| t.text.as_str()) {
+                        Some("Ordering") => None,
+                        Some(seg) => Some(format!("atomic::{seg}")),
+                        None => Some("atomic".to_string()),
+                    },
+                    _ => None,
+                };
+                if let Some(what) = bad {
+                    if !suppressed(file, t.line, Rule::RawSync) {
+                        out.push(Finding {
+                            rule: Rule::RawSync,
+                            file: file.rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "fully-qualified raw `std::sync::{what}` (route it through \
+                                 musuite_check::sync / musuite_check::atomic)"
+                            ),
+                        });
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Uses of flagged aliases.
+        if !aliases.is_empty() {
+            for (idx, t) in file.tokens.iter().enumerate() {
+                if t.kind != TokKind::Ident || file.in_test_range(idx) || file.in_use_range(idx) {
+                    continue;
+                }
+                if let Some((alias, target)) = aliases.iter().find(|(a, _)| *a == t.text) {
+                    if !suppressed(file, t.line, Rule::RawSync) {
+                        out.push(Finding {
+                            rule: Rule::RawSync,
+                            file: file.rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "use of `{alias}`, an alias of raw `{target}` (the aliased form \
+                                 the grep lint could not see)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}

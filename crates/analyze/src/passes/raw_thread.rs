@@ -1,0 +1,112 @@
+//! Rule `raw-thread`: raw `std::thread` spawns invisible to the model
+//! checker.
+//!
+//! Replacement for lint.sh rule 3. Threads must go through
+//! `musuite_check::thread::spawn` (or the named-builder helper) so the
+//! deterministic scheduler can interpose under `--cfg musuite_check`.
+//! Beyond the old grep this also catches `use std::thread::spawn as s`
+//! aliasing and module-aliased `t::spawn(..)` forms.
+
+use crate::findings::{suppressed, Finding, Rule};
+use crate::lex::TokKind;
+use crate::parse::SourceFile;
+
+/// Spawning entry points under `std::thread`.
+fn is_spawn_leaf(name: &str) -> bool {
+    name == "spawn" || name == "Builder"
+}
+
+/// Runs the pass over `files`.
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        // Aliases of std::thread itself, and of its spawn/Builder leaves.
+        let mut module_aliases: Vec<String> = Vec::new();
+        let mut leaf_aliases: Vec<(String, String)> = Vec::new();
+        for u in &file.uses {
+            if u.in_test || u.path.first().map(String::as_str) != Some("std") {
+                continue;
+            }
+            if u.path.get(1).map(String::as_str) != Some("thread") {
+                continue;
+            }
+            match u.path.get(2).map(String::as_str) {
+                // `use std::thread;` — fine by itself (sleep, yield_now…);
+                // remember the module name so `thread::spawn` below is caught.
+                None if u.alias != "*" => module_aliases.push(u.alias.clone()),
+                Some(leaf) if is_spawn_leaf(leaf) => {
+                    if !suppressed(file, u.line, Rule::RawThread) {
+                        out.push(Finding {
+                            rule: Rule::RawThread,
+                            file: file.rel.clone(),
+                            line: u.line,
+                            message: format!(
+                                "import of raw `std::thread::{leaf}` (spawn through \
+                                 musuite_check::thread so the model checker can interpose)"
+                            ),
+                        });
+                    }
+                    if u.alias != "*" {
+                        leaf_aliases.push((u.alias.clone(), format!("std::thread::{leaf}")));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let toks = &file.tokens;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || file.in_test_range(i) || file.in_use_range(i) {
+                continue;
+            }
+            // `std :: thread :: spawn|Builder`
+            let fq = t.text == "std"
+                && pnc(file, i + 1, ':')
+                && pnc(file, i + 2, ':')
+                && idn(file, i + 3, "thread")
+                && pnc(file, i + 4, ':')
+                && pnc(file, i + 5, ':')
+                && toks.get(i + 6).map(|x| is_spawn_leaf(&x.text)).unwrap_or(false);
+            // `<module-alias> :: spawn|Builder`
+            let via_module = module_aliases.contains(&t.text)
+                && pnc(file, i + 1, ':')
+                && pnc(file, i + 2, ':')
+                && toks.get(i + 3).map(|x| is_spawn_leaf(&x.text)).unwrap_or(false)
+                // not a longer path like `std::thread::spawn` already matched
+                && !(i >= 2 && pnc(file, i - 1, ':') && pnc(file, i - 2, ':'));
+            // bare use of an aliased leaf import
+            let via_leaf = leaf_aliases.iter().find(|(a, _)| *a == t.text);
+            if !(fq || via_module || via_leaf.is_some()) {
+                continue;
+            }
+            if suppressed(file, t.line, Rule::RawThread) {
+                continue;
+            }
+            let what = if fq {
+                format!("std::thread::{}", toks[i + 6].text)
+            } else if via_module {
+                format!("{}::{} (= std::thread)", t.text, toks[i + 3].text)
+            } else {
+                let (alias, target) = via_leaf.unwrap_or(&leaf_aliases[0]);
+                format!("{alias} (alias of {target})")
+            };
+            out.push(Finding {
+                rule: Rule::RawThread,
+                file: file.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "raw thread spawn via `{what}` (use musuite_check::thread so the model \
+                     checker can interpose)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn pnc(file: &SourceFile, i: usize, c: char) -> bool {
+    file.tokens.get(i).map(|t| t.is_punct(c)).unwrap_or(false)
+}
+
+fn idn(file: &SourceFile, i: usize, s: &str) -> bool {
+    file.tokens.get(i).map(|t| t.is_ident(s)).unwrap_or(false)
+}

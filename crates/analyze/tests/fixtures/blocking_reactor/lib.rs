@@ -1,0 +1,49 @@
+//! Fixture: blocking calls reachable from `#[nonblocking]` roots —
+//! one buried two hops down the call graph, one directly in a root.
+//! Timed waits (`wait_for`) stay clean.
+
+pub struct Inbox;
+
+impl Inbox {
+    pub fn recv(&self) -> u8 {
+        0
+    }
+}
+
+pub struct Sweeper;
+
+impl Sweeper {
+    #[musuite_marker::nonblocking]
+    pub fn sweep(&self) {
+        self.drain_ready();
+        park_briefly();
+    }
+
+    fn drain_ready(&self) {
+        tick();
+    }
+}
+
+#[musuite_marker::nonblocking]
+pub fn poll_inbox(inbox: &Inbox) {
+    let _ = inbox.recv();
+}
+
+fn park_briefly() {
+    helper();
+}
+
+fn helper() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+
+fn tick() {
+    // A timed wait is the sanctioned form and must not be flagged.
+    let cv = ();
+    let _ = cv;
+}
+
+pub fn unreachable_from_roots() {
+    // Blocking, but no #[nonblocking] root reaches it: clean.
+    std::thread::park();
+}

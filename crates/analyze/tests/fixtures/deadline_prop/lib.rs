@@ -1,0 +1,30 @@
+//! Fixture: deadline propagation — a public entry point that accepts a
+//! budget must thread it (or a value derived from it) into each nested
+//! RPC-shaped call.
+
+pub struct Midtier;
+
+impl Midtier {
+    pub fn handle(&self, payload: &[u8], deadline: u64) -> u64 {
+        let remaining = budget_from(deadline);
+        self.call_leaf(payload, remaining);
+        self.scatter_all(payload)
+    }
+
+    pub fn fire_and_forget(&self, payload: &[u8], timeout: u64) {
+        let _ = timeout;
+        self.call_background(payload); // lint: allow(deadline): intentionally unbounded
+    }
+
+    fn call_leaf(&self, _p: &[u8], _budget: u64) {}
+
+    fn call_background(&self, _p: &[u8]) {}
+
+    fn scatter_all(&self, _p: &[u8]) -> u64 {
+        0
+    }
+}
+
+fn budget_from(deadline: u64) -> u64 {
+    deadline
+}

@@ -1,0 +1,35 @@
+//! Fixture: classic AB-BA deadlock — two functions acquiring the same
+//! two locks in opposite orders. Each function is deadlock-free in
+//! isolation; only the cross-function acquisition graph shows the
+//! cycle, which is exactly what a dynamic checker on a single
+//! interleaving tends to miss.
+
+use musuite_check::sync::Mutex;
+
+pub struct Shared {
+    pub accounts: Mutex<Vec<u64>>,
+    pub audit: Mutex<Vec<String>>,
+}
+
+pub fn transfer(s: &Shared) {
+    let accounts = s.accounts.lock();
+    let audit = s.audit.lock();
+    drop(audit);
+    drop(accounts);
+}
+
+pub fn reconcile(s: &Shared) {
+    let audit = s.audit.lock();
+    let accounts = s.accounts.lock();
+    drop(accounts);
+    drop(audit);
+}
+
+pub fn nested_scopes_are_fine(s: &Shared) {
+    let accounts = s.accounts.lock();
+    {
+        let audit = s.audit.lock();
+        drop(audit);
+    }
+    drop(accounts);
+}

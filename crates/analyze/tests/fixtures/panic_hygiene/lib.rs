@@ -1,0 +1,33 @@
+//! Fixture: unwrap/expect hygiene, including the multi-line `.expect`
+//! the old single-line grep could not see.
+
+pub fn risky(input: Option<u8>) -> u8 {
+    input.unwrap()
+}
+
+pub fn multiline(r: Result<u8, String>) -> u8 {
+    r.expect(
+        "multi-line expect the old grep missed",
+    )
+}
+
+pub fn allowed(input: Option<u8>) -> u8 {
+    input.expect("caller upheld the invariant") // lint: allow(expect): documented
+}
+
+pub fn marker_above(input: Option<u8>) -> u8 {
+    // lint: allow(unwrap): fixture for the line-above marker form
+    input.unwrap()
+}
+
+pub fn not_a_finding(input: Option<u8>) -> u8 {
+    input.unwrap_or(7)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1u8).unwrap(), 1);
+    }
+}

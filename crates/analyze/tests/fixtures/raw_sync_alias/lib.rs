@@ -1,0 +1,37 @@
+//! Fixture: raw `std::sync` usage in the forms the old grep rule
+//! missed — aliased imports, grouped imports, fully-qualified paths,
+//! and code *below* a `#[cfg(test)]` module (the awk exemption bug).
+
+use std::sync::Mutex as StdMutex;
+use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Holder {
+    pub slots: StdMutex<Vec<u8>>,
+    pub readers: Arc<RwLock<u8>>,
+    pub hits: AtomicU64,
+}
+
+pub fn fully_qualified() -> std::sync::Mutex<u8> {
+    std::sync::Mutex::new(0)
+}
+
+pub fn ordering_alone_is_fine(o: Ordering) -> Ordering {
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn raw_sync_in_tests_is_allowed() {
+        let _ = Mutex::new(0u8);
+    }
+}
+
+pub fn below_the_test_module() {
+    // The old awk scan exempted everything from the first #[cfg(test)]
+    // to EOF, so this line was invisible to lint.sh.
+    let _cv = std::sync::Condvar::new();
+}

@@ -1,0 +1,26 @@
+//! Fixture: raw `std::thread` spawns in direct, module-qualified, and
+//! aliased forms. `thread::sleep` is not a spawn and stays clean here
+//! (the nonblocking pass owns sleep, and only on annotated paths).
+
+use std::thread;
+use std::thread::spawn as go;
+
+pub fn direct() {
+    std::thread::spawn(|| {});
+}
+
+pub fn via_module() {
+    thread::spawn(|| {});
+}
+
+pub fn via_alias() {
+    go(|| {});
+}
+
+pub fn builder() {
+    let _ = std::thread::Builder::new();
+}
+
+pub fn sleep_is_not_a_spawn() {
+    thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -18,10 +18,10 @@
 
 use crate::protocol::Neighbor;
 use crate::service::HdSearchClient;
+use musuite_check::atomic::{AtomicU64, Ordering};
 use musuite_rpc::RpcError;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Deterministic image→feature-vector extraction (Inception-V3 stand-in).
 #[derive(Debug, Clone, Copy)]

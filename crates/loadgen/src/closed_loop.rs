@@ -9,10 +9,10 @@
 
 use crate::recorder::LatencyRecorder;
 use crate::source::RequestSource;
+use musuite_check::atomic::{AtomicBool, Ordering};
 use musuite_rpc::RpcClient;
 use musuite_telemetry::summary::DistributionSummary;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

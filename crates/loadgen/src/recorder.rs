@@ -1,10 +1,10 @@
 //! Thread-safe latency recording shared between senders and completions.
 
+use musuite_check::atomic::{AtomicU64, Ordering};
 use musuite_rpc::FailureKind;
 use musuite_telemetry::histogram::LatencyHistogram;
 use musuite_telemetry::summary::DistributionSummary;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

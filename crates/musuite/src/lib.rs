@@ -18,8 +18,9 @@
 //!
 //! and the substrates they stand on: the RPC framework ([`rpc`]), the
 //! wire codec ([`codec`]), the three-tier service framework ([`core`]),
-//! load generation ([`loadgen`]), synthetic data sets ([`data`]), and the
-//! OS/network telemetry ([`telemetry`]).
+//! load generation ([`loadgen`]), synthetic data sets ([`data`]), the
+//! OS/network telemetry ([`telemetry`]), and the marker attributes the
+//! `musuite-analyze` static passes read ([`marker`]).
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@ pub use musuite_core as core;
 pub use musuite_data as data;
 pub use musuite_hdsearch as hdsearch;
 pub use musuite_loadgen as loadgen;
+pub use musuite_marker as marker;
 pub use musuite_recommend as recommend;
 pub use musuite_router as router;
 pub use musuite_rpc as rpc;

@@ -8,9 +8,9 @@
 //! when a configured byte budget is exceeded — the semantics that matter
 //! for a cache-backed OLDI service.
 
+use musuite_check::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Configuration for [`MemKv::new`].

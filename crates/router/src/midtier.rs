@@ -9,11 +9,11 @@
 
 use crate::protocol::{KvRequest, KvResponse};
 use crate::spooky::SpookyHasher;
+use musuite_check::atomic::{AtomicU64, Ordering};
 use musuite_core::error::ServiceError;
 use musuite_core::midtier::{MidTierHandler, Plan};
 use musuite_core::replication::ReplicaSet;
 use musuite_rpc::RpcError;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The routing mid-tier microservice.
 #[derive(Debug)]

@@ -882,8 +882,7 @@ mod conn_writer_tests {
                 let w = writer.clone();
                 std::thread::spawn(move || {
                     for i in 0..PER_THREAD {
-                        let frame =
-                            Frame::request(t * PER_THREAD + i, 9, vec![t as u8; 64]);
+                        let frame = Frame::request(t * PER_THREAD + i, 9, vec![t as u8; 64]);
                         w.write_parts(&frame.header, &[&frame.payload]).unwrap();
                     }
                 })

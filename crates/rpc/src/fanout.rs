@@ -352,11 +352,8 @@ impl FanoutGroup {
         let mut replaced = 0;
         for slot in conns.iter_mut() {
             if slot.is_closed() {
-                *slot = Arc::new(connect_leaf(
-                    leaf.addr,
-                    leaf.faults.clone(),
-                    self.reactor.as_ref(),
-                )?);
+                *slot =
+                    Arc::new(connect_leaf(leaf.addr, leaf.faults.clone(), self.reactor.as_ref())?);
                 replaced += 1;
             }
         }

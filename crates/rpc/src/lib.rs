@@ -75,7 +75,9 @@ pub mod server;
 pub mod service;
 pub mod stats;
 
-pub use buf::{BufferPool, ConnWriter, FrameAccumulator, FrameReader, FrameWriter, Payload, PooledBuf};
+pub use buf::{
+    BufferPool, ConnWriter, FrameAccumulator, FrameReader, FrameWriter, Payload, PooledBuf,
+};
 pub use client::RpcClient;
 pub use config::{ExecutionModel, NetworkModel, ServerConfig, WaitMode};
 pub use error::{FailureKind, RpcError};

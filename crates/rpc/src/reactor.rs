@@ -299,7 +299,11 @@ impl Reactor {
     /// [`RpcError::ShuttingDown`] if the reactor has shut down,
     /// [`RpcError::Io`] if the socket rejects non-blocking mode. In both
     /// cases the driver's `on_close` has already run.
-    pub fn register(&self, stream: TcpStream, mut driver: Box<dyn ConnDriver>) -> Result<(), RpcError> {
+    pub fn register(
+        &self,
+        stream: TcpStream,
+        mut driver: Box<dyn ConnDriver>,
+    ) -> Result<(), RpcError> {
         if let Err(e) = stream.set_nonblocking(true) {
             driver.on_close(CloseReason::Shutdown);
             return Err(RpcError::Io(e));
@@ -385,6 +389,11 @@ fn close_conn(mut conn: Conn, reason: CloseReason, stats: &ReactorStats, live: &
     live.fetch_sub(1, Ordering::AcqRel);
 }
 
+/// The sweep loop proper. A stuck sweeper stalls timers and frame
+/// delivery for every connection on the shard, so everything reachable
+/// from here must stay nonblocking — enforced statically by the
+/// `musuite-analyze` reachability pass.
+#[musuite_marker::nonblocking]
 fn run_sweeper(params: SweepParams) {
     let SweepParams { ledger, pool, stats, live, wait_mode, sweep_budget, idle_timeout } = params;
     let mut conns: Vec<Conn> = Vec::new();
@@ -442,8 +451,7 @@ fn run_sweeper(params: SweepParams) {
                 if let Some(timeout) = idle_timeout {
                     // Never reap mid-frame: a slow-trickling peer is
                     // active, just glacially so.
-                    if !conn.acc.mid_frame() && now.duration_since(conn.last_activity) >= timeout
-                    {
+                    if !conn.acc.mid_frame() && now.duration_since(conn.last_activity) >= timeout {
                         close = Some(CloseReason::Idle);
                     }
                 }
@@ -532,17 +540,13 @@ mod tests {
     #[test]
     fn frames_flow_through_all_wait_modes() {
         for wait_mode in [WaitMode::Block, WaitMode::Poll, WaitMode::Adaptive] {
-            let reactor = Reactor::start(ReactorConfig {
-                pollers: 2,
-                wait_mode,
-                ..ReactorConfig::default()
-            });
+            let reactor =
+                Reactor::start(ReactorConfig { pollers: 2, wait_mode, ..ReactorConfig::default() });
             let (mut peer, reactor_side) = loopback_pair();
             let (driver, frames, _closes) = probe();
             reactor.register(reactor_side, Box::new(driver)).unwrap();
             for id in 0..5u64 {
-                peer.write_all(&Frame::request(id, 3, vec![id as u8; 100]).to_bytes())
-                    .unwrap();
+                peer.write_all(&Frame::request(id, 3, vec![id as u8; 100]).to_bytes()).unwrap();
             }
             for id in 0..5u64 {
                 let frame = frames.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -690,12 +694,8 @@ mod tests {
         let (mut peer, reactor_side) = loopback_pair();
         let (driver, frames, _closes) = probe();
         reactor.register(reactor_side, Box::new(driver)).unwrap();
-        let header = FrameHeader {
-            kind: FrameKind::OneWay,
-            request_id: 0,
-            method: 2,
-            status: Status::Ok,
-        };
+        let header =
+            FrameHeader { kind: FrameKind::OneWay, request_id: 0, method: 2, status: Status::Ok };
         let frame = Frame { header, payload: bytes::Bytes::new() };
         peer.write_all(&frame.to_bytes()).unwrap();
         frames.recv_timeout(Duration::from_secs(5)).unwrap();

@@ -35,13 +35,13 @@ use crate::fanout::{FanoutGroup, FanoutResult, ScatterState};
 use bytes::Bytes;
 use musuite_check::atomic::{AtomicBool, AtomicUsize, Ordering};
 use musuite_check::sync::{Condvar, Mutex};
+use musuite_check::thread::{Builder, JoinHandle};
 use musuite_telemetry::clock::Clock;
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
 use musuite_telemetry::histogram::LatencyHistogram;
 use musuite_telemetry::resilience::{ResilienceCounters, ResilienceEvent};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use musuite_check::thread::{Builder, JoinHandle};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 

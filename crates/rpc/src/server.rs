@@ -139,12 +139,14 @@ impl Server {
         let table = Arc::new(ConnTable::default());
         let reactor = match config.network_model_value() {
             NetworkModel::BlockingPerConn => None,
-            NetworkModel::SharedPollers { pollers } => Some(Arc::new(Reactor::start(ReactorConfig {
-                pollers,
-                wait_mode: config.wait_mode_value(),
-                sweep_budget: config.sweep_budget_value(),
-                idle_timeout: config.idle_timeout_value(),
-            }))),
+            NetworkModel::SharedPollers { pollers } => {
+                Some(Arc::new(Reactor::start(ReactorConfig {
+                    pollers,
+                    wait_mode: config.wait_mode_value(),
+                    sweep_budget: config.sweep_budget_value(),
+                    idle_timeout: config.idle_timeout_value(),
+                })))
+            }
         };
 
         let mut worker_handles = Vec::new();
@@ -217,7 +219,7 @@ impl Server {
                         let conn_id = next_conn_id;
                         next_conn_id += 1;
                         // lint: allow(expect): dup of a just-accepted live fd
-                        let conn_handle = writer.get_ref().try_clone().expect("clone registered stream");
+                        let conn_handle = writer.get_ref().try_clone().expect("clone live fd");
                         table.conns.lock().insert(conn_id, conn_handle);
                         let poller = spawn_poller(
                             conn_id,
@@ -356,6 +358,10 @@ struct ServerConnDriver {
 }
 
 impl ConnDriver for ServerConnDriver {
+    // Runs on the shared sweep thread behind dyn dispatch, which the
+    // static call graph cannot trace — so the nonblocking obligation is
+    // declared here, at the impl, rather than inherited from the root.
+    #[musuite_marker::nonblocking]
     fn on_frame(&mut self, frame: Frame, rx_start_ns: u64) -> Drive {
         let received = self.clock.now_ns();
         self.stats.breakdown().record(Stage::NetRx, self.clock.delta(rx_start_ns, received));
@@ -385,6 +391,7 @@ impl ConnDriver for ServerConnDriver {
         Drive::Continue
     }
 
+    #[musuite_marker::nonblocking]
     fn on_close(&mut self, reason: CloseReason) {
         if reason == CloseReason::Idle {
             self.stats.record_idle_reaped();
@@ -423,10 +430,7 @@ fn spawn_poller(
                 let mut first = [0u8; 1];
                 if let Err(e) = reader.get_ref().read_exact(&mut first) {
                     if reap_on_timeout
-                        && matches!(
-                            e.kind(),
-                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                        )
+                        && matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
                     {
                         // Idle past the configured timeout with no frame
                         // in flight: reap the connection.

@@ -233,21 +233,19 @@ fn shared_poller_midtier_keeps_dead_leaf_and_hedging_guarantees() {
     let mut midtier = ServerConfig::default();
     midtier.network_model(NetworkModel::SharedPollers { pollers: 2 }).workers(2);
     let plan = FaultPlan::builder(seed, 4).dead_leaf(0).build();
-    let config = ClusterConfig::new()
-        .leaves(4)
-        .midtier_config(midtier)
-        .fault_plan(plan.clone())
-        .resilience(ResilientConfig {
-            attempt_timeout: Some(Duration::from_millis(500)),
-            hedge: HedgePolicy::After(Duration::from_millis(8)),
-            retries: 1,
-            backoff: Duration::from_millis(1),
-            ..Default::default()
-        });
-    let cluster = Cluster::launch(config, PrimaryWithFailover, |_| {
-        SlowSquareLeaf(Duration::from_millis(2))
-    })
-    .unwrap();
+    let config =
+        ClusterConfig::new().leaves(4).midtier_config(midtier).fault_plan(plan.clone()).resilience(
+            ResilientConfig {
+                attempt_timeout: Some(Duration::from_millis(500)),
+                hedge: HedgePolicy::After(Duration::from_millis(8)),
+                retries: 1,
+                backoff: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+    let cluster =
+        Cluster::launch(config, PrimaryWithFailover, |_| SlowSquareLeaf(Duration::from_millis(2)))
+            .unwrap();
     assert_eq!(cluster.midtier().network_threads(), 2);
     let client = cluster.client::<u64, u64>().unwrap();
     plan.arm();

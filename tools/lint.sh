@@ -1,83 +1,27 @@
 #!/usr/bin/env bash
-# Workspace lint pass for concurrency and panic hygiene.
+# Workspace lint pass — thin wrapper around the musuite-analyze binary.
 #
-# Rule 1 — model-checker visibility: non-test code in the crates whose
-# locking musuite-check explores (rpc, telemetry, core) must take mutexes,
-# condvars, rwlocks and atomics through the musuite_check shims (or the
-# counted telemetry wrappers built on them). A raw std::sync primitive is
-# invisible to the checker, so every interleaving result would be a lie.
+# The historical grep/awk rules that lived here (raw std::sync
+# primitives, unwrap()/expect() hygiene, raw std::thread spawns) are now
+# semantic passes in `crates/analyze`, which also runs three checks grep
+# could never express: static lock-order (AB-BA) cycle detection,
+# blocking-call reachability from #[musuite_marker::nonblocking] roots,
+# and deadline-propagation checking. See DESIGN.md §5e.
 #
-# Rule 2 — panic hygiene: no unwrap()/expect() in non-test musuite-rpc or
-# musuite-core library code unless the line (or the line above it) carries
-# an explicit `lint: allow(...)` marker stating why dying is the right
-# move.
+# The move also fixes a real bug in the old awk scan: it exempted
+# everything from the first `#[cfg(test)]` marker to end-of-file, so
+# violations *below* a test module were invisible. The analyzer scopes
+# the test exemption to the actual item the attribute gates.
 #
-# Rule 3 — thread accounting: non-test musuite-rpc code must spawn threads
-# through musuite_check::thread (Builder/spawn), never std::thread. Raw
-# spawns are invisible to the model checker AND dodge the OsOp::Clone
-# telemetry that the threading ablations audit; a stray one would silently
-# re-grow the thread-per-connection behavior the shared-reactor network
-# layer exists to bound.
+# Suppression markers are unchanged: `// lint: allow(<rule>): <why>` on
+# the offending line or the line above. Rule ids: raw-sync, unwrap
+# (legacy alias: expect), raw-thread, lock-order, nonblocking, deadline.
 #
-# Test code is exempt: everything from the first `#[cfg(test)]` or
-# `#[cfg(all(test, ...))]` marker to end-of-file is skipped (test modules
-# sit at the bottom of each file in this codebase).
-#
-# Run from anywhere; exits non-zero on any violation.
+# Run from anywhere; exits non-zero on any finding.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-fail=0
-
-# Print `line:text` for non-test lines matching $2 in file $1, honouring
-# same-line and previous-line `lint: allow` markers.
-scan() {
-  awk -v pat="$2" '
-    /^[[:space:]]*#\[cfg\(test\)\]/ || /^[[:space:]]*#\[cfg\(all\(test/ { exit }
-    $0 ~ pat && $0 !~ /lint: allow/ && prev !~ /lint: allow/ {
-      printf "    %d: %s\n", FNR, $0
-    }
-    { prev = $0 }
-  ' "$1"
-}
-
-checked_crates=(crates/rpc crates/telemetry crates/core)
-raw_sync='std::sync::(Mutex|Condvar|RwLock|atomic)|use std::sync::\{[^}]*(Mutex|Condvar|RwLock)'
-
-for crate in "${checked_crates[@]}"; do
-  for file in "$crate"/src/*.rs; do
-    hits=$(scan "$file" "$raw_sync")
-    if [ -n "$hits" ]; then
-      echo "error: $file: raw std::sync primitive in non-test code" \
-        "(route it through musuite_check::sync / musuite_check::atomic):"
-      echo "$hits"
-      fail=1
-    fi
-  done
-done
-
-for file in crates/rpc/src/*.rs crates/core/src/*.rs; do
-  hits=$(scan "$file" '\.unwrap\(\)|\.expect\(')
-  if [ -n "$hits" ]; then
-    echo "error: $file: unwrap()/expect() in non-test library code" \
-      "(handle the error, or mark the line: // lint: allow(expect): <why>):"
-    echo "$hits"
-    fail=1
-  fi
-done
-
-raw_thread='std::thread::(spawn|Builder)'
-for file in crates/rpc/src/*.rs; do
-  hits=$(scan "$file" "$raw_thread")
-  if [ -n "$hits" ]; then
-    echo "error: $file: raw std::thread spawn in non-test code" \
-      "(route it through musuite_check::thread so spawns stay model-checkable and counted):"
-    echo "$hits"
-    fail=1
-  fi
-done
-
-if [ "$fail" -ne 0 ]; then
+if ! cargo run -q -p musuite-analyze -- --root .; then
   echo "lint: FAILED"
   exit 1
 fi
