@@ -15,6 +15,14 @@
 //! `remaining` becomes as good as `deadline`. That keeps the common
 //! deadline→remaining-budget conversion idiom clean without real
 //! dataflow analysis.
+//!
+//! Wire-level budget forwarding counts too: the helpers that move a
+//! deadline through the frame header — `RequestContext::
+//! remaining_budget()`, the client's `budget_for(..)` conversion, and
+//! the `with_budget(..)` header constructors — are taint *sources*.
+//! A nested call that passes `ctx.remaining_budget()` (or a value
+//! bound from one of these helpers) is threading the caller's budget
+//! even though the deadline parameter's name never reappears.
 
 use std::collections::HashSet;
 
@@ -36,6 +44,14 @@ fn is_rpc_call(name: &str) -> bool {
     name == "call" || name == "scatter" || name.starts_with("call_") || name.starts_with("scatter_")
 }
 
+/// `true` for helper names whose result carries the caller's wire
+/// budget: reading the decayed budget off a request context, converting
+/// a deadline into a header budget, or stamping a budget into a frame
+/// header. Values produced by these are as good as the deadline itself.
+fn is_budget_source(name: &str) -> bool {
+    matches!(name, "remaining_budget" | "budget_for" | "with_budget")
+}
+
 /// Runs the pass over `files`.
 pub fn run(files: &[SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -55,7 +71,11 @@ pub fn run(files: &[SourceFile]) -> Vec<Finding> {
                 if !is_rpc_call(call.name()) || call.name() == f.name {
                     continue;
                 }
-                if call.arg_idents.iter().any(|a| tainted.contains(a.as_str())) {
+                if call
+                    .arg_idents
+                    .iter()
+                    .any(|a| tainted.contains(a.as_str()) || is_budget_source(a))
+                {
                     continue;
                 }
                 if suppressed(file, call.line, Rule::Deadline) {
@@ -134,7 +154,9 @@ fn taint(file: &SourceFile, start: usize, end: usize, params: &[&str]) -> HashSe
                         ";" if depth == 0 => break,
                         "{" if depth == 0 => break,
                         _ => {
-                            if t.kind == TokKind::Ident && tainted.contains(&t.text) {
+                            if t.kind == TokKind::Ident
+                                && (tainted.contains(&t.text) || is_budget_source(&t.text))
+                            {
                                 rhs_tainted = true;
                             }
                         }

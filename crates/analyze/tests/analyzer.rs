@@ -101,8 +101,20 @@ fn blocking_reactor_fixture() {
 #[test]
 fn deadline_prop_fixture() {
     let got = fixture("deadline_prop");
-    assert_findings(&got, &[("deadline", 11)]); // scatter_all without the budget
+    assert_findings(
+        &got,
+        &[
+            ("deadline", 11), // scatter_all without the budget
+            ("deadline", 46), // scatter_all next to wire-forwarded siblings
+        ],
+    );
     assert!(got[0].message.contains("deadline"), "{}", got[0]);
+    // The clean siblings at lines 44-45 (budget via `remaining_budget()`,
+    // bound and inline) and 52 (`with_budget` header) must not appear.
+    assert!(
+        got.iter().all(|f| ![44, 45, 52].contains(&f.line)),
+        "wire-header budget forwarding must satisfy the rule: {got:#?}"
+    );
 }
 
 #[test]

@@ -28,3 +28,51 @@ impl Midtier {
 fn budget_from(deadline: u64) -> u64 {
     deadline
 }
+
+/// Budget forwarding through the wire header: `remaining_budget()`,
+/// `budget_for(..)`, and `with_budget(..)` carry the caller's deadline
+/// onto the frame, so values derived from them satisfy the rule even
+/// though the deadline parameter's name never reappears.
+pub struct WireMid {
+    ctx: Ctx,
+}
+
+impl WireMid {
+    pub fn relay(&self, payload: &[u8], timeout: u64) {
+        let _ = timeout;
+        let remaining = self.ctx.remaining_budget();
+        self.call_leaf(payload, remaining);
+        self.scatter_direct(payload, self.ctx.remaining_budget());
+        self.scatter_all(payload);
+    }
+
+    pub fn relay_header(&self, payload: &[u8], timeout: u64) {
+        let _ = timeout;
+        let framed = encode(payload).with_budget(shed_class());
+        self.call_send(framed);
+    }
+
+    fn call_leaf(&self, _p: &[u8], _budget: u32) {}
+
+    fn scatter_direct(&self, _p: &[u8], _budget: u32) {}
+
+    fn scatter_all(&self, _p: &[u8]) {}
+
+    fn call_send(&self, _f: u64) {}
+}
+
+pub struct Ctx;
+
+impl Ctx {
+    fn remaining_budget(&self) -> u32 {
+        10
+    }
+}
+
+fn encode(_p: &[u8]) -> u64 {
+    0
+}
+
+fn shed_class() -> u32 {
+    1
+}

@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use musuite_rpc::{
-    DispatchQueue, ExecutionModel, NetworkModel, RequestContext, RpcClient, Server, ServerConfig,
-    Service, WaitMode,
+    AdmissionControl, AdmissionModel, DispatchQueue, ExecutionModel, NetworkModel, Priority,
+    RequestContext, RpcClient, Server, ServerConfig, Service, WaitMode,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -100,6 +100,24 @@ fn bench_queue_handoff(c: &mut Criterion) {
     group.finish();
 }
 
+/// The cost the admission gate adds to every accepted request, measured
+/// uncontended: one limit load plus one CAS to admit, one `fetch_sub` to
+/// release the permit. `Adaptive` must price identically to `Fixed` on
+/// the admit path — the AIMD controller only runs at dequeue — so a gap
+/// between the two arms here means the decision path grew a branch it
+/// should not have.
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission_gate");
+    for (label, model) in [("fixed", AdmissionModel::Fixed), ("adaptive", AdmissionModel::Adaptive)]
+    {
+        let gate = AdmissionControl::new(model, 64);
+        group.bench_function(format!("try_admit_uncontended_{label}"), |b| {
+            b.iter(|| black_box(gate.try_admit(black_box(Priority::Normal))))
+        });
+    }
+    group.finish();
+}
+
 fn bench_fanout(c: &mut Criterion) {
     use musuite_rpc::FanoutGroup;
     let servers: Vec<Server> = (0..4)
@@ -127,6 +145,6 @@ criterion_group! {
     name = benches;
     config = quick();
     targets = bench_roundtrip, bench_payload_sweep, bench_network_model, bench_queue_handoff,
-        bench_fanout
+        bench_admission, bench_fanout
 }
 criterion_main!(benches);

@@ -9,6 +9,25 @@
 //! +-------+-------------+------+------------+--------+--------+----------+---------+
 //! ```
 //!
+//! Frames carrying overload-control metadata use the extended (v2) header,
+//! selected by the second magic byte, which appends two fields between the
+//! checksum and the payload:
+//!
+//! ```text
+//! +----------------+-----------------+----------+
+//! | …v1 fields…    | deadline budget | priority |
+//! |  31 B          |       4 B       |   1 B    |
+//! +----------------+-----------------+----------+
+//! ```
+//!
+//! The deadline budget is the caller's *remaining* time in microseconds
+//! (`0` = no deadline); each hop re-encodes it minus its own elapsed time
+//! so the budget decays toward the leaves. The priority byte carries the
+//! [`Priority`] admission class. Encoders emit the compact v1 layout
+//! whenever both fields are at their defaults, so budget-less traffic is
+//! byte-identical to the original wire format and old frames decode
+//! unchanged (budget `0`, priority `Normal`).
+//!
 //! All header integers are little-endian. The checksum is FNV-1a over the
 //! payload; it guards against framing desynchronization on a reused
 //! connection rather than network corruption (TCP already checksums).
@@ -31,8 +50,23 @@ use std::io::{self, Read, Write};
 /// Frame magic bytes ("μS" in CP437 spirit: 0xB5 'S').
 pub const MAGIC: [u8; 2] = [0xB5, 0x53];
 
-/// Serialized header size in bytes, excluding the payload.
+/// Magic bytes of the extended (v2) header carrying a deadline budget and
+/// a priority class ('S' bumped to 'T' so pre-budget decoders reject
+/// extended frames loudly with `BadMagic` instead of misframing).
+pub const MAGIC_V2: [u8; 2] = [0xB5, 0x54];
+
+/// Serialized size of the baseline (v1) header in bytes, excluding the
+/// payload.
 pub const HEADER_LEN: usize = 2 + 4 + 1 + 8 + 4 + 4 + 8;
+
+/// Serialized size of the extended (v2) header: the v1 fields plus a
+/// 4-byte deadline budget and a 1-byte priority class.
+pub const HEADER_LEN_V2: usize = HEADER_LEN + 4 + 1;
+
+/// Largest header any frame version carries; streaming readers size their
+/// header scratch to this and learn the actual length from the magic via
+/// [`FramePrefix::header_len`].
+pub const MAX_HEADER_LEN: usize = HEADER_LEN_V2;
 
 /// Maximum payload bytes accepted in one frame (16 MiB).
 pub const MAX_FRAME_LEN: usize = 16 << 20;
@@ -60,6 +94,53 @@ impl FrameKind {
     }
 }
 
+/// Admission-control priority class carried on request frames.
+///
+/// Under overload the server sheds low classes first: each class is
+/// admitted only while the server's concurrency demand is below that
+/// class's fraction of the limit, so `Sheddable` traffic is rejected long
+/// before `Critical` traffic sees any queueing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum Priority {
+    /// Must-serve traffic: shed only when the server is fully saturated.
+    Critical = 0,
+    /// Default class for ordinary requests.
+    #[default]
+    Normal = 1,
+    /// Best-effort traffic: first to be shed under load.
+    Sheddable = 2,
+}
+
+impl Priority {
+    fn from_u8(value: u8) -> Result<Priority, DecodeError> {
+        match value {
+            0 => Ok(Priority::Critical),
+            1 => Ok(Priority::Normal),
+            2 => Ok(Priority::Sheddable),
+            _ => Err(DecodeError::InvalidDiscriminant { value, context: "Priority" }),
+        }
+    }
+
+    /// Short stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Priority::Critical => "critical",
+            Priority::Normal => "normal",
+            Priority::Sheddable => "sheddable",
+        }
+    }
+
+    /// All priority classes, highest first; reports iterate this.
+    pub const ALL: [Priority; 3] = [Priority::Critical, Priority::Normal, Priority::Sheddable];
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// RPC completion status carried on response frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[repr(u32)]
@@ -75,6 +156,9 @@ pub enum Status {
     AppError = 3,
     /// The server is shutting down or overloaded.
     Unavailable = 4,
+    /// The request's deadline budget expired before the handler ran; the
+    /// server dropped it without doing work.
+    DeadlineExpired = 5,
 }
 
 impl Status {
@@ -85,6 +169,7 @@ impl Status {
             2 => Ok(Status::BadRequest),
             3 => Ok(Status::AppError),
             4 => Ok(Status::Unavailable),
+            5 => Ok(Status::DeadlineExpired),
             _ => Err(DecodeError::InvalidDiscriminant {
                 value: value.min(255) as u8,
                 context: "Status",
@@ -106,6 +191,7 @@ impl fmt::Display for Status {
             Status::BadRequest => "bad request",
             Status::AppError => "application error",
             Status::Unavailable => "unavailable",
+            Status::DeadlineExpired => "deadline expired",
         };
         f.write_str(s)
     }
@@ -122,9 +208,50 @@ pub struct FrameHeader {
     pub method: u32,
     /// Completion status (meaningful on responses; `Ok` on requests).
     pub status: Status,
+    /// Remaining deadline budget in microseconds; `0` means the caller
+    /// set no deadline. Each hop re-encodes the budget minus its own
+    /// elapsed time, so a leaf observes only what is left of the
+    /// front-end's original timeout.
+    pub deadline_budget_us: u32,
+    /// Admission priority class (meaningful on requests).
+    pub priority: Priority,
 }
 
 impl FrameHeader {
+    /// Builds a header with no deadline budget and [`Priority::Normal`].
+    pub fn new(kind: FrameKind, request_id: u64, method: u32, status: Status) -> FrameHeader {
+        FrameHeader {
+            kind,
+            request_id,
+            method,
+            status,
+            deadline_budget_us: 0,
+            priority: Priority::Normal,
+        }
+    }
+
+    /// Returns a copy of this header carrying `budget_us` and `priority`.
+    pub fn with_budget(&self, budget_us: u32, priority: Priority) -> FrameHeader {
+        FrameHeader { deadline_budget_us: budget_us, priority, ..*self }
+    }
+
+    /// `true` when the header encodes in the compact v1 layout (budget
+    /// and priority both at their defaults).
+    fn is_v1(&self) -> bool {
+        self.deadline_budget_us == 0 && self.priority == Priority::Normal
+    }
+
+    /// Serialized header length for this frame: [`HEADER_LEN`] when the
+    /// budget and priority are at their defaults, [`HEADER_LEN_V2`]
+    /// otherwise.
+    pub fn encoded_len(&self) -> usize {
+        if self.is_v1() {
+            HEADER_LEN
+        } else {
+            HEADER_LEN_V2
+        }
+    }
+
     /// Serializes a complete frame into `buf`: this header followed by a
     /// payload assembled from `parts` in order.
     ///
@@ -134,7 +261,8 @@ impl FrameHeader {
     pub fn encode_with_payload<B: BufMut>(&self, parts: &[&[u8]], buf: &mut B) {
         let len: usize = parts.iter().map(|part| part.len()).sum();
         debug_assert!(len <= MAX_FRAME_LEN, "frame payload exceeds MAX_FRAME_LEN");
-        buf.put_slice(&MAGIC);
+        let v1 = self.is_v1();
+        buf.put_slice(if v1 { &MAGIC } else { &MAGIC_V2 });
         wire::put_u32_le(buf, len as u32);
         buf.put_u8(self.kind as u8);
         wire::put_u64_le(buf, self.request_id);
@@ -145,18 +273,25 @@ impl FrameHeader {
             checksum = wire::fnv1a_update(checksum, part);
         }
         wire::put_u64_le(buf, checksum);
+        if !v1 {
+            wire::put_u32_le(buf, self.deadline_budget_us);
+            buf.put_u8(self.priority as u8);
+        }
         for part in parts {
             buf.put_slice(part);
         }
     }
 }
 
-/// The fixed-size frame preamble, parsed ahead of the payload.
+/// The frame preamble, parsed ahead of the payload.
 ///
-/// Streaming readers pull [`HEADER_LEN`] bytes into a stack buffer, parse
-/// this prefix, then read exactly [`FramePrefix::payload_len`] payload
-/// bytes into a pooled buffer — no heap allocation for the header and no
-/// re-validation once the payload arrives (see [`FramePrefix::check_payload`]).
+/// Streaming readers pull the first two (magic) bytes, learn the header
+/// length for that frame version via [`FramePrefix::header_len`], buffer
+/// the rest of the header into a [`MAX_HEADER_LEN`]-sized stack scratch,
+/// parse this prefix, then read exactly [`FramePrefix::payload_len`]
+/// payload bytes into a pooled buffer — no heap allocation for the header
+/// and no re-validation once the payload arrives (see
+/// [`FramePrefix::check_payload`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FramePrefix {
     /// The decoded frame header fields.
@@ -165,18 +300,44 @@ pub struct FramePrefix {
     pub payload_len: usize,
     /// Declared FNV-1a checksum of the payload.
     pub checksum: u64,
+    /// Serialized length of this frame's header on the wire:
+    /// [`HEADER_LEN`] for v1 frames, [`HEADER_LEN_V2`] for v2.
+    pub header_len: usize,
 }
 
 impl FramePrefix {
-    /// Parses and validates the first [`HEADER_LEN`] bytes of a frame.
+    /// Returns the wire header length implied by a frame's magic bytes:
+    /// [`HEADER_LEN`] for [`MAGIC`], [`HEADER_LEN_V2`] for [`MAGIC_V2`].
+    ///
+    /// Streaming readers call this once the first two bytes arrive to
+    /// learn how much more header to buffer before [`FramePrefix::parse`].
     ///
     /// # Errors
     ///
-    /// Returns [`DecodeError`] on bad magic, an oversized declared length,
-    /// or invalid kind/status discriminants.
-    pub fn parse(bytes: &[u8; HEADER_LEN]) -> Result<FramePrefix, DecodeError> {
-        if bytes[..2] != MAGIC {
-            return Err(DecodeError::BadMagic);
+    /// Returns [`DecodeError::BadMagic`] for any other byte pair.
+    pub fn header_len(magic: [u8; 2]) -> Result<usize, DecodeError> {
+        match magic {
+            MAGIC => Ok(HEADER_LEN),
+            MAGIC_V2 => Ok(HEADER_LEN_V2),
+            _ => Err(DecodeError::BadMagic),
+        }
+    }
+
+    /// Parses and validates a complete frame header at the front of
+    /// `bytes` (payload bytes may follow; they are ignored here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on bad magic, a truncated header, an
+    /// oversized declared length, or invalid kind/status/priority
+    /// discriminants.
+    pub fn parse(bytes: &[u8]) -> Result<FramePrefix, DecodeError> {
+        if bytes.len() < 2 {
+            return Err(DecodeError::UnexpectedEof { context: "frame magic" });
+        }
+        let header_len = FramePrefix::header_len([bytes[0], bytes[1]])?;
+        if bytes.len() < header_len {
+            return Err(DecodeError::UnexpectedEof { context: "frame header" });
         }
         let rest = &bytes[2..];
         let (len, rest) = wire::get_u32_le(rest)?;
@@ -194,11 +355,21 @@ impl FramePrefix {
         let (method, rest) = wire::get_u32_le(rest)?;
         let (status_raw, rest) = wire::get_u32_le(rest)?;
         let status = Status::from_u32(status_raw)?;
-        let (checksum, _) = wire::get_u64_le(rest)?;
+        let (checksum, rest) = wire::get_u64_le(rest)?;
+        let (deadline_budget_us, priority) = if header_len == HEADER_LEN_V2 {
+            let (budget, rest) = wire::get_u32_le(rest)?;
+            let (prio_raw, _) = rest
+                .split_first()
+                .ok_or(DecodeError::UnexpectedEof { context: "frame priority" })?;
+            (budget, Priority::from_u8(*prio_raw)?)
+        } else {
+            (0, Priority::Normal)
+        };
         Ok(FramePrefix {
-            header: FrameHeader { kind, request_id, method, status },
+            header: FrameHeader { kind, request_id, method, status, deadline_budget_us, priority },
             payload_len,
             checksum,
+            header_len,
         })
     }
 
@@ -243,12 +414,7 @@ impl Frame {
     /// Builds a request frame.
     pub fn request(request_id: u64, method: u32, payload: impl Into<Bytes>) -> Frame {
         Frame {
-            header: FrameHeader {
-                kind: FrameKind::Request,
-                request_id,
-                method,
-                status: Status::Ok,
-            },
+            header: FrameHeader::new(FrameKind::Request, request_id, method, Status::Ok),
             payload: payload.into(),
         }
     }
@@ -261,14 +427,21 @@ impl Frame {
         payload: impl Into<Bytes>,
     ) -> Frame {
         Frame {
-            header: FrameHeader { kind: FrameKind::Response, request_id, method, status },
+            header: FrameHeader::new(FrameKind::Response, request_id, method, status),
             payload: payload.into(),
         }
     }
 
+    /// Returns this frame with a deadline budget and priority class; the
+    /// frame encodes with the extended header unless both are defaults.
+    pub fn with_budget(mut self, budget_us: u32, priority: Priority) -> Frame {
+        self.header = self.header.with_budget(budget_us, priority);
+        self
+    }
+
     /// Serializes the frame to a byte vector.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        let mut buf = Vec::with_capacity(self.header.encoded_len() + self.payload.len());
         self.encode_into(&mut buf);
         buf
     }
@@ -294,16 +467,12 @@ impl Frame {
     /// declared length, or a checksum mismatch.
     pub fn parse(src: &Bytes) -> Result<(Frame, Bytes), DecodeError> {
         let bytes: &[u8] = src;
-        if bytes.len() < HEADER_LEN {
-            return Err(DecodeError::UnexpectedEof { context: "frame header" });
-        }
-        let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("HEADER_LEN bytes");
-        let prefix = FramePrefix::parse(header)?;
-        let end = HEADER_LEN + prefix.payload_len;
+        let prefix = FramePrefix::parse(bytes)?;
+        let end = prefix.header_len + prefix.payload_len;
         if bytes.len() < end {
             return Err(DecodeError::UnexpectedEof { context: "frame payload" });
         }
-        let frame = prefix.check_payload(src.slice(HEADER_LEN..end))?;
+        let frame = prefix.check_payload(src.slice(prefix.header_len..end))?;
         Ok((frame, src.slice(end..)))
     }
 
@@ -328,9 +497,12 @@ impl Frame {
     /// connection, `io::ErrorKind::InvalidData` on malformed frames, and
     /// propagates other I/O errors.
     pub fn read_from<R: Read>(mut reader: R) -> io::Result<Frame> {
-        let mut header = [0u8; HEADER_LEN];
-        reader.read_exact(&mut header)?;
-        let prefix = FramePrefix::parse(&header)
+        let mut header = [0u8; MAX_HEADER_LEN];
+        reader.read_exact(&mut header[..2])?;
+        let header_len = FramePrefix::header_len([header[0], header[1]])
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        reader.read_exact(&mut header[2..header_len])?;
+        let prefix = FramePrefix::parse(&header[..header_len])
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let mut buf = vec![0u8; prefix.payload_len];
         reader.read_exact(&mut buf)?;
@@ -497,11 +669,125 @@ mod tests {
         assert!(Status::Ok.is_ok());
         assert!(!Status::AppError.is_ok());
         assert_eq!(Status::UnknownMethod.to_string(), "unknown method");
+        assert_eq!(Status::DeadlineExpired.to_string(), "deadline expired");
     }
 
     #[test]
     fn header_len_matches_layout() {
         let frame = Frame::request(1, 2, Vec::new());
         assert_eq!(frame.to_bytes().len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn budgeted_frame_uses_extended_header() {
+        let frame = Frame::request(1, 2, Vec::new()).with_budget(1_000, Priority::Normal);
+        let bytes = frame.to_bytes();
+        assert_eq!(bytes.len(), HEADER_LEN_V2);
+        assert_eq!(bytes[..2], MAGIC_V2);
+        // Budget at offset 31..35 LE, priority byte at 35.
+        assert_eq!(bytes[HEADER_LEN..HEADER_LEN + 4], 1_000u32.to_le_bytes());
+        assert_eq!(bytes[HEADER_LEN + 4], Priority::Normal as u8);
+    }
+
+    #[test]
+    fn budget_and_priority_roundtrip() {
+        let frame = Frame::request(42, 7, b"q".to_vec()).with_budget(250_000, Priority::Critical);
+        let bytes = Bytes::from(frame.to_bytes());
+        let (parsed, rest) = Frame::parse(&bytes).unwrap();
+        assert_eq!(parsed.header.deadline_budget_us, 250_000);
+        assert_eq!(parsed.header.priority, Priority::Critical);
+        assert_eq!(parsed, frame);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn priority_alone_selects_extended_header() {
+        // A zero budget with a non-default class must still go on the
+        // wire: priority is meaningful without a deadline.
+        let frame = Frame::request(3, 1, Vec::new()).with_budget(0, Priority::Sheddable);
+        let bytes = Bytes::from(frame.to_bytes());
+        assert_eq!(bytes[..2], MAGIC_V2);
+        let (parsed, _) = Frame::parse(&bytes).unwrap();
+        assert_eq!(parsed.header.priority, Priority::Sheddable);
+        assert_eq!(parsed.header.deadline_budget_us, 0);
+    }
+
+    #[test]
+    fn default_budget_encodes_compact_v1() {
+        // Budget-less Normal traffic is byte-identical to the original
+        // wire format: bidirectional compatibility for the common case.
+        let frame = sample().with_budget(0, Priority::Normal);
+        let bytes = frame.to_bytes();
+        assert_eq!(bytes, sample().to_bytes());
+        assert_eq!(bytes[..2], MAGIC);
+    }
+
+    #[test]
+    fn legacy_frame_decodes_with_default_budget() {
+        let (parsed, _) = Frame::parse(&Bytes::from(sample().to_bytes())).unwrap();
+        assert_eq!(parsed.header.deadline_budget_us, 0);
+        assert_eq!(parsed.header.priority, Priority::Normal);
+    }
+
+    #[test]
+    fn extended_payload_aliases_input() {
+        let frame = sample().with_budget(9, Priority::Critical);
+        let src = Bytes::from(frame.to_bytes());
+        let (parsed, rest) = Frame::parse(&src).unwrap();
+        let base = src.as_ptr() as usize;
+        assert_eq!(parsed.payload.as_ptr() as usize, base + HEADER_LEN_V2);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn bad_priority_rejected() {
+        let mut bytes = sample().with_budget(5, Priority::Critical).to_bytes();
+        bytes[HEADER_LEN + 4] = 7; // priority byte
+        assert!(matches!(
+            Frame::parse(&Bytes::from(bytes)),
+            Err(DecodeError::InvalidDiscriminant { context: "Priority", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_extended_header_rejected() {
+        let bytes = Bytes::from(sample().with_budget(5, Priority::Critical).to_bytes());
+        assert!(matches!(
+            Frame::parse(&bytes.slice(..HEADER_LEN_V2 - 1)),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn header_len_from_magic() {
+        assert_eq!(FramePrefix::header_len(MAGIC).unwrap(), HEADER_LEN);
+        assert_eq!(FramePrefix::header_len(MAGIC_V2).unwrap(), HEADER_LEN_V2);
+        assert_eq!(FramePrefix::header_len([0, 0]).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn extended_io_roundtrip() {
+        let frame = sample().with_budget(77, Priority::Sheddable);
+        let mut buf = Vec::new();
+        frame.write_to(&mut buf).unwrap();
+        let parsed = Frame::read_from(&buf[..]).unwrap();
+        assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn priority_names_and_order() {
+        assert_eq!(Priority::Critical.to_string(), "critical");
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert!(Priority::Critical < Priority::Normal);
+        assert!(Priority::Normal < Priority::Sheddable);
+        assert_eq!(Priority::ALL.len(), 3);
+    }
+
+    #[test]
+    fn priority_saturates_budget() {
+        let header = FrameHeader::new(FrameKind::Request, 1, 2, Status::Ok)
+            .with_budget(u32::MAX, Priority::Critical);
+        assert_eq!(header.encoded_len(), HEADER_LEN_V2);
+        assert_eq!(header.deadline_budget_us, u32::MAX);
     }
 }

@@ -12,12 +12,13 @@ use crate::leaf::{LeafHandler, LeafService};
 use crate::midtier::{MidTierHandler, MidTierService};
 use musuite_codec::{Decode, Encode};
 use musuite_rpc::{
-    FanoutGroup, FaultPlan, NetworkModel, Reactor, ReactorConfig, ResilientConfig, ResilientFanout,
-    RpcClient, RpcError, Server, ServerConfig,
+    FanoutGroup, FaultPlan, NetworkModel, Priority, Reactor, ReactorConfig, ResilientConfig,
+    ResilientFanout, RpcClient, RpcError, Server, ServerConfig,
 };
 use std::marker::PhantomData;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The method id used for front-end→mid-tier queries.
 pub const QUERY_METHOD: u32 = 1;
@@ -261,6 +262,31 @@ impl<Req: Encode, Resp: Decode> TypedClient<Req, Resp> {
         musuite_codec::from_bytes::<Resp>(&reply).map_err(RpcError::from)
     }
 
+    /// As [`TypedClient::call_typed`], bounded by `timeout` (carried on
+    /// the wire as a deadline budget the whole three-tier pipeline
+    /// inherits) and tagged with `priority` for the server's admission
+    /// gate.
+    ///
+    /// # Errors
+    ///
+    /// As [`TypedClient::call_typed`], plus [`RpcError::TimedOut`] when
+    /// the budget runs out and `Remote` rejections from overload control
+    /// (shed or expired server-side).
+    pub fn call_typed_opts(
+        &self,
+        request: &Req,
+        timeout: Option<Duration>,
+        priority: Priority,
+    ) -> Result<Resp, RpcError> {
+        let reply = self.client.call_opts(
+            self.method,
+            musuite_codec::to_bytes(request),
+            timeout,
+            priority,
+        )?;
+        musuite_codec::from_bytes::<Resp>(&reply).map_err(RpcError::from)
+    }
+
     /// Issues an asynchronous typed call; the callback runs on the response
     /// pick-up thread.
     pub fn call_typed_async<F>(&self, request: &Req, callback: F)
@@ -272,6 +298,29 @@ impl<Req: Encode, Resp: Decode> TypedClient<Req, Resp> {
                 musuite_codec::from_bytes::<Resp>(&bytes).map_err(RpcError::from)
             }));
         });
+    }
+
+    /// Asynchronous variant of [`TypedClient::call_typed_opts`].
+    pub fn call_typed_async_opts<F>(
+        &self,
+        request: &Req,
+        timeout: Option<Duration>,
+        priority: Priority,
+        callback: F,
+    ) where
+        F: FnOnce(Result<Resp, RpcError>) + Send + 'static,
+    {
+        self.client.call_async_opts(
+            self.method,
+            musuite_codec::to_bytes(request),
+            timeout,
+            priority,
+            move |result| {
+                callback(result.and_then(|bytes| {
+                    musuite_codec::from_bytes::<Resp>(&bytes).map_err(RpcError::from)
+                }));
+            },
+        );
     }
 
     /// The underlying raw client.

@@ -228,9 +228,18 @@ impl<H: MidTierHandler> Service for MidTierService<H> {
         let handler = self.handler.clone();
         let stats_breakdown = ctx_breakdown(&ctx);
         let clock = self.clock;
+        // Budget-forwarding hop: the leaf scatter inherits whatever
+        // remains of the inbound request's wire budget (already net of
+        // the time spent queued and planning here), and the request's
+        // priority class rides along to every leaf.
+        let remaining = match ctx.remaining_budget() {
+            0 => None,
+            budget_us => Some(std::time::Duration::from_micros(u64::from(budget_us))),
+        };
+        let priority = ctx.priority();
         // The worker thread issues the fan-out and returns to the pool;
         // the last response thread runs this closure.
-        self.fanout.scatter(calls, move |result| {
+        self.fanout.scatter_opts(calls, remaining, priority, move |result| {
             // Fan-out stage = plan + issue + completion dispatch, excluding
             // the time spent waiting on the leaves themselves.
             let fanout_ns =

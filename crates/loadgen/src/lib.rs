@@ -35,7 +35,7 @@ pub mod source;
 
 pub use arrival::ArrivalProcess;
 pub use closed_loop::{ClosedLoopConfig, ClosedLoopReport};
-pub use open_loop::{OpenLoopConfig, OpenLoopReport};
+pub use open_loop::{OpenLoopConfig, OpenLoopReport, PriorityMix};
 pub use recorder::LatencyRecorder;
 pub use saturation::find_saturation_qps;
 pub use source::RequestSource;

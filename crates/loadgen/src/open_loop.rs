@@ -11,10 +11,50 @@
 use crate::arrival::ArrivalProcess;
 use crate::recorder::LatencyRecorder;
 use crate::source::RequestSource;
-use musuite_rpc::RpcClient;
+use musuite_rpc::{Priority, RpcClient};
 use musuite_telemetry::summary::DistributionSummary;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Deterministic priority mix for generated traffic.
+///
+/// The class of the n-th issued request is picked by `n % 100` against the
+/// configured percentages — no RNG is involved, so the same arrival seed
+/// replays the exact same (class, arrival-time) sequence byte-for-byte.
+/// The long-run fractions match the percentages exactly per 100 requests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorityMix {
+    /// Percent of requests tagged [`Priority::Critical`] (0–100).
+    pub critical_pct: u8,
+    /// Percent of requests tagged [`Priority::Sheddable`] (0–100).
+    pub sheddable_pct: u8,
+}
+
+impl PriorityMix {
+    /// A mix sending everything at [`Priority::Normal`] (the default).
+    pub fn all_normal() -> PriorityMix {
+        PriorityMix::default()
+    }
+
+    /// A mix with `critical_pct`% Critical and `sheddable_pct`% Sheddable
+    /// traffic; the remainder is Normal. Saturates at 100% combined.
+    pub fn new(critical_pct: u8, sheddable_pct: u8) -> PriorityMix {
+        let critical_pct = critical_pct.min(100);
+        PriorityMix { critical_pct, sheddable_pct: sheddable_pct.min(100 - critical_pct) }
+    }
+
+    /// The class of the `issued`-th request (zero-based, deterministic).
+    pub fn pick(&self, issued: u64) -> Priority {
+        let slot = (issued % 100) as u8;
+        if slot < self.critical_pct {
+            Priority::Critical
+        } else if slot < self.critical_pct + self.sheddable_pct {
+            Priority::Sheddable
+        } else {
+            Priority::Normal
+        }
+    }
+}
 
 /// Configuration for [`run`].
 #[derive(Debug)]
@@ -26,12 +66,36 @@ pub struct OpenLoopConfig {
     /// Number of client connections to spread arrivals across (emulates
     /// "a large pool of clients"; 1 is fine below ~20 K QPS on loopback).
     pub connections: usize,
+    /// Per-request deadline carried on the wire as a budget (`None` =
+    /// no deadline, matching the seed behaviour).
+    pub timeout: Option<Duration>,
+    /// Priority class mix for generated traffic.
+    pub mix: PriorityMix,
 }
 
 impl OpenLoopConfig {
-    /// Poisson arrivals at `qps` for `duration` on one connection.
+    /// Poisson arrivals at `qps` for `duration` on one connection, with no
+    /// deadline and all-Normal priority.
     pub fn poisson(qps: f64, duration: Duration, seed: u64) -> OpenLoopConfig {
-        OpenLoopConfig { arrivals: ArrivalProcess::poisson(qps, seed), duration, connections: 1 }
+        OpenLoopConfig {
+            arrivals: ArrivalProcess::poisson(qps, seed),
+            duration,
+            connections: 1,
+            timeout: None,
+            mix: PriorityMix::all_normal(),
+        }
+    }
+
+    /// Sets a per-request deadline, propagated hop-by-hop as a budget.
+    pub fn with_timeout(mut self, timeout: Duration) -> OpenLoopConfig {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the priority class mix.
+    pub fn with_mix(mut self, mix: PriorityMix) -> OpenLoopConfig {
+        self.mix = mix;
+        self
     }
 }
 
@@ -48,6 +112,17 @@ pub struct OpenLoopReport {
     pub offered_qps: f64,
     /// End-to-end latency distribution, measured from scheduled arrival.
     pub latency: DistributionSummary,
+    /// Per-priority-class distributions, indexed by `Priority as usize`.
+    /// Each class's summary carries its own failure breakdown, so overload
+    /// runs can assert on (say) the Critical-only p99 and shed counts.
+    pub class_latency: [DistributionSummary; Priority::ALL.len()],
+}
+
+impl OpenLoopReport {
+    /// The latency/failure summary for one priority class.
+    pub fn class(&self, priority: Priority) -> &DistributionSummary {
+        &self.class_latency[priority as usize]
+    }
 }
 
 /// Runs open-loop load through one client connection and blocks until
@@ -105,12 +180,19 @@ fn drive<S: RequestSource>(
         }
         let (method, payload) = source.next_request();
         let scheduled = start + next_at;
+        let priority = config.mix.pick(issued);
         let recorder_handle = recorder.clone();
         let client = &clients[(issued as usize) % clients.len()];
-        client.call_async(method, payload, move |result| match result {
-            Ok(_) => recorder_handle.record_success(scheduled.elapsed()),
-            Err(e) => recorder_handle.record_failure(e.failure_kind()),
-        });
+        client.call_async_opts(
+            method,
+            payload,
+            config.timeout,
+            priority,
+            move |result| match result {
+                Ok(_) => recorder_handle.record_success_for(priority, scheduled.elapsed()),
+                Err(e) => recorder_handle.record_failure_for(priority, e.failure_kind()),
+            },
+        );
         issued += 1;
         next_at += arrivals.next_interarrival();
     }
@@ -125,6 +207,11 @@ fn drive<S: RequestSource>(
         errors: recorder.errors(),
         offered_qps,
         latency: recorder.summary(),
+        class_latency: [
+            recorder.class_summary(Priority::Critical),
+            recorder.class_summary(Priority::Normal),
+            recorder.class_summary(Priority::Sheddable),
+        ],
     }
 }
 
@@ -183,12 +270,48 @@ mod tests {
     }
 
     #[test]
+    fn priority_mix_is_deterministic_and_exact_per_hundred() {
+        let mix = PriorityMix::new(20, 30);
+        let mut counts = [0u64; 3];
+        for issued in 0..1000u64 {
+            counts[mix.pick(issued) as usize] += 1;
+            // Same index, same class — always.
+            assert_eq!(mix.pick(issued), mix.pick(issued));
+        }
+        assert_eq!(counts[Priority::Critical as usize], 200);
+        assert_eq!(counts[Priority::Normal as usize], 500);
+        assert_eq!(counts[Priority::Sheddable as usize], 300);
+        // Percentages saturate rather than overlap.
+        let clamped = PriorityMix::new(80, 60);
+        assert_eq!(clamped.sheddable_pct, 20);
+    }
+
+    #[test]
+    fn mixed_priorities_are_recorded_per_class() {
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
+        let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+        let config = OpenLoopConfig::poisson(2000.0, Duration::from_millis(300), 5)
+            .with_mix(PriorityMix::new(25, 25))
+            .with_timeout(Duration::from_secs(2));
+        let mut source = || (1u32, vec![7u8; 16]);
+        let report = run(config, client, &mut source);
+        assert_eq!(report.errors, 0);
+        let per_class: u64 = Priority::ALL.iter().map(|p| report.class(*p).count).sum();
+        assert_eq!(per_class, report.completed, "every success is attributed to one class");
+        for p in Priority::ALL {
+            assert!(report.class(p).count > 0, "{p} class saw no traffic");
+        }
+    }
+
+    #[test]
     fn run_multi_spreads_connections() {
         let server = Server::spawn(ServerConfig::default(), Arc::new(Echo)).unwrap();
         let config = OpenLoopConfig {
             arrivals: ArrivalProcess::poisson(1000.0, 3),
             duration: Duration::from_millis(300),
             connections: 4,
+            timeout: None,
+            mix: PriorityMix::all_normal(),
         };
         let mut source = || (1u32, vec![1u8]);
         let report = run_multi(config, server.local_addr(), &mut source).unwrap();

@@ -1,7 +1,7 @@
 //! Thread-safe latency recording shared between senders and completions.
 
 use musuite_check::atomic::{AtomicU64, Ordering};
-use musuite_rpc::FailureKind;
+use musuite_rpc::{FailureKind, Priority};
 use musuite_telemetry::histogram::LatencyHistogram;
 use musuite_telemetry::summary::DistributionSummary;
 use parking_lot::Mutex;
@@ -9,14 +9,18 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Indices into the per-kind failure counters, one per [`FailureKind`].
-const KIND_SLOTS: usize = 4;
+const KIND_SLOTS: usize = 6;
 
 fn kind_slot(kind: FailureKind) -> usize {
     match kind {
         FailureKind::Timeout => 0,
+        FailureKind::Transport => 1,
         FailureKind::Shed => 2,
         FailureKind::Remote => 3,
-        // Transport, plus any kind added later: the catch-all bucket.
+        FailureKind::ShedBreaker => 4,
+        FailureKind::Expired => 5,
+        // `FailureKind` is non_exhaustive; a kind added later lands in
+        // the transport bucket rather than being dropped.
         _ => 1,
     }
 }
@@ -45,6 +49,11 @@ pub struct LatencyRecorder {
     successes: Arc<AtomicU64>,
     degraded: Arc<AtomicU64>,
     failures: Arc<[AtomicU64; KIND_SLOTS]>,
+    /// Per-priority-class latency histograms, indexed by `Priority as
+    /// usize`. Only populated through the `_for` recording variants, so
+    /// single-class workloads pay nothing extra.
+    class_histograms: Arc<[Mutex<LatencyHistogram>; Priority::ALL.len()]>,
+    class_failures: Arc<[[AtomicU64; KIND_SLOTS]; Priority::ALL.len()]>,
 }
 
 impl LatencyRecorder {
@@ -74,6 +83,21 @@ impl LatencyRecorder {
         self.failures[kind_slot(kind)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// As [`LatencyRecorder::record_success`], additionally attributing
+    /// the sample to `priority`'s class histogram so mixed-priority runs
+    /// can report (say) the Critical-only p99 under overload.
+    pub fn record_success_for(&self, priority: Priority, latency: Duration) {
+        self.record_success(latency);
+        self.class_histograms[priority as usize].lock().record(latency);
+    }
+
+    /// As [`LatencyRecorder::record_failure`], additionally attributing
+    /// the failure to `priority`'s class tally.
+    pub fn record_failure_for(&self, priority: Priority, kind: FailureKind) {
+        self.record_failure(kind);
+        self.class_failures[priority as usize][kind_slot(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a failed request of unclassified kind. Kept for callers
     /// that do not have an [`RpcError`](musuite_rpc::RpcError) in hand;
     /// counted as a transport failure.
@@ -101,9 +125,21 @@ impl LatencyRecorder {
         self.failures[kind_slot(kind)].load(Ordering::Relaxed)
     }
 
+    /// Failed requests of one kind within one priority class (only
+    /// populated by [`LatencyRecorder::record_failure_for`]).
+    pub fn class_failures_of(&self, priority: Priority, kind: FailureKind) -> u64 {
+        self.class_failures[priority as usize][kind_slot(kind)].load(Ordering::Relaxed)
+    }
+
     /// Copy of the latency histogram.
     pub fn histogram(&self) -> LatencyHistogram {
         self.histogram.lock().clone()
+    }
+
+    /// Copy of one priority class's latency histogram (only populated by
+    /// [`LatencyRecorder::record_success_for`]).
+    pub fn class_histogram(&self, priority: Priority) -> LatencyHistogram {
+        self.class_histograms[priority as usize].lock().clone()
     }
 
     /// Summary statistics of the latency distribution, including the
@@ -113,8 +149,23 @@ impl LatencyRecorder {
         summary.timeouts = self.failures_of(FailureKind::Timeout);
         summary.transport_errors = self.failures_of(FailureKind::Transport);
         summary.sheds = self.failures_of(FailureKind::Shed);
+        summary.breaker_sheds = self.failures_of(FailureKind::ShedBreaker);
+        summary.expired = self.failures_of(FailureKind::Expired);
         summary.remote_errors = self.failures_of(FailureKind::Remote);
         summary.degraded = self.degraded();
+        summary
+    }
+
+    /// Summary statistics for one priority class's latency distribution
+    /// and failures (only populated by the `_for` recording variants).
+    pub fn class_summary(&self, priority: Priority) -> DistributionSummary {
+        let mut summary = DistributionSummary::from_histogram(&self.class_histogram(priority));
+        summary.timeouts = self.class_failures_of(priority, FailureKind::Timeout);
+        summary.transport_errors = self.class_failures_of(priority, FailureKind::Transport);
+        summary.sheds = self.class_failures_of(priority, FailureKind::Shed);
+        summary.breaker_sheds = self.class_failures_of(priority, FailureKind::ShedBreaker);
+        summary.expired = self.class_failures_of(priority, FailureKind::Expired);
+        summary.remote_errors = self.class_failures_of(priority, FailureKind::Remote);
         summary
     }
 
@@ -125,6 +176,14 @@ impl LatencyRecorder {
         self.degraded.store(0, Ordering::Relaxed);
         for counter in self.failures.iter() {
             counter.store(0, Ordering::Relaxed);
+        }
+        for histogram in self.class_histograms.iter() {
+            histogram.lock().reset();
+        }
+        for class in self.class_failures.iter() {
+            for counter in class {
+                counter.store(0, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -189,14 +248,47 @@ mod tests {
         recorder.record_failure(FailureKind::Timeout);
         recorder.record_failure(FailureKind::Shed);
         recorder.record_failure(FailureKind::Remote);
+        recorder.record_failure(FailureKind::ShedBreaker);
+        recorder.record_failure(FailureKind::Expired);
+        recorder.record_failure(FailureKind::Expired);
         assert_eq!(recorder.failures_of(FailureKind::Timeout), 2);
         assert_eq!(recorder.failures_of(FailureKind::Transport), 0);
         assert_eq!(recorder.failures_of(FailureKind::Shed), 1);
+        assert_eq!(recorder.failures_of(FailureKind::ShedBreaker), 1);
+        assert_eq!(recorder.failures_of(FailureKind::Expired), 2);
         assert_eq!(recorder.failures_of(FailureKind::Remote), 1);
-        assert_eq!(recorder.errors(), 4);
+        assert_eq!(recorder.errors(), 7);
         let s = recorder.summary();
         assert_eq!((s.timeouts, s.transport_errors, s.sheds, s.remote_errors), (2, 0, 1, 1));
-        assert_eq!(s.error_count(), 4);
+        assert_eq!((s.breaker_sheds, s.expired), (1, 2));
+        assert_eq!(s.error_count(), 7);
+    }
+
+    #[test]
+    fn per_class_recording_keeps_totals_and_classes_consistent() {
+        let recorder = LatencyRecorder::new();
+        recorder.record_success_for(Priority::Critical, Duration::from_micros(10));
+        recorder.record_success_for(Priority::Critical, Duration::from_micros(20));
+        recorder.record_success_for(Priority::Sheddable, Duration::from_micros(500));
+        recorder.record_failure_for(Priority::Sheddable, FailureKind::Shed);
+        recorder.record_failure_for(Priority::Normal, FailureKind::Expired);
+        assert_eq!(recorder.successes(), 3);
+        assert_eq!(recorder.errors(), 2);
+        assert_eq!(recorder.class_histogram(Priority::Critical).count(), 2);
+        assert_eq!(recorder.class_histogram(Priority::Normal).count(), 0);
+        assert_eq!(recorder.class_histogram(Priority::Sheddable).count(), 1);
+        assert_eq!(recorder.class_failures_of(Priority::Sheddable, FailureKind::Shed), 1);
+        assert_eq!(recorder.class_failures_of(Priority::Critical, FailureKind::Shed), 0);
+        let critical = recorder.class_summary(Priority::Critical);
+        assert_eq!(critical.count, 2);
+        assert_eq!(critical.error_count(), 0);
+        let sheddable = recorder.class_summary(Priority::Sheddable);
+        assert_eq!((sheddable.count, sheddable.sheds), (1, 1));
+        let normal = recorder.class_summary(Priority::Normal);
+        assert_eq!(normal.expired, 1);
+        recorder.reset();
+        assert_eq!(recorder.class_histogram(Priority::Critical).count(), 0);
+        assert_eq!(recorder.class_failures_of(Priority::Sheddable, FailureKind::Shed), 0);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use musuite_check::atomic::{AtomicBool, AtomicU64, Ordering};
 use musuite_check::sync::{Condvar, Mutex};
 use musuite_check::thread::{Builder, JoinHandle};
 use musuite_codec::frame::FrameHeader;
-use musuite_codec::{Frame, FrameKind, Status};
+use musuite_codec::{Frame, FrameKind, Priority, Status};
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
 use musuite_telemetry::sync::{CountedCondvar, CountedMutex};
 use std::cmp::Reverse;
@@ -106,6 +106,8 @@ struct DelayedSend {
     send_at: Instant,
     method: u32,
     payload: Payload,
+    deadline: Option<Instant>,
+    priority: Priority,
 }
 
 type DelayedMap = Arc<Mutex<HashMap<u64, DelayedSend>>>;
@@ -119,8 +121,24 @@ fn complete(pending: Pending, result: Result<Bytes, RpcError>) {
     }
 }
 
+/// Remaining-budget wire encoding of an absolute deadline, computed at
+/// the moment the frame leaves so queueing before the send decays it:
+/// `None` encodes as 0 (no deadline); an already-expired deadline floors
+/// at 1 µs so the receiver sees it as ~expired rather than unbounded.
+fn budget_for(deadline: Option<Instant>) -> u32 {
+    match deadline {
+        None => 0,
+        Some(deadline) => {
+            let remaining = deadline.saturating_duration_since(Instant::now()).as_micros();
+            remaining.clamp(1, u128::from(u32::MAX)) as u32
+        }
+    }
+}
+
 /// Serializes and writes one request frame; shared by the caller-side send
-/// path and the reaper's delayed-send release.
+/// path and the reaper's delayed-send release (which is why the budget is
+/// derived from the absolute deadline here, at the last moment).
+#[allow(clippy::too_many_arguments)]
 fn write_frame(
     writer: &SharedWriter,
     closed: &AtomicBool,
@@ -128,12 +146,15 @@ fn write_frame(
     method: u32,
     kind: FrameKind,
     payload: &Payload,
+    deadline: Option<Instant>,
+    priority: Priority,
     corrupt: bool,
 ) -> Result<(), RpcError> {
     if closed.load(Ordering::Acquire) {
         return Err(RpcError::ConnectionClosed);
     }
-    let header = FrameHeader { kind, request_id, method, status: Status::Ok };
+    let header = FrameHeader::new(kind, request_id, method, Status::Ok)
+        .with_budget(budget_for(deadline), priority);
     // The payload's segments go on the wire without being joined; the
     // frame serializes into this connection's shared pending buffer and
     // may coalesce with competing requests into one socket write (the
@@ -289,8 +310,20 @@ impl RpcClient {
         method: u32,
         kind: FrameKind,
         payload: &Payload,
+        deadline: Option<Instant>,
+        priority: Priority,
     ) -> Result<(), RpcError> {
-        write_frame(&self.writer, &self.closed, request_id, method, kind, payload, false)
+        write_frame(
+            &self.writer,
+            &self.closed,
+            request_id,
+            method,
+            kind,
+            payload,
+            deadline,
+            priority,
+            false,
+        )
     }
 
     /// Sends a request through the fault shim. With no plan attached (the
@@ -299,20 +332,36 @@ impl RpcClient {
     /// (stall — only a deadline completes the call), tear the connection
     /// down, or corrupt the frame on the wire so the receiver's checksum
     /// rejects it.
-    fn dispatch(&self, request_id: u64, method: u32, payload: &Payload) -> Result<(), RpcError> {
+    fn dispatch(
+        &self,
+        request_id: u64,
+        method: u32,
+        payload: &Payload,
+        deadline: Option<Instant>,
+        priority: Priority,
+    ) -> Result<(), RpcError> {
         let fault = self.faults.as_ref().and_then(ClientFaults::next_send_fault);
         match fault {
-            None | Some(FaultKind::ConnectRefused) => {
-                self.send_request(request_id, method, FrameKind::Request, payload)
-            }
+            None | Some(FaultKind::ConnectRefused) => self.send_request(
+                request_id,
+                method,
+                FrameKind::Request,
+                payload,
+                deadline,
+                priority,
+            ),
             Some(FaultKind::Delay(delay)) => {
                 if self.is_closed() {
                     return Err(RpcError::ConnectionClosed);
                 }
                 let send_at = Instant::now() + delay;
-                self.delayed
-                    .lock()
-                    .insert(request_id, DelayedSend { send_at, method, payload: payload.clone() });
+                // The absolute deadline (not a budget snapshot) is parked
+                // with the frame: the reaper re-derives the remaining
+                // budget at release, so the hold-back decays it.
+                self.delayed.lock().insert(
+                    request_id,
+                    DelayedSend { send_at, method, payload: payload.clone(), deadline, priority },
+                );
                 self.schedule(send_at, request_id);
                 Ok(())
             }
@@ -337,6 +386,8 @@ impl RpcClient {
                 method,
                 FrameKind::Request,
                 payload,
+                deadline,
+                priority,
                 true,
             ),
         }
@@ -350,7 +401,7 @@ impl RpcClient {
     /// [`RpcError::ConnectionClosed`] if the connection drops mid-call, or
     /// an I/O error from the send path.
     pub fn call(&self, method: u32, payload: impl Into<Payload>) -> Result<Bytes, RpcError> {
-        self.call_with_timeout(method, payload.into(), None)
+        self.call_with_timeout(method, payload.into(), None, Priority::Normal)
     }
 
     /// Issues a blocking call that fails with [`RpcError::TimedOut`] if no
@@ -365,7 +416,26 @@ impl RpcClient {
         payload: impl Into<Payload>,
         timeout: Duration,
     ) -> Result<Bytes, RpcError> {
-        self.call_with_timeout(method, payload.into(), Some(timeout))
+        self.call_with_timeout(method, payload.into(), Some(timeout), Priority::Normal)
+    }
+
+    /// Issues a blocking call with an optional deadline and an explicit
+    /// priority class. The deadline travels on the wire as a remaining
+    /// budget (decayed at each hop) and the priority drives the server's
+    /// admission gate; `call_opts(m, p, None, Priority::Normal)` is
+    /// exactly [`RpcClient::call`].
+    ///
+    /// # Errors
+    ///
+    /// As [`RpcClient::call_deadline`].
+    pub fn call_opts(
+        &self,
+        method: u32,
+        payload: impl Into<Payload>,
+        timeout: Option<Duration>,
+        priority: Priority,
+    ) -> Result<Bytes, RpcError> {
+        self.call_with_timeout(method, payload.into(), timeout, priority)
     }
 
     fn call_with_timeout(
@@ -373,11 +443,13 @@ impl RpcClient {
         method: u32,
         payload: Payload,
         timeout: Option<Duration>,
+        priority: Priority,
     ) -> Result<Bytes, RpcError> {
+        let deadline = timeout.map(|limit| Instant::now() + limit);
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let slot = SyncSlot::new();
         self.inflight.lock().insert(request_id, Pending::Sync(slot.clone()));
-        if let Err(e) = self.dispatch(request_id, method, &payload) {
+        if let Err(e) = self.dispatch(request_id, method, &payload, deadline, priority) {
             self.inflight.lock().remove(&request_id);
             return Err(e);
         }
@@ -401,7 +473,7 @@ impl RpcClient {
     where
         F: FnOnce(Result<Bytes, RpcError>) + Send + 'static,
     {
-        self.call_async_inner(method, payload.into(), None, Box::new(callback));
+        self.call_async_inner(method, payload.into(), None, Priority::Normal, Box::new(callback));
     }
 
     /// As [`RpcClient::call_async`], but the callback is guaranteed to run
@@ -418,7 +490,29 @@ impl RpcClient {
     ) where
         F: FnOnce(Result<Bytes, RpcError>) + Send + 'static,
     {
-        self.call_async_inner(method, payload.into(), Some(timeout), Box::new(callback));
+        self.call_async_inner(
+            method,
+            payload.into(),
+            Some(timeout),
+            Priority::Normal,
+            Box::new(callback),
+        );
+    }
+
+    /// As [`RpcClient::call_async_deadline`] with an optional deadline and
+    /// an explicit priority class; both travel in the request frame header
+    /// so the server's admission gate and dequeue-expiry can act on them.
+    pub fn call_async_opts<F>(
+        &self,
+        method: u32,
+        payload: impl Into<Payload>,
+        timeout: Option<Duration>,
+        priority: Priority,
+        callback: F,
+    ) where
+        F: FnOnce(Result<Bytes, RpcError>) + Send + 'static,
+    {
+        self.call_async_inner(method, payload.into(), timeout, priority, Box::new(callback));
     }
 
     fn call_async_inner(
@@ -426,14 +520,16 @@ impl RpcClient {
         method: u32,
         payload: Payload,
         timeout: Option<Duration>,
+        priority: Priority,
         callback: Callback,
     ) {
+        let deadline = timeout.map(|limit| Instant::now() + limit);
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.inflight.lock().insert(request_id, Pending::Async(callback));
-        if let Some(timeout) = timeout {
-            self.schedule(Instant::now() + timeout, request_id);
+        if let Some(when) = deadline {
+            self.schedule(when, request_id);
         }
-        if let Err(e) = self.dispatch(request_id, method, &payload) {
+        if let Err(e) = self.dispatch(request_id, method, &payload, deadline, priority) {
             if let Some(Pending::Async(cb)) = self.inflight.lock().remove(&request_id) {
                 cb(Err(e));
             }
@@ -471,7 +567,7 @@ impl RpcClient {
     ///
     /// Returns send-path errors only; delivery is not acknowledged.
     pub fn notify(&self, method: u32, payload: impl Into<Payload>) -> Result<(), RpcError> {
-        self.send_request(0, method, FrameKind::OneWay, &payload.into())
+        self.send_request(0, method, FrameKind::OneWay, &payload.into(), None, Priority::Normal)
     }
 
     /// Number of calls awaiting responses.
@@ -662,6 +758,8 @@ fn spawn_reaper_thread(
                             hold.method,
                             FrameKind::Request,
                             &hold.payload,
+                            hold.deadline,
+                            hold.priority,
                             false,
                         ) {
                             if let Some(pending) = inflight.lock().remove(&request_id) {
@@ -822,6 +920,34 @@ mod tests {
         assert_eq!(result.unwrap(), b"fast");
         assert_eq!(client.inflight_len(), 0);
         // The stale heap entry is harmless: its id is gone from the table.
+    }
+
+    #[test]
+    fn deadline_budget_and_priority_ride_the_wire() {
+        // A probe service reporting the budget and priority it observed.
+        struct Probe;
+        impl Service for Probe {
+            fn call(&self, ctx: RequestContext) {
+                let mut out = ctx.remaining_budget().to_le_bytes().to_vec();
+                out.push(ctx.priority() as u8);
+                ctx.respond_ok(out);
+            }
+        }
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Probe)).unwrap();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+
+        let reply = client
+            .call_opts(1, b"p".to_vec(), Some(Duration::from_millis(500)), Priority::Critical)
+            .unwrap();
+        let observed = u32::from_le_bytes(reply[..4].try_into().unwrap());
+        assert!(observed > 0, "server must observe a budget");
+        assert!(observed <= 500_000, "observed budget must be below the front-end timeout");
+        assert_eq!(reply[4], Priority::Critical as u8);
+
+        // A plain call carries no budget and the default class.
+        let reply = client.call(1, b"p".to_vec()).unwrap();
+        assert_eq!(u32::from_le_bytes(reply[..4].try_into().unwrap()), 0);
+        assert_eq!(reply[4], Priority::Normal as u8);
     }
 
     #[test]

@@ -58,6 +58,27 @@ pub enum NetworkModel {
     },
 }
 
+/// How the server decides whether to admit an arriving request — the
+/// overload-control axis of the ablation sweep.
+///
+/// Both models run the same priority-threshold admission gate (see the
+/// `admission` module): `Critical` traffic may use the whole concurrency
+/// limit, `Normal` is shed beyond 80% of it, `Sheddable` beyond 50%. The
+/// models differ only in how the limit itself is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AdmissionModel {
+    /// The concurrency limit is pinned to the dispatch-queue capacity —
+    /// the suite's original fixed-bound shedding, re-expressed through
+    /// the priority gate so low classes still shed first as it fills.
+    #[default]
+    Fixed,
+    /// An AIMD controller moves the limit between 1 and the queue
+    /// capacity based on observed queue delay at dequeue: additive
+    /// increase while delay stays under target, multiplicative decrease
+    /// when queued work starts aging past it.
+    Adaptive,
+}
+
 /// Configuration for a [`crate::Server`].
 ///
 /// Constructed with a non-consuming builder:
@@ -85,6 +106,8 @@ pub struct ServerConfig {
     sweep_budget: usize,
     #[serde(default)]
     idle_timeout: Option<Duration>,
+    #[serde(default)]
+    admission: AdmissionModel,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +121,7 @@ impl Default for ServerConfig {
             network: NetworkModel::default(),
             sweep_budget: default_sweep_budget(),
             idle_timeout: None,
+            admission: AdmissionModel::default(),
         }
     }
 }
@@ -193,6 +217,12 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the admission model (default [`AdmissionModel::Fixed`]).
+    pub fn admission_model(&mut self, model: AdmissionModel) -> &mut ServerConfig {
+        self.admission = model;
+        self
+    }
+
     /// Configured bind address.
     pub fn addr(&self) -> &str {
         &self.addr
@@ -232,6 +262,11 @@ impl ServerConfig {
     pub fn idle_timeout_value(&self) -> Option<Duration> {
         self.idle_timeout
     }
+
+    /// Configured admission model.
+    pub fn admission_model_value(&self) -> AdmissionModel {
+        self.admission
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +281,14 @@ mod tests {
         assert_eq!(c.execution_model_value(), ExecutionModel::Dispatch);
         assert_eq!(c.addr(), "127.0.0.1:0");
         assert!(c.queue_capacity_value() > 0);
+        assert_eq!(c.admission_model_value(), AdmissionModel::Fixed);
+    }
+
+    #[test]
+    fn admission_model_round_trips() {
+        let mut c = ServerConfig::new();
+        c.admission_model(AdmissionModel::Adaptive);
+        assert_eq!(c.admission_model_value(), AdmissionModel::Adaptive);
     }
 
     #[test]

@@ -43,9 +43,17 @@ pub enum FailureKind {
     /// undecodable frame (a corrupted payload lands here via the codec
     /// checksum tearing the connection down).
     Transport,
-    /// The request was shed before doing work: the server reported
-    /// [`Status::Unavailable`] or the local circuit breaker was open.
+    /// The server shed the request before doing work: admission gate or
+    /// dispatch queue refused it ([`Status::Unavailable`]).
     Shed,
+    /// The local circuit breaker rejected the call without sending it
+    /// ([`RpcError::CircuitOpen`]). Distinct from [`FailureKind::Shed`]
+    /// so server-side and client-side load shedding account separately.
+    ShedBreaker,
+    /// The deadline budget ran out before the handler executed: the
+    /// server dropped the request at admission or dequeue
+    /// ([`Status::DeadlineExpired`]).
+    Expired,
     /// The remote handler ran and reported an application-level error.
     Remote,
 }
@@ -57,6 +65,8 @@ impl FailureKind {
             FailureKind::Timeout => "timeout",
             FailureKind::Transport => "transport",
             FailureKind::Shed => "shed",
+            FailureKind::ShedBreaker => "breaker",
+            FailureKind::Expired => "expired",
             FailureKind::Remote => "remote",
         }
     }
@@ -82,8 +92,9 @@ impl RpcError {
             | RpcError::Decode(_)
             | RpcError::ConnectionClosed
             | RpcError::ShuttingDown => FailureKind::Transport,
-            RpcError::CircuitOpen => FailureKind::Shed,
+            RpcError::CircuitOpen => FailureKind::ShedBreaker,
             RpcError::Remote { status: Status::Unavailable, .. } => FailureKind::Shed,
+            RpcError::Remote { status: Status::DeadlineExpired, .. } => FailureKind::Expired,
             RpcError::Remote { .. } => FailureKind::Remote,
         }
     }
@@ -166,9 +177,12 @@ mod tests {
         assert_eq!(RpcError::from(io::Error::other("x")).failure_kind(), FailureKind::Transport);
         assert_eq!(RpcError::from(DecodeError::BadMagic).failure_kind(), FailureKind::Transport);
         assert_eq!(RpcError::ShuttingDown.failure_kind(), FailureKind::Transport);
-        assert_eq!(RpcError::CircuitOpen.failure_kind(), FailureKind::Shed);
+        assert_eq!(RpcError::CircuitOpen.failure_kind(), FailureKind::ShedBreaker);
         assert_eq!(RpcError::remote(Status::Unavailable).failure_kind(), FailureKind::Shed);
+        assert_eq!(RpcError::remote(Status::DeadlineExpired).failure_kind(), FailureKind::Expired);
         assert_eq!(RpcError::remote(Status::AppError).failure_kind(), FailureKind::Remote);
         assert_eq!(FailureKind::Timeout.to_string(), "timeout");
+        assert_eq!(FailureKind::ShedBreaker.to_string(), "breaker");
+        assert_eq!(FailureKind::Expired.to_string(), "expired");
     }
 }

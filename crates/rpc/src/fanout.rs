@@ -24,6 +24,7 @@ use crate::reactor::Reactor;
 use bytes::Bytes;
 use musuite_check::atomic::{AtomicUsize, Ordering};
 use musuite_check::sync::{Mutex, RwLock};
+use musuite_codec::Priority;
 use musuite_telemetry::clock::Clock;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
@@ -384,7 +385,7 @@ impl FanoutGroup {
         P: Into<Payload>,
         F: FnOnce(FanoutResult) + Send + 'static,
     {
-        self.scatter_inner(requests, None, on_complete);
+        self.scatter_inner(requests, None, Priority::Normal, on_complete);
     }
 
     /// Like [`FanoutGroup::scatter`], but each leaf request that has not
@@ -404,13 +405,37 @@ impl FanoutGroup {
         P: Into<Payload>,
         F: FnOnce(FanoutResult) + Send + 'static,
     {
-        self.scatter_inner(requests, Some(timeout), on_complete);
+        self.scatter_inner(requests, Some(timeout), Priority::Normal, on_complete);
+    }
+
+    /// The fully-general scatter: an optional per-leaf deadline plus the
+    /// [`Priority`] class every leaf request carries on the wire. This is
+    /// the mid-tier's budget-forwarding hop — callers pass the *remaining*
+    /// budget of the inbound request (already net of time spent upstream)
+    /// as `timeout`, and each leaf frame departs carrying what is left of
+    /// it at write time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any leaf index is out of bounds.
+    pub fn scatter_opts<P, F>(
+        &self,
+        requests: Vec<(usize, u32, P)>,
+        timeout: Option<Duration>,
+        priority: Priority,
+        on_complete: F,
+    ) where
+        P: Into<Payload>,
+        F: FnOnce(FanoutResult) + Send + 'static,
+    {
+        self.scatter_inner(requests, timeout, priority, on_complete);
     }
 
     fn scatter_inner<P, F>(
         &self,
         requests: Vec<(usize, u32, P)>,
         timeout: Option<Duration>,
+        priority: Priority,
         on_complete: F,
     ) where
         P: Into<Payload>,
@@ -428,10 +453,7 @@ impl FanoutGroup {
             let state = state.clone();
             let client = self.leaves[leaf].pick();
             let done = move |result| state.arrive(slot, result);
-            match timeout {
-                Some(timeout) => client.call_async_deadline(method, payload, timeout, done),
-                None => client.call_async(method, payload, done),
-            }
+            client.call_async_opts(method, payload, timeout, priority, done);
         }
     }
 
@@ -733,6 +755,44 @@ mod tests {
         adopted(7); // the replacement registers with the same reactor
         let result = group.scatter_wait(vec![(0usize, 1u32, vec![9u8])]);
         assert!(result.all_ok());
+    }
+
+    #[test]
+    fn scatter_opts_forwards_budget_and_priority_to_every_leaf() {
+        // Each leaf reports the budget and priority it observed on the wire.
+        struct Probe;
+        impl Service for Probe {
+            fn call(&self, ctx: RequestContext) {
+                let mut reply = ctx.remaining_budget().to_le_bytes().to_vec();
+                reply.push(ctx.priority() as u8);
+                ctx.respond_ok(reply);
+            }
+        }
+        let servers: Vec<Server> = (0..3)
+            .map(|_| Server::spawn(ServerConfig::default(), Arc::new(Probe)).unwrap())
+            .collect();
+        let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+        let group = FanoutGroup::connect(&addrs).unwrap();
+        let requests: Vec<_> = (0..3).map(|leaf| (leaf, 1u32, vec![0u8])).collect();
+        let (tx, rx) = std::sync::mpsc::channel();
+        group.scatter_opts(
+            requests,
+            Some(std::time::Duration::from_millis(200)),
+            Priority::Critical,
+            move |result| {
+                tx.send(result).unwrap();
+            },
+        );
+        let result = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert!(result.all_ok());
+        for reply in result.successes() {
+            let budget = u32::from_le_bytes(reply[..4].try_into().unwrap());
+            assert!(
+                budget > 0 && budget <= 200_000,
+                "leaf must see a decayed, nonzero budget, got {budget}µs"
+            );
+            assert_eq!(reply[4], Priority::Critical as u8);
+        }
     }
 
     #[test]

@@ -62,6 +62,7 @@
 //! # }
 //! ```
 
+pub mod admission;
 pub mod buf;
 pub mod client;
 pub mod config;
@@ -75,15 +76,16 @@ pub mod server;
 pub mod service;
 pub mod stats;
 
+pub use admission::{AdmissionControl, AdmissionPermit, LimitChange};
 pub use buf::{
     BufferPool, ConnWriter, FrameAccumulator, FrameReader, FrameWriter, Payload, PooledBuf,
 };
 pub use client::RpcClient;
-pub use config::{ExecutionModel, NetworkModel, ServerConfig, WaitMode};
+pub use config::{AdmissionModel, ExecutionModel, NetworkModel, ServerConfig, WaitMode};
 pub use error::{FailureKind, RpcError};
 pub use fanout::FanoutGroup;
 pub use fault::{ClientFaults, FaultEvent, FaultKind, FaultPlan, FaultRule};
-pub use musuite_codec::{Frame, Status};
+pub use musuite_codec::{Frame, Priority, Status};
 pub use queue::DispatchQueue;
 pub use reactor::{CloseReason, ConnDriver, Drive, Reactor, ReactorConfig};
 pub use resilient::{

@@ -694,8 +694,7 @@ mod tests {
         let (mut peer, reactor_side) = loopback_pair();
         let (driver, frames, _closes) = probe();
         reactor.register(reactor_side, Box::new(driver)).unwrap();
-        let header =
-            FrameHeader { kind: FrameKind::OneWay, request_id: 0, method: 2, status: Status::Ok };
+        let header = FrameHeader::new(FrameKind::OneWay, 0, 2, Status::Ok);
         let frame = Frame { header, payload: bytes::Bytes::new() };
         peer.write_all(&frame.to_bytes()).unwrap();
         frames.recv_timeout(Duration::from_secs(5)).unwrap();

@@ -36,6 +36,7 @@ use bytes::Bytes;
 use musuite_check::atomic::{AtomicBool, AtomicUsize, Ordering};
 use musuite_check::sync::{Condvar, Mutex};
 use musuite_check::thread::{Builder, JoinHandle};
+use musuite_codec::Priority;
 use musuite_telemetry::clock::Clock;
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
 use musuite_telemetry::histogram::LatencyHistogram;
@@ -265,6 +266,12 @@ struct SlotCtl {
     retries_left: AtomicUsize,
     last_error: Mutex<Option<RpcError>>,
     gather: Arc<ScatterState>,
+    /// Absolute end-to-end budget for this slot: every attempt (primary,
+    /// hedge, retry) is bounded by what remains of it at launch time, so
+    /// retries cannot extend the caller's deadline.
+    deadline: Option<Instant>,
+    /// Priority class every attempt carries on the wire.
+    priority: Priority,
 }
 
 impl SlotCtl {
@@ -460,6 +467,30 @@ impl ResilientFanout {
     where
         F: FnOnce(FanoutResult) + Send + 'static,
     {
+        self.scatter_opts(calls, None, Priority::Normal, on_complete);
+    }
+
+    /// As [`ResilientFanout::scatter`], bounded by an end-to-end `timeout`
+    /// (the caller's remaining budget) and carrying `priority` on every
+    /// attempt's wire frame. Each attempt — primary, hedge, or retry — is
+    /// clamped to whatever is left of the budget when it launches, so a
+    /// retry after backoff departs with a *smaller* budget than the
+    /// primary, and a slot whose budget is exhausted fails fast instead of
+    /// issuing work nobody is waiting for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any target index is out of bounds.
+    pub fn scatter_opts<F>(
+        self: &Arc<Self>,
+        calls: Vec<LeafCall>,
+        timeout: Option<Duration>,
+        priority: Priority,
+        on_complete: F,
+    ) where
+        F: FnOnce(FanoutResult) + Send + 'static,
+    {
+        let deadline = timeout.map(|limit| Instant::now() + limit);
         if calls.is_empty() {
             on_complete(FanoutResult { replies: Vec::new(), elapsed_ns: 0 });
             return;
@@ -490,6 +521,8 @@ impl ResilientFanout {
                 retries_left: AtomicUsize::new(self.config.retries as usize),
                 last_error: Mutex::new(None),
                 gather: gather.clone(),
+                deadline,
+                priority,
             });
             if let Some(delay) = hedge_delay {
                 self.schedule(Instant::now() + delay, TimerTask::Hedge { slot: slot.clone() });
@@ -503,6 +536,21 @@ impl ResilientFanout {
     pub fn scatter_wait(self: &Arc<Self>, calls: Vec<LeafCall>) -> FanoutResult {
         let (tx, rx) = std::sync::mpsc::channel();
         self.scatter(calls, move |result| {
+            let _ = tx.send(result);
+        });
+        // lint: allow(expect): every slot delivers exactly once, so the completion always runs
+        rx.recv().expect("resilient scatter completion always runs")
+    }
+
+    /// Blocking variant of [`ResilientFanout::scatter_opts`].
+    pub fn scatter_wait_opts(
+        self: &Arc<Self>,
+        calls: Vec<LeafCall>,
+        timeout: Option<Duration>,
+        priority: Priority,
+    ) -> FanoutResult {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.scatter_opts(calls, timeout, priority, move |result| {
             let _ = tx.send(result);
         });
         // lint: allow(expect): every slot delivers exactly once, so the completion always runs
@@ -552,17 +600,33 @@ impl ResilientFanout {
             }
         }
         let started = Instant::now();
+        // Per-hop budget decay: the attempt is bounded by the tighter of
+        // the configured attempt deadline and what remains of the slot's
+        // end-to-end budget right now (a retry after backoff sees less
+        // than the primary did).
+        let remaining = slot.deadline.map(|deadline| deadline.saturating_duration_since(started));
+        if remaining.is_some_and(|left| left.is_zero()) {
+            // Budget exhausted before launch: fail without touching the
+            // wire and without charging the target's breaker.
+            self.finish_attempt(slot, None, RpcError::TimedOut);
+            return;
+        }
+        let attempt_limit = match (self.config.attempt_timeout, remaining) {
+            (Some(configured), Some(left)) => Some(configured.min(left)),
+            (configured, left) => configured.or(left),
+        };
         let this = self.clone();
         let slot_cb = slot.clone();
         let callback = move |result: Result<Bytes, RpcError>| {
             this.on_attempt_done(&slot_cb, target, is_hedge, started, result);
         };
-        match self.config.attempt_timeout {
-            Some(timeout) => {
-                client.call_async_deadline(slot.method, slot.payload.clone(), timeout, callback)
-            }
-            None => client.call_async(slot.method, slot.payload.clone(), callback),
-        }
+        client.call_async_opts(
+            slot.method,
+            slot.payload.clone(),
+            attempt_limit,
+            slot.priority,
+            callback,
+        );
     }
 
     /// Runs on the response pick-up (or reaper) thread when one attempt
@@ -868,8 +932,50 @@ mod tests {
         assert_eq!(rf.counters().get(ResilienceEvent::BreakerOpened), 1);
         // Now the breaker sheds instantly without touching the socket.
         let result = rf.scatter_wait(vec![LeafCall::new(0, 1, vec![1u8])]);
-        assert_eq!(result.kind_of(0), Some(FailureKind::Shed));
+        assert_eq!(result.kind_of(0), Some(FailureKind::ShedBreaker));
         assert!(matches!(result.replies[0], Err(RpcError::CircuitOpen)));
+    }
+
+    #[test]
+    fn exhausted_budget_fails_fast_and_bounds_the_retry_ladder() {
+        use std::net::TcpListener;
+        // A "leaf" that accepts but never responds: every attempt can only
+        // end by timeout, so an unbounded retry ladder would stall the
+        // gather for retries × attempt-timeout.
+        let stuck = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stuck_addr = stuck.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while let Ok((stream, _)) = stuck.accept() {
+                held.push(stream);
+            }
+        });
+        let group = Arc::new(FanoutGroup::connect(&[stuck_addr]).unwrap());
+        let config = ResilientConfig {
+            retries: 3,
+            backoff: Duration::from_millis(10),
+            ..ResilientConfig::default()
+        };
+        let rf = ResilientFanout::new(group, config);
+        let started = Instant::now();
+        let result = rf.scatter_wait_opts(
+            vec![LeafCall::new(0, 1, vec![1u8])],
+            Some(Duration::from_millis(80)),
+            Priority::Sheddable,
+        );
+        assert_eq!(result.err_count(), 1);
+        assert!(
+            matches!(result.replies[0], Err(RpcError::TimedOut)),
+            "got {:?}",
+            result.replies[0]
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "an 80ms end-to-end budget must bound the whole retry ladder, took {:?}",
+            started.elapsed()
+        );
+        drop(rf);
+        drop(hold);
     }
 
     #[test]
@@ -1137,6 +1243,8 @@ mod model_tests {
                     retries_left: AtomicUsize::new(0),
                     last_error: Mutex::new(None),
                     gather,
+                    deadline: None,
+                    priority: Priority::Normal,
                 });
                 // Winner: a successful attempt (primary or hedge — the
                 // claim logic is identical).

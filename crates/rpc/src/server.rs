@@ -28,6 +28,7 @@
 //!
 //! [`FrameAccumulator`]: crate::FrameAccumulator
 
+use crate::admission::{AdmissionControl, LimitChange};
 use crate::buf::{BufferPool, ConnWriter, FrameReader};
 use crate::config::{ExecutionModel, NetworkModel, ServerConfig};
 use crate::error::RpcError;
@@ -39,7 +40,8 @@ use musuite_check::atomic::{AtomicBool, Ordering};
 use musuite_check::sync::Mutex;
 use musuite_check::thread::{Builder, JoinHandle};
 use musuite_codec::frame::FrameKind;
-use musuite_codec::{Frame, Status};
+use musuite_codec::{Frame, Priority, Status};
+use musuite_telemetry::admission::{AdmissionCounters, AdmissionEvent};
 use musuite_telemetry::breakdown::Stage;
 use musuite_telemetry::clock::Clock;
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
@@ -119,6 +121,7 @@ pub struct Server {
     table: Arc<ConnTable>,
     queue: DispatchQueue<RequestContext>,
     reactor: Option<Arc<Reactor>>,
+    admission: AdmissionControl,
 }
 
 impl Server {
@@ -134,8 +137,15 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let stats = ServerStats::new();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let queue = DispatchQueue::new(config.queue_capacity_value(), config.wait_mode_value())
-            .with_breakdown(stats.breakdown().clone());
+        let queue: DispatchQueue<RequestContext> =
+            DispatchQueue::new(config.queue_capacity_value(), config.wait_mode_value())
+                .with_breakdown(stats.breakdown().clone());
+        // The gate's capacity matches the queue's: under `Fixed` the
+        // concurrency limit is the queue bound (the seed's shed semantics
+        // routed through the priority thresholds); under `Adaptive` the
+        // limit floats below it on observed queue delay.
+        let admission =
+            AdmissionControl::new(config.admission_model_value(), config.queue_capacity_value());
         let table = Arc::new(ConnTable::default());
         let reactor = match config.network_model_value() {
             NetworkModel::BlockingPerConn => None,
@@ -154,12 +164,40 @@ impl Server {
             for i in 0..config.worker_count() {
                 let queue = queue.clone();
                 let service = service.clone();
+                let stats = stats.clone();
+                let admission = admission.clone();
                 OsOpCounters::global().incr(OsOp::Clone);
                 worker_handles.push(
                     Builder::new()
                         .name(format!("musuite-worker-{i}"))
                         .spawn(move || {
+                            let clock = Clock::new();
                             while let Some(ctx) = queue.pop() {
+                                // Feed the queue-delay signal (what the
+                                // breakdown's Block stage samples) to the
+                                // adaptive limiter.
+                                let delay = clock.delta(ctx.received_at_ns(), clock.now_ns());
+                                match admission.note_dequeue(delay) {
+                                    Some(LimitChange::Raised) => AdmissionCounters::global()
+                                        .incr(AdmissionEvent::LimitRaised),
+                                    Some(LimitChange::Lowered) => AdmissionCounters::global()
+                                        .incr(AdmissionEvent::LimitLowered),
+                                    None => {}
+                                }
+                                // Dequeue-expiry: the caller has given up on
+                                // this request, so answer without running the
+                                // handler — abandoned work must never occupy
+                                // a worker.
+                                if ctx.is_expired() {
+                                    stats.record_deadline_expired();
+                                    AdmissionCounters::global()
+                                        .incr(AdmissionEvent::ExpiredInQueue);
+                                    ctx.respond_err(
+                                        Status::DeadlineExpired,
+                                        "deadline expired in queue",
+                                    );
+                                    continue;
+                                }
                                 service.call(ctx);
                             }
                         })
@@ -174,6 +212,7 @@ impl Server {
             let queue = queue.clone();
             let table = table.clone();
             let reactor = reactor.clone();
+            let admission = admission.clone();
             let model = config.execution_model_value();
             let idle_timeout = config.idle_timeout_value();
             // Read buffers survive connection churn: an exiting poller's
@@ -207,6 +246,7 @@ impl Server {
                                 service: service.clone(),
                                 model,
                                 clock: Clock::new(),
+                                admission: admission.clone(),
                             };
                             let _ = reactor.register(read_half, Box::new(driver));
                             continue;
@@ -233,6 +273,7 @@ impl Server {
                             table.clone(),
                             read_buffers.acquire(),
                             idle_timeout.is_some(),
+                            admission.clone(),
                         );
                         table.pollers.lock().insert(conn_id, poller);
                     }
@@ -249,6 +290,7 @@ impl Server {
             table,
             queue,
             reactor,
+            admission,
         })
     }
 
@@ -287,6 +329,11 @@ impl Server {
     /// [`NetworkModel::SharedPollers`] (for sweep statistics).
     pub fn reactor(&self) -> Option<&Reactor> {
         self.reactor.as_deref()
+    }
+
+    /// The admission gate: current concurrency limit and in-flight count.
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
     }
 
     /// Stops accepting, closes every connection, drains the worker pool,
@@ -355,6 +402,62 @@ struct ServerConnDriver {
     service: Arc<dyn Service>,
     model: ExecutionModel,
     clock: Clock,
+    admission: AdmissionControl,
+}
+
+/// Maps a shed request's class to its telemetry event.
+fn shed_event(priority: Priority) -> AdmissionEvent {
+    match priority {
+        Priority::Critical => AdmissionEvent::ShedCritical,
+        Priority::Normal => AdmissionEvent::ShedNormal,
+        Priority::Sheddable => AdmissionEvent::ShedSheddable,
+    }
+}
+
+/// The shared admission pipeline behind both network edges: count the
+/// request, refuse arrivals whose deadline already passed, pass the
+/// priority gate, then hand the context to the execution model. The
+/// admission permit rides inside the context and is released when the
+/// context drops (response sent, context abandoned, or handler panic),
+/// so the in-flight count can never leak.
+fn admit_and_dispatch(
+    admission: &AdmissionControl,
+    stats: &ServerStats,
+    queue: &DispatchQueue<RequestContext>,
+    service: &Arc<dyn Service>,
+    model: ExecutionModel,
+    mut ctx: RequestContext,
+) {
+    stats.record_request();
+    // Arrival-expiry: the budget was spent upstream, so answering now is
+    // cheaper than ever touching the gate or the queue.
+    if ctx.is_expired() {
+        stats.record_deadline_expired();
+        AdmissionCounters::global().incr(AdmissionEvent::ExpiredAtArrival);
+        ctx.respond_err(Status::DeadlineExpired, "deadline expired on arrival");
+        return;
+    }
+    let priority = ctx.priority();
+    match admission.try_admit(priority) {
+        Some(permit) => ctx.attach_permit(permit),
+        None => {
+            stats.record_shed(priority);
+            AdmissionCounters::global().incr(shed_event(priority));
+            ctx.respond_err(Status::Unavailable, "admission limit reached");
+            return;
+        }
+    }
+    match model {
+        ExecutionModel::Inline => service.call(ctx),
+        ExecutionModel::Dispatch => {
+            // The queue holds the context by value; a failed push sheds
+            // load so saturation does not grow an unbounded backlog.
+            if let Err(ctx) = queue.try_push(ctx) {
+                stats.record_rejected();
+                ctx.respond_err(Status::Unavailable, "dispatch queue full");
+            }
+        }
+    }
 }
 
 impl ConnDriver for ServerConnDriver {
@@ -372,22 +475,17 @@ impl ConnDriver for ServerConnDriver {
         if frame.header.kind != FrameKind::Request {
             return Drive::Continue;
         }
-        self.stats.record_request();
+        // Inline runs the handler on the sweep thread itself — the
+        // paper's in-line design, now with a *shared* network thread.
         let ctx = RequestContext::new(frame, received, self.writer.clone(), self.stats.clone());
-        match self.model {
-            // Inline runs the handler on the sweep thread itself — the
-            // paper's in-line design, now with a *shared* network thread.
-            ExecutionModel::Inline => self.service.call(ctx),
-            ExecutionModel::Dispatch => {
-                // The queue holds the context by value; a failed push
-                // sheds load so saturation does not grow an unbounded
-                // backlog.
-                if let Err(ctx) = self.queue.try_push(ctx) {
-                    self.stats.record_rejected();
-                    ctx.respond_err(Status::Unavailable, "dispatch queue full");
-                }
-            }
-        }
+        admit_and_dispatch(
+            &self.admission,
+            &self.stats,
+            &self.queue,
+            &self.service,
+            self.model,
+            ctx,
+        );
         Drive::Continue
     }
 
@@ -412,6 +510,7 @@ fn spawn_poller(
     table: Arc<ConnTable>,
     read_buf: crate::buf::PooledBuf,
     reap_on_timeout: bool,
+    admission: AdmissionControl,
 ) -> JoinHandle<()> {
     OsOpCounters::global().incr(OsOp::Clone);
     Builder::new()
@@ -465,20 +564,8 @@ fn spawn_poller(
                 if frame.header.kind != FrameKind::Request {
                     continue;
                 }
-                stats.record_request();
                 let ctx = RequestContext::new(frame, received, writer.clone(), stats.clone());
-                match model {
-                    ExecutionModel::Inline => service.call(ctx),
-                    ExecutionModel::Dispatch => {
-                        // The queue holds the context by value; a failed
-                        // push sheds load so saturation does not grow an
-                        // unbounded backlog.
-                        if let Err(ctx) = queue.try_push(ctx) {
-                            stats.record_rejected();
-                            ctx.respond_err(Status::Unavailable, "dispatch queue full");
-                        }
-                    }
-                }
+                admit_and_dispatch(&admission, &stats, &queue, &service, model, ctx);
                 if shutdown.load(Ordering::Acquire) {
                     break;
                 }
@@ -821,5 +908,148 @@ mod tests {
         // client must still work.
         let client = RpcClient::connect(server.local_addr()).unwrap();
         assert_eq!(client.call(1, b"ok".to_vec()).unwrap(), b"ok");
+    }
+
+    /// Holds every request until released, so tests can pin the gate's
+    /// in-flight count at an exact value.
+    struct GatedService {
+        release: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    }
+    impl GatedService {
+        fn new() -> (Arc<Self>, Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>) {
+            let release = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+            (Arc::new(GatedService { release: release.clone() }), release)
+        }
+    }
+    impl Service for GatedService {
+        fn call(&self, ctx: RequestContext) {
+            let (lock, cvar) = &*self.release;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cvar.wait(open).unwrap();
+            }
+            drop(open);
+            ctx.respond_ok(Vec::new());
+        }
+    }
+    fn open_gate(release: &(std::sync::Mutex<bool>, std::sync::Condvar)) {
+        let (lock, cvar) = release;
+        *lock.lock().unwrap() = true;
+        cvar.notify_all();
+    }
+
+    #[test]
+    fn sheddable_class_is_shed_while_normal_still_clears_the_gate() {
+        use crate::error::FailureKind;
+        let (service, release) = GatedService::new();
+        let mut config = ServerConfig::default();
+        // Capacity 4: thresholds are Critical 4, Normal 3, Sheddable 2.
+        config.workers(2).queue_capacity(4);
+        let server = Server::spawn(config, service).unwrap();
+        let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+        let (tx, rx) = std::sync::mpsc::channel();
+        // Two held requests pin in-flight exactly at the Sheddable
+        // threshold while leaving Normal headroom.
+        for _ in 0..2 {
+            let tx = tx.clone();
+            client.call_async(1, Vec::new(), move |result| {
+                tx.send(result).unwrap();
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while server.admission().inflight() < 2 {
+            assert!(std::time::Instant::now() < deadline, "held requests never admitted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // A sheddable arrival is refused at the gate...
+        let err = client
+            .call_opts(1, Vec::new(), None, Priority::Sheddable)
+            .expect_err("sheddable must be shed at threshold");
+        assert_eq!(err.failure_kind(), FailureKind::Shed, "got {err:?}");
+        assert_eq!(server.stats().shed(Priority::Sheddable), 1);
+        assert_eq!(server.stats().shed(Priority::Normal), 0);
+        // ...while a normal-class arrival still clears the gate.
+        {
+            let tx = tx.clone();
+            client.call_async(1, Vec::new(), move |result| {
+                tx.send(result).unwrap();
+            });
+        }
+        drop(tx);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while server.admission().inflight() < 3 {
+            assert!(std::time::Instant::now() < deadline, "normal request never admitted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        open_gate(&release);
+        let mut served = 0;
+        while let Ok(result) = rx.recv() {
+            result.unwrap();
+            served += 1;
+        }
+        assert_eq!(served, 3, "all admitted requests must complete");
+        assert_eq!(server.stats().shed_total(), 1);
+    }
+
+    #[test]
+    fn expired_requests_are_dropped_at_dequeue_without_running() {
+        use musuite_check::atomic::AtomicU64;
+        struct Tracking {
+            ran: Arc<AtomicU64>,
+        }
+        impl Service for Tracking {
+            fn call(&self, ctx: RequestContext) {
+                self.ran.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(40));
+                ctx.respond_ok(Vec::new());
+            }
+        }
+        let ran = Arc::new(AtomicU64::new(0));
+        let mut config = ServerConfig::default();
+        config.workers(1).queue_capacity(4);
+        let server = Server::spawn(config, Arc::new(Tracking { ran: ran.clone() })).unwrap();
+        let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+        // Occupy the lone worker with an unbounded request...
+        client.call_async(1, Vec::new(), |_| {});
+        // ...then queue a request whose budget expires long before the
+        // worker frees up. It must be answered without ever running.
+        let err = client
+            .call_opts(1, Vec::new(), Some(Duration::from_millis(5)), Priority::Normal)
+            .expect_err("tiny-budget request behind a 40ms hog cannot succeed");
+        assert!(
+            matches!(
+                err,
+                RpcError::TimedOut | RpcError::Remote { status: Status::DeadlineExpired, .. }
+            ),
+            "got {err:?}"
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while server.stats().deadline_expired() == 0 {
+            assert!(std::time::Instant::now() < deadline, "expired request never dropped");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.stats().deadline_expired(), 1);
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "the expired request must never execute");
+    }
+
+    #[test]
+    fn adaptive_admission_serves_traffic_with_limit_in_bounds() {
+        use crate::config::AdmissionModel;
+        let mut config = ServerConfig::default();
+        config.admission_model(AdmissionModel::Adaptive).workers(2).queue_capacity(64);
+        let server = Server::spawn(config, Arc::new(Echo)).unwrap();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        for i in 0..200u32 {
+            let payload = i.to_le_bytes().to_vec();
+            assert_eq!(client.call(1, payload.clone()).unwrap(), payload);
+        }
+        let limit = server.admission().limit();
+        assert!(
+            (1..=64).contains(&limit),
+            "adaptive limit must stay within [1, capacity], got {limit}"
+        );
+        // Uncontended sequential traffic sees no queue delay, so the
+        // limiter must not have collapsed the limit.
+        assert_eq!(server.stats().shed_total(), 0);
     }
 }

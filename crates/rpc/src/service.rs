@@ -10,15 +10,17 @@
 //! the worker moves on to the next request immediately after issuing the
 //! fan-out.
 
+use crate::admission::AdmissionPermit;
 use crate::buf::ConnWriter;
 use crate::stats::ServerStats;
 use bytes::Bytes;
 use musuite_check::atomic::{AtomicU64, Ordering};
 use musuite_codec::frame::FrameHeader;
-use musuite_codec::{Frame, FrameKind, Status};
+use musuite_codec::{Frame, FrameKind, Priority, Status};
 use musuite_telemetry::breakdown::Stage;
 use musuite_telemetry::clock::Clock;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A request handler.
 ///
@@ -85,6 +87,9 @@ pub struct RequestContext {
     request_id: u64,
     payload: Bytes,
     received_at_ns: u64,
+    priority: Priority,
+    deadline: Option<Instant>,
+    permit: Option<AdmissionPermit>,
     leaf_ns: Arc<AtomicU64>,
     writer: SharedWriter,
     stats: ServerStats,
@@ -99,17 +104,33 @@ impl RequestContext {
         writer: SharedWriter,
         stats: ServerStats,
     ) -> RequestContext {
+        // Convert the wire budget (µs remaining as of transmission) into a
+        // local absolute deadline at the moment the frame is fully read, so
+        // queueing and execution on this hop decay it naturally.
+        let deadline = match frame.header.deadline_budget_us {
+            0 => None,
+            budget_us => Some(Instant::now() + Duration::from_micros(u64::from(budget_us))),
+        };
         RequestContext {
             method: frame.header.method,
             request_id: frame.header.request_id,
             payload: frame.payload,
             received_at_ns,
+            priority: frame.header.priority,
+            deadline,
+            permit: None,
             leaf_ns: Arc::new(AtomicU64::new(0)),
             writer,
             stats,
             clock: Clock::new(),
             completed: false,
         }
+    }
+
+    /// Attaches the admission slot this request holds; it is returned to
+    /// the gate when the context drops (after responding, or abandoned).
+    pub(crate) fn attach_permit(&mut self, permit: AdmissionPermit) {
+        self.permit = Some(permit);
     }
 
     /// The method id the client invoked.
@@ -137,6 +158,40 @@ impl RequestContext {
     /// Monotonic timestamp at which the request was fully read.
     pub fn received_at_ns(&self) -> u64 {
         self.received_at_ns
+    }
+
+    /// The priority class carried on the request frame.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The absolute local deadline derived from the wire budget, or
+    /// `None` when the request carried no budget.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Deadline budget still remaining, in microseconds, for forwarding
+    /// to downstream hops: the wire budget this request arrived with
+    /// minus time already spent on this hop. Returns 0 when the request
+    /// carries no deadline, and floors at 1 µs once a deadline has
+    /// expired — so a dead request forwarded anyway is marked
+    /// ~expired downstream rather than unbounded.
+    pub fn remaining_budget(&self) -> u32 {
+        match self.deadline {
+            None => 0,
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now()).as_micros();
+                remaining.clamp(1, u128::from(u32::MAX)) as u32
+            }
+        }
+    }
+
+    /// Returns `true` once this request's deadline budget is exhausted —
+    /// the caller has given up, so executing the handler would only burn
+    /// worker time. Always `false` for budget-less requests.
+    pub fn is_expired(&self) -> bool {
+        self.deadline.is_some_and(|deadline| Instant::now() >= deadline)
     }
 
     /// The server's stage-breakdown recorder, for handlers that attribute
@@ -169,12 +224,7 @@ impl RequestContext {
     }
 
     fn send_response(&self, status: Status, payload: &[u8]) {
-        let header = FrameHeader {
-            kind: FrameKind::Response,
-            request_id: self.request_id,
-            method: self.method,
-            status,
-        };
+        let header = FrameHeader::new(FrameKind::Response, self.request_id, self.method, status);
         let tx_start = self.clock.now_ns();
         // Account the response *before* the bytes hit the wire: the moment
         // `write_all` hands the frame to the kernel, the client can observe
@@ -307,6 +357,56 @@ mod tests {
         assert_eq!(payload, b"req");
         assert!(ctx.payload().is_empty());
         ctx.respond_ok(Vec::new());
+    }
+
+    #[test]
+    fn budget_less_requests_never_expire() {
+        let (_client, server_side) = loopback_pair();
+        let stats = ServerStats::new();
+        let ctx = context_for(server_side, &stats);
+        assert_eq!(ctx.priority(), Priority::Normal);
+        assert_eq!(ctx.deadline(), None);
+        assert_eq!(ctx.remaining_budget(), 0);
+        assert!(!ctx.is_expired());
+        ctx.respond_ok(Vec::new());
+    }
+
+    #[test]
+    fn wire_budget_becomes_local_deadline_and_decays() {
+        let (_client, server_side) = loopback_pair();
+        let stats = ServerStats::new();
+        let frame = Frame::request(11, 5, b"req".to_vec()).with_budget(500_000, Priority::Critical);
+        let ctx = RequestContext::new(
+            frame,
+            Clock::new().now_ns(),
+            Arc::new(ConnWriter::new(server_side)),
+            stats.clone(),
+        );
+        assert_eq!(ctx.priority(), Priority::Critical);
+        assert!(!ctx.is_expired());
+        let first = ctx.remaining_budget();
+        assert!(first > 0 && first <= 500_000);
+        std::thread::sleep(Duration::from_millis(5));
+        let later = ctx.remaining_budget();
+        assert!(later < first, "budget must decay with elapsed time");
+        ctx.respond_ok(Vec::new());
+    }
+
+    #[test]
+    fn tiny_budget_expires_but_floors_at_one() {
+        let (_client, server_side) = loopback_pair();
+        let stats = ServerStats::new();
+        let frame = Frame::request(11, 5, b"req".to_vec()).with_budget(1, Priority::Sheddable);
+        let ctx = RequestContext::new(
+            frame,
+            Clock::new().now_ns(),
+            Arc::new(ConnWriter::new(server_side)),
+            stats.clone(),
+        );
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(ctx.is_expired());
+        assert_eq!(ctx.remaining_budget(), 1, "expired budget floors at 1µs, not 0 (= none)");
+        ctx.respond_err(Status::DeadlineExpired, "deadline expired");
     }
 
     #[test]

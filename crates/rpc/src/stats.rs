@@ -1,6 +1,7 @@
 //! Per-server telemetry aggregation.
 
 use musuite_check::atomic::{AtomicU64, Ordering};
+use musuite_codec::Priority;
 use musuite_telemetry::breakdown::BreakdownRecorder;
 use musuite_telemetry::histogram::LatencyHistogram;
 use musuite_telemetry::netpoll::CoalesceStats;
@@ -14,6 +15,8 @@ struct Inner {
     requests: AtomicU64,
     responses: AtomicU64,
     rejected: AtomicU64,
+    deadline_expired: AtomicU64,
+    shed_by_class: [AtomicU64; Priority::ALL.len()],
     idle_reaped: AtomicU64,
     service_time: Mutex<LatencyHistogram>,
     coalesce: CoalesceStats,
@@ -61,6 +64,18 @@ impl ServerStats {
         self.inner.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts a request dropped because its deadline budget was already
+    /// exhausted — at admission or at dispatch-queue dequeue, before any
+    /// worker time was spent on it.
+    pub fn record_deadline_expired(&self) {
+        self.inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request refused at the admission gate, by priority class.
+    pub fn record_shed(&self, priority: Priority) {
+        self.inner.shed_by_class[priority as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts a connection dropped by the idle-timeout reaper.
     pub fn record_idle_reaped(&self) {
         self.inner.idle_reaped.fetch_add(1, Ordering::Relaxed);
@@ -79,6 +94,21 @@ impl ServerStats {
     /// Requests shed so far.
     pub fn rejected(&self) -> u64 {
         self.inner.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Requests dropped on an exhausted deadline budget so far.
+    pub fn deadline_expired(&self) -> u64 {
+        self.inner.deadline_expired.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed at the admission gate for `priority` so far.
+    pub fn shed(&self, priority: Priority) -> u64 {
+        self.inner.shed_by_class[priority as usize].load(Ordering::Relaxed)
+    }
+
+    /// Requests shed at the admission gate across all priority classes.
+    pub fn shed_total(&self) -> u64 {
+        self.inner.shed_by_class.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
     /// Connections reaped for idleness so far.
@@ -108,6 +138,10 @@ impl ServerStats {
         self.inner.requests.store(0, Ordering::Relaxed);
         self.inner.responses.store(0, Ordering::Relaxed);
         self.inner.rejected.store(0, Ordering::Relaxed);
+        self.inner.deadline_expired.store(0, Ordering::Relaxed);
+        for counter in &self.inner.shed_by_class {
+            counter.store(0, Ordering::Relaxed);
+        }
         self.inner.idle_reaped.store(0, Ordering::Relaxed);
         self.inner.service_time.lock().reset();
         self.inner.coalesce.reset();
@@ -121,6 +155,8 @@ impl fmt::Debug for ServerStats {
             .field("requests", &self.requests())
             .field("responses", &self.responses())
             .field("rejected", &self.rejected())
+            .field("deadline_expired", &self.deadline_expired())
+            .field("shed", &self.shed_total())
             .finish()
     }
 }
@@ -137,10 +173,19 @@ mod tests {
         s.record_response(Duration::from_micros(5));
         s.record_rejected();
         s.record_idle_reaped();
+        s.record_deadline_expired();
+        s.record_shed(Priority::Sheddable);
+        s.record_shed(Priority::Sheddable);
+        s.record_shed(Priority::Normal);
         assert_eq!(s.requests(), 2);
         assert_eq!(s.responses(), 1);
         assert_eq!(s.rejected(), 1);
         assert_eq!(s.idle_reaped(), 1);
+        assert_eq!(s.deadline_expired(), 1);
+        assert_eq!(s.shed(Priority::Sheddable), 2);
+        assert_eq!(s.shed(Priority::Normal), 1);
+        assert_eq!(s.shed(Priority::Critical), 0);
+        assert_eq!(s.shed_total(), 3);
         assert_eq!(s.service_time().count(), 1);
     }
 
@@ -157,9 +202,13 @@ mod tests {
         let s = ServerStats::new();
         s.record_request();
         s.record_response(Duration::from_micros(1));
+        s.record_deadline_expired();
+        s.record_shed(Priority::Normal);
         s.reset();
         assert_eq!(s.requests(), 0);
         assert_eq!(s.responses(), 0);
+        assert_eq!(s.deadline_expired(), 0);
+        assert_eq!(s.shed_total(), 0);
         assert!(s.service_time().is_empty());
     }
 }

@@ -37,6 +37,7 @@
 //! assert_eq!(h.count(), 5);
 //! ```
 
+pub mod admission;
 pub mod breakdown;
 pub mod clock;
 pub mod counters;
@@ -49,6 +50,7 @@ pub mod summary;
 pub mod sync;
 pub mod wakeup;
 
+pub use admission::{AdmissionCounters, AdmissionEvent};
 pub use breakdown::{BreakdownRecorder, Stage};
 pub use clock::Clock;
 pub use counters::{OsOp, OsOpCounters};

@@ -61,9 +61,15 @@ pub struct DistributionSummary {
     /// Requests lost to transport failures: I/O, torn connections,
     /// corrupt frames (not in the histogram).
     pub transport_errors: u64,
-    /// Requests shed by overload protection or an open circuit breaker
-    /// (not in the histogram).
+    /// Requests shed by server-side overload protection — the admission
+    /// gate or a full dispatch queue (not in the histogram).
     pub sheds: u64,
+    /// Requests shed client-side by an open circuit breaker, without
+    /// touching the wire (not in the histogram).
+    pub breaker_sheds: u64,
+    /// Requests whose propagated deadline budget ran out server-side —
+    /// dropped at arrival or at dequeue (not in the histogram).
+    pub expired: u64,
     /// Requests the remote handler rejected (not in the histogram).
     pub remote_errors: u64,
     /// Successes answered from a degraded (partial-shard) merge; these
@@ -90,6 +96,8 @@ impl DistributionSummary {
             timeouts: 0,
             transport_errors: 0,
             sheds: 0,
+            breaker_sheds: 0,
+            expired: 0,
             remote_errors: 0,
             degraded: 0,
         }
@@ -97,14 +105,28 @@ impl DistributionSummary {
 
     /// Total failed requests across all failure kinds.
     pub fn error_count(&self) -> u64 {
-        self.timeouts + self.transport_errors + self.sheds + self.remote_errors
+        self.timeouts
+            + self.transport_errors
+            + self.sheds
+            + self.breaker_sheds
+            + self.expired
+            + self.remote_errors
     }
 
-    /// Renders the failure accounting as a compact single line.
+    /// Renders the failure accounting as a compact single line. Server
+    /// sheds, client-side breaker sheds, and deadline expirations are
+    /// reported separately — folding them together hides whether overload
+    /// control or failure isolation refused the work.
     pub fn failures_row(&self) -> String {
         format!(
-            "timeouts={} transport={} shed={} remote={} degraded_ok={}",
-            self.timeouts, self.transport_errors, self.sheds, self.remote_errors, self.degraded,
+            "timeouts={} transport={} shed={} breaker={} expired={} remote={} degraded_ok={}",
+            self.timeouts,
+            self.transport_errors,
+            self.sheds,
+            self.breaker_sheds,
+            self.expired,
+            self.remote_errors,
+            self.degraded,
         )
     }
 
@@ -187,6 +209,21 @@ mod tests {
     // a no-op serializer exercise instead.
     fn serde_json_like(s: &DistributionSummary) -> String {
         format!("count={}", s.count)
+    }
+
+    #[test]
+    fn failures_row_separates_overload_causes() {
+        let mut s = DistributionSummary::from_histogram(&uniform(10));
+        s.timeouts = 4;
+        s.sheds = 3;
+        s.breaker_sheds = 2;
+        s.expired = 1;
+        s.remote_errors = 5;
+        assert_eq!(s.error_count(), 15);
+        let row = s.failures_row();
+        assert!(row.contains("shed=3"), "{row}");
+        assert!(row.contains("breaker=2"), "{row}");
+        assert!(row.contains("expired=1"), "{row}");
     }
 
     #[test]

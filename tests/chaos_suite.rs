@@ -358,6 +358,123 @@ fn fault_plans_replay_byte_for_byte_from_their_seed() {
 }
 
 #[test]
+fn overload_burst_sheds_by_class_and_accounts_for_every_request() {
+    use musuite::loadgen::arrival::ArrivalProcess;
+    use musuite::loadgen::open_loop::{self, OpenLoopConfig, PriorityMix};
+    use musuite::rpc::{NetworkModel, Priority, RequestContext, Server, ServerConfig, Service};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let seed = 0x10AD_u64;
+    println!("chaos seed: {seed}");
+
+    // A mid-tier shaped server on shared pollers: 2 workers x 4 ms of
+    // service time caps goodput at ~500 QPS. The burst offers 10x that.
+    struct Busy {
+        ran: Arc<AtomicU64>,
+        service_time: Duration,
+    }
+    impl Service for Busy {
+        fn call(&self, ctx: RequestContext) {
+            self.ran.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.service_time);
+            ctx.respond_ok(Vec::new());
+        }
+    }
+    let ran = Arc::new(AtomicU64::new(0));
+    let mut config = ServerConfig::default();
+    config.network_model(NetworkModel::SharedPollers { pollers: 2 }).workers(2).queue_capacity(64);
+    let server = Server::spawn(
+        config,
+        Arc::new(Busy { ran: ran.clone(), service_time: Duration::from_millis(4) }),
+    )
+    .unwrap();
+
+    const QPS: f64 = 5_000.0;
+    const TIMEOUT: Duration = Duration::from_millis(50);
+    let mix = PriorityMix::new(20, 40); // 20% Critical, 40% Sheddable, 40% Normal.
+    let load = |seed: u64| OpenLoopConfig {
+        arrivals: ArrivalProcess::poisson(QPS, seed),
+        duration: Duration::from_millis(400),
+        connections: 4,
+        timeout: Some(TIMEOUT),
+        mix,
+    };
+    let mut source = || (1u32, vec![0u8; 16]);
+    let report = open_loop::run_multi(load(seed), server.local_addr(), &mut source).unwrap();
+
+    // 1. Client-side accounting is exact: every submitted request resolved
+    //    as exactly one success or one classified failure.
+    assert_eq!(
+        report.completed + report.errors,
+        report.issued,
+        "every request must resolve (replay with seed {seed})"
+    );
+    assert_eq!(
+        report.latency.error_count(),
+        report.errors,
+        "per-kind failure counts must sum to the error total"
+    );
+
+    // 2. Server-side accounting is exact once the queue drains: every
+    //    arrival was either executed, shed at the gate, dropped expired,
+    //    or rejected at the queue — nothing unaccounted, and expired work
+    //    never reached a worker.
+    let stats = server.stats();
+    let drained = Instant::now() + Duration::from_secs(10);
+    let accounted = |ran: u64| {
+        ran + stats.shed_total() + stats.deadline_expired() + stats.rejected() == stats.requests()
+    };
+    while !accounted(ran.load(Ordering::Relaxed)) && Instant::now() < drained {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        accounted(ran.load(Ordering::Relaxed)),
+        "arrivals {} != executed {} + shed {} + expired {} + rejected {} (seed {seed})",
+        stats.requests(),
+        ran.load(Ordering::Relaxed),
+        stats.shed_total(),
+        stats.deadline_expired(),
+        stats.rejected(),
+    );
+    assert!(stats.shed_total() > 0, "a 10x burst must shed");
+    assert!(stats.deadline_expired() > 0, "queued work must expire under a 50 ms budget");
+
+    // 3. Priority admission holds: Critical traffic clears the gate long
+    //    after Sheddable is refused, and the Critical p99 that *was*
+    //    admitted stays within a fixed bound instead of riding the queue.
+    let success_fraction = |p: Priority| {
+        let class = report.class(p);
+        class.count as f64 / (class.count + class.error_count()).max(1) as f64
+    };
+    let critical = report.class(Priority::Critical);
+    assert!(critical.count > 0, "some Critical traffic must be served");
+    assert!(
+        success_fraction(Priority::Critical) > success_fraction(Priority::Sheddable),
+        "Critical success rate {:.3} must beat Sheddable {:.3} (seed {seed})",
+        success_fraction(Priority::Critical),
+        success_fraction(Priority::Sheddable),
+    );
+    assert!(
+        critical.p99 <= Duration::from_millis(150),
+        "admitted Critical p99 {:?} must stay bounded under the burst (seed {seed})",
+        critical.p99,
+    );
+
+    // 4. The offered load replays byte-identically from its seed: the
+    //    (priority, inter-arrival) schedule is a pure function of it.
+    let schedule = |seed: u64| {
+        let mut arrivals = ArrivalProcess::poisson(QPS, seed);
+        (0..1_000u64)
+            .map(|i| format!("{}@{:?}", mix.pick(i), arrivals.next_interarrival()))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    assert_eq!(schedule(seed), schedule(seed), "same seed must replay the same burst");
+    server.shutdown();
+}
+
+#[test]
 fn teardown_mid_scatter_fails_fast() {
     // Shutdown ordering contract: the mid-tier and its fan-out stop
     // before the leaves, so a query stuck behind slow leaves collapses

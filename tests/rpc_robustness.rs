@@ -84,7 +84,9 @@ fn queue_overflow_sheds_with_unavailable() {
     }
     assert!(served >= 1, "at least one request must be served: {served}");
     assert!(shed > 0, "a 1-deep queue under 20 instant requests must shed");
-    assert!(server.stats().rejected() > 0);
+    // Overload is refused either at the admission gate (per-class shed)
+    // or, past the gate, at the queue bound; both answer `Unavailable`.
+    assert!(server.stats().rejected() + server.stats().shed_total() > 0);
 }
 
 #[test]
