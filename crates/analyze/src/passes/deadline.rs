@@ -6,8 +6,9 @@
 //! blocking — the classic deadline-propagation bug from the μ Suite
 //! midtier. For every public function with a `deadline`/`timeout`
 //! parameter (exact name or `_deadline`/`_timeout` suffix), each
-//! nested RPC-shaped call (`call`, `scatter`, `call_*`, `scatter_*`)
-//! must mention the parameter — or a value derived from it — in its
+//! nested RPC-shaped call (`call`, `scatter`, `call_*`, `scatter_*`,
+//! and the batch-path entry points `issue` and `handle_batch`) must
+//! mention the parameter — or a value derived from it — in its
 //! arguments.
 //!
 //! "Derived from" is a forward taint fixpoint over `let` bindings: in
@@ -39,17 +40,30 @@ fn is_deadline_param(name: &str) -> bool {
         || name.ends_with("_timeout")
 }
 
-/// `true` for callee names that issue a nested RPC.
+/// `true` for callee names that issue a nested RPC. The batch request
+/// path adds two shapes: `issue` (the merged-scatter entry point that
+/// buffers a sub-call into a per-leaf envelope) and `handle_batch` (the
+/// handoff of a whole batch to a leaf kernel). Both carry many requests
+/// per call, so an unbounded one loses *every* member's budget at once.
 fn is_rpc_call(name: &str) -> bool {
-    name == "call" || name == "scatter" || name.starts_with("call_") || name.starts_with("scatter_")
+    name == "call"
+        || name == "scatter"
+        || name == "issue"
+        || name == "handle_batch"
+        || name.starts_with("call_")
+        || name.starts_with("scatter_")
 }
 
 /// `true` for helper names whose result carries the caller's wire
 /// budget: reading the decayed budget off a request context, converting
 /// a deadline into a header budget, or stamping a budget into a frame
-/// header. Values produced by these are as good as the deadline itself.
+/// header. `pop_batch` joins them on the batch path: members drained
+/// from the dispatch queue arrive with their per-member deadlines
+/// intact (expired ones are dropped from the batch, not the batch from
+/// the queue), so a batch bound from it is as budgeted as the deadline
+/// itself. Values produced by these are as good as the deadline.
 fn is_budget_source(name: &str) -> bool {
-    matches!(name, "remaining_budget" | "budget_for" | "with_budget")
+    matches!(name, "remaining_budget" | "budget_for" | "with_budget" | "pop_batch")
 }
 
 /// Runs the pass over `files`.

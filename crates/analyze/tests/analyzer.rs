@@ -106,14 +106,18 @@ fn deadline_prop_fixture() {
         &[
             ("deadline", 11), // scatter_all without the budget
             ("deadline", 46), // scatter_all next to wire-forwarded siblings
+            ("deadline", 91), // issue(..) of fresh members loses the budget
+            ("deadline", 97), // handle_batch(..) of fresh members likewise
         ],
     );
     assert!(got[0].message.contains("deadline"), "{}", got[0]);
     // The clean siblings at lines 44-45 (budget via `remaining_budget()`,
-    // bound and inline) and 52 (`with_budget` header) must not appear.
+    // bound and inline), 52 (`with_budget` header), 90 (a batch drained
+    // via `pop_batch` keeps per-member budgets), and 96 (merged scatter
+    // fed a deadline-derived budget) must not appear.
     assert!(
-        got.iter().all(|f| ![44, 45, 52].contains(&f.line)),
-        "wire-header budget forwarding must satisfy the rule: {got:#?}"
+        got.iter().all(|f| ![44, 45, 52, 90, 96].contains(&f.line)),
+        "wire-header and batch budget forwarding must satisfy the rule: {got:#?}"
     );
 }
 

@@ -76,3 +76,36 @@ fn encode(_p: &[u8]) -> u64 {
 fn shed_class() -> u32 {
     1
 }
+
+/// Batch-path budget forwarding: a batch drained via `pop_batch(..)`
+/// arrives with every member's budget intact, so handing it on through
+/// `handle_batch(..)` or the merged-scatter `issue(..)` entry point is
+/// bounded. The same handoffs fed with freshly built members are not.
+pub struct BatchMid;
+
+impl BatchMid {
+    pub fn drain(&self, payload: &[u8], timeout: u64) {
+        let _ = timeout;
+        let members = self.pop_batch(payload.len());
+        self.handle_batch(members);
+        self.issue(payload, fresh_members());
+    }
+
+    pub fn merge(&self, payload: &[u8], deadline: u64) {
+        let remaining = budget_from(deadline);
+        self.issue(payload, remaining);
+        self.handle_batch(fresh_members());
+    }
+
+    fn pop_batch(&self, _limit: usize) -> u64 {
+        0
+    }
+
+    fn handle_batch(&self, _members: u64) {}
+
+    fn issue(&self, _p: &[u8], _members: u64) {}
+}
+
+fn fresh_members() -> u64 {
+    0
+}

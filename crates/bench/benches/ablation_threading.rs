@@ -25,9 +25,10 @@ use musuite_hdsearch::protocol::SearchQuery;
 use musuite_hdsearch::service::HdSearchService;
 use musuite_loadgen::open_loop::{self, OpenLoopConfig};
 use musuite_loadgen::source::CyclingSource;
-use musuite_rpc::{ExecutionModel, NetworkModel, RpcClient, ServerConfig, WaitMode};
+use musuite_rpc::{BatchPolicy, ExecutionModel, NetworkModel, RpcClient, ServerConfig, WaitMode};
 use musuite_telemetry::report::Table;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -137,4 +138,45 @@ fn main() {
         }
     }
     println!("{}", net_table.render());
+
+    // Batching axis: what the dispatch queue hands a worker per wakeup.
+    // Batch size off/8/32 crossed with the straggler window 0/50 µs
+    // (zero means "drain what is ready, never wait"). Execution stays
+    // Dispatch with a fixed worker pool so the only moving part is the
+    // unit of work; the same seed-42 open-loop load as the tables above
+    // makes the cells directly comparable.
+    println!("\nBatching axis: dispatch-queue batch policy (size x straggler window)\n");
+    let policies = [
+        ("off", BatchPolicy::off()),
+        ("8 x 0", BatchPolicy::new(8, Duration::ZERO)),
+        ("8 x 50us", BatchPolicy::new(8, Duration::from_micros(50))),
+        ("32 x 0", BatchPolicy::new(32, Duration::ZERO)),
+        ("32 x 50us", BatchPolicy::new(32, Duration::from_micros(50))),
+    ];
+    let mut batch_table =
+        Table::new(&["batch policy", "p50_us", "p99_us", "errors", "mid-tier batches"]);
+    for (label, policy) in policies {
+        let mut midtier_config = ServerConfig::default();
+        midtier_config
+            .execution_model(ExecutionModel::Dispatch)
+            .workers(4)
+            .batch_policy(policy);
+        let config = ClusterConfig::new().leaves(env.leaves).midtier_config(midtier_config);
+        let service = HdSearchService::launch_with(config, dataset.clone(), Default::default())
+            .expect("launch HDSearch");
+        let client = Arc::new(RpcClient::connect(service.addr()).expect("connect load client"));
+        let mut source = CyclingSource::new(QUERY_METHOD, queries.clone());
+        let report =
+            open_loop::run(OpenLoopConfig::poisson(load, env.duration(), 42), client, &mut source);
+        let us = |d: std::time::Duration| format!("{:.1}", d.as_secs_f64() * 1e6);
+        batch_table.row_owned(vec![
+            label.to_string(),
+            us(report.latency.p50),
+            us(report.latency.p99),
+            report.errors.to_string(),
+            service.cluster().midtier().stats().batching().summary_row(),
+        ]);
+        service.shutdown();
+    }
+    println!("{}", batch_table.render());
 }

@@ -81,6 +81,12 @@ pub enum FrameKind {
     Response = 1,
     /// A one-way notification (no response expected).
     OneWay = 2,
+    /// A multi-request envelope: the payload is a [`crate::batch`]
+    /// envelope carrying several sub-requests, each with its own id,
+    /// method, deadline budget, and priority. Responses come back as
+    /// individual [`FrameKind::Response`] frames correlated by
+    /// sub-request id.
+    Batch = 3,
 }
 
 impl FrameKind {
@@ -89,6 +95,7 @@ impl FrameKind {
             0 => Ok(FrameKind::Request),
             1 => Ok(FrameKind::Response),
             2 => Ok(FrameKind::OneWay),
+            3 => Ok(FrameKind::Batch),
             _ => Err(DecodeError::InvalidDiscriminant { value, context: "FrameKind" }),
         }
     }
@@ -113,7 +120,7 @@ pub enum Priority {
 }
 
 impl Priority {
-    fn from_u8(value: u8) -> Result<Priority, DecodeError> {
+    pub(crate) fn from_u8(value: u8) -> Result<Priority, DecodeError> {
         match value {
             0 => Ok(Priority::Critical),
             1 => Ok(Priority::Normal),

@@ -23,6 +23,57 @@ pub trait LeafHandler: Send + Sync + 'static {
     /// Returns [`ServiceError`] for malformed or unprocessable requests;
     /// the error's status and message travel back to the mid-tier.
     fn handle(&self, request: Self::Request) -> Result<Self::Response, ServiceError>;
+
+    /// Computes responses for a whole batch of requests drained in one
+    /// worker wakeup, returning one result per request, *in order*.
+    ///
+    /// The default implementation preserves single-request semantics by
+    /// calling [`LeafHandler::handle`] per member; compute-aware leaves
+    /// override it to amortize work across the batch (one index walk
+    /// answering k queries, one matrix pass, grouped lookups). An
+    /// override must be *observationally equivalent* to the default:
+    /// bit-identical results in the same order — the batch-equivalence
+    /// proptests pin this for every suite service.
+    fn handle_batch(
+        &self,
+        requests: Vec<Self::Request>,
+    ) -> Vec<Result<Self::Response, ServiceError>> {
+        requests.into_iter().map(|request| self.handle(request)).collect()
+    }
+}
+
+/// Batch-first view of a leaf computation: the unit of work is a
+/// `Vec<Request>`, not one request.
+///
+/// Every [`LeafHandler`] is a `BatchLeafHandler` through the blanket
+/// one-at-a-time adapter below, so batch-aware plumbing (the batched
+/// dispatch loop, generic batch harnesses) can require this trait while
+/// existing handlers keep working unchanged. Handlers with a real batch
+/// kernel just override [`LeafHandler::handle_batch`].
+pub trait BatchLeafHandler: Send + Sync + 'static {
+    /// The decoded request type.
+    type Request: Decode;
+    /// The encoded response type.
+    type Response: Encode;
+
+    /// Computes responses for `requests`, one result per request, in
+    /// order.
+    fn handle_batch(
+        &self,
+        requests: Vec<Self::Request>,
+    ) -> Vec<Result<Self::Response, ServiceError>>;
+}
+
+impl<H: LeafHandler> BatchLeafHandler for H {
+    type Request = H::Request;
+    type Response = H::Response;
+
+    fn handle_batch(
+        &self,
+        requests: Vec<Self::Request>,
+    ) -> Vec<Result<Self::Response, ServiceError>> {
+        LeafHandler::handle_batch(self, requests)
+    }
 }
 
 /// Adapts a [`LeafHandler`] to the untyped [`Service`] interface.
@@ -56,6 +107,41 @@ impl<H: LeafHandler> Service for LeafService<H> {
         match self.handler.handle(request) {
             Ok(response) => ctx.respond_ok(musuite_codec::to_bytes(&response)),
             Err(e) => ctx.respond_err(e.status(), e.message().to_owned()),
+        }
+    }
+
+    fn call_batch(&self, batch: Vec<RequestContext>) {
+        // Decode every member first; a malformed member answers
+        // BadRequest individually and drops out of the batch (mirroring
+        // `call`) without discarding its batchmates.
+        let mut live = Vec::with_capacity(batch.len());
+        let mut requests = Vec::with_capacity(batch.len());
+        for mut ctx in batch {
+            let payload = ctx.take_payload();
+            match musuite_codec::from_bytes::<H::Request>(&payload) {
+                Ok(request) => {
+                    requests.push(request);
+                    live.push(ctx);
+                }
+                Err(e) => ctx.respond_err(musuite_codec::Status::BadRequest, e.to_string()),
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        let results = LeafHandler::handle_batch(&self.handler, requests);
+        debug_assert_eq!(
+            results.len(),
+            live.len(),
+            "handle_batch must return one result per request"
+        );
+        // On a (buggy) short result vector, unmatched contexts drop and
+        // auto-respond AppError, so no client is ever left hanging.
+        for (ctx, result) in live.into_iter().zip(results) {
+            match result {
+                Ok(response) => ctx.respond_ok(musuite_codec::to_bytes(&response)),
+                Err(e) => ctx.respond_err(e.status(), e.message().to_owned()),
+            }
         }
     }
 }
@@ -115,5 +201,68 @@ mod tests {
     fn handler_accessor() {
         let service = LeafService::new(Doubler);
         assert!(service.handler().handle(5).is_ok());
+    }
+
+    #[test]
+    fn default_handle_batch_matches_sequential() {
+        let inputs = vec![1u64, 2, u64::MAX, 4];
+        let batched = LeafHandler::handle_batch(&Doubler, inputs.clone());
+        assert_eq!(batched.len(), 4);
+        for (input, result) in inputs.into_iter().zip(&batched) {
+            match Doubler.handle(input) {
+                Ok(expected) => assert_eq!(result.as_ref().unwrap(), &expected),
+                Err(_) => assert!(result.is_err()),
+            }
+        }
+    }
+
+    #[test]
+    fn every_leaf_handler_is_a_batch_leaf_handler() {
+        fn assert_batch<H: BatchLeafHandler<Request = u64, Response = u64>>(h: &H) -> Vec<u64> {
+            h.handle_batch(vec![3, 4]).into_iter().map(|r| r.unwrap()).collect()
+        }
+        assert_eq!(assert_batch(&Doubler), vec![6, 8]);
+    }
+
+    #[test]
+    fn batched_server_roundtrip_with_mixed_outcomes() {
+        use musuite_rpc::BatchPolicy;
+        use std::time::Duration;
+        let mut config = ServerConfig::default();
+        config.workers(1).batch_policy(BatchPolicy::new(8, Duration::from_micros(200)));
+        let server = Server::spawn(config, Arc::new(LeafService::new(Doubler))).unwrap();
+        let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+        let (tx, rx) = std::sync::mpsc::channel();
+        // Good, overflowing, and malformed members interleaved: each must
+        // resolve with its own outcome even when drained as one batch.
+        for i in 0..30u64 {
+            let tx = tx.clone();
+            let payload = match i % 3 {
+                0 => musuite_codec::to_bytes(&i),
+                1 => musuite_codec::to_bytes(&u64::MAX),
+                _ => vec![0x80], // truncated varint
+            };
+            client.call_async(1, payload, move |result| tx.send((i, result)).unwrap());
+        }
+        drop(tx);
+        let mut outcomes = 0;
+        while let Ok((i, result)) = rx.recv() {
+            outcomes += 1;
+            match i % 3 {
+                0 => {
+                    let doubled: u64 = musuite_codec::from_bytes(&result.unwrap()).unwrap();
+                    assert_eq!(doubled, i * 2);
+                }
+                1 => assert!(matches!(
+                    result.unwrap_err(),
+                    RpcError::Remote { status: Status::AppError, .. }
+                )),
+                _ => assert!(matches!(
+                    result.unwrap_err(),
+                    RpcError::Remote { status: Status::BadRequest, .. }
+                )),
+            }
+        }
+        assert_eq!(outcomes, 30);
     }
 }

@@ -80,5 +80,5 @@ pub mod shard;
 pub use cluster::{Cluster, ClusterConfig, TypedClient};
 pub use degrade::Degraded;
 pub use error::ServiceError;
-pub use leaf::LeafHandler;
+pub use leaf::{BatchLeafHandler, LeafHandler};
 pub use midtier::{MidTierHandler, Plan};

@@ -60,12 +60,63 @@ impl HdSearchLeaf {
                 })
             })
             .collect();
-        scored.sort_by(|a, b| {
-            (a.distance, a.id).partial_cmp(&(b.distance, b.id)).expect("distances are finite")
-        });
-        scored.truncate(k);
+        sort_top_k(&mut scored, k);
         scored
     }
+
+    /// Answers a whole batch of searches in **one sweep over the shard's
+    /// candidate vectors**: candidate lists are inverted into a
+    /// vector→queries map, so each distinct feature vector is fetched
+    /// once and scored against every query in the batch that references
+    /// it. Per query, the result is bit-identical to
+    /// [`HdSearchLeaf::search`] — the same `(query, vector)` distances
+    /// are computed, and the `(distance, global id)` sort key orders
+    /// equal elements identically regardless of scoring order.
+    pub fn search_batch(&self, queries: &[LeafSearchRequest]) -> Vec<Vec<Neighbor>> {
+        let mut wanted: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+        for (slot, request) in queries.iter().enumerate() {
+            for &local in &request.candidates {
+                wanted.entry(local).or_default().push(slot);
+            }
+        }
+        let mut scored: Vec<Vec<Neighbor>> = (0..queries.len()).map(|_| Vec::new()).collect();
+        for (&local, queriers) in &wanted {
+            let Some(vector) = self.vectors.get(local as usize) else { continue };
+            let id = self.id_map.global_id(self.leaf_index, local);
+            for &slot in queriers {
+                scored[slot]
+                    .push(Neighbor { id, distance: euclidean_sq(&queries[slot].vector, vector) });
+            }
+        }
+        for (request, neighbors) in queries.iter().zip(&mut scored) {
+            sort_top_k(neighbors, request.k as usize);
+        }
+        scored
+    }
+
+    /// `true` if `request`'s query vector matches the shard's
+    /// dimensionality (an empty shard accepts anything).
+    fn dim_ok(&self, request: &LeafSearchRequest) -> bool {
+        self.vectors.is_empty() || request.vector.len() == self.dim
+    }
+
+    fn dim_error(&self, request: &LeafSearchRequest) -> ServiceError {
+        ServiceError::bad_request(format!(
+            "query dimension {} does not match corpus dimension {}",
+            request.vector.len(),
+            self.dim
+        ))
+    }
+}
+
+/// Distance-then-id sort plus truncation — the unique total order both
+/// the sequential and the batched path rank neighbours by.
+fn sort_top_k(scored: &mut Vec<Neighbor>, k: usize) {
+    scored.sort_by(|a, b| {
+        // lint: allow(expect): euclidean_sq over finite corpus vectors is finite
+        (a.distance, a.id).partial_cmp(&(b.distance, b.id)).expect("distances are finite")
+    });
+    scored.truncate(k);
 }
 
 impl LeafHandler for HdSearchLeaf {
@@ -73,16 +124,37 @@ impl LeafHandler for HdSearchLeaf {
     type Response = LeafSearchResponse;
 
     fn handle(&self, request: LeafSearchRequest) -> Result<LeafSearchResponse, ServiceError> {
-        if !self.vectors.is_empty() && request.vector.len() != self.dim {
-            return Err(ServiceError::bad_request(format!(
-                "query dimension {} does not match corpus dimension {}",
-                request.vector.len(),
-                self.dim
-            )));
+        if !self.dim_ok(&request) {
+            return Err(self.dim_error(&request));
         }
         Ok(LeafSearchResponse {
             neighbors: self.search(&request.vector, &request.candidates, request.k as usize),
         })
+    }
+
+    fn handle_batch(
+        &self,
+        requests: Vec<LeafSearchRequest>,
+    ) -> Vec<Result<LeafSearchResponse, ServiceError>> {
+        // Validate members individually — a bad-dimension member errors
+        // out alone while its batchmates share one scoring sweep.
+        let mut results: Vec<Result<LeafSearchResponse, ServiceError>> =
+            Vec::with_capacity(requests.len());
+        let mut valid = Vec::with_capacity(requests.len());
+        let mut valid_slots = Vec::with_capacity(requests.len());
+        for (slot, request) in requests.into_iter().enumerate() {
+            if self.dim_ok(&request) {
+                results.push(Ok(LeafSearchResponse { neighbors: Vec::new() }));
+                valid_slots.push(slot);
+                valid.push(request);
+            } else {
+                results.push(Err(self.dim_error(&request)));
+            }
+        }
+        for (slot, neighbors) in valid_slots.into_iter().zip(self.search_batch(&valid)) {
+            results[slot] = Ok(LeafSearchResponse { neighbors });
+        }
+        results
     }
 }
 
@@ -144,5 +216,38 @@ mod tests {
     fn empty_candidates_yield_empty_response() {
         let leaf = leaf();
         assert!(leaf.search(&[0.0, 0.0], &[], 5).is_empty());
+    }
+
+    #[test]
+    fn batched_search_matches_sequential() {
+        let leaf = leaf();
+        let requests = vec![
+            LeafSearchRequest { vector: vec![0.0, 0.0], candidates: vec![0, 1, 2, 3], k: 3 },
+            LeafSearchRequest { vector: vec![1.0, 0.0], candidates: vec![3, 0, 999], k: 2 },
+            LeafSearchRequest { vector: vec![0.0, 2.0], candidates: vec![2, 2, 1], k: 4 },
+            LeafSearchRequest { vector: vec![3.0, 3.0], candidates: vec![], k: 1 },
+        ];
+        let batched = leaf.search_batch(&requests);
+        for (request, batch) in requests.iter().zip(&batched) {
+            let sequential =
+                leaf.search(&request.vector, &request.candidates, request.k as usize);
+            assert_eq!(batch, &sequential);
+        }
+    }
+
+    #[test]
+    fn batched_handler_isolates_invalid_member() {
+        let leaf = leaf();
+        let results = LeafHandler::handle_batch(
+            &leaf,
+            vec![
+                LeafSearchRequest { vector: vec![0.0, 0.0], candidates: vec![0, 1], k: 2 },
+                LeafSearchRequest { vector: vec![0.0; 5], candidates: vec![0], k: 1 },
+                LeafSearchRequest { vector: vec![1.0, 0.0], candidates: vec![1], k: 1 },
+            ],
+        );
+        assert_eq!(results[0].as_ref().unwrap().neighbors.len(), 2);
+        assert!(results[1].as_ref().unwrap_err().message().contains("dimension"));
+        assert_eq!(results[2].as_ref().unwrap().neighbors[0].id, 3);
     }
 }

@@ -93,6 +93,42 @@ pub fn k_nearest_users(
     scored
 }
 
+/// Finds the `k` nearest users for a whole batch of queries in **one
+/// pass over the candidate factor rows**: each candidate's row is
+/// fetched once and its cosine against every query accumulated before
+/// moving on — the batched leaf's matrix–vector sweep. Per query, the
+/// result is bit-identical to [`k_nearest_users`]: the same cosines are
+/// computed in the same per-candidate order, so the similarity-then-
+/// index sort ranks identically.
+///
+/// Queries are `(factor row, excluded self index)` pairs as in the
+/// single-query form.
+pub fn k_nearest_users_batch(
+    factors: &[Vec<f32>],
+    queries: &[(&[f32], Option<usize>)],
+    candidates: &[usize],
+    k: usize,
+) -> Vec<Vec<(usize, f32)>> {
+    let mut scored: Vec<Vec<(usize, f32)>> = queries.iter().map(|_| Vec::new()).collect();
+    for &candidate in candidates {
+        let row = &factors[candidate];
+        for (slot, &(query, query_index)) in queries.iter().enumerate() {
+            if Some(candidate) == query_index {
+                continue;
+            }
+            scored[slot].push((candidate, cosine(query, row)));
+        }
+    }
+    for list in &mut scored {
+        list.sort_by(|a, b| {
+            // lint: allow(expect): cosine is clamped to [-1, 1], never NaN
+            b.1.partial_cmp(&a.1).expect("similarities are finite").then(a.0.cmp(&b.0))
+        });
+        list.truncate(k);
+    }
+    scored
+}
+
 /// Similarity-weighted average of neighbour predictions.
 ///
 /// `predictions[i]` is the rating neighbour `i` implies; weights are the
@@ -158,6 +194,19 @@ mod tests {
     fn empty_candidates_yield_empty() {
         let f = factors();
         assert!(k_nearest_users(&f, &f[0], None, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn batched_knn_matches_sequential() {
+        let f = factors();
+        let all: Vec<usize> = (0..f.len()).collect();
+        let queries: Vec<(&[f32], Option<usize>)> =
+            vec![(&f[0], Some(0)), (&f[2], None), (&f[4], Some(4)), (&f[1], Some(1))];
+        let batched = k_nearest_users_batch(&f, &queries, &all, 3);
+        for (&(query, query_index), batch) in queries.iter().zip(&batched) {
+            assert_eq!(batch, &k_nearest_users(&f, query, query_index, &all, 3));
+        }
+        assert!(k_nearest_users_batch(&f, &[], &all, 3).is_empty());
     }
 
     #[test]

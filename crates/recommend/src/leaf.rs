@@ -8,7 +8,7 @@
 //! time the leaf finds the query user's nearest neighbours *within its
 //! user shard* and returns their similarity-weighted rating for the item.
 
-use crate::knn::{k_nearest_users, weighted_rating};
+use crate::knn::{k_nearest_users, k_nearest_users_batch, weighted_rating};
 use crate::nmf::Nmf;
 use crate::protocol::{LeafRating, RatingQuery};
 use musuite_core::error::ServiceError;
@@ -96,13 +96,54 @@ impl RecommendLeaf {
             }
         }
     }
-}
 
-impl LeafHandler for RecommendLeaf {
-    type Request = RatingQuery;
-    type Response = LeafRating;
+    /// Predicts a whole batch of `(user, item)` queries with **one pass
+    /// over the shard's factor matrix**: the batch's distinct query users
+    /// share one [`k_nearest_users_batch`] sweep (a user appearing in
+    /// several queries gets one neighbourhood, not one per query), then
+    /// each query votes over its user's neighbourhood exactly as
+    /// [`RecommendLeaf::predict`] does — bit-identical ratings.
+    pub fn predict_batch(&self, queries: &[(usize, usize)]) -> Vec<LeafRating> {
+        let mut order: Vec<usize> = Vec::new();
+        let mut slot_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for &(user, _) in queries {
+            slot_of.entry(user).or_insert_with(|| {
+                order.push(user);
+                order.len() - 1
+            });
+        }
+        let batch_queries: Vec<(&[f32], Option<usize>)> =
+            order.iter().map(|&user| (self.model.user_factors(user), Some(user))).collect();
+        let neighborhoods = k_nearest_users_batch(
+            self.model.user_matrix(),
+            &batch_queries,
+            &self.shard_users,
+            self.neighborhood,
+        );
+        queries
+            .iter()
+            .map(|&(user, item)| {
+                let neighbors = &neighborhoods[slot_of[&user]];
+                let predictions: Vec<f32> = neighbors
+                    .iter()
+                    .map(|&(neighbor, _)| self.model.predict(neighbor, item))
+                    .collect();
+                match weighted_rating(neighbors, &predictions) {
+                    Some(rating) => LeafRating {
+                        rating: rating.clamp(1.0, 5.0),
+                        neighbors: neighbors.len() as u32,
+                    },
+                    None => LeafRating {
+                        rating: self.model.predict(user, item).clamp(1.0, 5.0),
+                        neighbors: 0,
+                    },
+                }
+            })
+            .collect()
+    }
 
-    fn handle(&self, request: RatingQuery) -> Result<LeafRating, ServiceError> {
+    /// `Ok` if `request` names a user and item the model knows.
+    fn validate(&self, request: &RatingQuery) -> Result<(), ServiceError> {
         let users = self.model.user_matrix().len();
         let items = self.model.item_matrix().first().map_or(0, Vec::len);
         if request.user as usize >= users {
@@ -111,7 +152,43 @@ impl LeafHandler for RecommendLeaf {
         if request.item as usize >= items {
             return Err(ServiceError::bad_request(format!("unknown item {}", request.item)));
         }
+        Ok(())
+    }
+}
+
+impl LeafHandler for RecommendLeaf {
+    type Request = RatingQuery;
+    type Response = LeafRating;
+
+    fn handle(&self, request: RatingQuery) -> Result<LeafRating, ServiceError> {
+        self.validate(&request)?;
         Ok(self.predict(request.user as usize, request.item as usize))
+    }
+
+    fn handle_batch(
+        &self,
+        requests: Vec<RatingQuery>,
+    ) -> Vec<Result<LeafRating, ServiceError>> {
+        // Validate members individually — an unknown user or item errors
+        // out alone while its batchmates share one factor-matrix pass.
+        let mut results: Vec<Result<LeafRating, ServiceError>> =
+            Vec::with_capacity(requests.len());
+        let mut valid = Vec::with_capacity(requests.len());
+        let mut valid_slots = Vec::with_capacity(requests.len());
+        for (slot, request) in requests.into_iter().enumerate() {
+            match self.validate(&request) {
+                Ok(()) => {
+                    results.push(Ok(LeafRating { rating: 0.0, neighbors: 0 }));
+                    valid_slots.push(slot);
+                    valid.push((request.user as usize, request.item as usize));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
+        for (slot, rating) in valid_slots.into_iter().zip(self.predict_batch(&valid)) {
+            results[slot] = Ok(rating);
+        }
+        results
     }
 }
 
@@ -199,6 +276,49 @@ mod tests {
         let all = leaf.recommend_top_n(0, 10_000);
         assert_eq!(all.len(), 40, "cannot recommend more items than exist");
         assert!(leaf.recommend_top_n(0, 0).is_empty());
+    }
+
+    #[test]
+    fn batched_predictions_match_sequential() {
+        let (data, model) = trained();
+        let leaf = RecommendLeaf::new(model, (0..30).collect(), 8);
+        // Repeat a user across queries so the shared-neighbourhood path
+        // is exercised alongside distinct users.
+        let mut queries: Vec<(usize, usize)> = data
+            .sample_queries(20)
+            .iter()
+            .map(|&(user, item)| (user as usize, item as usize))
+            .collect();
+        queries.push(queries[0]);
+        queries.push((queries[0].0, queries[1].1));
+        let batched = leaf.predict_batch(&queries);
+        for (&(user, item), batch) in queries.iter().zip(&batched) {
+            let sequential = leaf.predict(user, item);
+            assert_eq!(batch.rating.to_bits(), sequential.rating.to_bits(), "bit-identical");
+            assert_eq!(batch.neighbors, sequential.neighbors);
+        }
+    }
+
+    #[test]
+    fn batched_handler_isolates_invalid_member() {
+        let (_, model) = trained();
+        let leaf = RecommendLeaf::new(model, (0..10).collect(), 4);
+        let results = LeafHandler::handle_batch(
+            &leaf,
+            vec![
+                RatingQuery { user: 0, item: 0 },
+                RatingQuery { user: 9999, item: 0 },
+                RatingQuery { user: 1, item: 9999 },
+                RatingQuery { user: 2, item: 3 },
+            ],
+        );
+        assert!(results[0].is_ok());
+        assert!(results[1].as_ref().unwrap_err().message().contains("unknown user"));
+        assert!(results[2].as_ref().unwrap_err().message().contains("unknown item"));
+        assert_eq!(
+            results[3].as_ref().unwrap().rating.to_bits(),
+            leaf.predict(2, 3).rating.to_bits()
+        );
     }
 
     #[test]

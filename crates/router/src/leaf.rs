@@ -34,6 +34,21 @@ impl RouterLeaf {
     pub fn store(&self) -> &Arc<MemKv> {
         &self.store
     }
+
+    /// Serves a buffered run of `Get` keys through [`MemKv::get_many`]
+    /// (one lock acquisition per shard touched) and clears the buffer.
+    fn flush_gets(
+        &self,
+        keys: &mut Vec<String>,
+        results: &mut Vec<Result<KvResponse, ServiceError>>,
+    ) {
+        if keys.is_empty() {
+            return;
+        }
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        results.extend(self.store.get_many(&refs).into_iter().map(|v| Ok(KvResponse::Value(v))));
+        keys.clear();
+    }
 }
 
 impl LeafHandler for RouterLeaf {
@@ -57,6 +72,28 @@ impl LeafHandler for RouterLeaf {
                 KvResponse::Stored
             }
         })
+    }
+
+    /// Splits the batch into contiguous `Get` runs served via the
+    /// store's grouped lookup, while writes (`Set`/`SetEx`/`Delete`)
+    /// apply individually at their exact position in the batch — so
+    /// read-your-writes inside a batch holds, and every response is
+    /// identical to handling the same requests one at a time.
+    fn handle_batch(&self, requests: Vec<KvRequest>) -> Vec<Result<KvResponse, ServiceError>> {
+        let mut results: Vec<Result<KvResponse, ServiceError>> =
+            Vec::with_capacity(requests.len());
+        let mut pending_gets: Vec<String> = Vec::new();
+        for request in requests {
+            match request {
+                KvRequest::Get { key } => pending_gets.push(key),
+                write => {
+                    self.flush_gets(&mut pending_gets, &mut results);
+                    results.push(self.handle(write));
+                }
+            }
+        }
+        self.flush_gets(&mut pending_gets, &mut results);
+        results
     }
 }
 
@@ -83,6 +120,46 @@ mod tests {
             leaf.handle(KvRequest::Get { key: "k".into() }).unwrap(),
             KvResponse::Value(None)
         );
+    }
+
+    #[test]
+    fn batched_requests_match_sequential() {
+        let batched_leaf = RouterLeaf::default();
+        let sequential_leaf = RouterLeaf::default();
+        let requests = vec![
+            KvRequest::Set { key: "a".into(), value: vec![1] },
+            KvRequest::Get { key: "a".into() },
+            KvRequest::Get { key: "missing".into() },
+            KvRequest::Set { key: "a".into(), value: vec![2] }, // overwrite mid-batch
+            KvRequest::Get { key: "a".into() }, // must see the overwrite
+            KvRequest::Get { key: "b".into() },
+            KvRequest::Delete { key: "a".into() },
+            KvRequest::Get { key: "a".into() }, // must see the delete
+        ];
+        let batch = LeafHandler::handle_batch(&batched_leaf, requests.clone());
+        assert_eq!(batch.len(), requests.len());
+        for (request, result) in requests.into_iter().zip(batch) {
+            assert_eq!(result.unwrap(), sequential_leaf.handle(request).unwrap());
+        }
+    }
+
+    #[test]
+    fn get_run_is_served_by_one_grouped_lookup() {
+        let leaf = RouterLeaf::new(MemKvConfig { shards: 1, ..MemKvConfig::default() });
+        leaf.store().set("x", vec![9]);
+        let results = LeafHandler::handle_batch(
+            &leaf,
+            vec![
+                KvRequest::Get { key: "x".into() },
+                KvRequest::Get { key: "y".into() },
+                KvRequest::Get { key: "x".into() },
+            ],
+        );
+        assert_eq!(results[0].as_ref().unwrap(), &KvResponse::Value(Some(vec![9])));
+        assert_eq!(results[1].as_ref().unwrap(), &KvResponse::Value(None));
+        assert_eq!(results[2].as_ref().unwrap(), &KvResponse::Value(Some(vec![9])));
+        assert_eq!(leaf.store().hits(), 2);
+        assert_eq!(leaf.store().misses(), 1);
     }
 
     #[test]

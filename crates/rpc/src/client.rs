@@ -32,6 +32,7 @@ use bytes::Bytes;
 use musuite_check::atomic::{AtomicBool, AtomicU64, Ordering};
 use musuite_check::sync::{Condvar, Mutex};
 use musuite_check::thread::{Builder, JoinHandle};
+use musuite_codec::batch::{BatchEntry, ENTRY_HEADER_LEN};
 use musuite_codec::frame::FrameHeader;
 use musuite_codec::{Frame, FrameKind, Priority, Status};
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
@@ -121,6 +122,53 @@ fn complete(pending: Pending, result: Result<Bytes, RpcError>) {
     }
 }
 
+/// One sub-call of a [`RpcClient::call_batch_async`] envelope: a method,
+/// payload, optional per-member deadline and priority, and the callback
+/// that receives this member's individual response.
+pub struct BatchCall {
+    method: u32,
+    payload: Payload,
+    timeout: Option<Duration>,
+    priority: Priority,
+    callback: Callback,
+}
+
+impl BatchCall {
+    /// A sub-call with no deadline and [`Priority::Normal`].
+    pub fn new<F>(method: u32, payload: impl Into<Payload>, callback: F) -> BatchCall
+    where
+        F: FnOnce(Result<Bytes, RpcError>) + Send + 'static,
+    {
+        BatchCall {
+            method,
+            payload: payload.into(),
+            timeout: None,
+            priority: Priority::Normal,
+            callback: Box::new(callback),
+        }
+    }
+
+    /// Sets this member's deadline and priority class; both travel in the
+    /// member's entry header inside the batch envelope, so the server's
+    /// admission gate and dequeue-expiry act on each member individually.
+    pub fn with_opts(mut self, timeout: Option<Duration>, priority: Priority) -> BatchCall {
+        self.timeout = timeout;
+        self.priority = priority;
+        self
+    }
+}
+
+impl std::fmt::Debug for BatchCall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchCall")
+            .field("method", &self.method)
+            .field("payload_len", &self.payload.len())
+            .field("timeout", &self.timeout)
+            .field("priority", &self.priority)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Remaining-budget wire encoding of an absolute deadline, computed at
 /// the moment the frame leaves so queueing before the send decays it:
 /// `None` encodes as 0 (no deadline); an already-expired deadline floors
@@ -164,6 +212,45 @@ fn write_frame(
     } else {
         writer.write_parts(&header, &payload.parts())?;
     }
+    Ok(())
+}
+
+/// One registered sub-call of a batch send: `(request_id, method, payload,
+/// deadline, priority)`.
+type BatchMeta = (u64, u32, Payload, Option<Instant>, Priority);
+
+/// Serializes and writes one [`FrameKind::Batch`] frame carrying every
+/// sub-call in `calls` as a multi-request envelope. Per-member deadline
+/// budgets are derived from the absolute deadlines here, at the last
+/// moment before the frame leaves, exactly like [`write_frame`] does for
+/// single requests.
+fn write_batch_frame(
+    writer: &SharedWriter,
+    closed: &AtomicBool,
+    calls: &[BatchMeta],
+) -> Result<(), RpcError> {
+    if closed.load(Ordering::Acquire) {
+        return Err(RpcError::ConnectionClosed);
+    }
+    let count = (calls.len() as u32).to_le_bytes();
+    let mut entry_headers: Vec<[u8; ENTRY_HEADER_LEN]> = Vec::with_capacity(calls.len());
+    for (request_id, method, payload, deadline, priority) in calls {
+        let entry = BatchEntry::new(*request_id, *method, Bytes::new())
+            .with_budget(budget_for(*deadline), *priority);
+        entry_headers.push(entry.header_bytes_for_len(payload.len()));
+    }
+    // Assemble the scatter list: count word, then each member's entry
+    // header followed by its payload segments — all borrowed, so the
+    // whole envelope coalesces into the connection's pending buffer
+    // without joining the payloads first.
+    let mut parts: Vec<&[u8]> = Vec::with_capacity(1 + calls.len() * 3);
+    parts.push(&count);
+    for ((_, _, payload, _, _), entry_header) in calls.iter().zip(&entry_headers) {
+        parts.push(entry_header);
+        parts.extend(payload.parts());
+    }
+    let header = FrameHeader::new(FrameKind::Batch, 0, 0, Status::Ok);
+    writer.write_parts(&header, &parts)?;
     Ok(())
 }
 
@@ -532,6 +619,59 @@ impl RpcClient {
         if let Err(e) = self.dispatch(request_id, method, &payload, deadline, priority) {
             if let Some(Pending::Async(cb)) = self.inflight.lock().remove(&request_id) {
                 cb(Err(e));
+            }
+        }
+    }
+
+    /// Issues several asynchronous calls as **one** multi-request
+    /// [`FrameKind::Batch`] frame: one header write, one (coalesced)
+    /// socket write, one server-side decode fan-in. Each member keeps its
+    /// own in-flight entry, deadline, priority, and callback — responses
+    /// come back as individual frames correlated by sub-request id, so
+    /// callbacks fire per member exactly as with [`RpcClient::call_async`].
+    ///
+    /// An empty vector is a no-op and a single-element vector falls back
+    /// to the plain request path (the envelope would only add overhead).
+    /// Fault injection ([`ClientFaults`]) applies to the unbatched path
+    /// only; batch envelopes are sent directly.
+    pub fn call_batch_async(&self, calls: Vec<BatchCall>) {
+        if calls.is_empty() {
+            return;
+        }
+        if calls.len() == 1 {
+            // lint: allow(expect): length is checked immediately above
+            let call = calls.into_iter().next().expect("len checked above");
+            self.call_async_inner(
+                call.method,
+                call.payload,
+                call.timeout,
+                call.priority,
+                call.callback,
+            );
+            return;
+        }
+        // Register every member before the envelope leaves so a fast
+        // response cannot miss its in-flight entry.
+        let mut metas: Vec<BatchMeta> = Vec::with_capacity(calls.len());
+        for call in calls {
+            let deadline = call.timeout.map(|limit| Instant::now() + limit);
+            let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            self.inflight.lock().insert(request_id, Pending::Async(call.callback));
+            if let Some(when) = deadline {
+                self.schedule(when, request_id);
+            }
+            metas.push((request_id, call.method, call.payload, deadline, call.priority));
+        }
+        if let Err(e) = write_batch_frame(&self.writer, &self.closed, &metas) {
+            // A failed envelope write fails every member. The original
+            // error is reported once; the rest see ConnectionClosed
+            // (io::Error is not Clone, and a writer failure means the
+            // connection is done for).
+            let mut first = Some(e);
+            for (request_id, ..) in &metas {
+                if let Some(Pending::Async(cb)) = self.inflight.lock().remove(request_id) {
+                    cb(Err(first.take().unwrap_or(RpcError::ConnectionClosed)));
+                }
             }
         }
     }
@@ -948,6 +1088,114 @@ mod tests {
         let reply = client.call(1, b"p".to_vec()).unwrap();
         assert_eq!(u32::from_le_bytes(reply[..4].try_into().unwrap()), 0);
         assert_eq!(reply[4], Priority::Normal as u8);
+    }
+
+    #[test]
+    fn batch_call_round_trips_every_member() {
+        let server = echo_server();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let calls = (0..16u32)
+            .map(|i| {
+                let tx = tx.clone();
+                BatchCall::new(1, i.to_le_bytes().to_vec(), move |result| {
+                    let bytes = result.unwrap();
+                    let value = u32::from_le_bytes(bytes[..].try_into().unwrap());
+                    tx.send(value).unwrap();
+                })
+            })
+            .collect();
+        client.call_batch_async(calls);
+        let mut seen: Vec<u32> =
+            (0..16).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<_>>());
+        assert_eq!(client.inflight_len(), 0);
+    }
+
+    #[test]
+    fn batch_members_carry_individual_budget_and_priority() {
+        struct Probe;
+        impl Service for Probe {
+            fn call(&self, ctx: RequestContext) {
+                let mut out = ctx.remaining_budget().to_le_bytes().to_vec();
+                out.push(ctx.priority() as u8);
+                ctx.respond_ok(out);
+            }
+        }
+        let server = Server::spawn(ServerConfig::default(), Arc::new(Probe)).unwrap();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        let (bounded_tx, bounded_rx) = mpsc::channel();
+        let (plain_tx, plain_rx) = mpsc::channel();
+        client.call_batch_async(vec![
+            BatchCall::new(1, b"a".to_vec(), move |r| bounded_tx.send(r).unwrap())
+                .with_opts(Some(Duration::from_millis(500)), Priority::Critical),
+            BatchCall::new(1, b"b".to_vec(), move |r| plain_tx.send(r).unwrap()),
+        ]);
+        let bounded = bounded_rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        let observed = u32::from_le_bytes(bounded[..4].try_into().unwrap());
+        assert!(observed > 0 && observed <= 500_000, "budget must decay from 500ms: {observed}");
+        assert_eq!(bounded[4], Priority::Critical as u8);
+        let plain = plain_rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(u32::from_le_bytes(plain[..4].try_into().unwrap()), 0);
+        assert_eq!(plain[4], Priority::Normal as u8);
+    }
+
+    #[test]
+    fn batch_member_deadline_reaps_against_stuck_server() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _keeper = std::thread::spawn(move || {
+            let (_stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(2));
+        });
+        let client = RpcClient::connect(addr).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let bounded_tx = tx.clone();
+        client.call_batch_async(vec![
+            BatchCall::new(1, b"never".to_vec(), move |r| bounded_tx.send(r).unwrap())
+                .with_opts(Some(Duration::from_millis(100)), Priority::Normal),
+            BatchCall::new(1, b"unbounded".to_vec(), move |r| tx.send(r).unwrap()),
+        ]);
+        assert_eq!(client.inflight_len(), 2);
+        let result = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(result, Err(RpcError::TimedOut)));
+        assert_eq!(client.inflight_len(), 1, "only the bounded member is reaped");
+    }
+
+    #[test]
+    fn batch_of_one_uses_plain_request_path() {
+        let server = echo_server();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        let (tx, rx) = mpsc::channel();
+        client.call_batch_async(vec![BatchCall::new(1, b"solo".to_vec(), move |r| {
+            tx.send(r).unwrap()
+        })]);
+        let result = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(result.unwrap(), b"solo");
+        // Empty batches are a no-op.
+        client.call_batch_async(Vec::new());
+        assert_eq!(client.inflight_len(), 0);
+    }
+
+    #[test]
+    fn batch_send_on_closed_client_fails_all_members() {
+        let server = echo_server();
+        let client = RpcClient::connect(server.local_addr()).unwrap();
+        client.shutdown();
+        let (tx, rx) = mpsc::channel();
+        let calls = (0..3u32)
+            .map(|_| {
+                let tx = tx.clone();
+                BatchCall::new(1, b"late".to_vec(), move |r| tx.send(r).unwrap())
+            })
+            .collect();
+        client.call_batch_async(calls);
+        for _ in 0..3 {
+            let result = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert!(matches!(result, Err(RpcError::ConnectionClosed)));
+        }
+        assert_eq!(client.inflight_len(), 0);
     }
 
     #[test]

@@ -79,6 +79,66 @@ pub enum AdmissionModel {
     Adaptive,
 }
 
+/// How many requests a worker drains per wakeup, and how long a partial
+/// batch may wait for stragglers — the throughput-vs-latency knob the
+/// DeathStarBench RPC studies identify as dominant at microservice
+/// message sizes. `off()` (the default) keeps single-request semantics;
+/// any `max_size > 1` makes *batches* the unit of work: one park/unpark
+/// per batch at the dispatch queue, one multi-request frame per merged
+/// fan-out, one compute-kernel invocation per leaf batch.
+///
+/// Deadline and priority bookkeeping always stays per *member*: a batch
+/// never outlives its tightest budget, and expired members are dropped
+/// from the batch rather than the batch from the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPolicy {
+    max_size: usize,
+    max_delay: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::off()
+    }
+}
+
+impl BatchPolicy {
+    /// Batching disabled: every batch has exactly one member and nothing
+    /// ever waits for stragglers. This is semantically identical to the
+    /// pre-batching request path.
+    pub fn off() -> BatchPolicy {
+        BatchPolicy { max_size: 1, max_delay: Duration::ZERO }
+    }
+
+    /// A policy that closes batches at `max_size` members or after
+    /// `max_delay` of waiting, whichever comes first. A zero `max_delay`
+    /// means "drain what is ready, never wait" — batches still form under
+    /// backlog but empty queues flush immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero.
+    pub fn new(max_size: usize, max_delay: Duration) -> BatchPolicy {
+        assert!(max_size > 0, "batch size must be at least one");
+        BatchPolicy { max_size, max_delay }
+    }
+
+    /// Maximum members per batch.
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// Longest a partial batch waits for stragglers before flushing.
+    pub fn max_delay(&self) -> Duration {
+        self.max_delay
+    }
+
+    /// Whether this policy actually batches (`max_size > 1`).
+    pub fn is_on(&self) -> bool {
+        self.max_size > 1
+    }
+}
+
 /// Configuration for a [`crate::Server`].
 ///
 /// Constructed with a non-consuming builder:
@@ -108,6 +168,8 @@ pub struct ServerConfig {
     idle_timeout: Option<Duration>,
     #[serde(default)]
     admission: AdmissionModel,
+    #[serde(default)]
+    batch: BatchPolicy,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +184,7 @@ impl Default for ServerConfig {
             sweep_budget: default_sweep_budget(),
             idle_timeout: None,
             admission: AdmissionModel::default(),
+            batch: BatchPolicy::default(),
         }
     }
 }
@@ -223,6 +286,14 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the dispatch batching policy (default [`BatchPolicy::off`]).
+    /// With batching on, workers drain up to `max_size` queued requests
+    /// per wakeup and hand them to the service as one batch.
+    pub fn batch_policy(&mut self, policy: BatchPolicy) -> &mut ServerConfig {
+        self.batch = policy;
+        self
+    }
+
     /// Configured bind address.
     pub fn addr(&self) -> &str {
         &self.addr
@@ -266,6 +337,11 @@ impl ServerConfig {
     /// Configured admission model.
     pub fn admission_model_value(&self) -> AdmissionModel {
         self.admission
+    }
+
+    /// Configured dispatch batching policy.
+    pub fn batch_policy_value(&self) -> BatchPolicy {
+        self.batch
     }
 }
 
@@ -317,6 +393,25 @@ mod tests {
         assert_eq!(c.network_model_value(), NetworkModel::SharedPollers { pollers: 3 });
         assert_eq!(c.sweep_budget_value(), 8);
         assert_eq!(c.idle_timeout_value(), Some(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn batch_policy_round_trips() {
+        let mut c = ServerConfig::new();
+        assert_eq!(c.batch_policy_value(), BatchPolicy::off());
+        assert!(!c.batch_policy_value().is_on());
+        let policy = BatchPolicy::new(8, Duration::from_micros(50));
+        c.batch_policy(policy);
+        assert_eq!(c.batch_policy_value(), policy);
+        assert!(policy.is_on());
+        assert_eq!(policy.max_size(), 8);
+        assert_eq!(policy.max_delay(), Duration::from_micros(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least one")]
+    fn zero_batch_size_rejected() {
+        BatchPolicy::new(0, Duration::ZERO);
     }
 
     #[test]

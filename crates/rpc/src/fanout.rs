@@ -17,18 +17,21 @@
 //! payload bytes inside the process.
 
 use crate::buf::Payload;
-use crate::client::RpcClient;
+use crate::client::{BatchCall, RpcClient};
+use crate::config::BatchPolicy;
 use crate::error::{FailureKind, RpcError};
 use crate::fault::{ClientFaults, FaultPlan};
 use crate::reactor::Reactor;
 use bytes::Bytes;
 use musuite_check::atomic::{AtomicUsize, Ordering};
-use musuite_check::sync::{Mutex, RwLock};
+use musuite_check::sync::{Condvar, Mutex, RwLock};
+use musuite_check::thread::{Builder, JoinHandle};
 use musuite_codec::Priority;
+use musuite_telemetry::batching::{BatchStats, FlushReason};
 use musuite_telemetry::clock::Clock;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The gathered outcome of one scatter: per-leaf results in request order
 /// plus the wall-clock time the fan-out took (used to attribute leaf time
@@ -162,6 +165,158 @@ impl LeafConns {
     }
 }
 
+/// The boxed completion a buffered leaf call resolves through.
+type LeafCallback = Box<dyn FnOnce(Result<Bytes, RpcError>) + Send + 'static>;
+
+/// One leaf sub-call parked in a merge buffer awaiting flush.
+struct BufferedCall {
+    method: u32,
+    payload: Payload,
+    deadline: Option<Instant>,
+    priority: Priority,
+    done: LeafCallback,
+}
+
+/// One leaf's merge buffer: the parked calls plus when the first of them
+/// arrived (the batch's delay clock).
+#[derive(Default)]
+struct MergeBuffer {
+    calls: Vec<BufferedCall>,
+    opened_at: Option<Instant>,
+}
+
+/// Flusher-thread coordination: the earliest buffer due time and the
+/// shutdown flag, guarded by one mutex the flusher's condvar waits on.
+struct FlusherShared {
+    stop: bool,
+    next_due: Option<Instant>,
+}
+
+/// Client-side merge batching: same-leaf sub-calls from *concurrent*
+/// scatters park here briefly and leave as one multi-request envelope —
+/// the mid-tier analogue of the server's dequeue-side `pop_batch`.
+struct MergeState {
+    policy: BatchPolicy,
+    buffers: Vec<Mutex<MergeBuffer>>,
+    shared: Mutex<FlusherShared>,
+    wake: Condvar,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+    stats: BatchStats,
+}
+
+impl MergeState {
+    /// Lowers the flusher's next wake-up to `due` if it is earlier.
+    fn propose_due(&self, due: Instant) {
+        let mut shared = self.shared.lock();
+        if shared.next_due.is_none_or(|current| due < current) {
+            shared.next_due = Some(due);
+            self.wake.notify_one();
+        }
+    }
+
+    /// Flushes every buffer that is due at `now` (every non-empty buffer
+    /// when `force`), returning the earliest remaining due time.
+    fn sweep(&self, leaves: &[LeafConns], now: Instant, force: bool) -> Option<Instant> {
+        let mut earliest: Option<Instant> = None;
+        for (leaf, slot) in self.buffers.iter().enumerate() {
+            let taken = {
+                let mut buffer = slot.lock();
+                match buffer.opened_at {
+                    Some(opened) if force || now >= opened + self.policy.max_delay() => {
+                        buffer.opened_at = None;
+                        Some(std::mem::take(&mut buffer.calls))
+                    }
+                    Some(opened) => {
+                        let due = opened + self.policy.max_delay();
+                        if earliest.is_none_or(|current| due < current) {
+                            earliest = Some(due);
+                        }
+                        None
+                    }
+                    None => None,
+                }
+            };
+            if let Some(calls) = taken {
+                let reason =
+                    if force { FlushReason::QueueDrained } else { FlushReason::DelayExpired };
+                self.flush(leaves, leaf, calls, reason);
+            }
+        }
+        earliest
+    }
+
+    /// Sends a flushed buffer to its leaf. Members whose deadline already
+    /// passed while parked are dropped *from the batch* and completed with
+    /// [`RpcError::TimedOut`] here — a merged envelope never outlives its
+    /// tightest member budget. A lone survivor takes the plain request
+    /// path; two or more leave as one batch envelope.
+    fn flush(&self, leaves: &[LeafConns], leaf: usize, calls: Vec<BufferedCall>, r: FlushReason) {
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(calls.len());
+        for call in calls {
+            if call.deadline.is_some_and(|deadline| deadline <= now) {
+                (call.done)(Err(RpcError::TimedOut));
+                continue;
+            }
+            live.push(call);
+        }
+        self.stats.record_batch(live.len(), r);
+        if live.is_empty() {
+            return;
+        }
+        let client = leaves[leaf].pick();
+        if live.len() == 1 {
+            // lint: allow(expect): emptiness is checked immediately above
+            let call = live.pop().expect("one live member");
+            let remaining = call.deadline.map(|deadline| deadline - now);
+            client.call_async_opts(call.method, call.payload, remaining, call.priority, call.done);
+            return;
+        }
+        let batch = live
+            .into_iter()
+            .map(|call| {
+                let remaining = call.deadline.map(|deadline| deadline - now);
+                BatchCall::new(call.method, call.payload, call.done)
+                    .with_opts(remaining, call.priority)
+            })
+            .collect();
+        client.call_batch_async(batch);
+    }
+}
+
+/// Spawns the delay flusher: it sleeps until the earliest open buffer
+/// comes due, sweeps, and reposes. Buffers opened while it sleeps lower
+/// its wake-up through [`MergeState::propose_due`].
+fn spawn_flusher_thread(state: Arc<MergeState>, leaves: Arc<Vec<LeafConns>>) -> JoinHandle<()> {
+    Builder::new()
+        .name("musuite-merge-flusher".into())
+        .spawn(move || loop {
+            {
+                let mut shared = state.shared.lock();
+                loop {
+                    if shared.stop {
+                        return;
+                    }
+                    match shared.next_due {
+                        None => state.wake.wait(&mut shared),
+                        Some(due) => {
+                            let now = Instant::now();
+                            if now >= due {
+                                shared.next_due = None;
+                                break;
+                            }
+                            state.wake.wait_for(&mut shared, due - now);
+                        }
+                    }
+                }
+            }
+            if let Some(next) = state.sweep(&leaves, Instant::now(), false) {
+                state.propose_due(next);
+            }
+        })
+        .expect("spawn merge flusher thread") // lint: allow(expect): delay flushes are unenforceable without it
+}
+
 /// A set of asynchronous clients, one connection pool per leaf
 /// microserver.
 ///
@@ -171,9 +326,10 @@ impl LeafConns {
 /// spawning a response pick-up thread, so the client-side network thread
 /// count is the reactor's fixed poller count regardless of fan-out width.
 pub struct FanoutGroup {
-    leaves: Vec<LeafConns>,
+    leaves: Arc<Vec<LeafConns>>,
     clock: Clock,
     reactor: Option<Arc<Reactor>>,
+    merge: Option<Arc<MergeState>>,
 }
 
 /// Connects one leaf client, through the shared reactor when present.
@@ -271,24 +427,72 @@ impl FanoutGroup {
                 faults,
             });
         }
-        Ok(FanoutGroup { leaves, clock: Clock::new(), reactor: reactor.cloned() })
+        Ok(FanoutGroup {
+            leaves: Arc::new(leaves),
+            clock: Clock::new(),
+            reactor: reactor.cloned(),
+            merge: None,
+        })
     }
 
     /// Builds a group from pre-connected clients, one per leaf.
     pub fn from_clients(clients: Vec<Arc<RpcClient>>) -> FanoutGroup {
         FanoutGroup {
-            leaves: clients
-                .into_iter()
-                .map(|client| LeafConns {
-                    addr: client.peer_addr(),
-                    conns: RwLock::new(vec![client]),
-                    next: AtomicUsize::new(0),
-                    faults: None,
-                })
-                .collect(),
+            leaves: Arc::new(
+                clients
+                    .into_iter()
+                    .map(|client| LeafConns {
+                        addr: client.peer_addr(),
+                        conns: RwLock::new(vec![client]),
+                        next: AtomicUsize::new(0),
+                        faults: None,
+                    })
+                    .collect(),
+            ),
             clock: Clock::new(),
             reactor: None,
+            merge: None,
         }
+    }
+
+    /// Enables client-side merge batching: leaf sub-calls issued through
+    /// this group park in a per-leaf buffer and leave as **one**
+    /// multi-request envelope when the buffer reaches `policy.max_size()`
+    /// members or the oldest member has waited `policy.max_delay()`.
+    /// Sub-calls from *concurrent* scatters that target the same leaf
+    /// merge into the same envelope — the shared-prefix payload machinery
+    /// keeps the common request state a single allocation throughout.
+    ///
+    /// Members keep their individual deadlines and priorities; a member
+    /// whose deadline expires while parked is completed with
+    /// [`RpcError::TimedOut`] and dropped from the envelope, never the
+    /// other way around. An off policy (`BatchPolicy::off()`) leaves the
+    /// group on the direct per-call path.
+    pub fn with_batching(mut self, policy: BatchPolicy) -> FanoutGroup {
+        if !policy.is_on() {
+            self.merge = None;
+            return self;
+        }
+        let state = Arc::new(MergeState {
+            policy,
+            buffers: (0..self.leaves.len()).map(|_| Mutex::new(MergeBuffer::default())).collect(),
+            shared: Mutex::new(FlusherShared { stop: false, next_due: None }),
+            wake: Condvar::new(),
+            flusher: Mutex::new(None),
+            stats: BatchStats::default(),
+        });
+        if !policy.max_delay().is_zero() {
+            let handle = spawn_flusher_thread(state.clone(), self.leaves.clone());
+            *state.flusher.lock() = Some(handle);
+        }
+        self.merge = Some(state);
+        self
+    }
+
+    /// Merge-batching occupancy and flush-reason counters, when batching
+    /// is enabled ([`FanoutGroup::with_batching`]).
+    pub fn batch_stats(&self) -> Option<&BatchStats> {
+        self.merge.as_ref().map(|state| &state.stats)
     }
 
     /// The shared reactor leaf connections register with, if any.
@@ -364,7 +568,7 @@ impl FanoutGroup {
     /// Shuts down every connection to every leaf; in-flight calls fail
     /// fast with [`RpcError::ConnectionClosed`]. Idempotent.
     pub fn shutdown_all(&self) {
-        for leaf in &self.leaves {
+        for leaf in self.leaves.iter() {
             for conn in leaf.conns.read().iter() {
                 conn.shutdown();
             }
@@ -451,9 +655,71 @@ impl FanoutGroup {
         let state = ScatterState::new(requests.len(), self.clock, on_complete);
         for (slot, (leaf, method, payload)) in requests.into_iter().enumerate() {
             let state = state.clone();
-            let client = self.leaves[leaf].pick();
             let done = move |result| state.arrive(slot, result);
-            client.call_async_opts(method, payload, timeout, priority, done);
+            self.issue(leaf, method, payload, timeout, priority, done);
+        }
+    }
+
+    /// Issues one leaf sub-call through the group's request path: the
+    /// direct asynchronous call normally, or the merge buffer when
+    /// batching is enabled ([`FanoutGroup::with_batching`]) — where it may
+    /// coalesce with sub-calls from other concurrent scatters to the same
+    /// leaf into one multi-request envelope. The `timeout` decays while
+    /// the call is parked, exactly as it decays in a send queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is out of bounds.
+    pub fn issue<P, F>(
+        &self,
+        leaf: usize,
+        method: u32,
+        payload: P,
+        timeout: Option<Duration>,
+        priority: Priority,
+        done: F,
+    ) where
+        P: Into<Payload>,
+        F: FnOnce(Result<Bytes, RpcError>) + Send + 'static,
+    {
+        let Some(merge) = &self.merge else {
+            self.leaves[leaf].pick().call_async_opts(method, payload, timeout, priority, done);
+            return;
+        };
+        let now = Instant::now();
+        let call = BufferedCall {
+            method,
+            payload: payload.into(),
+            deadline: timeout.map(|limit| now + limit),
+            priority,
+            done: Box::new(done),
+        };
+        let (full, opened) = {
+            let mut buffer = merge.buffers[leaf].lock();
+            buffer.calls.push(call);
+            if buffer.calls.len() >= merge.policy.max_size() {
+                buffer.opened_at = None;
+                (Some(std::mem::take(&mut buffer.calls)), None)
+            } else if merge.policy.max_delay().is_zero() {
+                // No delay budget to wait for stragglers: whatever this
+                // moment's contemporaries contributed leaves immediately.
+                (Some(std::mem::take(&mut buffer.calls)), None)
+            } else if buffer.opened_at.is_none() {
+                buffer.opened_at = Some(now);
+                (None, Some(now + merge.policy.max_delay()))
+            } else {
+                (None, None)
+            }
+        };
+        if let Some(calls) = full {
+            let reason = if calls.len() >= merge.policy.max_size() {
+                FlushReason::SizeFull
+            } else {
+                FlushReason::QueueDrained
+            };
+            merge.flush(&self.leaves, leaf, calls, reason);
+        } else if let Some(due) = opened {
+            merge.propose_due(due);
         }
     }
 
@@ -493,6 +759,24 @@ impl FanoutGroup {
         });
         // lint: allow(expect): completion closure runs on every path, even all-timeout
         rx.recv().expect("scatter completion always runs")
+    }
+}
+
+impl Drop for FanoutGroup {
+    /// Stops the delay flusher and force-flushes every parked sub-call so
+    /// no buffered callback is ever silently dropped with the group.
+    fn drop(&mut self) {
+        let Some(merge) = &self.merge else { return };
+        {
+            let mut shared = merge.shared.lock();
+            shared.stop = true;
+        }
+        merge.wake.notify_all();
+        let handle = merge.flusher.lock().take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        merge.sweep(&self.leaves, Instant::now(), true);
     }
 }
 
@@ -793,6 +1077,120 @@ mod tests {
             );
             assert_eq!(reply[4], Priority::Critical as u8);
         }
+    }
+
+    #[test]
+    fn merged_scatters_coalesce_same_leaf_subcalls() {
+        let (_servers, group) = leaf_cluster(2);
+        let group = Arc::new(
+            group.with_batching(BatchPolicy::new(4, std::time::Duration::from_millis(20))),
+        );
+        // Four concurrent scatters each hit both leaves; same-leaf
+        // sub-calls coalesce inside the 20ms merge window.
+        let mut handles = Vec::new();
+        for round in 0..4u8 {
+            let group = group.clone();
+            handles.push(std::thread::spawn(move || {
+                let requests = vec![(0usize, 1u32, vec![round]), (1, 1, vec![round])];
+                let result = group.scatter_wait(requests);
+                assert!(result.all_ok());
+                for (leaf, reply) in result.successes().iter().enumerate() {
+                    assert_eq!(reply, &[leaf as u8, round]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = group.batch_stats().expect("batching is on");
+        assert_eq!(stats.members(), 8, "every sub-call goes through the merge path");
+        assert!(
+            stats.batches() < 8,
+            "concurrent same-leaf sub-calls must coalesce, got {} batches",
+            stats.batches()
+        );
+    }
+
+    #[test]
+    fn merge_delay_expiry_flushes_partial_batch() {
+        let (_servers, group) = leaf_cluster(1);
+        let group = group.with_batching(BatchPolicy::new(64, std::time::Duration::from_millis(5)));
+        // A single sub-call can never fill a 64-wide batch; only the
+        // delay flusher gets it onto the wire.
+        let result = group.scatter_wait(vec![(0usize, 1u32, vec![7u8])]);
+        assert!(result.all_ok());
+        let stats = group.batch_stats().unwrap();
+        assert_eq!(stats.flushes(musuite_telemetry::batching::FlushReason::DelayExpired), 1);
+    }
+
+    #[test]
+    fn merge_off_policy_keeps_direct_path() {
+        let (_servers, group) = leaf_cluster(1);
+        let group = group.with_batching(BatchPolicy::off());
+        assert!(group.batch_stats().is_none());
+        let result = group.scatter_wait(vec![(0usize, 1u32, vec![1u8])]);
+        assert!(result.all_ok());
+    }
+
+    #[test]
+    fn merge_zero_delay_flushes_immediately() {
+        let (_servers, group) = leaf_cluster(1);
+        let group = group.with_batching(BatchPolicy::new(8, std::time::Duration::ZERO));
+        for round in 0..3u8 {
+            let result = group.scatter_wait(vec![(0usize, 1u32, vec![round])]);
+            assert!(result.all_ok());
+        }
+        let stats = group.batch_stats().unwrap();
+        assert_eq!(stats.members(), 3);
+        assert_eq!(stats.batches(), 3, "zero delay means nothing waits for stragglers");
+    }
+
+    #[test]
+    fn expired_member_dropped_from_merged_batch_not_batchmates() {
+        let (_servers, group) = leaf_cluster(1);
+        let group = Arc::new(
+            group.with_batching(BatchPolicy::new(8, std::time::Duration::from_millis(40))),
+        );
+        let (tx, rx) = std::sync::mpsc::channel();
+        // A member whose budget is far smaller than the merge window
+        // expires while parked; its batchmate must still be served.
+        let expired_tx = tx.clone();
+        group.issue(
+            0,
+            1,
+            vec![1u8],
+            Some(std::time::Duration::from_millis(1)),
+            Priority::Normal,
+            move |r| expired_tx.send(("expired", r)).unwrap(),
+        );
+        group.issue(0, 1, vec![2u8], None, Priority::Normal, move |r| {
+            tx.send(("healthy", r)).unwrap()
+        });
+        let mut outcomes = std::collections::HashMap::new();
+        for _ in 0..2 {
+            let (who, result) = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            outcomes.insert(who, result);
+        }
+        assert!(
+            matches!(outcomes["expired"], Err(RpcError::TimedOut)),
+            "parked past its deadline: {:?}",
+            outcomes["expired"]
+        );
+        assert_eq!(outcomes["healthy"].as_ref().unwrap()[..], [0u8, 2]);
+    }
+
+    #[test]
+    fn dropping_group_completes_parked_subcalls() {
+        let (_servers, group) = leaf_cluster(1);
+        let group =
+            group.with_batching(BatchPolicy::new(64, std::time::Duration::from_secs(3600)));
+        let (tx, rx) = std::sync::mpsc::channel();
+        group.issue(0, 1, vec![9u8], None, Priority::Normal, move |r| tx.send(r).unwrap());
+        // The hour-long merge window never elapses; dropping the group
+        // must force-flush the parked call rather than strand it.
+        drop(group);
+        let result = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert_eq!(result.unwrap()[..], [0u8, 9]);
     }
 
     #[test]

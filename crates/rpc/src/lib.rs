@@ -80,8 +80,8 @@ pub use admission::{AdmissionControl, AdmissionPermit, LimitChange};
 pub use buf::{
     BufferPool, ConnWriter, FrameAccumulator, FrameReader, FrameWriter, Payload, PooledBuf,
 };
-pub use client::RpcClient;
-pub use config::{AdmissionModel, ExecutionModel, NetworkModel, ServerConfig, WaitMode};
+pub use client::{BatchCall, RpcClient};
+pub use config::{AdmissionModel, BatchPolicy, ExecutionModel, NetworkModel, ServerConfig, WaitMode};
 pub use error::{FailureKind, RpcError};
 pub use fanout::FanoutGroup;
 pub use fault::{ClientFaults, FaultEvent, FaultKind, FaultPlan, FaultRule};

@@ -14,12 +14,14 @@
 //! ([`WaitMode`]), matching the §VII trade-off discussion.
 
 use crate::config::WaitMode;
+use musuite_telemetry::batching::FlushReason;
 use musuite_telemetry::breakdown::{BreakdownRecorder, Stage};
 use musuite_telemetry::clock::Clock;
 use musuite_telemetry::counters::{OsOp, OsOpCounters};
 use musuite_telemetry::sync::{CountedCondvar, CountedMutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Entry<T> {
     item: T,
@@ -219,6 +221,66 @@ impl<T> DispatchQueue<T> {
         }
     }
 
+    /// Dequeues up to `max_size` items in one wakeup, waiting (per
+    /// [`WaitMode`]) for the *first* item exactly like [`DispatchQueue::pop`],
+    /// then draining whatever else is ready. A partial batch waits up to
+    /// `max_delay` for stragglers; `Duration::ZERO` means "never wait —
+    /// flush what the queue had". Returns the batch in FIFO order together
+    /// with the reason it closed, or `None` once the queue is closed and
+    /// drained.
+    ///
+    /// This is the batched unit-of-work edge: one park/unpark (and one
+    /// Block/Active-Exe attribution per member, recorded at dequeue) covers
+    /// the whole batch instead of one futex round-trip per request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero.
+    pub fn pop_batch(&self, max_size: usize, max_delay: Duration) -> Option<(Vec<T>, FlushReason)> {
+        assert!(max_size > 0, "batch size must be at least one");
+        let first = self.pop()?;
+        let mut batch = Vec::with_capacity(max_size.min(64));
+        batch.push(first);
+        if max_size == 1 {
+            return Some((batch, FlushReason::SizeFull));
+        }
+        let deadline = (!max_delay.is_zero()).then(|| Instant::now() + max_delay);
+        loop {
+            let mut state = self.shared.queue.lock();
+            while batch.len() < max_size {
+                match self.take_entry(&mut state) {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.len() >= max_size {
+                return Some((batch, FlushReason::SizeFull));
+            }
+            if state.closed {
+                return Some((batch, FlushReason::QueueDrained));
+            }
+            let Some(deadline) = deadline else {
+                return Some((batch, FlushReason::QueueDrained));
+            };
+            let now = Instant::now();
+            if now >= deadline {
+                return Some((batch, FlushReason::DelayExpired));
+            }
+            match self.wait_mode {
+                WaitMode::Block | WaitMode::Adaptive => {
+                    // Timed park: a straggler's notify wakes us early, the
+                    // timeout bounds how long the partial batch can age.
+                    self.shared.available.wait_for(&mut state, deadline - now);
+                }
+                WaitMode::Poll => {
+                    drop(state);
+                    OsOpCounters::global().incr(OsOp::SchedYield);
+                    musuite_check::thread::yield_now();
+                }
+            }
+        }
+    }
+
     /// Attempts to dequeue without waiting.
     pub fn try_pop(&self) -> Option<T> {
         let mut state = self.shared.queue.lock();
@@ -404,6 +466,99 @@ mod tests {
     }
 
     #[test]
+    fn pop_batch_drains_backlog_up_to_size() {
+        let q = DispatchQueue::new(64, WaitMode::Block);
+        for i in 0..10 {
+            assert!(q.push(i));
+        }
+        let (batch, reason) = q.pop_batch(4, Duration::ZERO).unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+        assert_eq!(reason, FlushReason::SizeFull);
+        let (batch, reason) = q.pop_batch(32, Duration::ZERO).unwrap();
+        assert_eq!(batch, (4..10).collect::<Vec<_>>());
+        assert_eq!(reason, FlushReason::QueueDrained, "zero delay must not wait for stragglers");
+    }
+
+    #[test]
+    fn pop_batch_of_one_behaves_like_pop() {
+        let q = DispatchQueue::new(8, WaitMode::Block);
+        q.push(5);
+        let (batch, reason) = q.pop_batch(1, Duration::from_millis(50)).unwrap();
+        assert_eq!(batch, vec![5]);
+        assert_eq!(reason, FlushReason::SizeFull);
+    }
+
+    #[test]
+    fn pop_batch_waits_for_stragglers_within_delay() {
+        let q = DispatchQueue::new(64, WaitMode::Block);
+        q.push(1);
+        let q2 = q.clone();
+        let producer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            assert!(q2.push(2));
+            assert!(q2.push(3));
+        });
+        let (batch, reason) = q.pop_batch(3, Duration::from_millis(500)).unwrap();
+        producer.join().unwrap();
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert_eq!(reason, FlushReason::SizeFull);
+    }
+
+    #[test]
+    fn pop_batch_flushes_partial_on_delay_expiry() {
+        let q = DispatchQueue::new(64, WaitMode::Block);
+        q.push(9);
+        let (batch, reason) = q.pop_batch(8, Duration::from_millis(5)).unwrap();
+        assert_eq!(batch, vec![9]);
+        assert_eq!(reason, FlushReason::DelayExpired);
+    }
+
+    #[test]
+    fn pop_batch_close_flushes_partial() {
+        let q = DispatchQueue::new(64, WaitMode::Block);
+        q.push(1);
+        q.push(2);
+        let q2 = q.clone();
+        let popper =
+            thread::spawn(move || q2.pop_batch(8, Duration::from_secs(5)).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        let (batch, reason) = popper.join().unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        assert_eq!(reason, FlushReason::QueueDrained);
+        assert_eq!(q.pop_batch(8, Duration::ZERO), None, "closed and drained");
+    }
+
+    #[test]
+    fn pop_batch_polling_mode_drains() {
+        let q = DispatchQueue::new(64, WaitMode::Poll);
+        for i in 0..6 {
+            assert!(q.push(i));
+        }
+        let (batch, reason) = q.pop_batch(6, Duration::from_millis(5)).unwrap();
+        assert_eq!(batch, (0..6).collect::<Vec<_>>());
+        assert_eq!(reason, FlushReason::SizeFull);
+        q.push(7);
+        let (batch, reason) = q.pop_batch(4, Duration::from_millis(5)).unwrap();
+        assert_eq!(batch, vec![7]);
+        assert_eq!(reason, FlushReason::DelayExpired);
+    }
+
+    #[test]
+    fn pop_batch_preserves_fifo_across_batches() {
+        let q = DispatchQueue::new(1 << 12, WaitMode::Block);
+        for i in 0..1000u32 {
+            assert!(q.push(i));
+        }
+        q.close();
+        let mut got = Vec::new();
+        while let Some((batch, _)) = q.pop_batch(7, Duration::ZERO) {
+            got.extend(batch);
+        }
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn many_producers_many_consumers() {
         let q = DispatchQueue::new(1 << 14, WaitMode::Block);
         let mut producers = Vec::new();
@@ -463,6 +618,65 @@ mod model_tests {
             })
             .expect("no interleaving may strand a parked worker");
         assert!(report.iterations > 1, "exploration must try preempting schedules");
+    }
+
+    /// Two contending batch-poppers over three queued items: in every
+    /// interleaving each item lands in exactly one batch, exactly once,
+    /// and both workers terminate (close must wake a popper blocked on
+    /// its first element, with any partial batch intact).
+    #[test]
+    fn contended_pop_batch_delivers_every_element_exactly_once() {
+        Checker::new()
+            .check(|| {
+                let q = DispatchQueue::<u32>::new(8, WaitMode::Block);
+                for i in 0..3 {
+                    assert!(q.push(i));
+                }
+                q.close();
+                let workers: Vec<_> = (0..2)
+                    .map(|_| {
+                        let q = q.clone();
+                        thread::spawn(move || {
+                            let mut got = Vec::new();
+                            while let Some((batch, _reason)) =
+                                q.pop_batch(2, std::time::Duration::ZERO)
+                            {
+                                assert!(!batch.is_empty(), "flushed batches are never empty");
+                                assert!(batch.len() <= 2, "batch must respect max_size");
+                                got.extend(batch);
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                let mut all: Vec<u32> =
+                    workers.into_iter().flat_map(|w| w.join().unwrap()).collect();
+                all.sort_unstable();
+                assert_eq!(all, vec![0, 1, 2], "every element exactly once");
+            })
+            .expect("batched delivery must be exactly-once in every schedule");
+    }
+
+    /// Close must wake a batch-popper parked waiting for its *first*
+    /// element, in every schedule — the batched analog of
+    /// `close_wakes_all_blocked_workers`.
+    #[test]
+    fn close_wakes_batch_poppers() {
+        Checker::new()
+            .check(|| {
+                let q = DispatchQueue::<u32>::new(4, WaitMode::Block);
+                let workers: Vec<_> = (0..2)
+                    .map(|_| {
+                        let q = q.clone();
+                        thread::spawn(move || q.pop_batch(4, std::time::Duration::ZERO))
+                    })
+                    .collect();
+                q.close();
+                for worker in workers {
+                    assert_eq!(worker.join().unwrap(), None);
+                }
+            })
+            .expect("no interleaving may strand a parked batch-popper");
     }
 
     /// One item, two contending workers: in every interleaving exactly one

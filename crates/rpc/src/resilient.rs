@@ -584,14 +584,12 @@ impl ResilientFanout {
             self.finish_attempt(slot, None, RpcError::CircuitOpen);
             return;
         };
-        let mut client = self.group.client(target);
-        if client.is_closed() {
+        if self.group.live_count(target) == 0 {
             match self.group.reconnect(target) {
                 Ok(replaced) => {
                     if replaced > 0 {
                         self.tick(ResilienceEvent::Reconnect);
                     }
-                    client = self.group.client(target);
                 }
                 Err(error) => {
                     self.finish_attempt(slot, Some(target), error);
@@ -620,7 +618,10 @@ impl ResilientFanout {
         let callback = move |result: Result<Bytes, RpcError>| {
             this.on_attempt_done(&slot_cb, target, is_hedge, started, result);
         };
-        client.call_async_opts(
+        // Through the group's request path, so attempts from concurrent
+        // scatters merge into one envelope when batching is enabled.
+        self.group.issue(
+            target,
             slot.method,
             slot.payload.clone(),
             attempt_limit,
@@ -875,6 +876,39 @@ mod tests {
         let rf = ResilientFanout::new(group, ResilientConfig::default());
         let result = rf.scatter_wait(Vec::new());
         assert!(result.replies.is_empty());
+    }
+
+    #[test]
+    fn attempts_route_through_merge_batching() {
+        use crate::config::BatchPolicy;
+        let servers: Vec<Server> = (0..2)
+            .map(|i| Server::spawn(ServerConfig::default(), Arc::new(TaggedEcho(i))).unwrap())
+            .collect();
+        let addrs: Vec<_> = servers.iter().map(|s| s.local_addr()).collect();
+        let group = Arc::new(
+            FanoutGroup::connect(&addrs)
+                .unwrap()
+                .with_batching(BatchPolicy::new(4, Duration::from_millis(10))),
+        );
+        let rf = ResilientFanout::new(group.clone(), ResilientConfig::default());
+        let mut handles = Vec::new();
+        for round in 0..4u8 {
+            let rf = rf.clone();
+            handles.push(std::thread::spawn(move || {
+                let calls: Vec<_> =
+                    (0..2).map(|leaf| LeafCall::new(leaf, 1, vec![round])).collect();
+                let result = rf.scatter_wait(calls);
+                assert!(result.all_ok());
+                for (leaf, reply) in result.successes().iter().enumerate() {
+                    assert_eq!(reply, &[leaf as u8, round]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = group.batch_stats().expect("batching is on");
+        assert_eq!(stats.members(), 8, "every resilient attempt takes the merge path");
     }
 
     #[test]

@@ -39,7 +39,8 @@ use crate::stats::ServerStats;
 use musuite_check::atomic::{AtomicBool, Ordering};
 use musuite_check::sync::Mutex;
 use musuite_check::thread::{Builder, JoinHandle};
-use musuite_codec::frame::FrameKind;
+use musuite_codec::batch::decode_batch;
+use musuite_codec::frame::{FrameHeader, FrameKind};
 use musuite_codec::{Frame, Priority, Status};
 use musuite_telemetry::admission::{AdmissionCounters, AdmissionEvent};
 use musuite_telemetry::breakdown::Stage;
@@ -161,6 +162,7 @@ impl Server {
 
         let mut worker_handles = Vec::new();
         if config.execution_model_value() == ExecutionModel::Dispatch {
+            let batch = config.batch_policy_value();
             for i in 0..config.worker_count() {
                 let queue = queue.clone();
                 let service = service.clone();
@@ -172,33 +174,34 @@ impl Server {
                         .name(format!("musuite-worker-{i}"))
                         .spawn(move || {
                             let clock = Clock::new();
-                            while let Some(ctx) = queue.pop() {
-                                // Feed the queue-delay signal (what the
-                                // breakdown's Block stage samples) to the
-                                // adaptive limiter.
-                                let delay = clock.delta(ctx.received_at_ns(), clock.now_ns());
-                                match admission.note_dequeue(delay) {
-                                    Some(LimitChange::Raised) => AdmissionCounters::global()
-                                        .incr(AdmissionEvent::LimitRaised),
-                                    Some(LimitChange::Lowered) => AdmissionCounters::global()
-                                        .incr(AdmissionEvent::LimitLowered),
-                                    None => {}
+                            if batch.is_on() {
+                                // Batched unit of work: one park/unpark per
+                                // drained batch. Expired members are dropped
+                                // from the batch, never the batch from the
+                                // queue, so one stale request cannot discard
+                                // its batchmates.
+                                while let Some((members, reason)) =
+                                    queue.pop_batch(batch.max_size(), batch.max_delay())
+                                {
+                                    stats.batching().record_batch(members.len(), reason);
+                                    let live: Vec<RequestContext> = members
+                                        .into_iter()
+                                        .filter_map(|ctx| {
+                                            screen_dequeued(&admission, &stats, &clock, ctx)
+                                        })
+                                        .collect();
+                                    if !live.is_empty() {
+                                        service.call_batch(live);
+                                    }
                                 }
-                                // Dequeue-expiry: the caller has given up on
-                                // this request, so answer without running the
-                                // handler — abandoned work must never occupy
-                                // a worker.
-                                if ctx.is_expired() {
-                                    stats.record_deadline_expired();
-                                    AdmissionCounters::global()
-                                        .incr(AdmissionEvent::ExpiredInQueue);
-                                    ctx.respond_err(
-                                        Status::DeadlineExpired,
-                                        "deadline expired in queue",
-                                    );
-                                    continue;
+                            } else {
+                                while let Some(ctx) = queue.pop() {
+                                    if let Some(ctx) =
+                                        screen_dequeued(&admission, &stats, &clock, ctx)
+                                    {
+                                        service.call(ctx);
+                                    }
                                 }
-                                service.call(ctx);
                             }
                         })
                         .expect("spawn worker thread"), // lint: allow(expect): server cannot run short-handed
@@ -414,6 +417,75 @@ fn shed_event(priority: Priority) -> AdmissionEvent {
     }
 }
 
+/// Per-member dequeue bookkeeping shared by the single-request and
+/// batched worker loops: feeds the queue-delay signal (what the
+/// breakdown's Block stage samples) to the adaptive limiter, then
+/// screens out requests whose deadline expired while queued — the
+/// caller has given up, so abandoned work must never occupy a worker.
+/// Returns the context only when it should still execute.
+fn screen_dequeued(
+    admission: &AdmissionControl,
+    stats: &ServerStats,
+    clock: &Clock,
+    ctx: RequestContext,
+) -> Option<RequestContext> {
+    let delay = clock.delta(ctx.received_at_ns(), clock.now_ns());
+    match admission.note_dequeue(delay) {
+        Some(LimitChange::Raised) => AdmissionCounters::global().incr(AdmissionEvent::LimitRaised),
+        Some(LimitChange::Lowered) => {
+            AdmissionCounters::global().incr(AdmissionEvent::LimitLowered)
+        }
+        None => {}
+    }
+    if ctx.is_expired() {
+        stats.record_deadline_expired();
+        AdmissionCounters::global().incr(AdmissionEvent::ExpiredInQueue);
+        ctx.respond_err(Status::DeadlineExpired, "deadline expired in queue");
+        return None;
+    }
+    Some(ctx)
+}
+
+/// Routes one decoded frame through the request pipeline — the protocol
+/// edge shared by both network models. `OneWay` frames go straight to
+/// the service; `Request` frames become one context; `Batch` frames are
+/// unpacked into per-member contexts so admission, shedding, and expiry
+/// stay *per sub-request* (a merged frame must account identically to
+/// the same requests sent individually). A batch envelope that fails to
+/// decode despite the outer checksum is a peer bug and is dropped whole;
+/// anything else (responses on a server connection) is ignored.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_frame(
+    frame: Frame,
+    received: u64,
+    writer: &SharedWriter,
+    stats: &ServerStats,
+    queue: &DispatchQueue<RequestContext>,
+    service: &Arc<dyn Service>,
+    model: ExecutionModel,
+    admission: &AdmissionControl,
+) {
+    match frame.header.kind {
+        FrameKind::OneWay => service.notify(frame.header.method, frame.payload),
+        FrameKind::Request => {
+            let ctx = RequestContext::new(frame, received, writer.clone(), stats.clone());
+            admit_and_dispatch(admission, stats, queue, service, model, ctx);
+        }
+        FrameKind::Batch => {
+            let Ok(entries) = decode_batch(&frame.payload) else { return };
+            for entry in entries {
+                let header =
+                    FrameHeader::new(FrameKind::Request, entry.request_id, entry.method, Status::Ok)
+                        .with_budget(entry.deadline_budget_us, entry.priority);
+                let member = Frame { header, payload: entry.payload };
+                let ctx = RequestContext::new(member, received, writer.clone(), stats.clone());
+                admit_and_dispatch(admission, stats, queue, service, model, ctx);
+            }
+        }
+        FrameKind::Response => {}
+    }
+}
+
 /// The shared admission pipeline behind both network edges: count the
 /// request, refuse arrivals whose deadline already passed, pass the
 /// priority gate, then hand the context to the execution model. The
@@ -468,23 +540,17 @@ impl ConnDriver for ServerConnDriver {
     fn on_frame(&mut self, frame: Frame, rx_start_ns: u64) -> Drive {
         let received = self.clock.now_ns();
         self.stats.breakdown().record(Stage::NetRx, self.clock.delta(rx_start_ns, received));
-        if frame.header.kind == FrameKind::OneWay {
-            self.service.notify(frame.header.method, frame.payload);
-            return Drive::Continue;
-        }
-        if frame.header.kind != FrameKind::Request {
-            return Drive::Continue;
-        }
         // Inline runs the handler on the sweep thread itself — the
         // paper's in-line design, now with a *shared* network thread.
-        let ctx = RequestContext::new(frame, received, self.writer.clone(), self.stats.clone());
-        admit_and_dispatch(
-            &self.admission,
+        dispatch_frame(
+            frame,
+            received,
+            &self.writer,
             &self.stats,
             &self.queue,
             &self.service,
             self.model,
-            ctx,
+            &self.admission,
         );
         Drive::Continue
     }
@@ -557,15 +623,9 @@ fn spawn_poller(
                 };
                 let received = clock.now_ns();
                 stats.breakdown().record(Stage::NetRx, clock.delta(rx_start, received));
-                if frame.header.kind == FrameKind::OneWay {
-                    service.notify(frame.header.method, frame.payload);
-                    continue;
-                }
-                if frame.header.kind != FrameKind::Request {
-                    continue;
-                }
-                let ctx = RequestContext::new(frame, received, writer.clone(), stats.clone());
-                admit_and_dispatch(&admission, &stats, &queue, &service, model, ctx);
+                dispatch_frame(
+                    frame, received, &writer, &stats, &queue, &service, model, &admission,
+                );
                 if shutdown.load(Ordering::Acquire) {
                     break;
                 }
@@ -1030,6 +1090,69 @@ mod tests {
         }
         assert_eq!(server.stats().deadline_expired(), 1);
         assert_eq!(ran.load(Ordering::Relaxed), 1, "the expired request must never execute");
+    }
+
+    #[test]
+    fn batched_dispatch_serves_traffic_and_records_occupancy() {
+        use crate::config::BatchPolicy;
+        let mut config = ServerConfig::default();
+        config.workers(2).batch_policy(BatchPolicy::new(8, Duration::from_micros(50)));
+        let server = Server::spawn(config, Arc::new(Echo)).unwrap();
+        let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..100u32 {
+            let tx = tx.clone();
+            client.call_async(1, i.to_le_bytes().to_vec(), move |result| {
+                tx.send(result.unwrap()).unwrap();
+            });
+        }
+        drop(tx);
+        let mut replies = 0;
+        while rx.recv().is_ok() {
+            replies += 1;
+        }
+        assert_eq!(replies, 100);
+        let batching = server.stats().batching();
+        assert_eq!(batching.members(), 100, "every request must flow through a batch");
+        assert!(batching.batches() >= 1 && batching.batches() <= 100);
+        assert!(batching.max_occupancy() <= 8, "policy max_size must bound occupancy");
+    }
+
+    #[test]
+    fn batched_dispatch_expired_members_dropped_not_batchmates() {
+        use crate::config::BatchPolicy;
+        use musuite_check::atomic::AtomicU64;
+        struct Tracking {
+            ran: Arc<AtomicU64>,
+        }
+        impl Service for Tracking {
+            fn call(&self, ctx: RequestContext) {
+                self.ran.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(40));
+                ctx.respond_ok(Vec::new());
+            }
+        }
+        let ran = Arc::new(AtomicU64::new(0));
+        let mut config = ServerConfig::default();
+        config
+            .workers(1)
+            .queue_capacity(8)
+            .batch_policy(BatchPolicy::new(4, Duration::ZERO));
+        let server = Server::spawn(config, Arc::new(Tracking { ran: ran.clone() })).unwrap();
+        let client = Arc::new(RpcClient::connect(server.local_addr()).unwrap());
+        // Occupy the lone worker...
+        client.call_async(1, Vec::new(), |_| {});
+        std::thread::sleep(Duration::from_millis(5));
+        // ...then queue one request that will expire behind the hog and
+        // one unbounded batchmate that must still execute.
+        client.call_async_opts(1, Vec::new(), Some(Duration::from_millis(5)), Priority::Normal, |_| {});
+        let (tx, rx) = std::sync::mpsc::channel();
+        client.call_async(1, Vec::new(), move |result| {
+            tx.send(result).unwrap();
+        });
+        rx.recv().unwrap().unwrap();
+        assert_eq!(server.stats().deadline_expired(), 1, "expired member dropped from batch");
+        assert_eq!(ran.load(Ordering::Relaxed), 2, "batchmate must survive its expired peer");
     }
 
     #[test]

@@ -40,6 +40,19 @@ pub trait Service: Send + Sync + 'static {
     fn notify(&self, method: u32, payload: Bytes) {
         let _ = (method, payload);
     }
+
+    /// Handles a batch of requests drained in one worker wakeup. The
+    /// default implementation preserves single-request semantics by
+    /// calling [`Service::call`] once per member, in queue order;
+    /// services with compute-aware batch kernels (shared index walks,
+    /// matrix passes, grouped lookups) override this to amortize work
+    /// across the whole batch. Every context must still be completed
+    /// exactly once, in a response order consistent with member order.
+    fn call_batch(&self, batch: Vec<RequestContext>) {
+        for ctx in batch {
+            self.call(ctx);
+        }
+    }
 }
 
 impl<F> Service for F

@@ -2,6 +2,7 @@
 
 use musuite_check::atomic::{AtomicU64, Ordering};
 use musuite_codec::Priority;
+use musuite_telemetry::batching::BatchStats;
 use musuite_telemetry::breakdown::BreakdownRecorder;
 use musuite_telemetry::histogram::LatencyHistogram;
 use musuite_telemetry::netpoll::CoalesceStats;
@@ -20,6 +21,7 @@ struct Inner {
     idle_reaped: AtomicU64,
     service_time: Mutex<LatencyHistogram>,
     coalesce: CoalesceStats,
+    batching: BatchStats,
 }
 
 /// Shared counters and latency recorders for one server.
@@ -123,6 +125,13 @@ impl ServerStats {
         &self.inner.coalesce
     }
 
+    /// Batch-occupancy and flush-reason counters for the dispatch path.
+    /// Only populated when the server runs with a `BatchPolicy` that
+    /// actually batches.
+    pub fn batching(&self) -> &BatchStats {
+        &self.inner.batching
+    }
+
     /// Copy of the server-side service-time histogram.
     pub fn service_time(&self) -> LatencyHistogram {
         self.inner.service_time.lock().clone()
@@ -145,6 +154,7 @@ impl ServerStats {
         self.inner.idle_reaped.store(0, Ordering::Relaxed);
         self.inner.service_time.lock().reset();
         self.inner.coalesce.reset();
+        self.inner.batching.reset();
         self.breakdown.reset();
     }
 }
@@ -204,7 +214,9 @@ mod tests {
         s.record_response(Duration::from_micros(1));
         s.record_deadline_expired();
         s.record_shed(Priority::Normal);
+        s.batching().record_batch(4, musuite_telemetry::batching::FlushReason::SizeFull);
         s.reset();
+        assert_eq!(s.batching().batches(), 0);
         assert_eq!(s.requests(), 0);
         assert_eq!(s.responses(), 0);
         assert_eq!(s.deadline_expired(), 0);

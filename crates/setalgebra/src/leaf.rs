@@ -43,6 +43,15 @@ impl LeafHandler for SetAlgebraLeaf {
     fn handle(&self, request: TermQuery) -> Result<PostingList, ServiceError> {
         Ok(PostingList { docs: self.index.search(&request.terms) })
     }
+
+    fn handle_batch(&self, requests: Vec<TermQuery>) -> Vec<Result<PostingList, ServiceError>> {
+        let queries: Vec<Vec<TermId>> = requests.into_iter().map(|r| r.terms).collect();
+        self.index
+            .search_batch(&queries)
+            .into_iter()
+            .map(|docs| Ok(PostingList { docs }))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -62,5 +71,21 @@ mod tests {
     fn unknown_term_matches_nothing() {
         let leaf = SetAlgebraLeaf::build(&[vec![1]], &[0], 0);
         assert!(leaf.handle(TermQuery { terms: vec![99] }).unwrap().docs.is_empty());
+    }
+
+    #[test]
+    fn batched_queries_match_sequential() {
+        let docs = vec![vec![1, 2], vec![2, 3], vec![1, 2, 3], vec![4]];
+        let leaf = SetAlgebraLeaf::build(&docs, &[10, 20, 30, 40], 0);
+        let queries = vec![
+            TermQuery { terms: vec![2, 3] },
+            TermQuery { terms: vec![2] }, // shares driving-term work
+            TermQuery { terms: vec![99] },
+            TermQuery { terms: vec![] },
+        ];
+        let batched = LeafHandler::handle_batch(&leaf, queries.clone());
+        for (query, batch) in queries.into_iter().zip(batched) {
+            assert_eq!(batch.unwrap().docs, leaf.handle(query).unwrap().docs);
+        }
     }
 }

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod admission;
+pub mod batching;
 pub mod breakdown;
 pub mod clock;
 pub mod counters;
@@ -51,6 +52,7 @@ pub mod sync;
 pub mod wakeup;
 
 pub use admission::{AdmissionCounters, AdmissionEvent};
+pub use batching::{BatchStats, FlushReason};
 pub use breakdown::{BreakdownRecorder, Stage};
 pub use clock::Clock;
 pub use counters::{OsOp, OsOpCounters};

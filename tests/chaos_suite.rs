@@ -475,6 +475,109 @@ fn overload_burst_sheds_by_class_and_accounts_for_every_request() {
 }
 
 #[test]
+fn overload_burst_with_batching_still_accounts_for_every_request() {
+    use musuite::loadgen::arrival::ArrivalProcess;
+    use musuite::loadgen::open_loop::{self, OpenLoopConfig, PriorityMix};
+    use musuite::rpc::{
+        BatchPolicy, NetworkModel, RequestContext, Server, ServerConfig, Service,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let seed = 0x10AD_u64; // the same burst as the unbatched scenario
+    println!("chaos seed: {seed}");
+
+    // The PR 6 accounting identity must survive the batching tentpole:
+    // with workers draining *batches* and expired members screened out of
+    // each batch (not the batch out of the queue), every arrival still
+    // resolves as exactly one of executed / shed / expired / rejected.
+    struct Busy {
+        ran: Arc<AtomicU64>,
+        service_time: Duration,
+    }
+    impl Service for Busy {
+        fn call(&self, ctx: RequestContext) {
+            self.ran.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.service_time);
+            ctx.respond_ok(Vec::new());
+        }
+    }
+    let ran = Arc::new(AtomicU64::new(0));
+    let mut config = ServerConfig::default();
+    config
+        .network_model(NetworkModel::SharedPollers { pollers: 2 })
+        .workers(2)
+        .queue_capacity(64)
+        .batch_policy(BatchPolicy::new(8, Duration::from_micros(50)));
+    let server = Server::spawn(
+        config,
+        Arc::new(Busy { ran: ran.clone(), service_time: Duration::from_millis(4) }),
+    )
+    .unwrap();
+
+    let mix = PriorityMix::new(20, 40);
+    let load = OpenLoopConfig {
+        arrivals: ArrivalProcess::poisson(5_000.0, seed),
+        duration: Duration::from_millis(400),
+        connections: 4,
+        timeout: Some(Duration::from_millis(50)),
+        mix,
+    };
+    let mut source = || (1u32, vec![0u8; 16]);
+    let report = open_loop::run_multi(load, server.local_addr(), &mut source).unwrap();
+    assert_eq!(report.completed + report.errors, report.issued, "every request must resolve");
+
+    let stats = server.stats();
+    let drained = Instant::now() + Duration::from_secs(10);
+    let accounted = |ran: u64| {
+        ran + stats.shed_total() + stats.deadline_expired() + stats.rejected() == stats.requests()
+    };
+    while !accounted(ran.load(Ordering::Relaxed)) && Instant::now() < drained {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        accounted(ran.load(Ordering::Relaxed)),
+        "arrivals {} != executed {} + shed {} + expired {} + rejected {} (seed {seed})",
+        stats.requests(),
+        ran.load(Ordering::Relaxed),
+        stats.shed_total(),
+        stats.deadline_expired(),
+        stats.rejected(),
+    );
+    assert!(stats.shed_total() > 0, "a 10x burst must shed");
+
+    // The workers really ran batched: every dequeued member is accounted
+    // to exactly one recorded batch, and the burst must have filled at
+    // least one batch to its size cap.
+    let batching = stats.batching();
+    assert!(batching.batches() > 0, "workers must drain batches under burst");
+    assert!(
+        batching.max_occupancy() > 1,
+        "a 10x burst must co-schedule requests into multi-member batches"
+    );
+    assert!(
+        batching.flushes(musuite::telemetry::batching::FlushReason::SizeFull) > 0,
+        "the burst must fill whole batches"
+    );
+    // Exactly: members == executed + expired-in-queue. The public stat
+    // folds arrival-expiry (never enqueued) into `deadline_expired`, so
+    // pin the identity by its two sound bounds.
+    let executed = ran.load(Ordering::Relaxed);
+    assert!(
+        batching.members() >= executed,
+        "every executed request was dequeued as a batch member (seed {seed})"
+    );
+    assert!(
+        batching.members() <= executed + stats.deadline_expired(),
+        "batch members {} exceed executed {} + expired {} (seed {seed})",
+        batching.members(),
+        executed,
+        stats.deadline_expired(),
+    );
+    server.shutdown();
+}
+
+#[test]
 fn teardown_mid_scatter_fails_fast() {
     // Shutdown ordering contract: the mid-tier and its fan-out stop
     // before the leaves, so a query stuck behind slow leaves collapses
